@@ -1,0 +1,40 @@
+(* Experiment 1 (Fig. 9): evaluation time vs. fragmentation, at a
+   constant cumulative size of 100 paper-MB over FT1.
+
+   9(a): Q1 (no qualifiers) — PaX3-NA vs PaX3-XA.  Fragmentation helps
+         (parallelism); gains flatten after ~6 fragments; annotations
+         roughly halve the time by skipping the final stage.
+   9(b): Q4 (qualifiers + //) — PaX3-NA vs PaX2-NA.  The combined pass
+         of PaX2 beats PaX3's separate passes. *)
+
+let machines () =
+  if Setup.quick then [ 1; 2; 4; 6; 8; 10 ] else [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let run_series ~qname ~configs =
+  Printf.printf "%-9s" "machines";
+  List.iter (fun (c : Setup.config) -> Printf.printf " %12s" c.Setup.cname) configs;
+  Printf.printf "   (seconds, parallel; %d answers expected to agree)\n" 0;
+  List.iter
+    (fun j ->
+      let cl = Setup.ft1 ~total_mb:100 ~j in
+      let q = Setup.query qname in
+      Printf.printf "%-9d" j;
+      let answers = ref (-1) in
+      List.iter
+        (fun cfg ->
+          let s = Setup.measure cfg cl q in
+          let n = List.length s.Setup.result.Setup.Run_result.answers in
+          if !answers >= 0 && n <> !answers then
+            failwith "exp1: algorithms disagree";
+          answers := n;
+          Printf.printf " %12.4f" s.Setup.parallel_s)
+        configs;
+      Printf.printf "   |ans|=%d\n%!" !answers)
+    (machines ())
+
+let run () =
+  Setup.header "Experiment 1 (Fig. 9) — evaluation vs fragmentation, 100 MB";
+  Setup.section "Fig. 9(a): Q1, PaX3 without vs with XPath-annotations";
+  run_series ~qname:"Q1" ~configs:[ Setup.pax3_na; Setup.pax3_xa ];
+  Setup.section "Fig. 9(b): Q4, PaX3 vs PaX2 (both without annotations)";
+  run_series ~qname:"Q4" ~configs:[ Setup.pax3_na; Setup.pax2_na ]

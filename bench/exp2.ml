@@ -1,0 +1,91 @@
+(* Experiments 2 and 3 (Fig. 10 and Fig. 11): scalability in data size
+   over the nested fragment tree FT2, 10 fragments on 10 machines,
+   cumulative size growing 100 → 280 paper-MB.
+
+   Fig. 10 plots parallel computation time; Fig. 11 plots total
+   computation time over the same runs, so both figures come from one
+   sweep here.
+
+   Series per figure, as in the paper:
+     (a) Q1: PaX3-NA vs PaX3-XA      (annotations prune regions/auctions)
+     (b) Q2: PaX3-NA vs PaX3-XA      (// after a prefix — pruning still works)
+     (c) Q3: PaX3-NA, PaX2-NA, PaX2-XA
+     (d) Q4: PaX3-NA vs PaX2-NA      (leading // defeats pruning) *)
+
+let sizes () =
+  if Setup.quick then [ 100; 160; 220; 280 ]
+  else [ 100; 120; 140; 160; 180; 200; 220; 240; 260; 280 ]
+
+type row = {
+  size_mb : int;
+  samples : (string * Setup.sample) list;  (* config name -> sample *)
+}
+
+let sweep ~qname ~configs =
+  List.map
+    (fun size_mb ->
+      let cl = Setup.ft2 ~cumulative_mb:size_mb in
+      let q = Setup.query qname in
+      let samples =
+        List.map
+          (fun (cfg : Setup.config) -> (cfg.Setup.cname, Setup.measure cfg cl q))
+          configs
+      in
+      (* Cross-check agreement between configurations. *)
+      (match samples with
+      | (_, first) :: rest ->
+          List.iter
+            (fun (cname, s) ->
+              if
+                s.Setup.result.Setup.Run_result.answer_ids
+                <> first.Setup.result.Setup.Run_result.answer_ids
+              then failwith ("exp2: " ^ cname ^ " disagrees on " ^ qname))
+            rest
+      | [] -> ());
+      { size_mb; samples })
+    (sizes ())
+
+let print_table ~metric ~label rows configs =
+  Printf.printf "%-8s" "MB";
+  List.iter (fun (c : Setup.config) -> Printf.printf " %12s" c.Setup.cname) configs;
+  Printf.printf "   (%s)\n" label;
+  List.iter
+    (fun r ->
+      Printf.printf "%-8d" r.size_mb;
+      List.iter
+        (fun (cfg : Setup.config) ->
+          let s = List.assoc cfg.Setup.cname r.samples in
+          Printf.printf " %12.4f" (metric s))
+        configs;
+      print_newline ())
+    rows
+
+let run () =
+  let figures =
+    [
+      ("(a) Q1", "Q1", [ Setup.pax3_na; Setup.pax3_xa ]);
+      ("(b) Q2", "Q2", [ Setup.pax3_na; Setup.pax3_xa ]);
+      ("(c) Q3", "Q3", [ Setup.pax3_na; Setup.pax2_na; Setup.pax2_xa ]);
+      ("(d) Q4", "Q4", [ Setup.pax3_na; Setup.pax2_na ]);
+    ]
+  in
+  let all =
+    List.map
+      (fun (label, qname, configs) ->
+        (label, qname, configs, sweep ~qname ~configs))
+      figures
+  in
+  Setup.header "Experiment 2 (Fig. 10) — parallel time vs data size, FT2";
+  List.iter
+    (fun (label, qname, configs, rows) ->
+      Setup.section (Printf.sprintf "Fig. 10%s = %s" label qname);
+      print_table ~metric:(fun s -> s.Setup.parallel_s)
+        ~label:"seconds, parallel" rows configs)
+    all;
+  Setup.header "Experiment 3 (Fig. 11) — total computation, same runs";
+  List.iter
+    (fun (label, qname, configs, rows) ->
+      Setup.section (Printf.sprintf "Fig. 11%s = %s" label qname);
+      print_table ~metric:(fun s -> s.Setup.total_s)
+        ~label:"seconds, summed over machines" rows configs)
+    all

@@ -1,0 +1,20 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   §6 (Experiments 1-3 / Fig. 9-11, the Fig. 7 query table and the
+   Fig. 8 fragment trees with their size split), plus the cost-guarantee
+   ablations and Bechamel micro-benchmarks of the kernels.
+
+     dune exec bench/main.exe             full sweep
+     PAX_BENCH_QUICK=1 dune exec ...      reduced sweep for smoke runs
+
+   See EXPERIMENTS.md for the paper-vs-measured discussion. *)
+
+let () =
+  Printf.printf
+    "PaX benchmark harness — scale: %d nodes per paper-MB, best of %d runs%s\n"
+    Setup.scale Setup.repeats
+    (if Setup.quick then " (QUICK mode)" else "");
+  Queries_fig.run ();
+  Exp1.run ();
+  Exp2.run ();
+  Costs.run ();
+  Micro.run ()

@@ -1,0 +1,40 @@
+(* Fig. 7 (the query table) and Fig. 8 (the fragment trees), as
+   realized by this reproduction. *)
+
+module Query = Pax_xpath.Query
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+
+let show_ft label cl =
+  let ft = Cluster.ftree cl in
+  Setup.section label;
+  Printf.printf "%-5s %-8s %-28s %10s %9s\n" "frag" "parent" "annotation" "nodes"
+    "~MB";
+  Array.iter
+    (fun (f : Fragment.fragment) ->
+      let nodes = Fragment.fragment_node_count f in
+      Printf.printf "%-5s %-8s %-28s %10d %9.1f\n"
+        (Printf.sprintf "F%d" f.Fragment.fid)
+        (match f.Fragment.parent with
+        | Some p -> Printf.sprintf "F%d" p
+        | None -> "-")
+        (String.concat "/" f.Fragment.ann)
+        nodes
+        (float_of_int nodes /. float_of_int Setup.scale))
+    ft.Fragment.fragments
+
+let run () =
+  Setup.header "Fig. 7 — the experiment queries";
+  Printf.printf "%-4s %-75s\n" "id" "query / normal form";
+  List.iter
+    (fun (name, q) ->
+      Printf.printf "%-4s %s\n" name q.Query.source;
+      Printf.printf "%-4s %s   (|Q| = %d, qualifiers: %b, //: %b)\n" ""
+        (Pax_xpath.Normal.to_string q.Query.normal)
+        (Query.size q) (Query.has_qualifiers q) (Query.has_dos q))
+    Setup.queries;
+
+  Setup.header "Fig. 8 — fragment trees (as realized, with sizes)";
+  show_ft "FT1 with 4 fragments, 100 paper-MB total" (Setup.ft1 ~total_mb:100 ~j:4);
+  show_ft "FT2 at cumulative 104 paper-MB (the 5/12/28/8 split)"
+    (Setup.ft2 ~cumulative_mb:104)

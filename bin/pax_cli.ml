@@ -1,0 +1,390 @@
+(* pax — command-line front end.
+
+   Subcommands:
+     pax gen       generate an XMark-style document
+     pax query     evaluate an XPath query over a (fragmented) document
+     pax inspect   document statistics
+     pax explain   parse/normalize/compile a query and show the pieces
+
+   Examples:
+     pax gen -n 50000 -s 10 -o sites.xml
+     pax query sites.xml '/sites/site/people/person' --algo pax2 --annotations \
+         --fragment-tag site --stats
+     pax explain 'a[b/text() = "x"]//c' *)
+
+module Tree = Pax_xml.Tree
+module Parser = Pax_xml.Parser
+module Printer = Pax_xml.Printer
+module Query = Pax_xpath.Query
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Xmark = Pax_xmark.Xmark
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run nodes sites seed output =
+    let doc = Xmark.doc ~seed ~total_nodes:nodes ~n_sites:sites in
+    let xml = Printer.to_string ~indent:true doc.Tree.root in
+    (match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc xml;
+        close_out oc;
+        Printf.printf "wrote %s: %d nodes, %d bytes\n" path doc.Tree.node_count
+          (String.length xml)
+    | None -> print_string xml);
+    0
+  in
+  let nodes =
+    Arg.(value & opt int 10_000 & info [ "n"; "nodes" ] ~doc:"Total node budget.")
+  in
+  let sites =
+    Arg.(value & opt int 4 & info [ "s"; "sites" ] ~doc:"Number of XMark site subtrees.")
+  in
+  let seed = Arg.(value & opt int 2007 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate an XMark-style document.")
+    Term.(const run $ nodes $ sites $ seed $ output)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type algo = Pax2 | Pax3 | Naive | Centralized | Stream
+
+let algo_conv =
+  Arg.enum
+    [ ("pax2", Pax2); ("pax3", Pax3); ("naive", Naive);
+      ("centralized", Centralized); ("stream", Stream) ]
+
+type placement = Per_fragment | Round_robin | Balanced
+
+let placement_conv =
+  Arg.enum
+    [ ("per-fragment", Per_fragment); ("round-robin", Round_robin);
+      ("balanced", Balanced) ]
+
+let make_cuts doc ~fragment_tag ~fragment_budget =
+  match (fragment_tag, fragment_budget) with
+  | Some tag, _ -> Fragment.cuts_by_tag doc ~tag
+  | None, Some budget -> Fragment.cuts_by_size doc ~budget
+  | None, None -> []
+
+(* FILE may be a plain document or a fragment-store directory. *)
+let load_ftree file ~fragment_tag ~fragment_budget =
+  if Pax_frag.Store.is_store file then Pax_frag.Store.load ~dir:file
+  else
+    let doc = Parser.parse_file file in
+    Fragment.fragmentize doc ~cuts:(make_cuts doc ~fragment_tag ~fragment_budget)
+
+let build_cluster ft ~n_sites ~placement =
+  let n = Fragment.n_fragments ft in
+  match (n_sites, placement) with
+  | None, _ -> Cluster.one_site_per_fragment ft
+  | Some k, placement -> (
+      let k = max 1 (min k n) in
+      match placement with
+      | Per_fragment | Round_robin ->
+          Pax_dist.Placement.cluster_round_robin ft ~n_sites:k
+      | Balanced -> Pax_dist.Placement.cluster_balanced ft ~n_sites:k)
+
+let query_cmd =
+  let run file query_text algo annotations fragment_tag fragment_budget n_sites
+      placement simplify stats quiet =
+    match
+      let ft = load_ftree file ~fragment_tag ~fragment_budget in
+      let q =
+        if simplify then Pax_xpath.Simplify.query query_text
+        else Query.of_string query_text
+      in
+      let result =
+        match algo with
+        | Centralized ->
+            let r = Pax_core.Centralized.run q (Fragment.reassemble ft) in
+            `Centralized r
+        | Stream ->
+            let xml = Printer.to_string (Fragment.reassemble ft) in
+            `Stream (Pax_core.Stream_eval.over_string q xml)
+        | (Pax2 | Pax3 | Naive) as a ->
+            let cluster = build_cluster ft ~n_sites ~placement in
+            let r =
+              match a with
+              | Pax2 -> Pax_core.Pax2.run ~annotations cluster q
+              | Pax3 -> Pax_core.Pax3.run ~annotations cluster q
+              | Naive | Centralized | Stream -> Pax_core.Naive.run cluster q
+            in
+            `Distributed r
+      in
+      (match result with
+      | `Stream r ->
+          Printf.printf "%d answer(s) at pre-order indices: %s\n"
+            (List.length r.Pax_core.Stream_eval.matches)
+            (String.concat ", "
+               (List.map string_of_int r.Pax_core.Stream_eval.matches));
+          if stats then
+            Printf.printf
+              "elements: %d | max depth: %d | peak pending: %d\n"
+              r.Pax_core.Stream_eval.elements r.Pax_core.Stream_eval.max_depth
+              r.Pax_core.Stream_eval.peak_pending
+      | `Centralized r ->
+          Printf.printf "%d answer(s)\n" (List.length r.Pax_core.Centralized.answers);
+          if not quiet then
+            List.iter
+              (fun n -> print_string (Printer.to_string n))
+              r.Pax_core.Centralized.answers
+      | `Distributed r ->
+          Printf.printf "%d answer(s)\n" (List.length r.Pax_core.Run_result.answers);
+          if not quiet then
+            List.iter
+              (fun n -> print_string (Printer.to_string n))
+              r.Pax_core.Run_result.answers;
+          if stats then
+            Format.printf "%a@."
+              Cluster.pp_report r.Pax_core.Run_result.report)
+    with
+    | () -> 0
+    | exception Parser.Parse_error { pos; msg } ->
+        Printf.eprintf "XML error at byte %d: %s\n" pos msg;
+        1
+    | exception Pax_xpath.Parse.Syntax_error { pos; msg } ->
+        Printf.eprintf "query error at character %d: %s\n" pos msg;
+        1
+    | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let query_text =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  let algo =
+    Arg.(value & opt algo_conv Pax2 & info [ "algo" ] ~doc:"pax2, pax3, naive or centralized.")
+  in
+  let annotations =
+    Arg.(value & flag & info [ "annotations"; "xa" ] ~doc:"Use XPath-annotations.")
+  in
+  let fragment_tag =
+    Arg.(value & opt (some string) None & info [ "fragment-tag" ] ~doc:"Cut at every node with this tag.")
+  in
+  let fragment_budget =
+    Arg.(value & opt (some int) None & info [ "fragment-budget" ] ~doc:"Cut into fragments of at most this many nodes.")
+  in
+  let n_sites =
+    Arg.(value & opt (some int) None & info [ "machines" ] ~doc:"Number of simulated sites (default: one per fragment).")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the cost report.") in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print answer elements.") in
+  let placement =
+    Arg.(value & opt placement_conv Round_robin
+         & info [ "placement" ] ~doc:"per-fragment, round-robin or balanced (with --machines).")
+  in
+  let simplify =
+    Arg.(value & flag & info [ "simplify" ] ~doc:"Algebraically simplify the query first.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath query over a fragmented document.")
+    Term.(
+      const run $ file $ query_text $ algo $ annotations $ fragment_tag
+      $ fragment_budget $ n_sites $ placement $ simplify $ stats $ quiet)
+
+(* ------------------------------------------------------------------ *)
+(* count                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let count_cmd =
+  let run file query_text annotations fragment_tag fragment_budget n_sites
+      stats =
+    match
+      let ft = load_ftree file ~fragment_tag ~fragment_budget in
+      let q = Query.of_string query_text in
+      let cluster = build_cluster ft ~n_sites ~placement:Round_robin in
+      let n, report = Pax_core.Count.run ~annotations cluster q in
+      Printf.printf "%d\n" n;
+      if stats then Format.printf "%a@." Cluster.pp_report report
+    with
+    | () -> 0
+    | exception Parser.Parse_error { pos; msg } ->
+        Printf.eprintf "XML error at byte %d: %s\n" pos msg;
+        1
+    | exception Pax_xpath.Parse.Syntax_error { pos; msg } ->
+        Printf.eprintf "query error at character %d: %s\n" pos msg;
+        1
+    | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let query_text =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  let annotations =
+    Arg.(value & flag & info [ "annotations"; "xa" ] ~doc:"Use XPath-annotations.")
+  in
+  let fragment_tag =
+    Arg.(value & opt (some string) None & info [ "fragment-tag" ] ~doc:"Cut at every node with this tag.")
+  in
+  let fragment_budget =
+    Arg.(value & opt (some int) None & info [ "fragment-budget" ] ~doc:"Cut into fragments of at most this many nodes.")
+  in
+  let n_sites =
+    Arg.(value & opt (some int) None & info [ "machines" ] ~doc:"Number of simulated sites.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the cost report.") in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Count answers without shipping them.")
+    Term.(
+      const run $ file $ query_text $ annotations $ fragment_tag
+      $ fragment_budget $ n_sites $ stats)
+
+(* ------------------------------------------------------------------ *)
+(* fragment                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fragment_cmd =
+  let run file output fragment_tag fragment_budget dot =
+    match
+      let doc = Parser.parse_file file in
+      let cuts = make_cuts doc ~fragment_tag ~fragment_budget in
+      let ft = Fragment.fragmentize doc ~cuts in
+      Pax_frag.Store.save ft ~dir:output;
+      Printf.printf "wrote %s: %d fragments, %d nodes\n" output
+        (Fragment.n_fragments ft) doc.Tree.node_count;
+      if dot then print_string (Fragment.to_dot ft)
+      else Format.printf "%a@." Fragment.pp ft
+    with
+    | () -> 0
+    | exception Parser.Parse_error { pos; msg } ->
+        Printf.eprintf "XML error at byte %d: %s\n" pos msg;
+        1
+    | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Store directory." ~docv:"DIR")
+  in
+  let fragment_tag =
+    Arg.(value & opt (some string) None & info [ "fragment-tag" ] ~doc:"Cut at every node with this tag.")
+  in
+  let fragment_budget =
+    Arg.(value & opt (some int) None & info [ "fragment-budget" ] ~doc:"Cut into fragments of at most this many nodes.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print the fragment tree as Graphviz dot.")
+  in
+  Cmd.v
+    (Cmd.info "fragment" ~doc:"Fragment a document into an on-disk store.")
+    Term.(const run $ file $ output $ fragment_tag $ fragment_budget $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* assemble                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let assemble_cmd =
+  let run store output =
+    match
+      let ft = Pax_frag.Store.load ~dir:store in
+      let xml = Printer.to_string ~indent:true (Fragment.reassemble ft) in
+      match output with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc xml;
+          close_out oc;
+          Printf.printf "wrote %s (%d bytes)\n" path (String.length xml)
+      | None -> print_string xml
+    with
+    | () -> 0
+    | exception Pax_frag.Store.Corrupt e ->
+        Printf.eprintf "corrupt store: %s\n" e;
+        1
+    | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        1
+  in
+  let store = Arg.(required & pos 0 (some dir) None & info [] ~docv:"STORE") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "assemble" ~doc:"Reassemble a fragment store into one document.")
+    Term.(const run $ store $ output)
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let inspect_cmd =
+  let run file =
+    match Parser.parse_file file with
+    | doc ->
+        let tags = Hashtbl.create 64 in
+        Tree.iter
+          (fun n ->
+            Hashtbl.replace tags n.Tree.tag
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tags n.Tree.tag)))
+          doc.Tree.root;
+        Printf.printf "nodes: %d\ndepth: %d\nbytes: %d\ndistinct tags: %d\n"
+          doc.Tree.node_count (Tree.depth doc.Tree.root)
+          (Tree.byte_size doc.Tree.root) (Hashtbl.length tags);
+        let sorted =
+          List.sort (fun (_, a) (_, b) -> compare b a)
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tags [])
+        in
+        List.iteri
+          (fun i (tag, n) -> if i < 15 then Printf.printf "  %-20s %d\n" tag n)
+          sorted;
+        0
+    | exception Parser.Parse_error { pos; msg } ->
+        Printf.eprintf "XML error at byte %d: %s\n" pos msg;
+        1
+    | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Show document statistics.") Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run query_text =
+    match Query.of_string query_text with
+    | q ->
+        Format.printf "source:      %s@." q.Query.source;
+        Format.printf "ast:         %a@." Pax_xpath.Ast.pp q.Query.ast;
+        Format.printf "normal form: %a@." Pax_xpath.Normal.pp q.Query.normal;
+        Format.printf "selection:   %a@."
+          (fun ppf steps ->
+            List.iter (fun s -> Format.fprintf ppf "%a " Pax_xpath.Normal.pp_step s) steps)
+          (Pax_xpath.Normal.selection_path q.Query.normal);
+        Format.printf "compiled:    %a@." Pax_xpath.Compile.pp q.Query.compiled;
+        0
+    | exception Pax_xpath.Parse.Syntax_error { pos; msg } ->
+        Printf.eprintf "query error at character %d: %s\n" pos msg;
+        1
+  in
+  let query_text =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Parse, normalize and compile a query.")
+    Term.(const run $ query_text)
+
+let () =
+  let info =
+    Cmd.info "pax" ~version:"1.0.0"
+      ~doc:"Distributed XPath evaluation with performance guarantees (SIGMOD 2007)."
+  in
+  exit (Cmd.eval' (Cmd.group info
+       [ gen_cmd; query_cmd; count_cmd; fragment_cmd; assemble_cmd; inspect_cmd;
+         explain_cmd ]))

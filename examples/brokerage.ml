@@ -1,0 +1,125 @@
+(* Brokerage: the regulatory-placement scenario of the paper's
+   introduction, at a larger scale.
+
+   A brokerage holds one tree of clients; regulation forces per-country
+   placement (Canadian trade data on a Canadian server) and market rules
+   force NASDAQ subtrees onto the exchange's own site.  The example
+   shows how annotation-based routing keeps queries away from sites that
+   cannot contribute, and how the communication bill stays proportional
+   to the answer.
+
+     dune exec examples/brokerage.exe *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Rng = Pax_xmark.Rng
+
+let markets = [| "NASDAQ"; "NYSE"; "TSE"; "LSE" |]
+let codes = [| "GOOG"; "YHOO"; "IBM"; "MSFT"; "ORCL"; "RIM" |]
+let countries = [| "US"; "US"; "US"; "Canada"; "Canada"; "UK" |]
+let brokers = [| "E*trade"; "Bache"; "CIBC"; "Schwab"; "Barclays" |]
+
+let build ~clients ~seed =
+  let b = Tree.builder () in
+  let rng = Rng.create ~seed in
+  let stock () =
+    Tree.elem b "stock"
+      [
+        Tree.leaf b "code" (Rng.pick rng codes);
+        Tree.leaf b "buy" (string_of_int (Rng.range rng 10 500));
+        Tree.leaf b "qt" (string_of_int (Rng.range rng 1 100));
+      ]
+  in
+  let market () =
+    Tree.elem b "market"
+      (Tree.leaf b "name" (Rng.pick rng markets)
+      :: List.init (Rng.range rng 1 4) (fun _ -> stock ()))
+  in
+  let broker () =
+    Tree.elem b "broker"
+      (Tree.leaf b "name" (Rng.pick rng brokers)
+      :: List.init (Rng.range rng 1 3) (fun _ -> market ()))
+  in
+  let client i =
+    Tree.elem b "client"
+      [
+        Tree.leaf b "name" (Printf.sprintf "client%d" i);
+        Tree.leaf b "country" (Rng.pick rng countries);
+        broker ();
+      ]
+  in
+  Tree.doc_of_root (Tree.elem b "clientele" (List.init clients client))
+
+let () =
+  let doc = build ~clients:400 ~seed:2007 in
+  Printf.printf "Clientele: %d nodes (%d clients)\n" doc.Tree.node_count 400;
+
+  (* Regulatory fragmentation: every Canadian client subtree moves to
+     the Canadian site; every NASDAQ market moves to the exchange site. *)
+  let canadian =
+    Tree.select
+      (fun n ->
+        n.Tree.tag = "client"
+        && List.exists
+             (fun (c : Tree.node) ->
+               c.Tree.tag = "country" && Tree.text_of c = "Canada")
+             n.Tree.children)
+      doc.Tree.root
+  in
+  let nasdaq =
+    Tree.select
+      (fun n ->
+        n.Tree.tag = "market"
+        && List.exists (fun (c : Tree.node) -> Tree.text_of c = "NASDAQ") n.Tree.children)
+      doc.Tree.root
+  in
+  let cuts = List.map (fun (n : Tree.node) -> n.Tree.id) (canadian @ nasdaq) in
+  let ft = Fragment.fragmentize doc ~cuts in
+  Printf.printf "Fragments: %d (1 home + %d Canadian clients + %d NASDAQ markets)\n"
+    (Fragment.n_fragments ft) (List.length canadian) (List.length nasdaq);
+
+  (* Three sites: home (US), Canada, NASDAQ. *)
+  let canada_roots = List.map (fun (n : Tree.node) -> n.Tree.id) canadian in
+  let cluster =
+    Cluster.create ~ftree:ft ~n_sites:3 ~assign:(fun fid ->
+        if fid = 0 then 0
+        else
+          let root = (Fragment.fragment ft fid).Fragment.root in
+          if List.mem root.Tree.id canada_roots then 1 else 2)
+  in
+
+  let run name annotations qs =
+    let q = Query.of_string qs in
+    let r = Pax_core.Pax2.run ~annotations cluster q in
+    let rep = r.Pax_core.Run_result.report in
+    Printf.printf
+      "%-42s %-4s %4d ans | visits home/CA/NQ = %d/%d/%d | %6d ctl + %6d ans bytes\n"
+      qs name
+      (List.length r.Pax_core.Run_result.answers)
+      rep.Cluster.visits.(0) rep.Cluster.visits.(1) rep.Cluster.visits.(2)
+      rep.Cluster.control_bytes rep.Cluster.answer_bytes
+  in
+
+  print_newline ();
+  (* Client names: no market data involved; with annotations the NASDAQ
+     site is never contacted. *)
+  run "NA" false "client/name";
+  run "XA" true "client/name";
+  print_newline ();
+  (* Canadian GOOG positions: touches home + Canada + NASDAQ (markets of
+     Canadian clients stayed home? no - their brokers' NASDAQ subtrees
+     live on the exchange site). *)
+  run "NA" false "client[country/text() = \"Canada\"]//stock[code/text() = \"GOOG\"]/qt";
+  run "XA" true "client[country/text() = \"Canada\"]//stock[code/text() = \"GOOG\"]/qt";
+  print_newline ();
+  (* Compare against shipping everything home. *)
+  let q = Query.of_string "client//stock[code/text() = \"GOOG\"]/qt" in
+  let naive = Pax_core.Naive.run cluster q in
+  let pax = Pax_core.Pax2.run ~annotations:true cluster q in
+  let nb = naive.Pax_core.Run_result.report in
+  let pb = pax.Pax_core.Run_result.report in
+  Printf.printf
+    "GOOG positions firm-wide: naive ships %d tree bytes; PaX2-XA ships %d control + %d answer bytes\n"
+    nb.Cluster.tree_bytes pb.Cluster.control_bytes pb.Cluster.answer_bytes

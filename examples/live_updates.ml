@@ -1,0 +1,98 @@
+(* Updates on a live fragmented store (paper §8, future work).
+
+   The clientele tree stays fragmented across sites while positions are
+   traded: inserts, deletions and text updates are routed to the single
+   owning site, and queries keep answering correctly in between — no
+   refragmentation, no data shipping.
+
+     dune exec examples/live_updates.exe *)
+
+module Tree = Pax_xml.Tree
+module Parser = Pax_xml.Parser
+module Query = Pax_xpath.Query
+module Fragment = Pax_frag.Fragment
+module Update = Pax_frag.Update
+module Cluster = Pax_dist.Cluster
+
+let () =
+  let doc =
+    Parser.parse_string
+      {|<clientele>
+          <client><name>Anna</name><country>US</country>
+            <broker><name>E*trade</name>
+              <market><name>NASDAQ</name>
+                <stock><code>GOOG</code><buy>374</buy><qt>40</qt></stock>
+              </market>
+            </broker>
+          </client>
+          <client><name>Lisa</name><country>Canada</country>
+            <broker><name>CIBC</name>
+              <market><name>TSE</name>
+                <stock><code>GOOG</code><buy>382</buy><qt>90</qt></stock>
+              </market>
+            </broker>
+          </client>
+        </clientele>|}
+  in
+  let ft =
+    Fragment.fragmentize doc ~cuts:(Fragment.cuts_by_tag doc ~tag:"broker")
+  in
+  let cluster = Cluster.one_site_per_fragment ft in
+  let fresh = Tree.builder_from 100_000 in
+
+  let goog_positions () =
+    let q = Query.of_string "//broker[//stock/code/text() = \"GOOG\"]/name" in
+    let r = Pax_core.Pax2.run cluster q in
+    String.concat ", " (List.map Tree.text_of r.Pax_core.Run_result.answers)
+  in
+  let show_step msg = Printf.printf "%-52s brokers holding GOOG: %s\n" msg (goog_positions ()) in
+
+  show_step "initial state";
+
+  (* Lisa's CIBC broker sells its GOOG position. *)
+  let tse_goog =
+    List.find
+      (fun (n : Tree.node) ->
+        List.exists (fun (c : Tree.node) -> Tree.text_of c = "GOOG") n.Tree.children
+        && List.exists (fun (c : Tree.node) -> Tree.text_of c = "382") n.Tree.children)
+      (Tree.select (fun n -> n.Tree.tag = "stock") (Fragment.reassemble ft))
+  in
+  (match Update.apply ft (Update.Delete tse_goog.Tree.id) with
+  | Ok fid -> Printf.printf "  [site of F%d] deleted CIBC's GOOG position\n" fid
+  | Error e -> failwith (Update.error_to_string e));
+  show_step "after CIBC sells GOOG";
+
+  (* A new market opens under CIBC with a fresh GOOG position. *)
+  let cibc =
+    List.find
+      (fun (n : Tree.node) ->
+        n.Tree.tag = "broker"
+        && List.exists (fun (c : Tree.node) -> Tree.text_of c = "CIBC") n.Tree.children)
+      (Tree.select (fun n -> n.Tree.tag = "broker") (Fragment.reassemble ft))
+  in
+  let new_market =
+    Tree.elem fresh "market"
+      [
+        Tree.leaf fresh "name" "NYSE";
+        Tree.elem fresh "stock"
+          [ Tree.leaf fresh "code" "GOOG"; Tree.leaf fresh "buy" "395";
+            Tree.leaf fresh "qt" "25" ];
+      ]
+  in
+  (match Update.apply ft (Update.Insert (cibc.Tree.id, new_market)) with
+  | Ok fid -> Printf.printf "  [site of F%d] CIBC buys GOOG on NYSE\n" fid
+  | Error e -> failwith (Update.error_to_string e));
+  show_step "after CIBC re-enters via NYSE";
+
+  (* Illegal operations are refused, the store stays consistent. *)
+  (match Update.apply ft (Update.Delete cibc.Tree.id) with
+  | Error e -> Printf.printf "  refused as expected: %s\n" (Update.error_to_string e)
+  | Ok _ -> failwith "should have been refused");
+  show_step "after a refused delete (broker is a fragment root)";
+
+  (* Count without shipping: how many stock positions exist now? *)
+  let n, report = Pax_core.Count.run cluster (Query.of_string "//stock") in
+  Printf.printf
+    "\ncount(//stock) = %d  — %d control bytes, %d answer bytes, %d visits max\n"
+    n report.Cluster.control_bytes report.Cluster.answer_bytes
+    report.Cluster.max_visits

@@ -1,0 +1,106 @@
+(* Quickstart: the paper's running example end to end.
+
+   Build the investment-company clientele tree of Fig. 1, fragment it as
+   in Fig. 2, place the fragments on four simulated sites, and evaluate
+   the introduction's queries with ParBoX (Boolean), PaX3 and PaX2.
+
+     dune exec examples/quickstart.exe *)
+
+module Tree = Pax_xml.Tree
+module Parser = Pax_xml.Parser
+module Query = Pax_xpath.Query
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+
+let clientele_xml =
+  {|<clientele>
+      <client><name>Anna</name><country>US</country>
+        <broker><name>E*trade</name>
+          <market><name>NASDAQ</name>
+            <stock><code>GOOG</code><buy>374</buy><qt>40</qt></stock>
+            <stock><code>YHOO</code><buy>33</buy><qt>40</qt></stock>
+          </market>
+        </broker>
+      </client>
+      <client><name>Kim</name><country>US</country>
+        <broker><name>Bache</name>
+          <market><name>NYSE</name>
+            <stock><code>IBM</code><buy>80</buy><qt>50</qt></stock>
+          </market>
+          <market><name>NASDAQ</name>
+            <stock><code>GOOG</code><buy>370</buy><qt>75</qt></stock>
+          </market>
+        </broker>
+      </client>
+      <client><name>Lisa</name><country>Canada</country>
+        <broker><name>CIBC</name>
+          <market><name>TSE</name>
+            <stock><code>GOOG</code><buy>382</buy><qt>90</qt></stock>
+          </market>
+        </broker>
+      </client>
+    </clientele>|}
+
+let () =
+  let doc = Parser.parse_string clientele_xml in
+  Printf.printf "Document: %d nodes, %d bytes serialized\n" doc.Tree.node_count
+    (Tree.byte_size doc.Tree.root);
+
+  (* Fragment: every broker and every NASDAQ market becomes its own
+     fragment, echoing the regulatory story of the paper's intro
+     (Canadian data on a Canadian server, NASDAQ data only behind
+     recognized brokers). *)
+  let cuts =
+    List.filter_map
+      (fun (n : Tree.node) ->
+        let is_broker = n.Tree.tag = "broker" in
+        let is_nasdaq =
+          n.Tree.tag = "market"
+          && List.exists
+               (fun (c : Tree.node) -> Tree.text_of c = "NASDAQ")
+               n.Tree.children
+        in
+        if is_broker || is_nasdaq then Some n.Tree.id else None)
+      (Tree.select (fun _ -> true) doc.Tree.root)
+  in
+  let ft = Fragment.fragmentize doc ~cuts in
+  Printf.printf "\nFragment tree (%d fragments):\n%s\n" (Fragment.n_fragments ft)
+    (Format.asprintf "%a" Fragment.pp ft);
+
+  (* One site per fragment, coordinator at the root fragment's site. *)
+  let cluster = Cluster.one_site_per_fragment ft in
+
+  (* The introduction's Boolean query, via ParBoX: one visit per site. *)
+  let bool_q = "//stock/code/text() = \"GOOG\"" in
+  let answer, report = Pax_core.Parbox.eval_string cluster bool_q in
+  Printf.printf "ParBoX  [%s]  =>  %b   (max %d visit/site, %d control bytes)\n\n"
+    bool_q answer report.Cluster.max_visits report.Cluster.control_bytes;
+
+  (* The introduction's data-selecting query Q'. *)
+  let show name result =
+    let r : Pax_core.Run_result.t = result in
+    Printf.printf "%-8s %d answer(s): %s\n" name
+      (List.length r.Pax_core.Run_result.answers)
+      (String.concat ", "
+         (List.map Tree.text_of r.Pax_core.Run_result.answers));
+    Printf.printf "         rounds: %s | visits max %d | %d control + %d answer bytes\n"
+      (String.concat " -> " r.Pax_core.Run_result.report.Cluster.rounds)
+      r.Pax_core.Run_result.report.Cluster.max_visits
+      r.Pax_core.Run_result.report.Cluster.control_bytes
+      r.Pax_core.Run_result.report.Cluster.answer_bytes
+  in
+  let q = Query.of_string "//broker[//stock/code/text() = \"GOOG\"]/name" in
+  Printf.printf "Query Q' = %s\n" q.Query.source;
+  show "PaX3" (Pax_core.Pax3.run cluster q);
+  show "PaX2" (Pax_core.Pax2.run cluster q);
+  show "PaX2-XA" (Pax_core.Pax2.run ~annotations:true cluster q);
+  show "Naive" (Pax_core.Naive.run cluster q);
+
+  (* Example 2.1 of the paper. *)
+  let q2 =
+    Query.of_string
+      "client[country/text() = \"US\"]/broker[market/name/text() = \"NASDAQ\"]/name"
+  in
+  Printf.printf "\nQuery (Ex. 2.1) = %s\nnormal form     = %s\n" q2.Query.source
+    (Pax_xpath.Normal.to_string q2.Query.normal);
+  show "PaX2" (Pax_core.Pax2.run cluster q2)

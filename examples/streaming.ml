@@ -1,0 +1,40 @@
+(* One-pass streaming evaluation: no tree, just SAX events.
+
+   Compares the streaming engine against the two-pass centralized
+   evaluator on the same document: identical answers, bounded state
+   (ancestor stack + undecided candidates).
+
+     dune exec examples/streaming.exe *)
+
+module Tree = Pax_xml.Tree
+module Printer = Pax_xml.Printer
+module Query = Pax_xpath.Query
+module Stream_eval = Pax_core.Stream_eval
+module Xmark = Pax_xmark.Xmark
+
+let () =
+  let doc = Xmark.doc ~seed:8 ~total_nodes:30_000 ~n_sites:3 in
+  let xml = Printer.to_string doc.Tree.root in
+  Printf.printf "Document: %d nodes, %d KB serialized\n\n" doc.Tree.node_count
+    (String.length xml / 1024);
+  Printf.printf "%-6s %8s %8s | %9s %10s %13s\n" "query" "answers" "agree"
+    "elements" "max depth" "peak pending";
+  List.iter
+    (fun (name, qs) ->
+      let q = Query.of_string qs in
+      let stream = Stream_eval.over_string q xml in
+      let tree = Pax_core.Centralized.run q doc.Tree.root in
+      let tree_indices =
+        Stream_eval.indices_of_answers doc.Tree.root
+          tree.Pax_core.Centralized.answers
+      in
+      Printf.printf "%-6s %8d %8b | %9d %10d %13d\n" name
+        (List.length stream.Stream_eval.matches)
+        (stream.Stream_eval.matches = tree_indices)
+        stream.Stream_eval.elements stream.Stream_eval.max_depth
+        stream.Stream_eval.peak_pending)
+    Xmark.queries;
+  print_endline
+    "\nThe streaming engine holds one frame per OPEN element (the ancestor\n\
+     stack) plus the candidates whose qualifiers are still undecided -\n\
+     never the document."

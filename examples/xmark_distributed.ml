@@ -1,0 +1,57 @@
+(* XMark over ten sites: the setting of the paper's experiments.
+
+   Generates an XMark-style document, places one "site" subtree per
+   machine (the FT1 layout of Fig. 8), and runs the paper's queries
+   Q1-Q4 under every algorithm, printing a cost comparison.
+
+     dune exec examples/xmark_distributed.exe *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Xmark = Pax_xmark.Xmark
+
+let () =
+  let n_machines = 10 in
+  let doc = Xmark.doc ~seed:1 ~total_nodes:40_000 ~n_sites:n_machines in
+  Printf.printf "XMark document: %d nodes (%d KB serialized), %d sites\n\n"
+    doc.Tree.node_count
+    (Tree.byte_size doc.Tree.root / 1024)
+    n_machines;
+  let cuts = Fragment.cuts_by_tag doc ~tag:"site" in
+  let ft = Fragment.fragmentize doc ~cuts in
+  let cluster = Cluster.one_site_per_fragment ft in
+
+  Printf.printf "%-4s %-10s %6s %8s %9s %10s %10s %9s\n" "Q" "algorithm"
+    "ans" "visits" "par(ms)" "total(ms)" "ctl bytes" "ans bytes";
+  let line = String.make 76 '-' in
+  print_endline line;
+  List.iter
+    (fun (name, qs) ->
+      let q = Query.of_string qs in
+      let algos =
+        [
+          ("PaX3-NA", fun () -> Pax_core.Pax3.run cluster q);
+          ("PaX3-XA", fun () -> Pax_core.Pax3.run ~annotations:true cluster q);
+          ("PaX2-NA", fun () -> Pax_core.Pax2.run cluster q);
+          ("PaX2-XA", fun () -> Pax_core.Pax2.run ~annotations:true cluster q);
+          ("Naive", fun () -> Pax_core.Naive.run cluster q);
+        ]
+      in
+      List.iter
+        (fun (algo, run) ->
+          let r = run () in
+          let rep = r.Pax_core.Run_result.report in
+          Printf.printf "%-4s %-10s %6d %8d %9.2f %10.2f %10d %9d\n" name algo
+            (List.length r.Pax_core.Run_result.answers)
+            rep.Cluster.max_visits
+            (1000. *. rep.Cluster.parallel_seconds)
+            (1000. *. rep.Cluster.total_seconds)
+            rep.Cluster.control_bytes
+            (rep.Cluster.answer_bytes + rep.Cluster.tree_bytes))
+        algos;
+      print_endline line)
+    Xmark.queries;
+  print_endline
+    "\n(\"Naive\" answer bytes include the shipped fragments; PaX ships only answers.)"

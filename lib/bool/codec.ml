@@ -1,0 +1,207 @@
+exception Decode_error of string
+
+(* ------------------------------------------------------------------ *)
+(* varints (LEB128, unsigned)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let encode_varint buf n =
+  if n < 0 then invalid_arg "Codec: negative varint";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let varint_bytes n =
+  let rec go n acc = if n < 0x80 then acc + 1 else go (n lsr 7) (acc + 1) in
+  go (max n 0) 0
+
+let decode_varint s ~pos =
+  let rec go pos shift acc =
+    if pos >= String.length s then raise (Decode_error "truncated varint")
+    else
+      let b = Char.code s.[pos] in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+(* ------------------------------------------------------------------ *)
+(* tags                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t_true = 0
+let t_false = 1
+let t_not = 2
+let t_and = 3
+let t_or = 4
+let t_var_qual = 5
+let t_var_ctx = 6
+let t_var_at = 7
+
+let encode_var buf (v : Var.t) =
+  match v with
+  | Var.Qual (a, b) ->
+      Buffer.add_char buf (Char.chr t_var_qual);
+      encode_varint buf a;
+      encode_varint buf b
+  | Var.Sel_ctx (a, b) ->
+      Buffer.add_char buf (Char.chr t_var_ctx);
+      encode_varint buf a;
+      encode_varint buf b
+  | Var.Qual_at (a, b) ->
+      Buffer.add_char buf (Char.chr t_var_at);
+      encode_varint buf a;
+      encode_varint buf b
+
+let var_bytes (v : Var.t) =
+  match v with
+  | Var.Qual (a, b) | Var.Sel_ctx (a, b) | Var.Qual_at (a, b) ->
+      1 + varint_bytes a + varint_bytes b
+
+let rec encode_formula buf (f : Formula.t) =
+  match f with
+  | Formula.True -> Buffer.add_char buf (Char.chr t_true)
+  | Formula.False -> Buffer.add_char buf (Char.chr t_false)
+  | Formula.Var v -> encode_var buf v
+  | Formula.Not g ->
+      Buffer.add_char buf (Char.chr t_not);
+      encode_formula buf g
+  | Formula.And gs ->
+      Buffer.add_char buf (Char.chr t_and);
+      encode_varint buf (List.length gs);
+      List.iter (encode_formula buf) gs
+  | Formula.Or gs ->
+      Buffer.add_char buf (Char.chr t_or);
+      encode_varint buf (List.length gs);
+      List.iter (encode_formula buf) gs
+
+let rec formula_bytes (f : Formula.t) =
+  match f with
+  | Formula.True | Formula.False -> 1
+  | Formula.Var v -> var_bytes v
+  | Formula.Not g -> 1 + formula_bytes g
+  | Formula.And gs | Formula.Or gs ->
+      List.fold_left
+        (fun acc g -> acc + formula_bytes g)
+        (1 + varint_bytes (List.length gs))
+        gs
+
+let encode_formula_array buf fs =
+  encode_varint buf (Array.length fs);
+  Array.iter (encode_formula buf) fs
+
+let formula_array_bytes fs =
+  Array.fold_left
+    (fun acc f -> acc + formula_bytes f)
+    (varint_bytes (Array.length fs))
+    fs
+
+let encode_bool_array buf bs =
+  let n = Array.length bs in
+  encode_varint buf n;
+  let byte = ref 0 and fill = ref 0 in
+  Array.iter
+    (fun b ->
+      if b then byte := !byte lor (1 lsl !fill);
+      incr fill;
+      if !fill = 8 then begin
+        Buffer.add_char buf (Char.chr !byte);
+        byte := 0;
+        fill := 0
+      end)
+    bs;
+  if !fill > 0 then Buffer.add_char buf (Char.chr !byte)
+
+let bool_array_bytes bs =
+  let n = Array.length bs in
+  varint_bytes n + ((n + 7) / 8)
+
+let decode_var tag s ~pos =
+  let a, pos = decode_varint s ~pos in
+  let b, pos = decode_varint s ~pos in
+  let v =
+    if tag = t_var_qual then Var.Qual (a, b)
+    else if tag = t_var_ctx then Var.Sel_ctx (a, b)
+    else Var.Qual_at (a, b)
+  in
+  (v, pos)
+
+(* Decoding rebuilds through the smart constructors, so a decoded
+   formula is also in simplified form; encoders only ever see
+   simplified formulas, making the round trip exact. *)
+let rec decode_formula s ~pos : Formula.t * int =
+  if pos >= String.length s then raise (Decode_error "truncated formula");
+  let tag = Char.code s.[pos] in
+  let pos = pos + 1 in
+  if tag = t_true then (Formula.true_, pos)
+  else if tag = t_false then (Formula.false_, pos)
+  else if tag = t_not then
+    let g, pos = decode_formula s ~pos in
+    (Formula.not_ g, pos)
+  else if tag = t_and || tag = t_or then begin
+    let n, pos = decode_varint s ~pos in
+    let rec go k pos acc =
+      if k = 0 then (List.rev acc, pos)
+      else
+        let g, pos = decode_formula s ~pos in
+        go (k - 1) pos (g :: acc)
+    in
+    let gs, pos = go n pos [] in
+    ((if tag = t_and then Formula.and_ gs else Formula.or_ gs), pos)
+  end
+  else if tag = t_var_qual || tag = t_var_ctx || tag = t_var_at then
+    let v, pos = decode_var tag s ~pos in
+    (Formula.var v, pos)
+  else raise (Decode_error (Printf.sprintf "bad tag %d" tag))
+
+let decode_formula_array s ~pos =
+  let n, pos = decode_varint s ~pos in
+  let pos = ref pos in
+  let fs =
+    Array.init n (fun _ ->
+        let f, p = decode_formula s ~pos:!pos in
+        pos := p;
+        f)
+  in
+  (fs, !pos)
+
+let decode_bool_array s ~pos =
+  let n, pos = decode_varint s ~pos in
+  let need = (n + 7) / 8 in
+  if pos + need > String.length s then raise (Decode_error "truncated bools");
+  let bs =
+    Array.init n (fun i ->
+        let byte = Char.code s.[pos + (i / 8)] in
+        byte land (1 lsl (i mod 8)) <> 0)
+  in
+  (bs, pos + need)
+
+let via_buffer encode x =
+  let buf = Buffer.create 64 in
+  encode buf x;
+  Buffer.contents buf
+
+let formula_to_string f = via_buffer encode_formula f
+
+let formula_of_string s =
+  let f, pos = decode_formula s ~pos:0 in
+  if pos <> String.length s then raise (Decode_error "trailing bytes");
+  f
+
+let formula_array_to_string fs = via_buffer encode_formula_array fs
+
+let formula_array_of_string s =
+  let fs, pos = decode_formula_array s ~pos:0 in
+  if pos <> String.length s then raise (Decode_error "trailing bytes");
+  fs
+
+let bool_array_to_string bs = via_buffer encode_bool_array bs
+
+let bool_array_of_string s =
+  let bs, pos = decode_bool_array s ~pos:0 in
+  if pos <> String.length s then raise (Decode_error "trailing bytes");
+  bs

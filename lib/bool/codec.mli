@@ -1,0 +1,35 @@
+(** Binary wire codec for variables, formulas and vectors.
+
+    The cost model of the simulator charges messages by their {e actual}
+    encoded length; this module provides that encoding (and the decoder,
+    so the round trip is testable).  Format: a compact tag byte per
+    node, LEB128-style varints for integers. *)
+
+(** {1 Encoding} *)
+
+val encode_formula : Buffer.t -> Formula.t -> unit
+val encode_formula_array : Buffer.t -> Formula.t array -> unit
+val encode_bool_array : Buffer.t -> bool array -> unit
+
+(** Encoded lengths without materializing a buffer twice. *)
+val formula_bytes : Formula.t -> int
+
+val formula_array_bytes : Formula.t array -> int
+val bool_array_bytes : bool array -> int
+
+(** {1 Decoding} *)
+
+exception Decode_error of string
+
+val decode_formula : string -> pos:int -> Formula.t * int
+val decode_formula_array : string -> pos:int -> Formula.t array * int
+val decode_bool_array : string -> pos:int -> bool array * int
+
+(** Convenience whole-string round trips. *)
+val formula_to_string : Formula.t -> string
+
+val formula_of_string : string -> Formula.t
+val formula_array_to_string : Formula.t array -> string
+val formula_array_of_string : string -> Formula.t array
+val bool_array_to_string : bool array -> string
+val bool_array_of_string : string -> bool array

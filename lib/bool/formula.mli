@@ -1,0 +1,67 @@
+(** Boolean formulas with variables — the residual functions of partial
+    evaluation.
+
+    A partial answer computed over one fragment is a formula over the
+    variables of its virtual nodes ({!Var.t}).  All constructors simplify
+    eagerly (constant folding, flattening, involution, duplicate removal),
+    so a formula with no variables is always exactly [True] or [False] and
+    formula sizes stay proportional to the number of unresolved
+    boundary variables. *)
+
+type t = private
+  | True
+  | False
+  | Var of Var.t
+  | Not of t
+  | And of t list  (** ≥ 2 conjuncts, none of which is [True]/[False]/[And] *)
+  | Or of t list  (** ≥ 2 disjuncts, none of which is [True]/[False]/[Or] *)
+
+val true_ : t
+val false_ : t
+val bool : bool -> t
+val var : Var.t -> t
+
+(** Negation; [not_ (not_ f)] is [f]. *)
+val not_ : t -> t
+
+(** N-ary conjunction with simplification; [and_ []] is [True]. *)
+val and_ : t list -> t
+
+(** N-ary disjunction with simplification; [or_ []] is [False]. *)
+val or_ : t list -> t
+
+(** Binary shortcuts. *)
+val conj : t -> t -> t
+
+val disj : t -> t -> t
+
+(** [subst lookup f] replaces every variable [v] for which
+    [lookup v = Some g] by [g], re-simplifying.  Unresolved variables are
+    kept.  This is the unification step of procedure [evalFT]. *)
+val subst : (Var.t -> t option) -> t -> t
+
+(** [eval valuation f] fully evaluates [f]; every variable must be
+    covered by [valuation]. *)
+val eval : (Var.t -> bool) -> t -> bool
+
+(** [to_bool f] is [Some b] when [f] is the constant [b]. *)
+val to_bool : t -> bool option
+
+val is_ground : t -> bool
+
+(** All distinct variables occurring in [f]. *)
+val vars : t -> Var.t list
+
+(** [fold_vars f acc t] folds over variable occurrences. *)
+val fold_vars : ('a -> Var.t -> 'a) -> 'a -> t -> 'a
+
+(** Number of AST nodes; proxy for residual-function size. *)
+val size : t -> int
+
+(** Serialized size estimate in bytes for the network-cost model. *)
+val byte_size : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,31 @@
+type t =
+  | Qual of int * int
+  | Sel_ctx of int * int
+  | Qual_at of int * int
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (v : t) = Hashtbl.hash v
+
+let fragment = function
+  | Qual (fid, _) | Sel_ctx (fid, _) -> Some fid
+  | Qual_at _ -> None
+
+let pp ppf = function
+  | Qual (fid, e) -> Format.fprintf ppf "x[F%d.%d]" fid e
+  | Sel_ctx (fid, i) -> Format.fprintf ppf "z[F%d.%d]" fid i
+  | Qual_at (node, e) -> Format.fprintf ppf "q[n%d.%d]" node e
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* Wire encoding: a tag byte plus two varints; 8 bytes is a fair bound. *)
+let byte_size _ = 8
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

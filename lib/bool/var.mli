@@ -1,0 +1,42 @@
+(** Boolean variables introduced by partial evaluation.
+
+    Partial evaluation of an XPath query over a tree fragment cannot know
+    the values that depend on data stored in other fragments.  Each such
+    unknown is represented by a variable; the coordinator later unifies
+    them against the values computed by the sites holding the missing
+    fragments (procedure [evalFT] of the paper).
+
+    - [Qual (fid, e)] — qualifier-vector entry [e] at the root of
+      fragment [fid] (paper: an entry of the [(QV, QCV, QDV)] triplet of
+      a virtual node), unknown to the fragment holding the matching
+      virtual node; resolved bottom-up over the fragment tree.
+    - [Sel_ctx (fid, i)] — the value of selection-path prefix [i] at the
+      {e parent} of the root of fragment [fid]; these initialise the
+      evaluation stack of the top-down pass (paper: the [SVinit] vector);
+      resolved top-down over the fragment tree.
+    - [Qual_at (node, e)] — a PaX2-only placeholder: qualifier entry [e]
+      at tree node [node], introduced during the pre-order half of the
+      combined traversal and resolved by the post-order half within the
+      same visit; never crosses fragment boundaries. *)
+
+type t =
+  | Qual of int * int
+  | Sel_ctx of int * int
+  | Qual_at of int * int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [fragment v] is the fragment id for boundary variables, [None] for
+    PaX2-local placeholders. *)
+val fragment : t -> int option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Serialized size estimate in bytes, used by the network-cost model. *)
+val byte_size : t -> int
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,210 @@
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Compile = Pax_xpath.Compile
+module Formula = Pax_bool.Formula
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Measure = Pax_dist.Measure
+
+type t = {
+  results : (Query.t * Tree.node list) list;
+  report : Cluster.report;
+}
+
+type per_query = {
+  q : Query.t;
+  compiled : Compile.t;
+  analysis : Annot.analysis option;
+  outcomes : Pax2.Combined.outcome option array;
+  mutable resolved_quals : bool array array;
+  mutable resolved_ctx : bool array array;
+}
+
+let run ?(annotations = false) (cl : Cluster.t) (queries : Query.t list) : t =
+  Cluster.reset cl;
+  let ft = Cluster.ftree cl in
+  let n_frag = Fragment.n_fragments ft in
+  let states =
+    List.map
+      (fun q ->
+        let compiled = q.Query.compiled in
+        {
+          q;
+          compiled;
+          analysis =
+            (if annotations then Some (Annot.analyze compiled ft) else None);
+          outcomes = Array.make n_frag None;
+          resolved_quals = [||];
+          resolved_ctx = [||];
+        })
+      queries
+  in
+  let relevant st fid =
+    match st.analysis with None -> true | Some a -> a.Annot.relevant.(fid)
+  in
+  let eval_root st fid =
+    let root = (Fragment.fragment ft fid).Fragment.root in
+    if fid = 0 then fst (Sel_pass.context_root st.compiled root) else root
+  in
+  let init_for st fid =
+    if fid = 0 then Sel_pass.blank_init st.compiled
+    else
+      match st.analysis with
+      | Some a -> Annot.init_of_ctx st.compiled ~fid a.Annot.ctx.(fid)
+      | None -> Sel_pass.symbolic_init st.compiled ~fid
+  in
+
+  (* ---- Round 1: every relevant (site, query) pair, one visit ------ *)
+  let relevant_sites =
+    Cluster.sites_holding cl
+      (List.filter
+         (fun fid -> List.exists (fun st -> relevant st fid) states)
+         (Fragment.top_down ft))
+  in
+  ignore
+    (Cluster.run_round cl ~label:"stage1" ~sites:relevant_sites (fun site ->
+         List.iter
+           (fun fid ->
+             List.iter
+               (fun st ->
+                 if relevant st fid then begin
+                   let oc =
+                     Pax2.Combined.run st.compiled ~init:(init_for st fid)
+                       ~root_is_context:(fid = 0) (eval_root st fid)
+                   in
+                   st.outcomes.(fid) <- Some oc;
+                   Cluster.add_ops cl ~site oc.Pax2.Combined.ops
+                 end)
+               states)
+           (Cluster.fragments_on cl site)));
+  List.iter
+    (fun site ->
+      List.iter
+        (fun st ->
+          Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Query
+            ~bytes:(Measure.query st.q) ~label:"Q";
+          List.iter
+            (fun fid ->
+              match st.outcomes.(fid) with
+              | Some oc ->
+                  if st.compiled.Compile.n_qual > 0 then
+                    Cluster.send cl ~src:(Site site) ~dst:Coordinator
+                      ~kind:Vectors
+                      ~bytes:(Measure.formula_array oc.Pax2.Combined.root_qvec)
+                      ~label:"QV";
+                  List.iter
+                    (fun (_, vec) ->
+                      Cluster.send cl ~src:(Site site) ~dst:Coordinator
+                        ~kind:Vectors ~bytes:(Measure.formula_array vec)
+                        ~label:"SV")
+                    oc.Pax2.Combined.contexts;
+                  if oc.Pax2.Combined.answers <> [] then
+                    Cluster.send cl ~src:(Site site) ~dst:Coordinator
+                      ~kind:Answers
+                      ~bytes:(Measure.answers oc.Pax2.Combined.answers)
+                      ~label:"ans"
+              | None -> ())
+            (Cluster.fragments_on cl site))
+        states)
+    relevant_sites;
+
+  (* ---- Coordinator: unify per query --------------------------------- *)
+  Cluster.coord cl ~label:"evalFT" (fun () ->
+      List.iter
+        (fun st ->
+          st.resolved_quals <-
+            Eval_ft.resolve_quals ft ~root_vecs:(fun fid ->
+                Option.map (fun oc -> oc.Pax2.Combined.root_qvec) st.outcomes.(fid));
+          let raw_ctx = Array.make n_frag None in
+          Array.iter
+            (function
+              | Some oc ->
+                  List.iter
+                    (fun (sub, vec) -> raw_ctx.(sub) <- Some vec)
+                    oc.Pax2.Combined.contexts
+              | None -> ())
+            st.outcomes;
+          st.resolved_ctx <-
+            Eval_ft.resolve_contexts ft
+              ~root_ctx:(Array.make st.compiled.Compile.n_sel false)
+              ~ctx_of:(fun fid -> raw_ctx.(fid))
+              ~qual_lookup:(Eval_ft.qual_lookup st.resolved_quals))
+        states);
+
+  (* ---- Round 2: one visit per site holding any candidate ---------- *)
+  let has_candidates st fid =
+    match st.outcomes.(fid) with
+    | Some oc -> oc.Pax2.Combined.candidates <> []
+    | None -> false
+  in
+  let cand_sites =
+    Cluster.sites_holding cl
+      (List.filter
+         (fun fid -> List.exists (fun st -> has_candidates st fid) states)
+         (Fragment.top_down ft))
+  in
+  let resolved_answers =
+    Cluster.run_round cl ~label:"stage2" ~sites:cand_sites (fun site ->
+        List.map
+          (fun st ->
+            let lookup =
+              Eval_ft.full_lookup ~quals:st.resolved_quals ~ctxs:st.resolved_ctx
+            in
+            let answers =
+              List.concat_map
+                (fun fid ->
+                  match st.outcomes.(fid) with
+                  | Some oc when oc.Pax2.Combined.candidates <> [] ->
+                      List.filter_map
+                        (fun ((v : Tree.node), f) ->
+                          Cluster.add_ops cl ~site 1;
+                          match Formula.to_bool (Formula.subst lookup f) with
+                          | Some true when v.Tree.id >= 0 -> Some v
+                          | Some _ -> None
+                          | None -> invalid_arg "Batch: unresolved candidate")
+                        oc.Pax2.Combined.candidates
+                  | Some _ | None -> [])
+                (Cluster.fragments_on cl site)
+            in
+            if answers <> [] then
+              Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Answers
+                ~bytes:(Measure.answers answers) ~label:"ans";
+            answers)
+          states)
+  in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun st ->
+          List.iter
+            (fun fid ->
+              if has_candidates st fid then
+                Cluster.send cl ~src:Coordinator ~dst:(Site site)
+                  ~kind:Resolution
+                  ~bytes:(Measure.bool_array st.resolved_ctx.(fid))
+                  ~label:"SV*")
+            (Cluster.fragments_on cl site))
+        states)
+    cand_sites;
+
+  let results =
+    List.mapi
+      (fun qi st ->
+        let certain =
+          Array.to_list st.outcomes
+          |> List.concat_map (function
+               | Some oc -> oc.Pax2.Combined.answers
+               | None -> [])
+        in
+        let late =
+          List.concat_map (fun (_, per_q) -> List.nth per_q qi) resolved_answers
+        in
+        let all =
+          List.sort_uniq
+            (fun (a : Tree.node) (b : Tree.node) -> compare a.Tree.id b.Tree.id)
+            (certain @ late)
+        in
+        (st.q, all))
+      states
+  in
+  { results; report = Cluster.report cl }

@@ -1,0 +1,30 @@
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+
+let run (cl : Cluster.t) (q : Pax_xpath.Query.t) : Run_result.t =
+  Cluster.reset cl;
+  let ft = Cluster.ftree cl in
+  let fids = Fragment.top_down ft in
+  (* Every remote site ships its fragments; the root fragment is already
+     at the query site. *)
+  let remote = List.filter (fun fid -> fid <> 0) fids in
+  let sites = Cluster.sites_holding cl remote in
+  ignore
+    (Cluster.run_round cl ~label:"ship" ~sites (fun site ->
+         List.iter
+           (fun fid ->
+             if fid <> 0 then
+               Cluster.send cl ~src:(Site site) ~dst:Coordinator
+                 ~kind:Tree_data
+                 ~bytes:(Fragment.fragment_byte_size (Fragment.fragment ft fid))
+                 ~label:(Printf.sprintf "F%d" fid))
+           (Cluster.fragments_on cl site)));
+  let result =
+    Cluster.coord cl ~label:"reassemble+evaluate" (fun () ->
+        let tree = Fragment.reassemble ft in
+        let r = Centralized.run q tree in
+        Cluster.add_ops cl ~site:(-1) (r.Centralized.qual_ops + r.Centralized.sel_ops);
+        r)
+  in
+  Run_result.make ~query:q ~answers:result.Centralized.answers
+    ~report:(Cluster.report cl)

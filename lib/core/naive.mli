@@ -1,0 +1,8 @@
+(** The NaiveCentralized baseline (paper §3): ship every fragment to the
+    query site, reassemble the tree, evaluate centrally.
+
+    One visit per site, but the network carries the entire document
+    ([Tree_data] bytes), and the query site must hold and traverse the
+    whole tree alone — the two costs the paper's algorithms avoid. *)
+
+val run : Pax_dist.Cluster.t -> Pax_xpath.Query.t -> Run_result.t

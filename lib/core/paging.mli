@@ -1,0 +1,28 @@
+(** The paper's secondary use case (§1, §8): evaluating a query on a
+    document too large for main memory by fragmenting it and swapping
+    one fragment in at a time.
+
+    Partial evaluation pays off exactly as in the distributed setting:
+    the combined PaX2 traversal needs each fragment in memory {e once},
+    leaving only residual formulas behind, whereas a conventional
+    two-pass evaluator must page every fragment back in for the
+    selection pass (and once more for candidate resolution).  Swap-ins
+    and bytes paged are the costs reported. *)
+
+type result = {
+  answer_ids : int list;
+  swap_ins : int;  (** how many times a fragment was brought into memory *)
+  bytes_loaded : int;
+  n_fragments : int;
+  peak_fragment_nodes : int;  (** largest working set, in nodes *)
+}
+
+(** [run ~memory_budget q doc] — partial-evaluation strategy: fragment
+    into ≤[memory_budget]-node pieces, one swap-in per fragment. *)
+val run : memory_budget:int -> Pax_xpath.Query.t -> Pax_xml.Tree.doc -> result
+
+(** [run_two_pass ~memory_budget q doc] — the conventional strategy:
+    one swap-in per fragment per pass (qualifier pass, selection pass,
+    candidate resolution). *)
+val run_two_pass :
+  memory_budget:int -> Pax_xpath.Query.t -> Pax_xml.Tree.doc -> result

@@ -1,0 +1,64 @@
+module Tree = Pax_xml.Tree
+module Ast = Pax_xpath.Ast
+module Query = Pax_xpath.Query
+module Compile = Pax_xpath.Compile
+module Formula = Pax_bool.Formula
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Measure = Pax_dist.Measure
+
+let eval (cl : Cluster.t) (qual : Ast.qual) : bool * Cluster.report =
+  Cluster.reset cl;
+  let ft = Cluster.ftree cl in
+  let n_frag = Fragment.n_fragments ft in
+  (* A Boolean query is the data-selecting query ε[q] at the root. *)
+  let q =
+    Query.of_ast { Ast.absolute = false; path = Ast.Qualified (Ast.Empty, qual) }
+  in
+  let compiled = q.Query.compiled in
+  let qp_store : Qual_pass.t option array = Array.make n_frag None in
+  let sites = Cluster.sites_holding cl (Fragment.top_down ft) in
+  ignore
+    (Cluster.run_round cl ~label:"parbox" ~sites (fun site ->
+         List.iter
+           (fun fid ->
+             let root = (Fragment.fragment ft fid).Fragment.root in
+             let qp = Qual_pass.run compiled root in
+             qp_store.(fid) <- Some qp;
+             Cluster.add_ops cl ~site qp.Qual_pass.ops)
+           (Cluster.fragments_on cl site)));
+  List.iter
+    (fun site ->
+      Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Query
+        ~bytes:(Measure.query q) ~label:"QVect(Q)";
+      List.iter
+        (fun fid ->
+          match qp_store.(fid) with
+          | Some qp ->
+              Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Vectors
+                ~bytes:(Measure.formula_array qp.Qual_pass.root_vec)
+                ~label:(Printf.sprintf "QV(F%d)" fid)
+          | None -> ())
+        (Cluster.fragments_on cl site))
+    sites;
+  let answer =
+    Cluster.coord cl ~label:"evalFT" (fun () ->
+        Cluster.add_ops cl ~site:(-1) (n_frag * compiled.Compile.n_qual);
+        let resolved =
+          Eval_ft.resolve_quals ft ~root_vecs:(fun fid ->
+              Option.map (fun qp -> qp.Qual_pass.root_vec) qp_store.(fid))
+        in
+        let root = (Fragment.root_fragment ft).Fragment.root in
+        let root_vec = Array.map Formula.bool resolved.(0) in
+        let filter =
+          match compiled.Compile.sel with
+          | [| Compile.Filter f |] -> f
+          | _ -> invalid_arg "ParBoX: not a Boolean query"
+        in
+        match Formula.to_bool (Qual_pass.sat compiled root_vec root filter) with
+        | Some b -> b
+        | None -> invalid_arg "ParBoX: unresolved answer")
+  in
+  (answer, Cluster.report cl)
+
+let eval_string cl s = eval cl (Pax_xpath.Parse.qual s)

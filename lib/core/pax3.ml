@@ -1,0 +1,218 @@
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Compile = Pax_xpath.Compile
+module Formula = Pax_bool.Formula
+module Var = Pax_bool.Var
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Measure = Pax_dist.Measure
+
+let spf = Printf.sprintf
+
+(* Sites that hold at least one fragment from [fids]. *)
+let active_sites cl fids = Cluster.sites_holding cl fids
+
+let all_fids ft = Fragment.top_down ft
+
+let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
+  Cluster.reset cl;
+  let ft = Cluster.ftree cl in
+  let n_frag = Fragment.n_fragments ft in
+  let compiled = q.Query.compiled in
+  let analysis = if annotations then Some (Annot.analyze compiled ft) else None in
+  let relevant_sel fid =
+    match analysis with None -> true | Some a -> a.Annot.relevant_sel.(fid)
+  in
+  (* The root fragment evaluates from the query context (a materialized
+     document node for absolute queries). *)
+  let eval_roots =
+    Array.init n_frag (fun fid ->
+        let root = (Fragment.fragment ft fid).Fragment.root in
+        if fid = 0 then fst (Sel_pass.context_root compiled root) else root)
+  in
+  let init_for fid =
+    if fid = 0 then Sel_pass.blank_init compiled
+    else
+      match analysis with
+      | Some a -> Annot.init_of_ctx compiled ~fid a.Annot.ctx.(fid)
+      | None -> Sel_pass.symbolic_init compiled ~fid
+  in
+  let qp_store : Qual_pass.t option array = Array.make n_frag None in
+
+  (* ---------------- Stage 1: qualifiers, all sites ---------------- *)
+  let stage1_needed = not (Compile.no_qualifiers compiled) in
+  let resolved_quals =
+    if not stage1_needed then None
+    else begin
+      let sites = active_sites cl (all_fids ft) in
+      ignore
+        (Cluster.run_round cl ~label:"stage1" ~sites (fun site ->
+             List.iter
+               (fun fid ->
+                 let qp = Qual_pass.run compiled eval_roots.(fid) in
+                 qp_store.(fid) <- Some qp;
+                 Cluster.add_ops cl ~site qp.Qual_pass.ops)
+               (Cluster.fragments_on cl site)));
+      List.iter
+        (fun site ->
+          Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Query
+            ~bytes:(Measure.query q) ~label:"QVect(Q)";
+          List.iter
+            (fun fid ->
+              match qp_store.(fid) with
+              | Some qp ->
+                  Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Vectors
+                    ~bytes:(Measure.formula_array qp.Qual_pass.root_vec)
+                    ~label:(spf "QV(F%d)" fid)
+              | None -> ())
+            (Cluster.fragments_on cl site))
+        sites;
+      Some
+        (Cluster.coord cl ~label:"evalFT:quals" (fun () ->
+             Cluster.add_ops cl ~site:(-1) (n_frag * compiled.Compile.n_qual);
+             Eval_ft.resolve_quals ft ~root_vecs:(fun fid ->
+                 Option.map (fun qp -> qp.Qual_pass.root_vec) qp_store.(fid))))
+    end
+  in
+  let qual_lookup =
+    match resolved_quals with
+    | Some r -> Eval_ft.qual_lookup r
+    | None -> fun _ -> None
+  in
+
+  (* ---------------- Stage 2: selection, relevant sites ------------- *)
+  let rel_fids = List.filter relevant_sel (all_fids ft) in
+  let stage2_sites = active_sites cl rel_fids in
+  let outcomes : Sel_pass.outcome option array = Array.make n_frag None in
+  ignore
+    (Cluster.run_round cl ~label:"stage2" ~sites:stage2_sites (fun site ->
+         List.iter
+           (fun fid ->
+             if relevant_sel fid then begin
+               (match qp_store.(fid) with
+               | Some qp ->
+                   Cluster.add_ops cl ~site (Qual_pass.resolve qp qual_lookup)
+               | None -> ());
+               let sat v filter =
+                 match qp_store.(fid) with
+                 | Some qp ->
+                     Qual_pass.sat compiled
+                       (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
+                       v filter
+                 | None -> Qual_pass.sat compiled [||] v filter
+               in
+               let outcome =
+                 Sel_pass.run compiled ~init:(init_for fid)
+                   ~root_is_context:(fid = 0) ~sat eval_roots.(fid)
+               in
+               outcomes.(fid) <- Some outcome;
+               Cluster.add_ops cl ~site outcome.Sel_pass.ops
+             end)
+           (Cluster.fragments_on cl site)));
+  List.iter
+    (fun site ->
+      Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Query
+        ~bytes:(Measure.query q) ~label:"SVect(Q)";
+      List.iter
+        (fun fid ->
+          if relevant_sel fid then begin
+            (* Unified qualifier values for the fragment's sub-fragments. *)
+            (match resolved_quals with
+            | Some r ->
+                List.iter
+                  (fun sub ->
+                    Cluster.send cl ~src:Coordinator ~dst:(Site site)
+                      ~kind:Resolution
+                      ~bytes:(Measure.bool_array r.(sub))
+                      ~label:(spf "QV*(F%d)" sub))
+                  (Cluster.ftree cl).Fragment.children.(fid)
+            | None -> ());
+            match outcomes.(fid) with
+            | Some oc ->
+                List.iter
+                  (fun (sub, vec) ->
+                    Cluster.send cl ~src:(Site site) ~dst:Coordinator
+                      ~kind:Vectors ~bytes:(Measure.formula_array vec)
+                      ~label:(spf "SV(F%d)" sub))
+                  oc.Sel_pass.contexts;
+                let certain = Sel_pass.real_answers oc.Sel_pass.answers in
+                if certain <> [] then
+                  Cluster.send cl ~src:(Site site) ~dst:Coordinator
+                    ~kind:Answers ~bytes:(Measure.answers certain)
+                    ~label:(spf "ans(F%d)" fid)
+            | None -> ()
+          end)
+        (Cluster.fragments_on cl site))
+    stage2_sites;
+
+  (* Coordinator: unify the context vectors top-down. *)
+  let raw_ctx : Formula.t array option array = Array.make n_frag None in
+  Array.iter
+    (function
+      | Some oc ->
+          List.iter
+            (fun (sub, vec) -> raw_ctx.(sub) <- Some vec)
+            oc.Sel_pass.contexts
+      | None -> ())
+    outcomes;
+  let resolved_ctx =
+    Cluster.coord cl ~label:"evalFT:contexts" (fun () ->
+        Cluster.add_ops cl ~site:(-1) (n_frag * compiled.Compile.n_sel);
+        Eval_ft.resolve_contexts ft
+          ~root_ctx:(Array.make compiled.Compile.n_sel false)
+          ~ctx_of:(fun fid -> raw_ctx.(fid))
+          ~qual_lookup)
+  in
+  let ctx_lookup = Eval_ft.ctx_lookup resolved_ctx in
+
+  (* ---------------- Stage 3: resolve candidates -------------------- *)
+  let has_candidates fid =
+    match outcomes.(fid) with
+    | Some oc -> oc.Sel_pass.candidates <> []
+    | None -> false
+  in
+  let cand_fids = List.filter has_candidates (all_fids ft) in
+  let stage3_sites = active_sites cl cand_fids in
+  let stage3_answers =
+    Cluster.run_round cl ~label:"stage3" ~sites:stage3_sites (fun site ->
+        List.concat_map
+          (fun fid ->
+            match outcomes.(fid) with
+            | Some oc when oc.Sel_pass.candidates <> [] ->
+                List.filter_map
+                  (fun ((v : Tree.node), f) ->
+                    Cluster.add_ops cl ~site 1;
+                    match Formula.to_bool (Formula.subst ctx_lookup f) with
+                    | Some true when v.Tree.id >= 0 -> Some v
+                    | Some _ -> None
+                    | None ->
+                        invalid_arg "PaX3: candidate failed to resolve")
+                  oc.Sel_pass.candidates
+            | Some _ | None -> [])
+          (Cluster.fragments_on cl site))
+  in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun fid ->
+          if has_candidates fid then
+            Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Resolution
+              ~bytes:(Measure.bool_array resolved_ctx.(fid))
+              ~label:(spf "SV*(F%d)" fid))
+        (Cluster.fragments_on cl site))
+    stage3_sites;
+  List.iter
+    (fun (site, answers) ->
+      if answers <> [] then
+        Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Answers
+          ~bytes:(Measure.answers answers) ~label:"ans")
+    stage3_answers;
+
+  let certain =
+    Array.to_list outcomes
+    |> List.concat_map (function
+         | Some oc -> Sel_pass.real_answers oc.Sel_pass.answers
+         | None -> [])
+  in
+  let answers = certain @ List.concat_map snd stage3_answers in
+  Run_result.make ~query:q ~answers ~report:(Cluster.report cl)

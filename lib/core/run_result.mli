@@ -1,0 +1,15 @@
+(** Outcome of one distributed evaluation: the answer plus the full cost
+    accounting. *)
+
+type t = {
+  query : Pax_xpath.Query.t;
+  answers : Pax_xml.Tree.node list;  (** sorted by node id *)
+  answer_ids : int list;  (** sorted *)
+  report : Pax_dist.Cluster.report;
+}
+
+val make :
+  query:Pax_xpath.Query.t -> answers:Pax_xml.Tree.node list ->
+  report:Pax_dist.Cluster.report -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,226 @@
+module Tree = Pax_xml.Tree
+module Sax = Pax_xml.Sax
+module Compile = Pax_xpath.Compile
+module Query = Pax_xpath.Query
+module Formula = Pax_bool.Formula
+module Var = Pax_bool.Var
+
+type result = {
+  matches : int list;
+  elements : int;
+  max_depth : int;
+  peak_pending : int;
+}
+
+(* One frame per open element. *)
+type frame = {
+  index : int;  (** pre-order index; -1 for the synthetic document node *)
+  tag : string;
+  attrs : (string * string) list;
+  text : Buffer.t;
+  sv : Formula.t array;
+  acc : Formula.t array;  (** OR of closed children's qualifier vectors *)
+  mutable issued : bool;  (** did this frame defer any filter to close? *)
+}
+
+type state = {
+  compiled : Compile.t;
+  mutable stack : frame list;
+  sigma : (int * int, Formula.t) Hashtbl.t;
+      (** (pre-order index, n_qual + item index) → filter value *)
+  mutable pending : (int * Formula.t) list;
+  mutable matches : int list;  (** decided at the open tag already *)
+  mutable elements : int;
+  mutable max_depth : int;
+  mutable peak_pending : int;
+  mutable n_pending : int;
+}
+
+(* Does a filter need the element's subtree or character data?  If not
+   (pure attribute logic) it is decidable at the open tag. *)
+let rec needs_close compiled = function
+  | Compile.Sat pi ->
+      Array.length compiled.Compile.paths.(pi).Compile.items > 0
+  | Compile.Text_eq _ | Compile.Val_cmp _ -> true
+  | Compile.Attr_test _ -> false
+  | Compile.Qnot q -> needs_close compiled q
+  | Compile.Qand (a, b) | Compile.Qor (a, b) ->
+      needs_close compiled a || needs_close compiled b
+
+let open_view (fr : frame) : Qual_pass.view =
+  {
+    Qual_pass.vtag = fr.tag;
+    vtext = "";
+    vnum = None;
+    vattr = (fun name -> List.assoc_opt name fr.attrs);
+  }
+
+let close_view (fr : frame) : Qual_pass.view =
+  let text = Buffer.contents fr.text in
+  {
+    Qual_pass.vtag = fr.tag;
+    vtext = text;
+    vnum = float_of_string_opt (String.trim text);
+    vattr = (fun name -> List.assoc_opt name fr.attrs);
+  }
+
+let open_element ?index st ~is_context tag attrs =
+  let compiled = st.compiled in
+  let n_sel = compiled.Compile.n_sel in
+  let index =
+    match index with
+    | Some i -> i
+    | None ->
+        let i = st.elements in
+        st.elements <- st.elements + 1;
+        i
+  in
+  let parent_sv =
+    match st.stack with
+    | fr :: _ -> fr.sv
+    | [] -> Array.make n_sel Formula.false_
+  in
+  let fr =
+    {
+      index;
+      tag;
+      attrs;
+      text = Buffer.create 8;
+      sv = Array.make n_sel Formula.false_;
+      acc = Array.make compiled.Compile.n_qual Formula.false_;
+      issued = false;
+    }
+  in
+  fr.sv.(0) <- Formula.bool is_context;
+  Array.iteri
+    (fun j item ->
+      let i = j + 1 in
+      match item with
+      | Compile.Move test ->
+          fr.sv.(i) <-
+            (if Compile.matches test tag then parent_sv.(j) else Formula.false_)
+      | Compile.Dos_item -> fr.sv.(i) <- Formula.disj parent_sv.(i) fr.sv.(i - 1)
+      | Compile.Filter q ->
+          fr.sv.(i) <-
+            (if fr.sv.(i - 1) = Formula.false_ then Formula.false_
+             else if needs_close compiled q then begin
+               fr.issued <- true;
+               Formula.conj fr.sv.(i - 1)
+                 (Formula.var
+                    (Var.Qual_at (index, compiled.Compile.n_qual + j)))
+             end
+             else
+               Formula.conj fr.sv.(i - 1)
+                 (Qual_pass.sat_view compiled [||] (open_view fr) q)))
+    compiled.Compile.sel;
+  let last = n_sel - 1 in
+  (if index >= 0 then
+     match Formula.to_bool fr.sv.(last) with
+     | Some true ->
+         (* Decided on sight: emit without buffering. *)
+         st.matches <- index :: st.matches
+     | Some false -> ()
+     | None ->
+         st.pending <- (index, fr.sv.(last)) :: st.pending;
+         st.n_pending <- st.n_pending + 1;
+         st.peak_pending <- max st.peak_pending st.n_pending);
+  st.stack <- fr :: st.stack;
+  st.max_depth <- max st.max_depth (List.length st.stack)
+
+let close_element st =
+  let compiled = st.compiled in
+  match st.stack with
+  | [] -> invalid_arg "Stream_eval: close without open"
+  | fr :: rest ->
+      st.stack <- rest;
+      let view = close_view fr in
+      (* Post-order: this element's full qualifier vector, from the
+         accumulated child disjunctions. *)
+      let qvec =
+        Qual_pass.eval_entries compiled view ~exists_child:(fun e -> fr.acc.(e))
+      in
+      if fr.issued then
+        Array.iteri
+          (fun j item ->
+            match item with
+            | Compile.Filter q when needs_close compiled q ->
+                Hashtbl.replace st.sigma
+                  (fr.index, compiled.Compile.n_qual + j)
+                  (Qual_pass.sat_view compiled qvec view q)
+            | Compile.Filter _ | Compile.Move _ | Compile.Dos_item -> ())
+          compiled.Compile.sel;
+      (* Fold this node's vector into the parent's accumulator. *)
+      (match st.stack with
+      | parent :: _ ->
+          Array.iteri
+            (fun e f -> parent.acc.(e) <- Formula.disj parent.acc.(e) f)
+            qvec
+      | [] -> ())
+
+let over_events (q : Query.t) (events : Sax.event list) : result =
+  let compiled = q.Query.compiled in
+  let st =
+    {
+      compiled;
+      stack = [];
+      sigma = Hashtbl.create 64;
+      pending = [];
+      matches = [];
+      elements = 0;
+      max_depth = 0;
+      peak_pending = 0;
+      n_pending = 0;
+    }
+  in
+  (* Absolute queries start from a synthetic document frame, processed
+     like any element (its filters defer to its close at end of
+     stream); the negative index keeps it out of the answers. *)
+  if compiled.Compile.absolute then
+    open_element ~index:(-1) st ~is_context:true "#document" [];
+  let first = ref true in
+  List.iter
+    (fun (e : Sax.event) ->
+      match e with
+      | Sax.Open (tag, attrs) ->
+          let is_context = !first && not compiled.Compile.absolute in
+          first := false;
+          open_element st ~is_context tag attrs
+      | Sax.Text s -> (
+          match st.stack with
+          | fr :: _ -> Buffer.add_string fr.text s
+          | [] -> ())
+      | Sax.Close _ -> close_element st)
+    events;
+  if compiled.Compile.absolute then close_element st;
+  let lookup = function
+    | Var.Qual_at (nid, e) -> Hashtbl.find_opt st.sigma (nid, e)
+    | Var.Qual _ | Var.Sel_ctx _ -> None
+  in
+  let late =
+    List.filter_map
+      (fun (index, f) ->
+        match Formula.to_bool (Formula.subst lookup f) with
+        | Some true -> Some index
+        | Some false -> None
+        | None -> invalid_arg "Stream_eval: unresolved candidate")
+      st.pending
+  in
+  {
+    matches = List.sort compare (st.matches @ late);
+    elements = st.elements;
+    max_depth = st.max_depth;
+    peak_pending = st.peak_pending;
+  }
+
+let over_string q xml = over_events q (Sax.events_of_string xml)
+
+let indices_of_answers root answers =
+  let ids = List.map (fun (n : Tree.node) -> n.Tree.id) answers in
+  let indices = ref [] in
+  let counter = ref 0 in
+  Tree.iter
+    (fun n ->
+      if List.mem n.Tree.id ids then indices := !counter :: !indices;
+      incr counter)
+    root;
+  List.sort compare !indices

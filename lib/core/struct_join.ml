@@ -1,0 +1,139 @@
+module Tree = Pax_xml.Tree
+module Compile = Pax_xpath.Compile
+module Query = Pax_xpath.Query
+
+type entry = { node : Tree.node; start : int; stop : int; level : int }
+
+type index = {
+  by_tag : (string, entry array) Hashtbl.t;
+  all : entry array;  (** document order = increasing [start] *)
+  root : entry;
+}
+
+let build (root : Tree.node) : index =
+  let counter = ref 0 in
+  let acc = ref [] in
+  let rec go level (n : Tree.node) =
+    let start = !counter in
+    incr counter;
+    List.iter (go (level + 1)) n.Tree.children;
+    let stop = !counter in
+    incr counter;
+    acc := { node = n; start; stop; level } :: !acc
+  in
+  go 0 root;
+  let all =
+    Array.of_list (List.sort (fun a b -> compare a.start b.start) !acc)
+  in
+  let by_tag = Hashtbl.create 64 in
+  let groups = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      let tag = e.node.Tree.tag in
+      Hashtbl.replace groups tag
+        (e :: (Option.value ~default:[] (Hashtbl.find_opt groups tag))))
+    all;
+  Hashtbl.iter
+    (fun tag entries ->
+      Hashtbl.replace by_tag tag (Array.of_list (List.rev entries)))
+    groups;
+  { by_tag; all; root = all.(0) }
+
+let supported (q : Query.t) = Compile.no_qualifiers q.Query.compiled
+
+(* Merge join of [candidates] against the current context set, both in
+   document order.  A stack holds the context entries whose region
+   encloses the candidate under consideration (a nested ancestor
+   chain). *)
+let structural_join ~keep (cur : entry array) (candidates : entry array) :
+    entry array =
+  let result = ref [] in
+  let stack = ref [] in
+  let i = ref 0 in
+  Array.iter
+    (fun d ->
+      while !i < Array.length cur && cur.(!i).start <= d.start do
+        (* Contexts opening before the candidate may enclose it. *)
+        stack := cur.(!i) :: !stack;
+        incr i
+      done;
+      (* Drop contexts that closed before the candidate opened. *)
+      let rec prune = function
+        | a :: rest when a.stop < d.start -> prune rest
+        | st -> st
+      in
+      stack := prune !stack;
+      if List.exists (fun a -> keep ~ancestor:a ~candidate:d) !stack then
+        result := d :: !result)
+    candidates;
+  Array.of_list (List.rev !result)
+
+let child_join cur candidates =
+  structural_join cur candidates ~keep:(fun ~ancestor ~candidate ->
+      ancestor.start < candidate.start
+      && candidate.stop < ancestor.stop
+      && candidate.level = ancestor.level + 1)
+
+let desc_or_self_join cur candidates =
+  structural_join cur candidates ~keep:(fun ~ancestor ~candidate ->
+      ancestor.start <= candidate.start && candidate.stop <= ancestor.stop)
+
+let run (idx : index) (q : Query.t) : int list =
+  if not (supported q) then
+    invalid_arg "Struct_join.run: query has qualifiers";
+  let compiled = q.Query.compiled in
+  (* The context of an absolute query is a synthetic region enclosing
+     everything; a relative query starts at the root element. *)
+  let context =
+    if compiled.Compile.absolute then
+      [| { node = idx.root.node; start = -1; stop = max_int; level = -1 } |]
+    else [| idx.root |]
+  in
+  let candidates_for = function
+    | Compile.TLabel tag ->
+        Option.value ~default:[||] (Hashtbl.find_opt idx.by_tag tag)
+    | Compile.TAny -> idx.all
+  in
+  (* dos(S) = S ∪ descendants(S).  The self part matters for entries
+     that are not index candidates (the synthetic document region). *)
+  let union_sorted a b =
+    let out = ref [] in
+    let i = ref 0 and j = ref 0 in
+    while !i < Array.length a || !j < Array.length b do
+      if !j >= Array.length b then begin
+        out := a.(!i) :: !out;
+        incr i
+      end
+      else if !i >= Array.length a then begin
+        out := b.(!j) :: !out;
+        incr j
+      end
+      else if a.(!i).start < b.(!j).start then begin
+        out := a.(!i) :: !out;
+        incr i
+      end
+      else if a.(!i).start > b.(!j).start then begin
+        out := b.(!j) :: !out;
+        incr j
+      end
+      else begin
+        out := a.(!i) :: !out;
+        incr i;
+        incr j
+      end
+    done;
+    Array.of_list (List.rev !out)
+  in
+  let step cur item =
+    match item with
+    | Compile.Move test -> child_join cur (candidates_for test)
+    | Compile.Dos_item -> union_sorted cur (desc_or_self_join cur idx.all)
+    | Compile.Filter _ -> assert false
+  in
+  let final = Array.fold_left step context compiled.Compile.sel in
+  List.sort compare
+    (List.filter_map
+       (fun e -> if e.level >= 0 then Some e.node.Tree.id else None)
+       (Array.to_list final))
+
+let eval_ids q root = run (build root) q

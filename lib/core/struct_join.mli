@@ -1,0 +1,31 @@
+(** Index-based evaluation by structural joins — the
+    region-encoding/holistic-join line of work the paper cites as its
+    centralized comparison point (Bruno–Koudas–Srivastava twig joins).
+
+    Every node gets a region label [(start, stop, level)] from one DFS;
+    a per-tag index stores nodes in document order.  A location step is
+    then a merge join over sorted regions:
+
+    - [a // d] — containment: [a.start < d.start ∧ d.stop < a.stop];
+    - [a / c] — containment plus [level(c) = level(a) + 1] (the
+      containing ancestor at a given level is unique, so this is exact).
+
+    Supported queries: selection paths without qualifiers (labels,
+    wildcards, [/], [//]) — the class where index-based evaluation
+    shines; richer queries belong to the navigational engines.  Used as
+    a cross-check oracle and in the bench ablations. *)
+
+type index
+
+(** [build root] — one DFS; [O(|T|)] space. *)
+val build : Pax_xml.Tree.node -> index
+
+(** [supported q] — no qualifier entries anywhere. *)
+val supported : Pax_xpath.Query.t -> bool
+
+(** [run index q] — sorted answer ids.
+    @raise Invalid_argument when the query is not {!supported}. *)
+val run : index -> Pax_xpath.Query.t -> int list
+
+(** Convenience: build + run. *)
+val eval_ids : Pax_xpath.Query.t -> Pax_xml.Tree.node -> int list

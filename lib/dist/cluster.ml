@@ -1,0 +1,182 @@
+type endpoint = Coordinator | Site of int
+type msg_kind = Query | Vectors | Resolution | Answers | Tree_data
+
+type message = {
+  src : endpoint;
+  dst : endpoint;
+  kind : msg_kind;
+  bytes : int;
+  label : string;
+}
+
+type round = { r_label : string; seconds : float array; ops : int array }
+
+type t = {
+  ft : Pax_frag.Fragment.t;
+  n_sites : int;
+  frag_site : int array;
+  site_frags : int list array;
+  mutable messages_rev : message list;
+  visits : int array;
+  mutable rounds_rev : round list;
+  mutable current : round option;
+  mutable coord_seconds : float;
+  mutable coord_ops : int;
+}
+
+let create ~ftree ~n_sites ~assign =
+  if n_sites < 1 then invalid_arg "Cluster.create: need at least one site";
+  let n_frag = Pax_frag.Fragment.n_fragments ftree in
+  let frag_site = Array.init n_frag assign in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n_sites then invalid_arg "Cluster.create: bad site index")
+    frag_site;
+  let site_frags = Array.make n_sites [] in
+  for fid = n_frag - 1 downto 0 do
+    site_frags.(frag_site.(fid)) <- fid :: site_frags.(frag_site.(fid))
+  done;
+  {
+    ft = ftree;
+    n_sites;
+    frag_site;
+    site_frags;
+    messages_rev = [];
+    visits = Array.make n_sites 0;
+    rounds_rev = [];
+    current = None;
+    coord_seconds = 0.;
+    coord_ops = 0;
+  }
+
+let one_site_per_fragment ftree =
+  let n = Pax_frag.Fragment.n_fragments ftree in
+  create ~ftree ~n_sites:n ~assign:Fun.id
+
+let ftree t = t.ft
+let n_sites t = t.n_sites
+let site_of t fid = t.frag_site.(fid)
+let fragments_on t site = t.site_frags.(site)
+
+let sites_holding t fids =
+  List.sort_uniq compare (List.map (fun fid -> t.frag_site.(fid)) fids)
+
+let run_round t ~label ~sites f =
+  let r = { r_label = label; seconds = Array.make t.n_sites 0.; ops = Array.make t.n_sites 0 } in
+  t.current <- Some r;
+  let results =
+    List.map
+      (fun site ->
+        t.visits.(site) <- t.visits.(site) + 1;
+        let t0 = Unix.gettimeofday () in
+        let result = f site in
+        r.seconds.(site) <- r.seconds.(site) +. (Unix.gettimeofday () -. t0);
+        (site, result))
+      sites
+  in
+  t.current <- None;
+  t.rounds_rev <- r :: t.rounds_rev;
+  results
+
+let coord t ~label:_ f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  t.coord_seconds <- t.coord_seconds +. (Unix.gettimeofday () -. t0);
+  result
+
+let send t ~src ~dst ~kind ~bytes ~label =
+  t.messages_rev <- { src; dst; kind; bytes; label } :: t.messages_rev
+
+let add_ops t ~site n =
+  if site < 0 then t.coord_ops <- t.coord_ops + n
+  else
+    match t.current with
+    | Some r -> r.ops.(site) <- r.ops.(site) + n
+    | None -> ()
+
+let reset t =
+  t.messages_rev <- [];
+  Array.fill t.visits 0 t.n_sites 0;
+  t.rounds_rev <- [];
+  t.current <- None;
+  t.coord_seconds <- 0.;
+  t.coord_ops <- 0
+
+type report = {
+  parallel_seconds : float;
+  total_seconds : float;
+  coord_seconds : float;
+  parallel_ops : int;
+  total_ops : int;
+  visits : int array;
+  max_visits : int;
+  rounds : string list;
+  control_bytes : int;
+  answer_bytes : int;
+  tree_bytes : int;
+  n_messages : int;
+  net_seconds : float;
+}
+
+let report t =
+  let rounds = List.rev t.rounds_rev in
+  let fmax a = Array.fold_left max 0. a in
+  let fsum a = Array.fold_left ( +. ) 0. a in
+  let imax a = Array.fold_left max 0 a in
+  let isum a = Array.fold_left ( + ) 0 a in
+  let parallel_seconds =
+    List.fold_left (fun acc r -> acc +. fmax r.seconds) t.coord_seconds rounds
+  in
+  let total_seconds =
+    List.fold_left (fun acc r -> acc +. fsum r.seconds) t.coord_seconds rounds
+  in
+  let parallel_ops =
+    List.fold_left (fun acc r -> acc + imax r.ops) t.coord_ops rounds
+  in
+  let total_ops =
+    List.fold_left (fun acc r -> acc + isum r.ops) t.coord_ops rounds
+  in
+  let control_bytes, answer_bytes, tree_bytes =
+    List.fold_left
+      (fun (c, d, f) m ->
+        match m.kind with
+        | Answers -> (c, d + m.bytes, f)
+        | Tree_data -> (c, d, f + m.bytes)
+        | Query | Vectors | Resolution -> (c + m.bytes, d, f))
+      (0, 0, 0) t.messages_rev
+  in
+  (* LAN-like wire model: 0.1 ms per message plus 100 MB/s. *)
+  let net_seconds =
+    List.fold_left
+      (fun acc m -> acc +. 0.0001 +. (float_of_int m.bytes /. 100_000_000.))
+      0. t.messages_rev
+  in
+  {
+    parallel_seconds;
+    total_seconds;
+    coord_seconds = t.coord_seconds;
+    parallel_ops;
+    total_ops;
+    visits = Array.copy t.visits;
+    max_visits = imax t.visits;
+    rounds = List.map (fun r -> r.r_label) rounds;
+    control_bytes;
+    answer_bytes;
+    tree_bytes;
+    n_messages = List.length t.messages_rev;
+    net_seconds;
+  }
+
+let messages t = List.rev t.messages_rev
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>parallel: %.4fs (%d ops)@,total:    %.4fs (%d ops)@,\
+     coordinator: %.4fs@,visits: [%s] (max %d)@,rounds: %s@,\
+     traffic: %d control + %d answer + %d tree bytes in %d messages (net %.4fs)@]"
+    r.parallel_seconds r.parallel_ops r.total_seconds r.total_ops
+    r.coord_seconds
+    (String.concat "; " (Array.to_list (Array.map string_of_int r.visits)))
+    r.max_visits
+    (String.concat " -> " r.rounds)
+    r.control_bytes r.answer_bytes r.tree_bytes r.n_messages r.net_seconds

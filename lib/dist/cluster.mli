@@ -1,0 +1,107 @@
+(** The simulated distributed setting: a coordinator (the query site
+    [S_Q] of the paper) plus a set of sites, each holding one or more
+    fragments of a document.
+
+    The simulator runs everything in-process but accounts for exactly
+    the quantities the paper's guarantees are stated in:
+
+    - {b visits} — one per (site, communication round) in which the
+      coordinator executes work at the site, irrespective of how many
+      fragments the site holds (paper property: ≤ 3 for PaX3, ≤ 2 for
+      PaX2, 1 for ParBoX);
+    - {b network traffic} — bytes per message, split into control
+      traffic (queries, partial-answer vectors, resolutions) and data
+      traffic (shipped answer elements);
+    - {b computation} — per-site wall-clock spans and abstract operation
+      counts; {e parallel cost} is the per-round maximum over sites
+      (plus coordinator work), {e total cost} the sum over sites.
+
+    Sites are stateful between visits, as in the paper (a site keeps the
+    vectors it computed in stage 1 for use in stages 2/3). *)
+
+type endpoint = Coordinator | Site of int
+
+type msg_kind =
+  | Query  (** the query shipped to a site *)
+  | Vectors  (** partial answers: residual-formula vectors *)
+  | Resolution  (** unified (ground) values sent back to sites *)
+  | Answers  (** answer elements — the only tree data PaX ships *)
+  | Tree_data  (** whole fragments — what NaiveCentralized ships *)
+
+type message = {
+  src : endpoint;
+  dst : endpoint;
+  kind : msg_kind;
+  bytes : int;
+  label : string;
+}
+
+type t
+
+(** [create ~ftree ~n_sites ~assign] places fragment [fid] on site
+    [assign fid] (sites are [0..n_sites-1]). *)
+val create : ftree:Pax_frag.Fragment.t -> n_sites:int -> assign:(int -> int) -> t
+
+(** One site per fragment. *)
+val one_site_per_fragment : Pax_frag.Fragment.t -> t
+
+val ftree : t -> Pax_frag.Fragment.t
+val n_sites : t -> int
+
+(** Site holding a fragment. *)
+val site_of : t -> int -> int
+
+(** Fragments held by a site, in fid order. *)
+val fragments_on : t -> int -> int list
+
+(** Sites holding at least one of the given fragments, ascending. *)
+val sites_holding : t -> int list -> int list
+
+(** {1 Instrumented execution} *)
+
+(** [run_round t ~label ~sites f] visits each listed site once, running
+    [f site] there; wall-clock spans are recorded per site, and the
+    round's parallel cost is their maximum.  Returns the per-site
+    results in visiting order. *)
+val run_round : t -> label:string -> sites:int list -> (int -> 'a) -> (int * 'a) list
+
+(** [coord t ~label f] runs coordinator-side work (e.g. [evalFT]),
+    accounted in both parallel and total cost. *)
+val coord : t -> label:string -> (unit -> 'a) -> 'a
+
+(** [send t ~src ~dst ~kind ~bytes ~label] records a message. *)
+val send :
+  t -> src:endpoint -> dst:endpoint -> kind:msg_kind -> bytes:int ->
+  label:string -> unit
+
+(** [add_ops t ~site n] adds abstract work units (vector-entry
+    operations) to a site's counters for the current round; use
+    [site:(-1)] for the coordinator. *)
+val add_ops : t -> site:int -> int -> unit
+
+(** Forget all recorded costs (fragment placement stays). *)
+val reset : t -> unit
+
+(** {1 Reports} *)
+
+type report = {
+  parallel_seconds : float;
+  total_seconds : float;
+  coord_seconds : float;
+  parallel_ops : int;
+  total_ops : int;
+  visits : int array;  (** per site *)
+  max_visits : int;
+  rounds : string list;  (** round labels, in order *)
+  control_bytes : int;
+  answer_bytes : int;
+  tree_bytes : int;  (** nonzero only for fragment-shipping baselines *)
+  n_messages : int;
+  net_seconds : float;
+      (** simulated wire time: per-message latency + bytes/bandwidth,
+          under a LAN-like model (0.1 ms, 100 MB/s) *)
+}
+
+val report : t -> report
+val messages : t -> message list
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,12 @@
+(* Control-message sizes use the real wire codec (Pax_bool.Codec); the
+   4-byte additions stand for a message header. *)
+
+let query q = 4 + (8 * Pax_xpath.Query.size q)
+let formula_array fs = 4 + Pax_bool.Codec.formula_array_bytes fs
+let bool_array bs = 4 + Pax_bool.Codec.bool_array_bytes bs
+
+let valuation vs =
+  List.fold_left (fun acc (v, _) -> acc + 1 + Pax_bool.Var.byte_size v) 4 vs
+
+let answers nodes =
+  List.fold_left (fun acc n -> acc + Pax_xml.Tree.answer_byte_size n) 4 nodes

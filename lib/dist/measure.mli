@@ -1,0 +1,19 @@
+(** Serialized-size estimates for everything the algorithms ship.
+
+    The paper's communication bound is [O(|Q| |FT| + |ans|)]; these
+    estimators let the simulator verify it by counting the bytes an
+    actual wire encoding would take. *)
+
+val query : Pax_xpath.Query.t -> int
+
+(** A vector of residual formulas (a partial answer). *)
+val formula_array : Pax_bool.Formula.t array -> int
+
+(** A ground vector (a resolution message). *)
+val bool_array : bool array -> int
+
+(** A variable valuation sent back to a site. *)
+val valuation : (Pax_bool.Var.t * bool) list -> int
+
+(** Shipped answer elements (id + tag + text each). *)
+val answers : Pax_xml.Tree.node list -> int

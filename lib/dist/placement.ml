@@ -1,0 +1,66 @@
+module Fragment = Pax_frag.Fragment
+
+let round_robin ~n_sites fid = fid mod n_sites
+
+let sizes ft =
+  Array.map Fragment.fragment_byte_size ft.Fragment.fragments
+
+let balanced ft ~n_sites =
+  let sz = sizes ft in
+  let order =
+    List.sort
+      (fun a b -> compare sz.(b) sz.(a))
+      (List.init (Array.length sz) Fun.id)
+  in
+  let load = Array.make n_sites 0 in
+  let assign = Array.make (Array.length sz) 0 in
+  List.iter
+    (fun fid ->
+      let lightest = ref 0 in
+      Array.iteri (fun s l -> if l < load.(!lightest) then lightest := s) load;
+      assign.(fid) <- !lightest;
+      load.(!lightest) <- load.(!lightest) + sz.(fid))
+    order;
+  fun fid -> assign.(fid)
+
+let pack ft ~max_bytes =
+  let sz = sizes ft in
+  let order =
+    List.sort
+      (fun a b -> compare sz.(b) sz.(a))
+      (List.init (Array.length sz) Fun.id)
+  in
+  let bins = ref [] (* (site, load) in reverse site order *) in
+  let n_bins = ref 0 in
+  let assign = Array.make (Array.length sz) 0 in
+  List.iter
+    (fun fid ->
+      let rec fit = function
+        | [] ->
+            let site = !n_bins in
+            incr n_bins;
+            bins := !bins @ [ (site, ref sz.(fid)) ];
+            site
+        | (site, load) :: rest ->
+            if !load + sz.(fid) <= max_bytes then begin
+              load := !load + sz.(fid);
+              site
+            end
+            else fit rest
+      in
+      assign.(fid) <- fit !bins)
+    order;
+  ((fun fid -> assign.(fid)), max 1 !n_bins)
+
+let loads ft ~n_sites assign =
+  let load = Array.make n_sites 0 in
+  Array.iteri
+    (fun fid f -> load.(assign fid) <- load.(assign fid) + Fragment.fragment_byte_size f)
+    ft.Fragment.fragments;
+  load
+
+let cluster_round_robin ft ~n_sites =
+  Cluster.create ~ftree:ft ~n_sites ~assign:(round_robin ~n_sites)
+
+let cluster_balanced ft ~n_sites =
+  Cluster.create ~ftree:ft ~n_sites ~assign:(balanced ft ~n_sites)

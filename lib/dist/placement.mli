@@ -1,0 +1,29 @@
+(** Fragment placement strategies.
+
+    The paper takes placement as given ("how fragments are assigned to
+    sites is determined by the system"); since the parallel-computation
+    cost is [O(|Q| · max_site |F_site|)], balancing the cumulative
+    fragment size per site directly improves it.  These helpers provide
+    the common policies and are exercised by the bench ablations. *)
+
+(** [round_robin ~n_sites] — fragment [i] on site [i mod n_sites]. *)
+val round_robin : n_sites:int -> int -> int
+
+(** [balanced ft ~n_sites] — longest-processing-time greedy bin packing
+    by serialized fragment size: each fragment goes to the currently
+    lightest site.  Minimizes (approximately) the maximum per-site
+    load. *)
+val balanced : Pax_frag.Fragment.t -> n_sites:int -> int -> int
+
+(** [pack ft ~max_bytes] — first-fit-decreasing packing into as few
+    sites as possible with at most [max_bytes] per site; returns the
+    assignment and the number of sites used. *)
+val pack : Pax_frag.Fragment.t -> max_bytes:int -> (int -> int) * int
+
+(** Per-site cumulative serialized bytes under an assignment. *)
+val loads : Pax_frag.Fragment.t -> n_sites:int -> (int -> int) -> int array
+
+(** Convenience constructors. *)
+val cluster_round_robin : Pax_frag.Fragment.t -> n_sites:int -> Cluster.t
+
+val cluster_balanced : Pax_frag.Fragment.t -> n_sites:int -> Cluster.t

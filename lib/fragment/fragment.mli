@@ -1,0 +1,96 @@
+(** Tree fragmentation (paper §2.1).
+
+    A document is decomposed into disjoint subtrees — {e fragments} —
+    each of which may live on a different site.  Inside a fragment, a
+    missing sub-fragment is represented by a {e virtual node} labelled
+    with the sub-fragment's id.  The fragmentation induces the
+    {e fragment tree} [FT]; the fragment holding the document root is
+    the {e root fragment} (always id 0 here).  No constraint is placed
+    on nesting, sizes or placement — the paper's fully generic setting.
+
+    Every fragment-tree edge [(Fj, Fk)] carries its {e XPath annotation}
+    (§5): the tag path from just below [root(Fj)] down to and including
+    [root(Fk)] — e.g. [client/broker] when the root of [Fk] is a
+    [broker] grandchild of [root(Fj)] via a [client] node.  Annotations
+    are computed at fragmentation time; algorithms may ignore them (the
+    "NA" configurations of §6). *)
+
+type fragment = {
+  fid : int;
+  root : Pax_xml.Tree.node;  (** subtree with [Virtual] placeholders *)
+  parent : int option;  (** [None] only for the root fragment *)
+  ann : string list;
+      (** tags from below the parent fragment's root to this root,
+          inclusive; [[]] for the root fragment *)
+}
+
+type t = {
+  fragments : fragment array;  (** indexed by fid; parents precede children *)
+  children : int list array;  (** fragment-tree adjacency *)
+  doc_node_count : int;
+}
+
+(** {1 Construction} *)
+
+(** [fragmentize doc ~cuts] splits [doc] at the nodes whose ids are in
+    [cuts] (each becomes the root of its own fragment).  The document
+    root must not be a cut; duplicate and unknown ids are ignored.  The
+    input document is not modified. *)
+val fragmentize : Pax_xml.Tree.doc -> cuts:int list -> t
+
+(** A whole document as a single (root) fragment. *)
+val trivial : Pax_xml.Tree.doc -> t
+
+(** {1 Cut strategies} *)
+
+(** [cuts_by_size doc ~budget] chooses cut points so that every fragment
+    has at most roughly [budget] nodes (a post-order greedy sweep). *)
+val cuts_by_size : Pax_xml.Tree.doc -> budget:int -> int list
+
+(** [cuts_by_tag doc ~tag] cuts at every node labelled [tag] (except the
+    root). *)
+val cuts_by_tag : Pax_xml.Tree.doc -> tag:string -> int list
+
+(** {1 Access} *)
+
+val fragment : t -> int -> fragment
+val n_fragments : t -> int
+val root_fragment : t -> fragment
+
+(** [spine t fid] is the tag path from the document's root element
+    (inclusive) down to [root(fid)] (inclusive) — the concatenation of
+    the annotations along the fragment tree.  For the root fragment this
+    is just the root tag. *)
+val spine : t -> int -> string list
+
+(** Fragment ids in bottom-up (children before parents) order. *)
+val bottom_up : t -> int list
+
+(** Fragment ids in top-down (parents before children) order. *)
+val top_down : t -> int list
+
+(** {1 Reassembly and checking} *)
+
+(** [reassemble t] splices all fragments back into a complete tree
+    (fresh copy, original node ids). *)
+val reassemble : t -> Pax_xml.Tree.node
+
+(** [check t] verifies the structural invariants: virtual nodes match
+    the fragment-tree edges, annotations describe real paths, fragments
+    are disjoint and cover the document.  Returns an error description
+    on failure. *)
+val check : t -> (unit, string) result
+
+(** {1 Measures} *)
+
+(** Nodes per fragment (virtual placeholders excluded). *)
+val fragment_node_count : fragment -> int
+
+(** Serialized bytes per fragment (the paper's "fragment size"). *)
+val fragment_byte_size : fragment -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Graphviz rendering of the (annotated) fragment tree — the picture of
+    the paper's Fig. 2/Fig. 6. *)
+val to_dot : t -> string

@@ -1,0 +1,131 @@
+module Tree = Pax_xml.Tree
+
+exception Corrupt of string
+
+let manifest_name = "MANIFEST"
+let fragment_file fid = Printf.sprintf "fragment_%d.xml" fid
+
+let save (ft : Fragment.t) ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let manifest = Buffer.create 256 in
+  Buffer.add_string manifest
+    (Printf.sprintf "pax-store 1 fragments=%d\n" (Array.length ft.Fragment.fragments));
+  Array.iter
+    (fun (f : Fragment.fragment) ->
+      Buffer.add_string manifest
+        (Printf.sprintf "fragment %d parent=%s ann=%s\n" f.Fragment.fid
+           (match f.Fragment.parent with
+           | Some p -> string_of_int p
+           | None -> "-")
+           (String.concat "/" f.Fragment.ann));
+      let oc = open_out (Filename.concat dir (fragment_file f.Fragment.fid)) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Pax_xml.Printer.to_string ~indent:true f.Fragment.root)))
+    ft.Fragment.fragments;
+  let oc = open_out (Filename.concat dir manifest_name) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents manifest))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_manifest_line fid line =
+  match String.split_on_char ' ' line with
+  | [ "fragment"; id; parent; ann ] -> (
+      (match int_of_string_opt id with
+      | Some id when id = fid -> ()
+      | _ -> raise (Corrupt (Printf.sprintf "manifest: expected fragment %d" fid)));
+      let parent =
+        match String.split_on_char '=' parent with
+        | [ "parent"; "-" ] -> None
+        | [ "parent"; p ] -> (
+            match int_of_string_opt p with
+            | Some p -> Some p
+            | None -> raise (Corrupt ("manifest: bad parent " ^ p)))
+        | _ -> raise (Corrupt ("manifest: bad field " ^ parent))
+      in
+      let ann =
+        match String.split_on_char '=' ann with
+        | [ "ann"; "" ] -> []
+        | [ "ann"; path ] -> String.split_on_char '/' path
+        | _ -> raise (Corrupt ("manifest: bad field " ^ ann))
+      in
+      (parent, ann))
+  | _ -> raise (Corrupt ("manifest: bad line " ^ line))
+
+let load ~dir : Fragment.t =
+  let manifest = read_file (Filename.concat dir manifest_name) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' manifest)
+  in
+  let header, entries =
+    match lines with
+    | h :: rest -> (h, rest)
+    | [] -> raise (Corrupt "empty manifest")
+  in
+  let n_fragments =
+    match String.split_on_char ' ' header with
+    | [ "pax-store"; "1"; count ] -> (
+        match String.split_on_char '=' count with
+        | [ "fragments"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n > 0 -> n
+            | _ -> raise (Corrupt "manifest: bad fragment count"))
+        | _ -> raise (Corrupt "manifest: bad header"))
+    | _ -> raise (Corrupt "manifest: not a pax store")
+  in
+  if List.length entries <> n_fragments then
+    raise (Corrupt "manifest: fragment count mismatch");
+  (* One builder across all files keeps node ids globally unique. *)
+  let builder = Tree.builder () in
+  let fragments =
+    Array.of_list
+      (List.mapi
+         (fun fid line ->
+           let parent, ann = parse_manifest_line fid line in
+           let path = Filename.concat dir (fragment_file fid) in
+           let doc =
+             try Pax_xml.Parser.parse_file ~builder path
+             with Pax_xml.Parser.Parse_error { pos; msg } ->
+               raise
+                 (Corrupt (Printf.sprintf "%s: parse error at %d: %s" path pos msg))
+           in
+           { Fragment.fid; root = doc.Tree.root; parent; ann })
+         entries)
+  in
+  let children = Array.make n_fragments [] in
+  Array.iter
+    (fun (f : Fragment.fragment) ->
+      match f.Fragment.parent with
+      | Some p when p >= 0 && p < n_fragments ->
+          children.(p) <- f.Fragment.fid :: children.(p)
+      | Some p -> raise (Corrupt (Printf.sprintf "bad parent %d" p))
+      | None ->
+          if f.Fragment.fid <> 0 then
+            raise (Corrupt "only fragment 0 may lack a parent"))
+    fragments;
+  Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+  let ft =
+    {
+      Fragment.fragments;
+      children;
+      doc_node_count =
+        Array.fold_left
+          (fun acc f -> acc + Fragment.fragment_node_count f)
+          0 fragments;
+    }
+  in
+  (match Fragment.check ft with
+  | Ok () -> ()
+  | Error e -> raise (Corrupt e));
+  ft
+
+let is_store path =
+  Sys.file_exists path && Sys.is_directory path
+  && Sys.file_exists (Filename.concat path manifest_name)

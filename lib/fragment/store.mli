@@ -1,0 +1,30 @@
+(** On-disk fragment stores.
+
+    A fragmented document persists as a directory:
+    {v
+    store/
+      MANIFEST          one line per fragment: id, parent, annotation
+      fragment_0.xml    the root fragment (virtual nodes serialized as
+      fragment_1.xml     <?fragment id="N"?> processing instructions)
+      ...
+    v}
+
+    In a real deployment each site would hold its own fragment files and
+    only the coordinator the manifest; keeping a whole store in one
+    directory is the laptop-friendly equivalent.  Node ids are assigned
+    afresh on load (globally unique across fragments); the structure,
+    annotations and fragment tree are preserved exactly. *)
+
+(** [save ft ~dir] writes the store (creates [dir] if needed).
+    @raise Sys_error on IO failure. *)
+val save : Fragment.t -> dir:string -> unit
+
+exception Corrupt of string
+
+(** [load ~dir] reads a store back.
+    @raise Corrupt when the manifest and fragment files disagree.
+    @raise Sys_error on IO failure. *)
+val load : dir:string -> Fragment.t
+
+(** [is_store path] — does [path] look like a fragment store? *)
+val is_store : string -> bool

@@ -1,0 +1,113 @@
+module Tree = Pax_xml.Tree
+
+type op =
+  | Insert of int * Tree.node
+  | Delete of int
+  | Set_text of int * string
+
+type error =
+  | Node_not_found of int
+  | Would_detach_fragments of int
+  | Is_fragment_root of int
+  | Duplicate_ids of int
+
+let error_to_string = function
+  | Node_not_found id -> Printf.sprintf "node %d not found" id
+  | Would_detach_fragments id ->
+      Printf.sprintf "the subtree of node %d spans other fragments" id
+  | Is_fragment_root id ->
+      Printf.sprintf "node %d is a fragment root (or the document root)" id
+  | Duplicate_ids id -> Printf.sprintf "inserted subtree reuses node id %d" id
+
+let locate (ft : Fragment.t) node_id =
+  let exception Found of int * Tree.node in
+  try
+    Array.iter
+      (fun (f : Fragment.fragment) ->
+        Tree.iter
+          (fun n ->
+            if n.Tree.id = node_id && not (Tree.is_virtual n) then
+              raise (Found (f.Fragment.fid, n)))
+          f.Fragment.root)
+      ft.Fragment.fragments;
+    None
+  with Found (fid, n) -> Some (fid, n)
+
+let is_fragment_root (ft : Fragment.t) node_id =
+  Array.exists
+    (fun (f : Fragment.fragment) -> f.Fragment.root.Tree.id = node_id)
+    ft.Fragment.fragments
+
+let spans_fragments (n : Tree.node) =
+  let spans = ref false in
+  Tree.iter (fun m -> if Tree.is_virtual m then spans := true) n;
+  !spans
+
+let existing_ids (ft : Fragment.t) =
+  let ids = Hashtbl.create 1024 in
+  Array.iter
+    (fun (f : Fragment.fragment) ->
+      Tree.iter (fun n -> Hashtbl.replace ids n.Tree.id ()) f.Fragment.root)
+    ft.Fragment.fragments;
+  ids
+
+let apply (ft : Fragment.t) (op : op) : (int, error) result =
+  match op with
+  | Set_text (node_id, text) -> (
+      match locate ft node_id with
+      | Some (fid, n) ->
+          n.Tree.text <- (if text = "" then None else Some text);
+          Ok fid
+      | None -> Error (Node_not_found node_id))
+  | Insert (parent_id, subtree) -> (
+      if spans_fragments subtree then
+        Error (Would_detach_fragments subtree.Tree.id)
+      else
+        match locate ft parent_id with
+        | None -> Error (Node_not_found parent_id)
+        | Some (fid, parent) -> (
+            let ids = existing_ids ft in
+            let clash = ref None in
+            Tree.iter
+              (fun n ->
+                if !clash = None && Hashtbl.mem ids n.Tree.id then
+                  clash := Some n.Tree.id)
+              subtree;
+            match !clash with
+            | Some id -> Error (Duplicate_ids id)
+            | None ->
+                parent.Tree.children <- parent.Tree.children @ [ subtree ];
+                Ok fid))
+  | Delete node_id -> (
+      if is_fragment_root ft node_id then Error (Is_fragment_root node_id)
+      else
+        match locate ft node_id with
+        | None -> Error (Node_not_found node_id)
+        | Some (fid, n) ->
+            if spans_fragments n then Error (Would_detach_fragments node_id)
+            else begin
+              (* Find the parent within the fragment and drop the child. *)
+              let f = ft.Fragment.fragments.(fid) in
+              let found = ref false in
+              Tree.iter
+                (fun m ->
+                  if
+                    (not !found)
+                    && List.exists
+                         (fun (c : Tree.node) -> c.Tree.id = node_id)
+                         m.Tree.children
+                  then begin
+                    m.Tree.children <-
+                      List.filter
+                        (fun (c : Tree.node) -> c.Tree.id <> node_id)
+                        m.Tree.children;
+                    found := true
+                  end)
+                f.Fragment.root;
+              if !found then Ok fid else Error (Node_not_found node_id)
+            end)
+
+let node_count (ft : Fragment.t) =
+  Array.fold_left
+    (fun acc f -> acc + Fragment.fragment_node_count f)
+    0 ft.Fragment.fragments

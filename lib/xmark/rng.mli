@@ -1,0 +1,25 @@
+(** A small, fast, deterministic PRNG (splitmix64), so that generated
+    benchmark documents are reproducible across runs and platforms
+    independently of the stdlib's [Random]. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val float : t -> float -> float
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** Uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** An independent generator split off deterministically. *)
+val split : t -> t

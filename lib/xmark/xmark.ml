@@ -1,0 +1,254 @@
+module Tree = Pax_xml.Tree
+
+let first_names =
+  [| "Anna"; "Kim"; "Lisa"; "Omar"; "Wei"; "Ines"; "Raj"; "Sven"; "Mia"; "Leo" |]
+
+let last_names =
+  [| "Smith"; "Chen"; "Garcia"; "Okafor"; "Novak"; "Tanaka"; "Mueller"; "Rossi" |]
+
+let countries =
+  (* "US" is frequent so that Q3/Q4 qualifiers select a healthy slice. *)
+  [| "US"; "US"; "US"; "US"; "Canada"; "Germany"; "Japan"; "France"; "Brazil"; "India" |]
+
+let cities = [| "Seattle"; "Austin"; "Toronto"; "Berlin"; "Osaka"; "Lyon"; "Recife" |]
+let streets = [| "Oak St"; "Pine Ave"; "Elm Rd"; "Maple Dr"; "Cedar Ln" |]
+let interests = [| "category1"; "category7"; "category12"; "category33" |]
+let educations = [| "High School"; "College"; "Graduate School"; "Other" |]
+let item_names = [| "widget"; "gadget"; "sprocket"; "gizmo"; "doodad" |]
+let payments = [| "Creditcard"; "Money order"; "Personal Check"; "Cash" |]
+let happiness_words = [| "1"; "2"; "4"; "5"; "6"; "8"; "9"; "10" |]
+
+let words =
+  [| "page"; "rival"; "shade"; "gleam"; "metal"; "argue"; "crown"; "fancy";
+     "noble"; "orbit"; "prime"; "quilt" |]
+
+let sentence rng n =
+  String.concat " " (List.init n (fun _ -> Rng.pick rng words))
+
+(* Each generator builds one entity subtree and reports nothing; sizes
+   are implicit in the structure.  The section loops below keep adding
+   entities while their node budget lasts. *)
+
+let person b rng i =
+  let name =
+    Printf.sprintf "%s %s" (Rng.pick rng first_names) (Rng.pick rng last_names)
+  in
+  let base =
+    [
+      Tree.leaf b "name" name;
+      Tree.leaf b "emailaddress"
+        (Printf.sprintf "mailto:person%d@example.net" i);
+    ]
+  in
+  let phone =
+    if Rng.chance rng 0.5 then
+      [ Tree.leaf b "phone" (Printf.sprintf "+1 (%d) %d" (Rng.range rng 100 999) (Rng.range rng 1000000 9999999)) ]
+    else []
+  in
+  let address =
+    if Rng.chance rng 0.8 then
+      [
+        Tree.elem b "address"
+          [
+            Tree.leaf b "street" (Rng.pick rng streets);
+            Tree.leaf b "city" (Rng.pick rng cities);
+            Tree.leaf b "country" (Rng.pick rng countries);
+            Tree.leaf b "zipcode" (string_of_int (Rng.range rng 10000 99999));
+          ];
+      ]
+    else []
+  in
+  let homepage =
+    if Rng.chance rng 0.3 then
+      [ Tree.leaf b "homepage" (Printf.sprintf "http://example.net/~person%d" i) ]
+    else []
+  in
+  let creditcard =
+    if Rng.chance rng 0.7 then
+      [
+        Tree.leaf b "creditcard"
+          (Printf.sprintf "%d %d %d %d" (Rng.range rng 1000 9999)
+             (Rng.range rng 1000 9999) (Rng.range rng 1000 9999)
+             (Rng.range rng 1000 9999));
+      ]
+    else []
+  in
+  let profile =
+    if Rng.chance rng 0.85 then begin
+      let interests =
+        List.init (Rng.range rng 0 2) (fun _ ->
+            Tree.elem b ~attrs:[ ("category", Rng.pick rng interests) ] "interest" [])
+      in
+      let education =
+        if Rng.chance rng 0.5 then
+          [ Tree.leaf b "education" (Rng.pick rng educations) ]
+        else []
+      in
+      let age =
+        if Rng.chance rng 0.7 then
+          [ Tree.leaf b "age" (string_of_int (Rng.range rng 18 60)) ]
+        else []
+      in
+      [
+        Tree.elem b
+          ~attrs:[ ("income", string_of_int (Rng.range rng 9000 99000)) ]
+          "profile"
+          (interests @ education
+          @ [ Tree.leaf b "business" (if Rng.bool rng then "Yes" else "No") ]
+          @ age);
+      ]
+    end
+    else []
+  in
+  Tree.elem b
+    ~attrs:[ ("id", Printf.sprintf "person%d" i) ]
+    "person"
+    (base @ phone @ address @ homepage @ creditcard @ profile)
+
+let bidder b rng =
+  Tree.elem b "bidder"
+    [
+      Tree.leaf b "date" (Printf.sprintf "%02d/%02d/2006" (Rng.range rng 1 12) (Rng.range rng 1 28));
+      Tree.leaf b "time" (Printf.sprintf "%02d:%02d:%02d" (Rng.range rng 0 23) (Rng.range rng 0 59) (Rng.range rng 0 59));
+      Tree.elem b ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng 1000)) ] "personref" [];
+      Tree.leaf b "increase" (string_of_int (Rng.range rng 1 30))
+    ]
+
+let annotation b rng =
+  Tree.elem b "annotation"
+    [
+      Tree.elem b ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng 1000)) ] "author" [];
+      Tree.leaf b "happiness" (Rng.pick rng happiness_words);
+      Tree.elem b "description" [ Tree.leaf b "text" (sentence rng (Rng.range rng 3 8)) ];
+    ]
+
+let open_auction b rng i =
+  let bidders = List.init (Rng.range rng 0 3) (fun _ -> bidder b rng) in
+  Tree.elem b
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" i) ]
+    "open_auction"
+    ([ Tree.leaf b "initial" (Printf.sprintf "%d.%02d" (Rng.range rng 1 300) (Rng.range rng 0 99)) ]
+    @ bidders
+    @ [
+        Tree.leaf b "current" (Printf.sprintf "%d.%02d" (Rng.range rng 1 500) (Rng.range rng 0 99));
+        Tree.elem b ~attrs:[ ("item", Printf.sprintf "item%d" (Rng.int rng 1000)) ] "itemref" [];
+        Tree.elem b ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng 1000)) ] "seller" [];
+        annotation b rng;
+        Tree.leaf b "quantity" (string_of_int (Rng.range rng 1 10));
+        Tree.leaf b "type" (if Rng.bool rng then "Regular" else "Featured");
+        Tree.elem b "interval"
+          [ Tree.leaf b "start" "01/01/2006"; Tree.leaf b "end" "12/31/2006" ];
+      ])
+
+let closed_auction b rng =
+  let ann = if Rng.chance rng 0.6 then [ annotation b rng ] else [] in
+  Tree.elem b "closed_auction"
+    ([
+       Tree.elem b ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng 1000)) ] "seller" [];
+       Tree.elem b ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.int rng 1000)) ] "buyer" [];
+       Tree.elem b ~attrs:[ ("item", Printf.sprintf "item%d" (Rng.int rng 1000)) ] "itemref" [];
+       Tree.leaf b "price" (Printf.sprintf "%d.%02d" (Rng.range rng 1 400) (Rng.range rng 0 99));
+       Tree.leaf b "date" (Printf.sprintf "%02d/%02d/2006" (Rng.range rng 1 12) (Rng.range rng 1 28));
+       Tree.leaf b "quantity" (string_of_int (Rng.range rng 1 10));
+       Tree.leaf b "type" (if Rng.bool rng then "Regular" else "Featured");
+     ]
+    @ ann)
+
+let item b rng i =
+  let incat =
+    List.init (Rng.range rng 1 2) (fun _ ->
+        Tree.elem b ~attrs:[ ("category", Rng.pick rng interests) ] "incategory" [])
+  in
+  Tree.elem b
+    ~attrs:[ ("id", Printf.sprintf "item%d" i) ]
+    "item"
+    ([
+       Tree.leaf b "location" (Rng.pick rng countries);
+       Tree.leaf b "quantity" (string_of_int (Rng.range rng 1 10));
+       Tree.leaf b "name" (Rng.pick rng item_names);
+       Tree.leaf b "payment" (Rng.pick rng payments);
+       Tree.elem b "description" [ Tree.leaf b "text" (sentence rng (Rng.range rng 3 10)) ];
+       Tree.leaf b "shipping" "Will ship internationally";
+     ]
+    @ incat)
+
+let category b rng i =
+  Tree.elem b
+    ~attrs:[ ("id", Printf.sprintf "category%d" i) ]
+    "category"
+    [
+      Tree.leaf b "name" (sentence rng 2);
+      Tree.elem b "description" [ Tree.leaf b "text" (sentence rng (Rng.range rng 2 6)) ];
+    ]
+
+let region_names = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+(* Fill [budget] nodes by repeatedly generating entities; stop once the
+   budget is exhausted. *)
+let fill budget gen =
+  let used = ref 0 in
+  let items = ref [] in
+  let i = ref 0 in
+  while !used < budget do
+    let entity = gen !i in
+    used := !used + Tree.size entity;
+    items := entity :: !items;
+    incr i
+  done;
+  List.rev !items
+
+let site_custom b rng ~regions ~categories ~people ~open_auctions
+    ~closed_auctions =
+  let people = fill people (fun i -> person b rng i) in
+  let opens = fill open_auctions (fun i -> open_auction b rng i) in
+  let closeds = fill closed_auctions (fun _ -> closed_auction b rng) in
+  let n_regions = Array.length region_names in
+  let region_elems =
+    List.init n_regions (fun r ->
+        Tree.elem b region_names.(r)
+          (fill (regions / n_regions) (fun i -> item b rng (i + (1000 * r)))))
+  in
+  let categories = fill categories (fun i -> category b rng i) in
+  Tree.elem b "site"
+    [
+      Tree.elem b "regions" region_elems;
+      Tree.elem b "categories" categories;
+      Tree.elem b "people" people;
+      Tree.elem b "open_auctions" opens;
+      Tree.elem b "closed_auctions" closeds;
+    ]
+
+let site b rng ~nodes =
+  let nodes = max 60 nodes in
+  site_custom b rng
+    ~regions:(nodes * 18 / 100)
+    ~categories:(nodes * 5 / 100)
+    ~people:(nodes * 30 / 100)
+    ~open_auctions:(nodes * 30 / 100)
+    ~closed_auctions:(nodes * 15 / 100)
+
+let sites_doc ~seed ~site_nodes =
+  let b = Tree.builder () in
+  let rng = Rng.create ~seed in
+  let sites = List.map (fun n -> site b (Rng.split rng) ~nodes:n) site_nodes in
+  Tree.doc_of_root (Tree.elem b "sites" sites)
+
+let doc ~seed ~total_nodes ~n_sites =
+  let per = max 60 (total_nodes / max 1 n_sites) in
+  sites_doc ~seed ~site_nodes:(List.init n_sites (fun _ -> per))
+
+let q1 = "/sites/site/people/person"
+let q2 = "/sites/site/open_auctions//annotation"
+
+let q3 =
+  "/sites/site/people/person[profile/age > 20 and address/country = \"US\"]/creditcard"
+
+let q4 =
+  "/sites//people/person[profile/age > 20 and address/country = \"US\"]/creditcard"
+
+let queries = [ ("Q1", q1); ("Q2", q2); ("Q3", q3); ("Q4", q4) ]
+
+(* One paper-megabyte of XMark data stands for this many tree nodes; at
+   roughly 55 serialized bytes per node this keeps the figure axes
+   honest while letting the full sweep run in seconds. *)
+let nodes_per_mb = 1800

@@ -1,0 +1,41 @@
+(** An XMark-style synthetic document generator (Schmidt et al., VLDB
+    2002), shaped like the datasets of the paper's §6: a root [sites]
+    element whose children are whole XMark [site] subtrees, each with
+    [regions], [categories], [people] (persons with address/country,
+    profile/age, creditcard…), [open_auctions] (with bidders and
+    [annotation]s) and [closed_auctions].
+
+    Sizes are controlled in {e nodes}; the bench harness maps the
+    paper's megabytes to nodes with a fixed scale factor.  Generation is
+    deterministic in the seed. *)
+
+(** [site builder rng ~nodes] — one [site] subtree of roughly [nodes]
+    nodes (within a few percent). *)
+val site : Pax_xml.Tree.builder -> Rng.t -> nodes:int -> Pax_xml.Tree.node
+
+(** [site_custom builder rng ~regions ~categories ~people ~open_auctions
+    ~closed_auctions] — a [site] with explicit per-section node budgets;
+    used to realize the skewed fragment sizes of the paper's FT2 (the
+    5 / 12 / 28 / 8 MB split of Experiment 2). *)
+val site_custom :
+  Pax_xml.Tree.builder -> Rng.t -> regions:int -> categories:int ->
+  people:int -> open_auctions:int -> closed_auctions:int -> Pax_xml.Tree.node
+
+(** [sites_doc ~seed ~site_nodes] — a [sites] document with one [site]
+    per list element, of the given sizes. *)
+val sites_doc : seed:int -> site_nodes:int list -> Pax_xml.Tree.doc
+
+(** [doc ~seed ~total_nodes ~n_sites] — [total_nodes] split evenly. *)
+val doc : seed:int -> total_nodes:int -> n_sites:int -> Pax_xml.Tree.doc
+
+(** The queries of the paper's Fig. 7, Q1–Q4. *)
+val q1 : string
+
+val q2 : string
+val q3 : string
+val q4 : string
+val queries : (string * string) list
+
+(** Paper scale: nodes that stand in for one paper-megabyte of XMark
+    data (the benches multiply "MB" axes by this). *)
+val nodes_per_mb : int

@@ -1,0 +1,261 @@
+exception Parse_error of { pos : int; msg : string }
+
+type state = { src : string; mutable pos : int; b : Tree.builder }
+
+let error st msg = raise (Parse_error { pos = st.pos; msg })
+let eof st = st.pos >= String.length st.src
+let peek st = st.src.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else error st (Printf.sprintf "expected %S" prefix)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then error st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+(* Decode the predefined entities and numeric character references.
+   Unknown entities are kept verbatim, which is lenient but safe. *)
+let decode_entities s =
+  if not (String.contains s '&') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] <> '&' then begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+      else begin
+        let semi = try String.index_from s !i ';' with Not_found -> -1 in
+        if semi < 0 || semi - !i > 10 then begin
+          Buffer.add_char buf '&';
+          incr i
+        end
+        else begin
+          let entity = String.sub s (!i + 1) (semi - !i - 1) in
+          (match entity with
+          | "lt" -> Buffer.add_char buf '<'
+          | "gt" -> Buffer.add_char buf '>'
+          | "amp" -> Buffer.add_char buf '&'
+          | "quot" -> Buffer.add_char buf '"'
+          | "apos" -> Buffer.add_char buf '\''
+          | _ ->
+              let coded =
+                if String.length entity > 1 && entity.[0] = '#' then
+                  let num = String.sub entity 1 (String.length entity - 1) in
+                  let value =
+                    if String.length num > 1 && (num.[0] = 'x' || num.[0] = 'X')
+                    then
+                      int_of_string_opt
+                        ("0x" ^ String.sub num 1 (String.length num - 1))
+                    else int_of_string_opt num
+                  in
+                  match value with
+                  | Some c when c >= 0 && c < 128 ->
+                      Buffer.add_char buf (Char.chr c);
+                      true
+                  | Some c when c < 0x110000 ->
+                      Buffer.add_string buf (Printf.sprintf "\\u{%X}" c);
+                      true
+                  | Some _ | None -> false
+                else false
+              in
+              if not coded then begin
+                Buffer.add_char buf '&';
+                Buffer.add_string buf entity;
+                Buffer.add_char buf ';'
+              end);
+          i := semi + 1
+        end
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let read_until st stop =
+  match
+    let stop0 = stop.[0] in
+    let limit = String.length st.src in
+    let rec find i =
+      if i >= limit then None
+      else if st.src.[i] = stop0 && looking_at { st with pos = i } stop then
+        Some i
+      else find (i + 1)
+    in
+    find st.pos
+  with
+  | None -> error st (Printf.sprintf "unterminated construct, expected %S" stop)
+  | Some i ->
+      let s = String.sub st.src st.pos (i - st.pos) in
+      st.pos <- i + String.length stop;
+      s
+
+let rec skip_misc st =
+  skip_spaces st;
+  if looking_at st "<?" then begin
+    expect st "<?";
+    ignore (read_until st "?>");
+    skip_misc st
+  end
+  else if looking_at st "<!--" then begin
+    expect st "<!--";
+    ignore (read_until st "-->");
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" || looking_at st "<!doctype" then begin
+    (* Skip to the matching '>'; internal subsets use brackets. *)
+    let depth = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      if eof st then error st "unterminated DOCTYPE";
+      (match peek st with
+      | '[' -> incr depth
+      | ']' -> decr depth
+      | '>' when !depth = 0 -> stop := true
+      | _ -> ());
+      advance st
+    done;
+    skip_misc st
+  end
+
+(* Recognize the serializer's <?fragment id="N"?> placeholder. *)
+let fragment_pi pi =
+  let pi = String.trim pi in
+  let prefix = "fragment id=\"" in
+  let plen = String.length prefix in
+  if String.length pi > plen && String.sub pi 0 plen = prefix then
+    let rest = String.sub pi plen (String.length pi - plen) in
+    match String.index_opt rest '"' with
+    | Some stop -> int_of_string_opt (String.sub rest 0 stop)
+    | None -> None
+  else None
+
+let read_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st "expected a quoted value";
+  advance st;
+  let raw = read_until st (String.make 1 quote) in
+  decode_entities raw
+
+let read_attrs st =
+  let rec go acc =
+    skip_spaces st;
+    if eof st then error st "unterminated start tag"
+    else if peek st = '>' || looking_at st "/>" then List.rev acc
+    else begin
+      let name = read_name st in
+      skip_spaces st;
+      expect st "=";
+      skip_spaces st;
+      let value = read_attr_value st in
+      go ((name, value) :: acc)
+    end
+  in
+  go []
+
+let rec read_element st =
+  expect st "<";
+  let tag = read_name st in
+  let attrs = read_attrs st in
+  skip_spaces st;
+  if looking_at st "/>" then begin
+    expect st "/>";
+    Tree.elem st.b ~attrs tag []
+  end
+  else begin
+    expect st ">";
+    let children, text = read_content st tag in
+    let text = if text = "" then None else Some text in
+    Tree.elem st.b ?text ~attrs tag children
+  end
+
+and read_content st tag =
+  let children = ref [] in
+  let text = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st (Printf.sprintf "unterminated element <%s>" tag)
+    else if looking_at st "</" then begin
+      expect st "</";
+      let closing = read_name st in
+      if closing <> tag then
+        error st (Printf.sprintf "mismatched tag: <%s> closed by </%s>" tag closing);
+      skip_spaces st;
+      expect st ">"
+    end
+    else if looking_at st "<!--" then begin
+      expect st "<!--";
+      ignore (read_until st "-->");
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      expect st "<![CDATA[";
+      Buffer.add_string text (read_until st "]]>");
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      expect st "<?";
+      let pi = read_until st "?>" in
+      (* A fragment placeholder PI round-trips to a virtual node. *)
+      (match fragment_pi pi with
+      | Some fid -> children := Tree.virtual_node st.b fid :: !children
+      | None -> ());
+      go ()
+    end
+    else if peek st = '<' then begin
+      children := read_element st :: !children;
+      go ()
+    end
+    else begin
+      let start = st.pos in
+      while (not (eof st)) && peek st <> '<' do
+        advance st
+      done;
+      let segment =
+        String.trim (decode_entities (String.sub st.src start (st.pos - start)))
+      in
+      Buffer.add_string text segment;
+      go ()
+    end
+  in
+  go ();
+  (List.rev !children, Buffer.contents text)
+
+let parse_string ?builder s =
+  let b = match builder with Some b -> b | None -> Tree.builder () in
+  let st = { src = s; pos = 0; b } in
+  skip_misc st;
+  if eof st || peek st <> '<' then error st "expected a root element";
+  let root = read_element st in
+  skip_misc st;
+  if not (eof st) then error st "trailing content after the root element";
+  Tree.doc_of_root root
+
+let parse_file ?builder path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string ?builder (really_input_string ic n))

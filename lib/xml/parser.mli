@@ -1,0 +1,23 @@
+(** A self-contained XML parser producing {!Tree.node} values.
+
+    Supports the subset needed for data trees: elements, attributes,
+    character data (with the five predefined entities and numeric
+    character references), CDATA sections, comments, processing
+    instructions and the XML declaration.  Character data directly under
+    an element is whitespace-trimmed and concatenated into the node's
+    [text] field; whitespace-only segments are dropped.  DTDs are
+    skipped, namespaces are kept verbatim in tag names. *)
+
+exception Parse_error of { pos : int; msg : string }
+
+(** [parse_string ?builder s] parses a complete document.  When
+    [builder] is given, node ids continue from it (useful when several
+    documents must not collide). *)
+val parse_string : ?builder:Tree.builder -> string -> Tree.doc
+
+(** [parse_file ?builder path] reads and parses a file. *)
+val parse_file : ?builder:Tree.builder -> string -> Tree.doc
+
+(** [decode_entities s] decodes the five predefined entities and numeric
+    character references (shared with the event scanner). *)
+val decode_entities : string -> string

@@ -1,0 +1,69 @@
+let escape buf ~quotes s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_to buf s = escape buf ~quotes:false s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quotes:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quotes:true s;
+  Buffer.contents buf
+
+let to_buffer ?(indent = false) buf node =
+  let pad level = if indent then Buffer.add_string buf (String.make (2 * level) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  let rec go level (n : Tree.node) =
+    match n.kind with
+    | Tree.Virtual fid ->
+        pad level;
+        Buffer.add_string buf (Printf.sprintf "<?fragment id=\"%d\"?>" fid);
+        newline ()
+    | Tree.Element ->
+        pad level;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf n.tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf k;
+            Buffer.add_string buf "=\"";
+            escape buf ~quotes:true v;
+            Buffer.add_char buf '"')
+          n.attrs;
+        if n.children = [] && n.text = None then begin
+          Buffer.add_string buf "/>";
+          newline ()
+        end
+        else begin
+          Buffer.add_char buf '>';
+          (match n.text with Some t -> escape_to buf t | None -> ());
+          if n.children <> [] then begin
+            newline ();
+            List.iter (go (level + 1)) n.children;
+            pad level
+          end;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf n.tag;
+          Buffer.add_char buf '>';
+          newline ()
+        end
+  in
+  go 0 node
+
+let to_string ?indent node =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf node;
+  Buffer.contents buf

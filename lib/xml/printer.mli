@@ -1,0 +1,16 @@
+(** XML serialization of {!Tree.node} values.
+
+    Virtual nodes serialize as processing instructions
+    [<?fragment id="N"?>] so that a fragment written to disk remains a
+    well-formed document and the placeholders survive a round trip. *)
+
+(** [to_buffer ?indent buf n] appends the serialization of [n]. *)
+val to_buffer : ?indent:bool -> Buffer.t -> Tree.node -> unit
+
+val to_string : ?indent:bool -> Tree.node -> string
+
+(** [escape_text s] escapes [&], [<] and [>]. *)
+val escape_text : string -> string
+
+(** [escape_attr s] additionally escapes quotes. *)
+val escape_attr : string -> string

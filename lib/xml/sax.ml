@@ -1,0 +1,167 @@
+type event =
+  | Open of string * (string * string) list
+  | Text of string
+  | Close of string
+
+exception Parse_error of { pos : int; msg : string }
+
+(* A small re-implementation of the scanner rather than a shim over
+   Parser: the tree parser's recursion is exactly what streaming must
+   avoid. *)
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error { pos = st.pos; msg })
+let eof st = st.pos >= String.length st.src
+let peek st = st.src.[st.pos]
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else error st (Printf.sprintf "expected %S" prefix)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then error st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let read_until st stop =
+  let stop0 = stop.[0] in
+  let limit = String.length st.src in
+  let rec find i =
+    if i >= limit then error st (Printf.sprintf "unterminated, expected %S" stop)
+    else if st.src.[i] = stop0 && looking_at { st with pos = i } stop then i
+    else find (i + 1)
+  in
+  let i = find st.pos in
+  let s = String.sub st.src st.pos (i - st.pos) in
+  st.pos <- i + String.length stop;
+  s
+
+let read_attrs st =
+  let rec go acc =
+    skip_spaces st;
+    if eof st then error st "unterminated start tag"
+    else if peek st = '>' || looking_at st "/>" then List.rev acc
+    else begin
+      let name = read_name st in
+      skip_spaces st;
+      expect st "=";
+      skip_spaces st;
+      let quote = peek st in
+      if quote <> '"' && quote <> '\'' then error st "expected a quoted value";
+      st.pos <- st.pos + 1;
+      let value = Parser.decode_entities (read_until st (String.make 1 quote)) in
+      go ((name, value) :: acc)
+    end
+  in
+  go []
+
+let fold_string src ~init ~f =
+  let st = { src; pos = 0 } in
+  let acc = ref init in
+  let emit e = acc := f !acc e in
+  let depth = ref 0 in
+  let seen_root = ref false in
+  let stack = ref [] in
+  let finished () = !seen_root && !depth = 0 in
+  while not (eof st) do
+    if looking_at st "<!--" then begin
+      expect st "<!--";
+      ignore (read_until st "-->")
+    end
+    else if looking_at st "<![CDATA[" then begin
+      expect st "<![CDATA[";
+      if !depth = 0 then error st "character data outside the root";
+      emit (Text (read_until st "]]>"))
+    end
+    else if looking_at st "<?" then begin
+      expect st "<?";
+      ignore (read_until st "?>")
+    end
+    else if looking_at st "<!" then begin
+      (* DOCTYPE: skip to the matching '>'. *)
+      let d = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        if eof st then error st "unterminated declaration";
+        (match peek st with
+        | '[' -> incr d
+        | ']' -> decr d
+        | '>' when !d = 0 -> stop := true
+        | _ -> ());
+        st.pos <- st.pos + 1
+      done
+    end
+    else if looking_at st "</" then begin
+      expect st "</";
+      let tag = read_name st in
+      skip_spaces st;
+      expect st ">";
+      (match !stack with
+      | top :: rest when top = tag ->
+          stack := rest;
+          decr depth;
+          emit (Close tag)
+      | top :: _ -> error st (Printf.sprintf "<%s> closed by </%s>" top tag)
+      | [] -> error st "close tag without open")
+    end
+    else if peek st = '<' then begin
+      if finished () then error st "content after the root element";
+      st.pos <- st.pos + 1;
+      let tag = read_name st in
+      let attrs = read_attrs st in
+      skip_spaces st;
+      if looking_at st "/>" then begin
+        expect st "/>";
+        seen_root := true;
+        emit (Open (tag, attrs));
+        emit (Close tag)
+      end
+      else begin
+        expect st ">";
+        seen_root := true;
+        stack := tag :: !stack;
+        incr depth;
+        emit (Open (tag, attrs))
+      end
+    end
+    else begin
+      let start = st.pos in
+      while (not (eof st)) && peek st <> '<' do
+        st.pos <- st.pos + 1
+      done;
+      let segment =
+        String.trim
+          (Parser.decode_entities (String.sub st.src start (st.pos - start)))
+      in
+      if segment <> "" then begin
+        if !depth = 0 then error st "character data outside the root";
+        emit (Text segment)
+      end
+    end
+  done;
+  if !depth <> 0 then error st "unterminated element";
+  if not !seen_root then error st "expected a root element";
+  !acc
+
+let iter_string src ~f = fold_string src ~init:() ~f:(fun () e -> f e)
+
+let events_of_string src =
+  List.rev (fold_string src ~init:[] ~f:(fun acc e -> e :: acc))

@@ -1,0 +1,50 @@
+(** Abstract syntax of the query class [X] (paper §2.2):
+
+    {v
+    Q := ε | A | * | Q//Q | Q/Q | Q[q]
+    q := Q | q/text() = str | q/val() op num | ¬q | q ∧ q | q ∨ q
+    v}
+
+    with [op] one of [=, ≠, <, ≤, >, ≥].  [X] subsumes twig queries and
+    the Boolean XPath of ParBoX. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type path =
+  | Empty  (** ε — self *)
+  | Tag of string  (** label test [A] *)
+  | Wildcard  (** [*] *)
+  | Slash of path * path  (** [Q/Q] — child *)
+  | Dslash of path * path  (** [Q//Q] — descendant-or-self *)
+  | Qualified of path * qual  (** [Q\[q\]] *)
+
+and qual =
+  | QPath of path  (** existential: [val(Q, v) ≠ ∅] *)
+  | QText of path * string  (** [Q/text() = "str"] *)
+  | QVal of path * cmp * float  (** [Q/val() op num] *)
+  | QAttr of path * string * string option
+      (** [Q/@name] (existence) or [Q/@name = "str"] — an extension
+          beyond the paper's grammar, needed in practice because XMark
+          data is attribute-rich *)
+  | QNot of qual
+  | QAnd of qual * qual
+  | QOr of qual * qual
+
+(** A query: [absolute] queries are anchored above the root element (a
+    leading [/] or [//]); relative queries are evaluated with the root
+    element as context node. *)
+type t = { absolute : bool; path : path }
+
+val compare_num : cmp -> float -> float -> bool
+val cmp_to_string : cmp -> string
+
+(** Query size [|Q|] (number of AST constructors), the unit of the
+    paper's communication bound [O(|Q| |FT|)]. *)
+val size : t -> int
+
+val size_path : path -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_path : Format.formatter -> path -> unit
+val pp_qual : Format.formatter -> qual -> unit
+val to_string : t -> string

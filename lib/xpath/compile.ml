@@ -1,0 +1,95 @@
+type test = TLabel of string | TAny
+
+type qual =
+  | Sat of int
+  | Text_eq of string
+  | Val_cmp of Ast.cmp * float
+  | Attr_test of string * string option
+  | Qnot of qual
+  | Qand of qual * qual
+  | Qor of qual * qual
+
+type item = Move of test | Dos_item | Filter of qual
+
+type cpath = {
+  items : item array;
+  sat : int array;
+  step : int array;
+  desc : int array;
+}
+
+type t = {
+  absolute : bool;
+  sel : item array;
+  n_sel : int;
+  paths : cpath array;
+  n_qual : int;
+  normal : Normal.t;
+}
+
+type state = { mutable paths_rev : cpath list; mutable n_paths : int; mutable entries : int }
+
+let fresh st =
+  let e = st.entries in
+  st.entries <- e + 1;
+  e
+
+(* Nested qualifier paths are registered before the paths that reference
+   them, so a single bottom-up node computation can process the table in
+   index order. *)
+let rec compile_items st (steps : Normal.step list) : item array =
+  let compile_step = function
+    | Normal.Label a -> Move (TLabel a)
+    | Normal.Any -> Move TAny
+    | Normal.Dos -> Dos_item
+    | Normal.Cond q -> Filter (compile_qual st q)
+  in
+  Array.of_list (List.map compile_step steps)
+
+and compile_qual st : Normal.qual -> qual = function
+  | Normal.Text s -> Text_eq s
+  | Normal.Val (op, n) -> Val_cmp (op, n)
+  | Normal.Attr (name, v) -> Attr_test (name, v)
+  | Normal.Not q -> Qnot (compile_qual st q)
+  | Normal.And (a, b) -> Qand (compile_qual st a, compile_qual st b)
+  | Normal.Or (a, b) -> Qor (compile_qual st a, compile_qual st b)
+  | Normal.Path steps ->
+      let items = compile_items st steps in
+      let k = Array.length items in
+      let sat = Array.init k (fun _ -> fresh st) in
+      let step =
+        Array.map (function Move _ -> fresh st | Dos_item | Filter _ -> -1) items
+      in
+      let desc = Array.make (k + 1) (-1) in
+      Array.iteri
+        (fun j item ->
+          match item with
+          | Dos_item when j + 1 < k && desc.(j + 1) < 0 ->
+              desc.(j + 1) <- fresh st
+          | Dos_item | Move _ | Filter _ -> ())
+        items;
+      let index = st.n_paths in
+      st.paths_rev <- { items; sat; step; desc } :: st.paths_rev;
+      st.n_paths <- index + 1;
+      Sat index
+
+let compile (normal : Normal.t) : t =
+  let st = { paths_rev = []; n_paths = 0; entries = 0 } in
+  let sel = compile_items st normal.Normal.steps in
+  {
+    absolute = normal.Normal.absolute;
+    sel;
+    n_sel = Array.length sel + 1;
+    paths = Array.of_list (List.rev st.paths_rev);
+    n_qual = st.entries;
+    normal;
+  }
+
+let matches test tag =
+  match test with TLabel a -> String.equal a tag | TAny -> true
+
+let no_qualifiers t = t.n_qual = 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>selection items: %d (vector %d)@,qualifier paths: %d (vector %d)@]"
+    (Array.length t.sel) t.n_sel (Array.length t.paths) t.n_qual

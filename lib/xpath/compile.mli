@@ -1,0 +1,79 @@
+(** Compiled queries: the vector layout behind [SVect]/[QVect] (§2.2).
+
+    A normalized query is compiled into
+    - a {e selection item array} — the [βi] of the normal form: child
+      moves [Move], descendant-or-self closures [Dos] and qualifier
+      filters [Filter]; the selection vector [SVect] has one entry per
+      {e prefix} of this array (entry 0 = the context node itself);
+    - a table of {e qualifier paths} — every path appearing inside a
+      qualifier, nested paths first.  For a path [p] with items
+      [0..k-1], the qualifier vector [QVect] holds, per tree node [v]:
+
+    {ul
+    {- [sat.(j)] — the entry for [A_v(p, j)]: "the suffix of [p]
+       starting at item [j] is satisfiable with context [v]", i.e. some
+       instantiation of items [j..k-1] exists below [v];}
+    {- [step.(j)] (for [Move] items) — the entry for [B_v(p, j)]: "[v]
+       itself matches item [j] and the rest of the suffix is satisfiable
+       from [v]"; the parent's ∃-child rule reads this (paper: the role
+       of [QCV]);}
+    {- [desc.(j)] (for targets of [Dos] items) — the entry for
+       [D_v(p, j)]: the descendant-or-self closure
+       [A_v(p, j) ∨ ∃ descendant d. A_d(p, j)] (paper: the role of
+       [QDV]).}}
+
+    Recurrences, evaluated bottom-up with children's vectors available:
+
+    {v
+    Move t at j :  B_v(j) = t(v) ∧ A_v(j+1)      A_v(j) = ∃ child c. B_c(j)
+    Dos at j    :  A_v(j) = D_v(j+1)             D_v(j) = A_v(j) ∨ ∃ child c. D_c(j)
+    Filter q at j: A_v(j) = Sat_v(q) ∧ A_v(j+1)
+    v}
+
+    with [A_v(k) = true] (empty suffix) and [Sat_v] the obvious Boolean
+    evaluation of the filter, where [Sat_v(path p') = A_v(p', 0)].
+
+    All entries share one flat index space of size {!field:t.n_qual}, so a
+    per-node qualifier vector is a single array — one vector per node,
+    [O(|Q|)] entries, exactly the paper's space budget. *)
+
+type test = TLabel of string | TAny
+
+type qual =
+  | Sat of int  (** satisfiability of qualifier path [i] at this node *)
+  | Text_eq of string
+  | Val_cmp of Ast.cmp * float
+  | Attr_test of string * string option
+  | Qnot of qual
+  | Qand of qual * qual
+  | Qor of qual * qual
+
+type item = Move of test | Dos_item | Filter of qual
+
+type cpath = {
+  items : item array;
+  sat : int array;  (** [sat.(j)] = flat entry of [A(p, j)]; length [k] *)
+  step : int array;  (** [step.(j)] = entry of [B(p, j)], or [-1] *)
+  desc : int array;  (** [desc.(j)] = entry of [D(p, j)], or [-1]; length [k+1] *)
+}
+
+type t = {
+  absolute : bool;
+  sel : item array;  (** selection-path items *)
+  n_sel : int;  (** selection-vector length = [Array.length sel + 1] *)
+  paths : cpath array;  (** qualifier paths, nested before nesting *)
+  n_qual : int;  (** flat qualifier-vector length *)
+  normal : Normal.t;  (** the normal form this was compiled from *)
+}
+
+val compile : Normal.t -> t
+
+(** [matches test tag] — label test on an element tag. *)
+val matches : test -> string -> bool
+
+(** True when there are no qualifier entries at all. *)
+val no_qualifiers : t -> bool
+
+(** Entry count summary, for sanity checks: [n_qual] is linear in the
+    query size. *)
+val pp : Format.formatter -> t -> unit

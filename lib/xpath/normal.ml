@@ -1,0 +1,88 @@
+type step = Label of string | Any | Dos | Cond of qual
+
+and qual =
+  | Path of step list
+  | Text of string
+  | Val of Ast.cmp * float
+  | Attr of string * string option
+  | Not of qual
+  | And of qual * qual
+  | Or of qual * qual
+
+type t = { absolute : bool; steps : step list }
+
+(* Merge runs of consecutive ε[q] steps into a single conjunction and
+   collapse repeated '//' (descendant-or-self is idempotent). *)
+let rec fuse = function
+  | Cond q1 :: Cond q2 :: rest -> fuse (Cond (And (q1, q2)) :: rest)
+  | Dos :: Dos :: rest -> fuse (Dos :: rest)
+  | s :: rest -> s :: fuse rest
+  | [] -> []
+
+let rec normalize_path : Ast.path -> step list = function
+  | Ast.Empty -> []
+  | Ast.Tag a -> [ Label a ]
+  | Ast.Wildcard -> [ Any ]
+  | Ast.Slash (p, q) -> fuse (normalize_path p @ normalize_path q)
+  | Ast.Dslash (p, q) -> fuse (normalize_path p @ (Dos :: normalize_path q))
+  | Ast.Qualified (p, q) -> fuse (normalize_path p @ [ Cond (normalize_qual q) ])
+
+and normalize_qual : Ast.qual -> qual = function
+  | Ast.QPath p -> Path (normalize_path p)
+  | Ast.QText (p, s) -> Path (fuse (normalize_path p @ [ Cond (Text s) ]))
+  | Ast.QVal (p, op, n) -> Path (fuse (normalize_path p @ [ Cond (Val (op, n)) ]))
+  | Ast.QAttr (p, name, v) ->
+      Path (fuse (normalize_path p @ [ Cond (Attr (name, v)) ]))
+  | Ast.QNot q -> Not (normalize_qual q)
+  | Ast.QAnd (a, b) -> And (normalize_qual a, normalize_qual b)
+  | Ast.QOr (a, b) -> Or (normalize_qual a, normalize_qual b)
+
+let normalize (q : Ast.t) : t =
+  { absolute = q.absolute; steps = normalize_path q.path }
+
+let selection_path t =
+  List.filter (function Cond _ -> false | Label _ | Any | Dos -> true) t.steps
+
+let steps_have_qual steps =
+  List.exists (function Cond _ -> true | Label _ | Any | Dos -> false) steps
+
+let has_no_qualifiers t = not (steps_have_qual t.steps)
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp_step ppf = function
+  | Label a -> Format.pp_print_string ppf a
+  | Any -> Format.pp_print_char ppf '*'
+  | Dos -> Format.pp_print_string ppf "//"
+  | Cond q -> Format.fprintf ppf "e[%a]" pp_qual q
+
+and pp_qual ppf = function
+  | Path [] -> Format.pp_print_char ppf '.'
+  | Path steps -> pp_steps ppf steps
+  | Text s -> Format.fprintf ppf "text() = \"%s\"" s
+  | Val (op, n) -> Format.fprintf ppf "val() %s %g" (Ast.cmp_to_string op) n
+  | Attr (name, None) -> Format.fprintf ppf "@%s" name
+  | Attr (name, Some v) -> Format.fprintf ppf "@%s = \"%s\"" name v
+  | Not q -> Format.fprintf ppf "not(%a)" pp_qual q
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_qual a pp_qual b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_qual a pp_qual b
+
+and pp_steps ppf steps =
+  (* '/' separates steps except around '//', which is its own separator. *)
+  let rec go first = function
+    | [] -> ()
+    | Dos :: rest ->
+        Format.pp_print_string ppf "//";
+        go true rest
+    | s :: rest ->
+        if not first then Format.pp_print_char ppf '/';
+        pp_step ppf s;
+        go false rest
+  in
+  go true steps
+
+let pp ppf t =
+  if t.absolute then Format.pp_print_char ppf '/';
+  pp_steps ppf t.steps
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,46 @@
+(** The paper's normal form (§2.2): a query becomes a sequence
+    [β1/…/βn] where each [βi] is a label [A], a wildcard [*], the
+    descendant-or-self axis [//], or a qualifier step [ε\[q\]].
+    Qualifiers are themselves normalized, with [text()]/[val()] tests
+    pushed into trailing [ε\[…\]] steps, and consecutive [ε] steps merged
+    into a single conjunction (the last rule of [normalize]).
+
+    Striking out the [Cond] steps yields the {e selection path} of the
+    query. *)
+
+type step =
+  | Label of string  (** [A] *)
+  | Any  (** [*] *)
+  | Dos  (** [//] *)
+  | Cond of qual  (** [ε\[q\]] *)
+
+and qual =
+  | Path of step list  (** ∃-path, e.g. [market/name/ε\[text()="nasdaq"\]] *)
+  | Text of string  (** [text() = "str"] — applies to the current node *)
+  | Val of Ast.cmp * float  (** [val() op num] *)
+  | Attr of string * string option  (** [@name] / [@name = "str"] *)
+  | Not of qual
+  | And of qual * qual
+  | Or of qual * qual
+
+type t = { absolute : bool; steps : step list }
+
+(** [normalize q] implements the paper's linear-time rewriting. *)
+val normalize : Ast.t -> t
+
+val normalize_path : Ast.path -> step list
+val normalize_qual : Ast.qual -> qual
+
+(** The selection path: the normalized steps with all [Cond]s struck
+    out, e.g. [//broker/name] for query Q1 of §2.2. *)
+val selection_path : t -> step list
+
+(** True when the query has no qualifiers at all (drives the
+    stage-skipping optimizations of §5/§6). *)
+val has_no_qualifiers : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_step : Format.formatter -> step -> unit
+val pp_qual : Format.formatter -> qual -> unit
+val to_string : t -> string

@@ -1,0 +1,25 @@
+(** Concrete syntax parser for the query class [X].
+
+    Accepted syntax, close to standard XPath:
+    - steps: [name], [*], [.] (ε), separated by [/] (child) or [//]
+      (descendant-or-self); a leading [/] or [//] makes the query
+      absolute.
+    - qualifiers: [\[...\]] after any step, containing paths, the tests
+      [p/text() = "str"] and [p/val() op num] (and their sugar
+      [p = "str"], [p op num]), combined with [and]/[or]/[not(...)]
+      (also [&&], [||], [!]).
+    - numbers are decimal; strings are single- or double-quoted.
+
+    Examples from the paper, all accepted verbatim (modulo ASCII
+    connectives):
+    - [//broker\[//stock/code/text() = "goog"\]/name]
+    - [/sites/site/people/person\[profile/age > 20 and
+       address/country = "US"\]/creditcard] *)
+
+exception Syntax_error of { pos : int; msg : string }
+
+val query : string -> Ast.t
+
+(** [qual s] parses a bare qualifier expression (useful for Boolean
+    queries in the ParBoX style, e.g. ["//stock/code/text() = \"goog\""]). *)
+val qual : string -> Ast.qual

@@ -1,0 +1,23 @@
+type t = {
+  source : string;
+  ast : Ast.t;
+  normal : Normal.t;
+  compiled : Compile.t;
+}
+
+let of_ast ?source ast =
+  let normal = Normal.normalize ast in
+  let compiled = Compile.compile normal in
+  let source = match source with Some s -> s | None -> Ast.to_string ast in
+  { source; ast; normal; compiled }
+
+let of_string s = of_ast ~source:s (Parse.query s)
+let size t = Ast.size t.ast
+let has_qualifiers t = not (Normal.has_no_qualifiers t.normal)
+
+let has_dos t =
+  Array.exists
+    (function Compile.Dos_item -> true | Compile.Move _ | Compile.Filter _ -> false)
+    t.compiled.Compile.sel
+
+let pp ppf t = Format.fprintf ppf "%s" t.source

@@ -1,0 +1,26 @@
+(** One-stop query handle: source text, AST, normal form and compiled
+    form together. *)
+
+type t = {
+  source : string;
+  ast : Ast.t;
+  normal : Normal.t;
+  compiled : Compile.t;
+}
+
+(** [of_string s] parses, normalizes and compiles.
+    @raise Parse.Syntax_error on bad input. *)
+val of_string : string -> t
+
+val of_ast : ?source:string -> Ast.t -> t
+
+(** Query size [|Q|]. *)
+val size : t -> int
+
+val has_qualifiers : t -> bool
+
+(** Does the selection path contain a descendant-or-self step?  (Drives
+    how much the annotation optimization can prune, cf. Exp. 2.) *)
+val has_dos : t -> bool
+
+val pp : Format.formatter -> t -> unit

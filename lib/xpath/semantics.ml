@@ -1,0 +1,82 @@
+module Tree = Pax_xml.Tree
+
+(* Node sets are kept as id-keyed maps to preserve set semantics; the
+   final answer is sorted by id, which is document order for trees built
+   in document order. *)
+module Iset = Map.Make (Int)
+
+let to_set nodes =
+  List.fold_left (fun s (n : Tree.node) -> Iset.add n.id n s) Iset.empty nodes
+
+let of_set s = List.map snd (Iset.bindings s)
+
+let children_of (n : Tree.node) = n.children
+
+let rec descendants_or_self acc (n : Tree.node) =
+  List.fold_left descendants_or_self (Iset.add n.id n acc) n.children
+
+let rec eval_path_set (p : Ast.path) (ctx : Tree.node Iset.t) : Tree.node Iset.t =
+  match p with
+  | Ast.Empty -> ctx
+  | Ast.Tag a ->
+      Iset.fold
+        (fun _ n acc ->
+          List.fold_left
+            (fun acc (c : Tree.node) ->
+              if c.tag = a then Iset.add c.id c acc else acc)
+            acc (children_of n))
+        ctx Iset.empty
+  | Ast.Wildcard ->
+      Iset.fold
+        (fun _ n acc ->
+          List.fold_left
+            (fun acc (c : Tree.node) -> Iset.add c.id c acc)
+            acc (children_of n))
+        ctx Iset.empty
+  | Ast.Slash (p1, p2) -> eval_path_set p2 (eval_path_set p1 ctx)
+  | Ast.Dslash (p1, p2) ->
+      let mid = eval_path_set p1 ctx in
+      let widened = Iset.fold (fun _ n acc -> descendants_or_self acc n) mid Iset.empty in
+      eval_path_set p2 widened
+  | Ast.Qualified (p1, q) ->
+      Iset.filter (fun _ n -> holds q n) (eval_path_set p1 ctx)
+
+and holds (q : Ast.qual) (v : Tree.node) : bool =
+  match q with
+  | Ast.QPath p -> not (Iset.is_empty (eval_path_set p (Iset.singleton v.id v)))
+  | Ast.QText (p, s) ->
+      Iset.exists
+        (fun _ (u : Tree.node) -> Tree.text_of u = s)
+        (eval_path_set p (Iset.singleton v.id v))
+  | Ast.QVal (p, op, num) ->
+      Iset.exists
+        (fun _ (u : Tree.node) ->
+          match Tree.float_of u with
+          | Some f -> Ast.compare_num op f num
+          | None -> false)
+        (eval_path_set p (Iset.singleton v.id v))
+  | Ast.QAttr (p, name, value) ->
+      Iset.exists
+        (fun _ (u : Tree.node) ->
+          match (Tree.attr u name, value) with
+          | Some _, None -> true
+          | Some actual, Some expected -> actual = expected
+          | None, _ -> false)
+        (eval_path_set p (Iset.singleton v.id v))
+  | Ast.QNot q -> not (holds q v)
+  | Ast.QAnd (a, b) -> holds a v && holds b v
+  | Ast.QOr (a, b) -> holds a v || holds b v
+
+let eval_path p contexts = of_set (eval_path_set p (to_set contexts))
+
+let document_node root : Tree.node =
+  { id = -1; tag = "#document"; text = None; attrs = []; children = [ root ];
+    kind = Tree.Element }
+
+let eval (q : Ast.t) (root : Tree.node) : Tree.node list =
+  let context = if q.absolute then document_node root else root in
+  let result = eval_path_set q.path (Iset.singleton context.id context) in
+  (* The implicit document node is never part of an answer. *)
+  of_set (Iset.remove (-1) result)
+
+let eval_ids q root = List.map (fun (n : Tree.node) -> n.id) (eval q root)

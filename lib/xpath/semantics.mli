@@ -1,0 +1,23 @@
+(** Direct, set-based denotational semantics of the query class [X] —
+    deliberately naive and independent of the vector machinery, to serve
+    as the ground-truth oracle in tests.
+
+    [val(Q, v)] is the set of nodes reachable from context [v] via [Q];
+    a qualifier [q] holds at [v] when its obvious Boolean semantics says
+    so ([QPath p] ⇔ [val(p, v) ≠ ∅], etc.). *)
+
+(** [eval q root] evaluates [q] with the conventions of the paper:
+    relative queries have the root element as context node; absolute
+    queries are anchored at an implicit document node above it.  The
+    result is in document order (increasing node id), without
+    duplicates.  The tree must not contain virtual nodes. *)
+val eval : Ast.t -> Pax_xml.Tree.node -> Pax_xml.Tree.node list
+
+(** [eval_path p contexts] — the raw path semantics over a context set. *)
+val eval_path : Ast.path -> Pax_xml.Tree.node list -> Pax_xml.Tree.node list
+
+(** [holds q v] — qualifier satisfaction at a node. *)
+val holds : Ast.qual -> Pax_xml.Tree.node -> bool
+
+(** Answer as a sorted list of node ids (convenient for comparisons). *)
+val eval_ids : Ast.t -> Pax_xml.Tree.node -> int list

@@ -1,0 +1,129 @@
+(* The normal form has no Boolean constants, but the grammar can spell
+   them: [ε] (the empty path, always satisfiable) is true and its
+   negation is false. *)
+let qtrue : Normal.qual = Normal.Path []
+let qfalse : Normal.qual = Normal.Not (Normal.Path [])
+
+let rec static_qual (q : Normal.qual) : bool option =
+  match q with
+  | Normal.Path [] -> Some true
+  | Normal.Path _ | Normal.Text _ | Normal.Val _ | Normal.Attr _ -> None
+  | Normal.Not q -> Option.map not (static_qual q)
+  | Normal.And (a, b) -> (
+      match (static_qual a, static_qual b) with
+      | Some false, _ | _, Some false -> Some false
+      | Some true, Some true -> Some true
+      | _ -> None)
+  | Normal.Or (a, b) -> (
+      match (static_qual a, static_qual b) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, Some false -> Some false
+      | _ -> None)
+
+let of_bool b = if b then qtrue else qfalse
+
+(* Flatten nested conjunctions/disjunctions into a clause list. *)
+let rec conjuncts = function
+  | Normal.And (a, b) -> conjuncts a @ conjuncts b
+  | q -> [ q ]
+
+let rec disjuncts = function
+  | Normal.Or (a, b) -> disjuncts a @ disjuncts b
+  | q -> [ q ]
+
+let complement a b =
+  match (a, b) with
+  | Normal.Not x, y | y, Normal.Not x -> x = y
+  | _ -> false
+
+let rebuild ~join ~unit = function
+  | [] -> unit
+  | [ q ] -> q
+  | q :: rest -> List.fold_left (fun acc r -> join acc r) q rest
+
+let rec simp_qual (q : Normal.qual) : Normal.qual =
+  match q with
+  | Normal.Path steps -> Normal.Path (simp_steps steps)
+  | Normal.Text _ | Normal.Val _ | Normal.Attr _ -> q
+  | Normal.Not inner -> (
+      match simp_qual inner with
+      | Normal.Not r -> r
+      | r -> (
+          match static_qual r with
+          | Some b -> of_bool (not b)
+          | None -> Normal.Not r))
+  | Normal.And (a, b) -> (
+      let clauses = List.concat_map conjuncts [ simp_qual a; simp_qual b ] in
+      (* Drop true clauses and duplicates; detect q ∧ ¬q. *)
+      let clauses =
+        List.filter (fun c -> static_qual c <> Some true) clauses
+      in
+      let rec dedup seen = function
+        | [] -> List.rev seen
+        | c :: rest ->
+            if List.mem c seen then dedup seen rest else dedup (c :: seen) rest
+      in
+      let clauses = dedup [] clauses in
+      if List.exists (fun c -> static_qual c = Some false) clauses then qfalse
+      else if
+        List.exists
+          (fun c -> List.exists (fun d -> complement c d && c <> d) clauses)
+          clauses
+      then qfalse
+      else
+        match clauses with
+        | [] -> qtrue
+        | cs -> rebuild ~join:(fun x y -> Normal.And (x, y)) ~unit:qtrue cs)
+  | Normal.Or (a, b) -> (
+      let clauses = List.concat_map disjuncts [ simp_qual a; simp_qual b ] in
+      let clauses =
+        List.filter (fun c -> static_qual c <> Some false) clauses
+      in
+      let rec dedup seen = function
+        | [] -> List.rev seen
+        | c :: rest ->
+            if List.mem c seen then dedup seen rest else dedup (c :: seen) rest
+      in
+      let clauses = dedup [] clauses in
+      if List.exists (fun c -> static_qual c = Some true) clauses then qtrue
+      else if
+        List.exists
+          (fun c -> List.exists (fun d -> complement c d && c <> d) clauses)
+          clauses
+      then qtrue
+      else
+        match clauses with
+        | [] -> qfalse
+        | cs -> rebuild ~join:(fun x y -> Normal.Or (x, y)) ~unit:qfalse cs)
+
+and simp_steps (steps : Normal.step list) : Normal.step list =
+  let simplified =
+    List.filter_map
+      (fun (s : Normal.step) ->
+        match s with
+        | Normal.Label _ | Normal.Any | Normal.Dos -> Some s
+        | Normal.Cond q -> (
+            let q = simp_qual q in
+            match static_qual q with
+            | Some true -> None (* ε[true] is the identity step *)
+            | Some false | None -> Some (Normal.Cond q)))
+      steps
+  in
+  (* Re-merge adjacent conditions and collapse //, as normalize does. *)
+  let rec fuse = function
+    | Normal.Cond q1 :: Normal.Cond q2 :: rest ->
+        fuse (Normal.Cond (simp_qual (Normal.And (q1, q2))) :: rest)
+    | Normal.Dos :: Normal.Dos :: rest -> fuse (Normal.Dos :: rest)
+    | s :: rest -> s :: fuse rest
+    | [] -> []
+  in
+  fuse simplified
+
+let normal (n : Normal.t) : Normal.t =
+  { n with Normal.steps = simp_steps n.Normal.steps }
+
+let query s =
+  let ast = Parse.query s in
+  let simplified = normal (Normal.normalize ast) in
+  let compiled = Compile.compile simplified in
+  { Query.source = s; ast; normal = simplified; compiled }

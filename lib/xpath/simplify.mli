@@ -1,0 +1,24 @@
+(** Sound algebraic simplification of normalized queries — a small
+    static optimizer in the spirit of the XPath minimization work the
+    paper cites as complementary (§7, Ramanan 2002).
+
+    Every rewrite preserves [val(Q, v)] on all trees (checked by
+    property tests against the reference semantics):
+
+    - [¬¬q → q]
+    - [q ∧ q → q], [q ∨ q → q] (syntactic duplicates, any nesting order)
+    - [q ∧ ¬q → false], [q ∨ ¬q → true]
+    - the trivial qualifier ([ε], an empty path) is [true]: it is erased
+      from conjunctions and eliminates disjunctions; an always-false /
+      always-true qualifier step is dropped or collapses the query to
+      the empty result
+    - nested [ε\[…ε\[q\]…\]] chains flatten where the grammar allows. *)
+
+(** Simplified normal form. *)
+val normal : Normal.t -> Normal.t
+
+(** A qualifier that is statically [true]/[false], if decidable. *)
+val static_qual : Normal.qual -> bool option
+
+(** Convenience: parse → normalize → simplify → compile. *)
+val query : string -> Query.t

@@ -1,0 +1,59 @@
+Generate a small deterministic document:
+
+  $ ../../bin/pax_cli.exe gen -n 600 -s 2 --seed 7 -o doc.xml
+  wrote doc.xml: 655 nodes, 26519 bytes
+
+Inspect it:
+
+  $ ../../bin/pax_cli.exe inspect doc.xml | head -3
+  nodes: 655
+  depth: 7
+  bytes: 19584
+
+Explain a query:
+
+  $ ../../bin/pax_cli.exe explain 'a[b/text() = "x"]//c'
+  source:      a[b/text() = "x"]//c
+  ast:         a[b/text() = "x"]//c
+  normal form: a/e[b/e[text() = "x"]]//c
+  selection:   a // c 
+  compiled:    selection items: 4 (vector 5)
+               qualifier paths: 1 (vector 3)
+
+Count persons, distributed by site:
+
+  $ ../../bin/pax_cli.exe count doc.xml '/sites/site/people/person' --fragment-tag site
+  17
+
+Run the four algorithms and compare answer counts:
+
+  $ for a in centralized naive pax3 pax2; do ../../bin/pax_cli.exe query doc.xml '//person[address/country = "US"]/name' --algo $a --fragment-tag site -q; done
+  4 answer(s)
+  4 answer(s)
+  4 answer(s)
+  4 answer(s)
+
+Bad inputs fail with sensible errors:
+
+  $ ../../bin/pax_cli.exe query doc.xml 'a[' -q
+  query error at character 2: expected a step but found <eof>
+  [1]
+
+  $ ../../bin/pax_cli.exe explain '//'
+  query error at character 2: expected a step but found <eof>
+  [1]
+
+Fragment into an on-disk store, then query the store directly:
+
+  $ ../../bin/pax_cli.exe fragment doc.xml -o store --fragment-tag site
+  wrote store: 3 fragments, 655 nodes
+  F0: 1 nodes, parent -, ann 
+  F1: 322 nodes, parent F0, ann site
+  F2: 332 nodes, parent F0, ann site
+  
+
+  $ ../../bin/pax_cli.exe query store '//person[address/country = "US"]/name' --algo pax2 --xa -q
+  4 answer(s)
+
+  $ ../../bin/pax_cli.exe count store '//person'
+  17

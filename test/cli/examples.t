@@ -1,0 +1,26 @@
+The deterministic examples run and produce their expected output.
+
+  $ ../../examples/quickstart.exe | head -12
+  Document: 44 nodes, 718 bytes serialized
+  
+  Fragment tree (6 fragments):
+  F0: 10 nodes, parent -, ann 
+  F1: 2 nodes, parent F0, ann client/broker
+  F2: 8 nodes, parent F0, ann client/broker
+  F3: 8 nodes, parent F0, ann client/broker
+  F4: 10 nodes, parent F1, ann market
+  F5: 6 nodes, parent F2, ann market
+  
+  ParBoX  [//stock/code/text() = "GOOG"]  =>  true   (max 1 visit/site, 602 control bytes)
+  
+
+  $ ../../examples/live_updates.exe
+  initial state                                        brokers holding GOOG: E*trade, CIBC
+    [site of F2] deleted CIBC's GOOG position
+  after CIBC sells GOOG                                brokers holding GOOG: E*trade
+    [site of F2] CIBC buys GOOG on NYSE
+  after CIBC re-enters via NYSE                        brokers holding GOOG: E*trade, CIBC
+    refused as expected: node 20 is a fragment root (or the document root)
+  after a refused delete (broker is a fragment root)   brokers holding GOOG: E*trade, CIBC
+  
+  count(//stock) = 2  — 176 control bytes, 0 answer bytes, 2 visits max

@@ -1,0 +1,136 @@
+(* Hand-built documents used across the test suites, chief among them
+   the investment-company clientele tree of the paper's Fig. 1, with the
+   fragmentation F0..F4 of Fig. 2 (F2 nested inside F1). *)
+
+module Tree = Pax_xml.Tree
+module Fragment = Pax_frag.Fragment
+
+type clientele = {
+  doc : Tree.doc;
+  (* node ids of interest *)
+  etrade_broker : int;
+  etrade_name : int;
+  bache_broker : int;
+  bache_name : int;
+  cibc_broker : int;
+  cibc_name : int;
+  (* fragment roots, in the paper's numbering F1..F4 *)
+  cut_f1 : int;  (* E*trade broker *)
+  cut_f2 : int;  (* NASDAQ market under E*trade *)
+  cut_f3 : int;  (* CIBC broker *)
+  cut_f4 : int;  (* NASDAQ market under Bache *)
+}
+
+let stock b ~code ~buy ~qt =
+  Tree.elem b "stock"
+    [ Tree.leaf b "code" code; Tree.leaf b "buy" buy; Tree.leaf b "qt" qt ]
+
+let market b ~name stocks = Tree.elem b "market" (Tree.leaf b "name" name :: stocks)
+
+let clientele () : clientele =
+  let b = Tree.builder () in
+  let nasdaq_etrade =
+    market b ~name:"NASDAQ"
+      [ stock b ~code:"GOOG" ~buy:"374" ~qt:"40";
+        stock b ~code:"YHOO" ~buy:"33" ~qt:"40" ]
+  in
+  let etrade_name = Tree.leaf b "name" "E*trade" in
+  let etrade = Tree.elem b "broker" [ etrade_name; nasdaq_etrade ] in
+  let anna =
+    Tree.elem b "client"
+      [ Tree.leaf b "name" "Anna"; Tree.leaf b "country" "US"; etrade ]
+  in
+  let nyse = market b ~name:"NYSE" [ stock b ~code:"IBM" ~buy:"80" ~qt:"50" ] in
+  let nasdaq_bache =
+    market b ~name:"NASDAQ" [ stock b ~code:"GOOG" ~buy:"370" ~qt:"75" ]
+  in
+  let bache_name = Tree.leaf b "name" "Bache" in
+  let bache = Tree.elem b "broker" [ bache_name; nyse; nasdaq_bache ] in
+  let kim =
+    Tree.elem b "client"
+      [ Tree.leaf b "name" "Kim"; Tree.leaf b "country" "US"; bache ]
+  in
+  let tse = market b ~name:"TSE" [ stock b ~code:"GOOG" ~buy:"382" ~qt:"90" ] in
+  let cibc_name = Tree.leaf b "name" "CIBC" in
+  let cibc = Tree.elem b "broker" [ cibc_name; tse ] in
+  let lisa =
+    Tree.elem b "client"
+      [ Tree.leaf b "name" "Lisa"; Tree.leaf b "country" "Canada"; cibc ]
+  in
+  let root = Tree.elem b "clientele" [ anna; kim; lisa ] in
+  {
+    doc = Tree.doc_of_root root;
+    etrade_broker = etrade.Tree.id;
+    etrade_name = etrade_name.Tree.id;
+    bache_broker = bache.Tree.id;
+    bache_name = bache_name.Tree.id;
+    cibc_broker = cibc.Tree.id;
+    cibc_name = cibc_name.Tree.id;
+    cut_f1 = etrade.Tree.id;
+    cut_f2 = nasdaq_etrade.Tree.id;
+    cut_f3 = cibc.Tree.id;
+    cut_f4 = nasdaq_bache.Tree.id;
+  }
+
+(* The paper's fragmentation: F1 (E*trade broker, containing virtual F2),
+   F2 (its NASDAQ market), F3 (CIBC broker), F4 (Bache's NASDAQ market). *)
+let clientele_ftree (c : clientele) : Fragment.t =
+  Fragment.fragmentize c.doc ~cuts:[ c.cut_f1; c.cut_f2; c.cut_f3; c.cut_f4 ]
+
+(* The paper's site placement (Fig. 2): S0 {F0}, S1 {F1}, S2 {F2, F4},
+   S3 {F3}.  Fragment ids here are assigned in document order, so the
+   paper's F1..F4 map to discovery order: E*trade broker is discovered
+   first (fid 1), its market next... computed dynamically. *)
+let clientele_cluster (c : clientele) : Pax_dist.Cluster.t =
+  let ft = clientele_ftree c in
+  let fid_of_root root_id =
+    let rec find fid =
+      if fid >= Fragment.n_fragments ft then invalid_arg "fid_of_root"
+      else if (Fragment.fragment ft fid).Fragment.root.Tree.id = root_id then fid
+      else find (fid + 1)
+    in
+    find 0
+  in
+  let f1 = fid_of_root c.cut_f1
+  and f2 = fid_of_root c.cut_f2
+  and f3 = fid_of_root c.cut_f3
+  and f4 = fid_of_root c.cut_f4 in
+  Pax_dist.Cluster.create ~ftree:ft ~n_sites:4 ~assign:(fun fid ->
+      if fid = 0 then 0
+      else if fid = f1 then 1
+      else if fid = f2 || fid = f4 then 2
+      else if fid = f3 then 3
+      else invalid_arg "unexpected fragment")
+
+(* A tiny XMark-shaped document, handy for query-specific tests. *)
+let mini_sites () : Tree.doc =
+  let b = Tree.builder () in
+  let person ~name ~country ~age ~card =
+    Tree.elem b "person"
+      (Tree.leaf b "name" name
+      :: Tree.elem b "address"
+           [ Tree.leaf b "city" "X"; Tree.leaf b "country" country ]
+      :: Tree.elem b "profile"
+           [ Tree.leaf b "age" (string_of_int age);
+             Tree.leaf b "education" "BSc" ]
+      ::
+      (if card then [ Tree.leaf b "creditcard" "1111 2222" ] else []))
+  in
+  let auction ~price ~happiness =
+    Tree.elem b "open_auction"
+      [ Tree.leaf b "initial" (string_of_float price);
+        Tree.elem b "annotation"
+          [ Tree.leaf b "author" "p0"; Tree.leaf b "happiness" (string_of_int happiness) ] ]
+  in
+  let site =
+    Tree.elem b "site"
+      [ Tree.elem b "regions" [ Tree.elem b "namerica" [ Tree.elem b "item" [ Tree.leaf b "name" "thing" ] ] ];
+        Tree.elem b "people"
+          [ person ~name:"alice" ~country:"US" ~age:31 ~card:true;
+            person ~name:"bob" ~country:"US" ~age:19 ~card:true;
+            person ~name:"carol" ~country:"FR" ~age:44 ~card:true;
+            person ~name:"dave" ~country:"US" ~age:27 ~card:false ];
+        Tree.elem b "open_auctions" [ auction ~price:10. ~happiness:7; auction ~price:22. ~happiness:3 ];
+        Tree.elem b "closed_auctions" [ Tree.elem b "closed_auction" [ Tree.leaf b "price" "12" ] ] ]
+  in
+  Tree.doc_of_root (Tree.elem b "sites" [ site ])

@@ -1,0 +1,133 @@
+(* QCheck generators for random documents, queries and fragmentations.
+   Tags and texts are drawn from small alphabets so that random queries
+   actually match random data. *)
+
+module Tree = Pax_xml.Tree
+module Ast = Pax_xpath.Ast
+module G = QCheck.Gen
+
+let tags = [| "a"; "b"; "c"; "d" |]
+let texts = [| "x"; "y"; "10"; "2.5"; "7" |]
+
+let tag = G.oneofa tags
+let text_opt = G.(oneof [ return None; map Option.some (oneofa texts) ])
+let attr_names = [| "id"; "cat" |]
+
+let attrs_gen st =
+  if G.bool st then []
+  else [ (G.oneofa attr_names st, G.oneofa texts st) ]
+
+(* A random document with at most [max_nodes] nodes. *)
+let doc ?(max_nodes = 60) : Tree.doc G.t =
+ fun st ->
+  let n = G.int_range 1 max_nodes st in
+  let b = Tree.builder () in
+  let budget = ref (n - 1) in
+  let rec build depth =
+    let tg = tag st in
+    let txt = text_opt st in
+    let n_children =
+      if depth > 6 || !budget <= 0 then 0
+      else begin
+        let want = G.int_range 0 (min 4 !budget) st in
+        budget := !budget - want;
+        want
+      end
+    in
+    let children = List.init n_children (fun _ -> build (depth + 1)) in
+    let attrs = attrs_gen st in
+    match txt with
+    | Some t -> Tree.elem b ~text:t ~attrs tg children
+    | None -> Tree.elem b ~attrs tg children
+  in
+  let root = build 0 in
+  Tree.doc_of_root root
+
+(* Random queries over the same alphabets. *)
+let cmp = G.oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+let num = G.oneofl [ 1.; 2.; 7.; 10. ]
+
+let rec path ~qdepth st : Ast.path =
+  let n_seg = G.int_range 1 3 st in
+  let seg st : Ast.path =
+    let base =
+      match G.int_range 0 5 st with
+      | 0 -> Ast.Wildcard
+      | 1 when qdepth > 0 -> Ast.Empty
+      | _ -> Ast.Tag (tag st)
+    in
+    if qdepth > 0 && G.bool st then Ast.Qualified (base, qual ~qdepth:(qdepth - 1) st)
+    else base
+  in
+  let rec extend acc k =
+    if k = 0 then acc
+    else
+      let s = seg st in
+      let acc = if G.int_range 0 3 st = 0 then Ast.Dslash (acc, s) else Ast.Slash (acc, s) in
+      extend acc (k - 1)
+  in
+  let first = seg st in
+  let p = extend first (n_seg - 1) in
+  if G.int_range 0 4 st = 0 then Ast.Dslash (Ast.Empty, p) else p
+
+and qual ~qdepth st : Ast.qual =
+  match G.int_range 0 7 st with
+  | 0 -> Ast.QText (path ~qdepth:0 st, G.oneofa texts st)
+  | 1 -> Ast.QVal (path ~qdepth:0 st, cmp st, num st)
+  | 6 ->
+      let value = if G.bool st then Some (G.oneofa texts st) else None in
+      Ast.QAttr (path ~qdepth:0 st, G.oneofa attr_names st, value)
+  | 2 when qdepth > 0 -> Ast.QNot (qual ~qdepth:(qdepth - 1) st)
+  | 3 when qdepth > 0 ->
+      Ast.QAnd (qual ~qdepth:(qdepth - 1) st, qual ~qdepth:(qdepth - 1) st)
+  | 4 when qdepth > 0 ->
+      Ast.QOr (qual ~qdepth:(qdepth - 1) st, qual ~qdepth:(qdepth - 1) st)
+  | _ -> Ast.QPath (path ~qdepth:(max 0 (qdepth - 1)) st)
+
+let query : Ast.t G.t =
+ fun st ->
+  let absolute = G.bool st in
+  { Ast.absolute; path = path ~qdepth:2 st }
+
+(* Random cut set for a document: each non-root node with probability
+   [p]. *)
+let cuts ?(p = 0.2) (d : Tree.doc) : int list G.t =
+ fun st ->
+  let acc = ref [] in
+  Tree.iter
+    (fun n ->
+      if n.Tree.id <> d.Tree.root.Tree.id && G.float_bound_inclusive 1.0 st < p
+      then acc := n.Tree.id :: !acc)
+    d.Tree.root;
+  !acc
+
+(* A random placement of the fragments on 1..n sites. *)
+let cluster (ft : Pax_frag.Fragment.t) : Pax_dist.Cluster.t G.t =
+ fun st ->
+  let n_frag = Pax_frag.Fragment.n_fragments ft in
+  let n_sites = G.int_range 1 n_frag st in
+  let assignment = Array.init n_frag (fun _ -> G.int_range 0 (n_sites - 1) st) in
+  Pax_dist.Cluster.create ~ftree:ft ~n_sites ~assign:(fun fid -> assignment.(fid))
+
+(* The full scenario: document + query + fragmentation + placement. *)
+type scenario = {
+  s_doc : Tree.doc;
+  s_query : Ast.t;
+  s_cluster : Pax_dist.Cluster.t;
+}
+
+let scenario : scenario G.t =
+ fun st ->
+  let s_doc = doc st in
+  let s_query = query st in
+  let cs = cuts s_doc st in
+  let ft = Pax_frag.Fragment.fragmentize s_doc ~cuts:cs in
+  let s_cluster = cluster ft st in
+  { s_doc; s_query; s_cluster }
+
+let print_scenario (s : scenario) =
+  Format.asprintf "query: %a@.doc: %a@.fragments: %a@." Ast.pp s.s_query
+    Tree.pp s.s_doc.Tree.root Pax_frag.Fragment.pp
+    (Pax_dist.Cluster.ftree s.s_cluster)
+
+let arbitrary_scenario = QCheck.make ~print:print_scenario scenario

@@ -1,0 +1,160 @@
+(* The annotation analysis: Example 5.1, three-valued contexts, pruning
+   soundness. *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Semantics = Pax_xpath.Semantics
+module Fragment = Pax_frag.Fragment
+module Annot = Pax_core.Annot
+module H = Test_helpers
+
+let c = H.Data.clientele ()
+let ft = H.Data.clientele_ftree c
+
+let analyze s = Annot.analyze (Query.of_string s).Query.compiled ft
+
+(* Map the paper's F1..F4 to our fid numbering via fragment root ids. *)
+let fid_of root_id =
+  let rec find fid =
+    if (Fragment.fragment ft fid).Fragment.root.Tree.id = root_id then fid
+    else find (fid + 1)
+  in
+  find 0
+
+let f1 = fid_of c.cut_f1 (* E*trade broker *)
+let f2 = fid_of c.cut_f2 (* its NASDAQ market *)
+let f3 = fid_of c.cut_f3 (* CIBC broker *)
+let f4 = fid_of c.cut_f4 (* Bache's NASDAQ market *)
+
+(* Example 5.1 analogue: client/name can only have answers in F0 (all
+   our broker/market fragments hang below broker). *)
+let test_example_5_1 () =
+  let a = analyze "client/name" in
+  Alcotest.(check bool) "F0 relevant" true a.Annot.relevant_sel.(0);
+  List.iter
+    (fun fid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "F%d pruned" fid)
+        false a.Annot.relevant_sel.(fid))
+    [ f1; f2; f3; f4 ]
+
+let test_broker_query_keeps_brokers () =
+  let a = analyze "client/broker/name" in
+  Alcotest.(check bool) "E*trade fragment kept" true a.Annot.relevant_sel.(f1);
+  Alcotest.(check bool) "CIBC fragment kept" true a.Annot.relevant_sel.(f3);
+  Alcotest.(check bool) "markets pruned" false a.Annot.relevant_sel.(f2);
+  Alcotest.(check bool) "markets pruned (F4)" false a.Annot.relevant_sel.(f4)
+
+let test_dos_defeats_pruning () =
+  let a = analyze "//name" in
+  List.iter
+    (fun fid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "F%d kept under //" fid)
+        true a.Annot.relevant_sel.(fid))
+    [ 0; f1; f2; f3; f4 ]
+
+(* Qualifier reach: the selection path ends at brokers, but the
+   qualifier looks into the market fragments, so they stay relevant for
+   PaX2 even though they cannot contain answers. *)
+let test_qualifier_relevance () =
+  let a = analyze "client/broker[market/stock/code/text() = \"GOOG\"]/name" in
+  Alcotest.(check bool) "market fragment not answer-relevant" false
+    a.Annot.relevant_sel.(f2);
+  Alcotest.(check bool) "market fragment qualifier-relevant" true
+    a.Annot.relevant.(f2);
+  Alcotest.(check bool) "F4 too" true a.Annot.relevant.(f4)
+
+let test_ground_contexts_without_qualifiers () =
+  let a = analyze "client/broker/name" in
+  Array.iteri
+    (fun fid ctx ->
+      if fid <> 0 then
+        Array.iter
+          (fun v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "F%d context entry definite" fid)
+              true (v <> Annot.M))
+          ctx)
+    a.Annot.ctx
+
+let test_maybe_contexts_with_qualifiers () =
+  (* A qualifier sits on the spine prefix (client is on every spine), so
+     fragment contexts must contain an M somewhere. *)
+  let a = analyze "client[country/text() = \"US\"]/broker/name" in
+  let has_m =
+    Array.exists (fun v -> v = Annot.M) a.Annot.ctx.(f1)
+  in
+  Alcotest.(check bool) "qualifier on the spine leaves an M" true has_m
+
+(* Soundness on random scenarios: pruned fragments never contain answer
+   nodes, and pruning never changes the answer (already covered by the
+   equivalence properties, but checked directly here). *)
+let test_pruning_soundness_random () =
+  let test =
+    QCheck.Test.make ~name:"pruned fragments hold no answers" ~count:300
+      H.Gen.arbitrary_scenario (fun s ->
+        let q = Query.of_ast s.H.Gen.s_query in
+        let ft = Pax_dist.Cluster.ftree s.H.Gen.s_cluster in
+        let a = Annot.analyze q.Query.compiled ft in
+        let answers = Semantics.eval_ids q.Query.ast s.H.Gen.s_doc.Tree.root in
+        (* For every pruned fragment, none of its node ids is an answer. *)
+        let ok = ref true in
+        Array.iteri
+          (fun fid f ->
+            if not a.Annot.relevant_sel.(fid) then
+              Tree.iter
+                (fun n ->
+                  if (not (Tree.is_virtual n)) && List.mem n.Tree.id answers
+                  then ok := false)
+                f.Fragment.root)
+          ft.Fragment.fragments;
+        !ok)
+  in
+  match QCheck.Test.check_exn test with
+  | () -> ()
+  | exception e -> Alcotest.fail (Printexc.to_string e)
+
+let test_monotone_pruning () =
+  let test =
+    QCheck.Test.make ~name:"children of pruned fragments are pruned" ~count:300
+      H.Gen.arbitrary_scenario (fun s ->
+        let q = Query.of_ast s.H.Gen.s_query in
+        let ft = Pax_dist.Cluster.ftree s.H.Gen.s_cluster in
+        let a = Annot.analyze q.Query.compiled ft in
+        Array.for_all
+          (fun f ->
+            match f.Fragment.parent with
+            | Some p ->
+                (not a.Annot.relevant.(f.Fragment.fid)) || a.Annot.relevant.(p)
+            | None -> true)
+          ft.Fragment.fragments)
+  in
+  match QCheck.Test.check_exn test with
+  | () -> ()
+  | exception e -> Alcotest.fail (Printexc.to_string e)
+
+let () =
+  Alcotest.run "annot"
+    [
+      ( "pruning",
+        [
+          Alcotest.test_case "example 5.1" `Quick test_example_5_1;
+          Alcotest.test_case "broker query" `Quick test_broker_query_keeps_brokers;
+          Alcotest.test_case "// defeats pruning" `Quick test_dos_defeats_pruning;
+          Alcotest.test_case "qualifier relevance" `Quick test_qualifier_relevance;
+        ] );
+      ( "contexts",
+        [
+          Alcotest.test_case "ground without qualifiers" `Quick
+            test_ground_contexts_without_qualifiers;
+          Alcotest.test_case "maybe with qualifiers" `Quick
+            test_maybe_contexts_with_qualifiers;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "pruned fragments hold no answers" `Slow
+            test_pruning_soundness_random;
+          Alcotest.test_case "pruning is monotone" `Slow test_monotone_pruning;
+        ] );
+    ]

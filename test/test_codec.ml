@@ -1,0 +1,90 @@
+(* Wire codec: exact round trips, length accounting, decode errors. *)
+
+module F = Pax_bool.Formula
+module Var = Pax_bool.Var
+module Codec = Pax_bool.Codec
+
+(* Reuse the formula generator shape from test_formula. *)
+let gen_formula : F.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var_gen =
+    oneofl
+      [ Var.Qual (0, 0); Var.Qual (127, 128); Var.Sel_ctx (300, 2);
+        Var.Qual_at (99999, 17) ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then oneof [ return F.true_; return F.false_; map F.var var_gen ]
+         else
+           oneof
+             [
+               map F.var var_gen;
+               map F.not_ (self (n / 2));
+               map2 F.conj (self (n / 2)) (self (n / 2));
+               map2 F.disj (self (n / 2)) (self (n / 2));
+             ])
+
+let arbitrary_formula = QCheck.make ~print:F.to_string gen_formula
+
+let props =
+  [
+    QCheck.Test.make ~name:"formula round trip" ~count:1000 arbitrary_formula
+      (fun f -> F.equal (Codec.formula_of_string (Codec.formula_to_string f)) f);
+    QCheck.Test.make ~name:"encoded length matches formula_bytes" ~count:500
+      arbitrary_formula (fun f ->
+        String.length (Codec.formula_to_string f) = Codec.formula_bytes f);
+    QCheck.Test.make ~name:"vector round trip" ~count:300
+      (QCheck.make
+         QCheck.Gen.(list_size (int_range 0 12) gen_formula))
+      (fun fs ->
+        let a = Array.of_list fs in
+        let b = Codec.formula_array_of_string (Codec.formula_array_to_string a) in
+        Array.length a = Array.length b
+        && Array.for_all2 F.equal a b);
+    QCheck.Test.make ~name:"bool array round trip" ~count:300
+      QCheck.(list bool)
+      (fun bs ->
+        let a = Array.of_list bs in
+        Codec.bool_array_of_string (Codec.bool_array_to_string a) = a);
+    QCheck.Test.make ~name:"bool array length" ~count:300 QCheck.(list bool)
+      (fun bs ->
+        let a = Array.of_list bs in
+        String.length (Codec.bool_array_to_string a) = Codec.bool_array_bytes a);
+  ]
+
+let test_compactness () =
+  (* A ground vector of 64 entries costs ~65 bytes, not 64 words. *)
+  let vec = Array.make 64 F.true_ in
+  Alcotest.(check bool) "ground vectors are tiny" true
+    (Codec.formula_array_bytes vec <= 66);
+  (* Variables with small ids: 3 bytes. *)
+  Alcotest.(check int) "small var" 3
+    (Codec.formula_bytes (F.var (Var.Qual (1, 2))));
+  (* Large ids grow gently (varint). *)
+  Alcotest.(check bool) "large var still small" true
+    (Codec.formula_bytes (F.var (Var.Qual_at (1_000_000, 200))) <= 6)
+
+let test_decode_errors () =
+  let fails s =
+    match Codec.formula_of_string s with
+    | exception Codec.Decode_error _ -> ()
+    | _ -> Alcotest.fail "should not decode"
+  in
+  fails "";
+  fails "\xff";
+  fails "\x02" (* Not without operand *);
+  fails "\x00\x00" (* trailing bytes *);
+  match Codec.bool_array_of_string "\x20" with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "truncated bools must fail"
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "compactness" `Quick test_compactness;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ("roundtrip", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,127 @@
+(* Unit and property tests for the residual-formula engine. *)
+
+module F = Pax_bool.Formula
+module Var = Pax_bool.Var
+
+let x = Var.Qual (1, 0)
+let y = Var.Qual (2, 3)
+let z = Var.Sel_ctx (1, 2)
+let fx = F.var x
+let fy = F.var y
+let fz = F.var z
+let check_f = Alcotest.(check string)
+let s f = F.to_string f
+
+let test_constants () =
+  check_f "and [] is true" "T" (s (F.and_ []));
+  check_f "or [] is false" "F" (s (F.or_ []));
+  check_f "true wins in or" "T" (s (F.or_ [ fx; F.true_ ]));
+  check_f "false wins in and" "F" (s (F.and_ [ fx; F.false_ ]));
+  check_f "units drop" (s fx) (s (F.and_ [ F.true_; fx ]));
+  check_f "absorbing or" (s fx) (s (F.or_ [ F.false_; fx ]))
+
+let test_involution () =
+  check_f "double negation" (s fx) (s (F.not_ (F.not_ fx)));
+  check_f "not true" "F" (s (F.not_ F.true_));
+  check_f "not false" "T" (s (F.not_ F.false_))
+
+let test_flattening () =
+  let f = F.and_ [ fx; F.and_ [ fy; fz ] ] in
+  (match f with
+  | F.And l -> Alcotest.(check int) "flat conjunction" 3 (List.length l)
+  | _ -> Alcotest.fail "expected a conjunction");
+  let g = F.or_ [ F.or_ [ fx; fy ]; fz ] in
+  match g with
+  | F.Or l -> Alcotest.(check int) "flat disjunction" 3 (List.length l)
+  | _ -> Alcotest.fail "expected a disjunction"
+
+let test_duplicates () =
+  check_f "idempotent and" (s fx) (s (F.and_ [ fx; fx ]));
+  check_f "idempotent or" (s fx) (s (F.or_ [ fx; fx; fx ]))
+
+let test_subst () =
+  let f = F.conj fx (F.disj fy fz) in
+  let lookup v = if Var.equal v x then Some F.true_ else None in
+  check_f "partial substitution" (s (F.disj fy fz)) (s (F.subst lookup f));
+  let all v =
+    if Var.equal v x then Some F.true_
+    else if Var.equal v y then Some F.false_
+    else Some F.true_
+  in
+  check_f "full substitution grounds" "T" (s (F.subst all f))
+
+let test_vars () =
+  let f = F.conj fx (F.disj fy (F.not_ fx)) in
+  Alcotest.(check int) "two distinct variables" 2 (List.length (F.vars f));
+  Alcotest.(check bool) "not ground" false (F.is_ground f);
+  Alcotest.(check bool) "constants are ground" true (F.is_ground F.true_)
+
+(* Random formulas for property tests. *)
+let gen_formula : F.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var_gen =
+    oneofl [ Var.Qual (0, 0); Var.Qual (1, 1); Var.Sel_ctx (0, 2); Var.Qual_at (5, 0) ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then
+           oneof [ return F.true_; return F.false_; map F.var var_gen ]
+         else
+           oneof
+             [
+               map F.var var_gen;
+               map F.not_ (self (n / 2));
+               map2 F.conj (self (n / 2)) (self (n / 2));
+               map2 F.disj (self (n / 2)) (self (n / 2));
+               map F.and_ (list_size (int_range 0 4) (self (n / 4)));
+               map F.or_ (list_size (int_range 0 4) (self (n / 4)));
+             ])
+
+let arbitrary_formula = QCheck.make ~print:F.to_string gen_formula
+
+let valuation_of_seed seed v = Hashtbl.hash (seed, Var.hash v) mod 2 = 0
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb f)
+
+let semantics_props =
+  [
+    prop "conj means &&"
+      (QCheck.pair arbitrary_formula arbitrary_formula) (fun (a, b) ->
+        let v = valuation_of_seed 1 in
+        F.eval v (F.conj a b) = (F.eval v a && F.eval v b));
+    prop "disj means ||"
+      (QCheck.pair arbitrary_formula arbitrary_formula) (fun (a, b) ->
+        let v = valuation_of_seed 2 in
+        F.eval v (F.disj a b) = (F.eval v a || F.eval v b));
+    prop "not means not" arbitrary_formula (fun a ->
+        let v = valuation_of_seed 3 in
+        F.eval v (F.not_ a) = not (F.eval v a));
+    prop "ground formulas are constants" arbitrary_formula (fun a ->
+        let lookup v = Some (F.bool (valuation_of_seed 4 v)) in
+        match F.to_bool (F.subst lookup a) with
+        | Some b -> b = F.eval (valuation_of_seed 4) a
+        | None -> false);
+    prop "subst with empty lookup is identity" arbitrary_formula (fun a ->
+        F.equal (F.subst (fun _ -> None) a) a);
+    prop "size positive" arbitrary_formula (fun a -> F.size a >= 1);
+    prop "byte size positive" arbitrary_formula (fun a -> F.byte_size a >= 1);
+    prop "vars of ground subst are empty" arbitrary_formula (fun a ->
+        let lookup _ = Some F.false_ in
+        F.vars (F.subst lookup a) = []);
+  ]
+
+let () =
+  Alcotest.run "formula"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "involution" `Quick test_involution;
+          Alcotest.test_case "flattening" `Quick test_flattening;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "substitution" `Quick test_subst;
+          Alcotest.test_case "variables" `Quick test_vars;
+        ] );
+      ("properties", semantics_props);
+    ]

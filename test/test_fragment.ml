@@ -1,0 +1,149 @@
+(* Fragmentation invariants: disjointness, coverage, annotations,
+   reassembly; plus the cut strategies.  Includes qcheck properties over
+   random documents and cut sets. *)
+
+module Tree = Pax_xml.Tree
+module Parser = Pax_xml.Parser
+module Fragment = Pax_frag.Fragment
+module G = QCheck.Gen
+
+let doc =
+  Parser.parse_string
+    "<r><a><b><c>x</c></b></a><a><b/></a><d><e><f><g/></f></e></d></r>"
+
+let id_of_path path =
+  (* Find a node by a / tag path, first match. *)
+  let rec go (n : Tree.node) = function
+    | [] -> Some n.Tree.id
+    | tag :: rest -> (
+        match List.find_opt (fun (c : Tree.node) -> c.Tree.tag = tag) n.Tree.children with
+        | Some c -> go c rest
+        | None -> None)
+  in
+  match go doc.Tree.root path with
+  | Some id -> id
+  | None -> Alcotest.fail ("no node at " ^ String.concat "/" path)
+
+let test_basic_fragmentize () =
+  let cuts = [ id_of_path [ "a"; "b" ]; id_of_path [ "d"; "e"; "f" ] ] in
+  let ft = Fragment.fragmentize doc ~cuts in
+  Alcotest.(check int) "three fragments" 3 (Fragment.n_fragments ft);
+  (match Fragment.check ft with Ok () -> () | Error e -> Alcotest.fail e);
+  let f1 = Fragment.fragment ft 1 in
+  Alcotest.(check (list string)) "annotation a/b" [ "a"; "b" ] f1.Fragment.ann;
+  let f2 = Fragment.fragment ft 2 in
+  Alcotest.(check (list string)) "annotation d/e/f" [ "d"; "e"; "f" ] f2.Fragment.ann;
+  Alcotest.(check (list string)) "spine includes root" [ "r"; "a"; "b" ]
+    (Fragment.spine ft 1);
+  Alcotest.(check bool) "reassemble" true
+    (Tree.equal_structure (Fragment.reassemble ft) doc.Tree.root)
+
+let test_nested_fragments () =
+  let cuts = [ id_of_path [ "d" ]; id_of_path [ "d"; "e"; "f" ]; id_of_path [ "d"; "e"; "f"; "g" ] ] in
+  let ft = Fragment.fragmentize doc ~cuts in
+  Alcotest.(check int) "four fragments" 4 (Fragment.n_fragments ft);
+  (match Fragment.check ft with Ok () -> () | Error e -> Alcotest.fail e);
+  (* d's fragment contains the virtual for f, whose fragment contains g's. *)
+  let parents =
+    List.init 4 (fun fid -> (Fragment.fragment ft fid).Fragment.parent)
+  in
+  Alcotest.(check (list (option int))) "chain of parents"
+    [ None; Some 0; Some 1; Some 2 ] parents;
+  Alcotest.(check bool) "reassemble nested" true
+    (Tree.equal_structure (Fragment.reassemble ft) doc.Tree.root)
+
+let test_trivial () =
+  let ft = Fragment.trivial doc in
+  Alcotest.(check int) "one fragment" 1 (Fragment.n_fragments ft);
+  Alcotest.(check bool) "reassemble trivial" true
+    (Tree.equal_structure (Fragment.reassemble ft) doc.Tree.root)
+
+let test_root_cut_ignored () =
+  let ft = Fragment.fragmentize doc ~cuts:[ doc.Tree.root.Tree.id ] in
+  Alcotest.(check int) "root cut ignored" 1 (Fragment.n_fragments ft)
+
+let test_cuts_by_size () =
+  let cuts = Fragment.cuts_by_size doc ~budget:3 in
+  let ft = Fragment.fragmentize doc ~cuts in
+  (match Fragment.check ft with Ok () -> () | Error e -> Alcotest.fail e);
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) "fragments not wildly over budget" true
+        (Fragment.fragment_node_count f <= 4 * 3))
+    ft.Fragment.fragments;
+  Alcotest.(check bool) "actually fragmented" true (Fragment.n_fragments ft > 1)
+
+let test_cuts_by_tag () =
+  let cuts = Fragment.cuts_by_tag doc ~tag:"b" in
+  Alcotest.(check int) "two b cuts" 2 (List.length cuts);
+  let ft = Fragment.fragmentize doc ~cuts in
+  Alcotest.(check int) "three fragments" 3 (Fragment.n_fragments ft);
+  match Fragment.check ft with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_measures () =
+  let cuts = [ id_of_path [ "d" ] ] in
+  let ft = Fragment.fragmentize doc ~cuts in
+  let total =
+    Array.fold_left
+      (fun acc f -> acc + Fragment.fragment_node_count f)
+      0 ft.Fragment.fragments
+  in
+  Alcotest.(check int) "counts cover the document" doc.Tree.node_count total;
+  Alcotest.(check bool) "byte size positive" true
+    (Fragment.fragment_byte_size (Fragment.fragment ft 1) > 0)
+
+(* Properties over random documents and cuts. *)
+let prop_scenario =
+  QCheck.make
+    ~print:(fun (d, cuts) ->
+      Format.asprintf "%a / cuts %s" Tree.pp d.Tree.root
+        (String.concat "," (List.map string_of_int cuts)))
+    (fun st ->
+      let d = Test_helpers.Gen.doc st in
+      let cuts = Test_helpers.Gen.cuts d st in
+      (d, cuts))
+
+let props =
+  [
+    QCheck.Test.make ~name:"fragmentize is checkable and reassembles" ~count:500
+      prop_scenario (fun (d, cuts) ->
+        let ft = Fragment.fragmentize d ~cuts in
+        (match Fragment.check ft with
+        | Ok () -> ()
+        | Error e -> QCheck.Test.fail_report e);
+        Tree.equal_structure (Fragment.reassemble ft) d.Tree.root);
+    QCheck.Test.make ~name:"parents precede children" ~count:300 prop_scenario
+      (fun (d, cuts) ->
+        let ft = Fragment.fragmentize d ~cuts in
+        Array.for_all
+          (fun f ->
+            match f.Fragment.parent with
+            | Some p -> p < f.Fragment.fid
+            | None -> f.Fragment.fid = 0)
+          ft.Fragment.fragments);
+    QCheck.Test.make ~name:"spine ends at the fragment root tag" ~count:300
+      prop_scenario (fun (d, cuts) ->
+        let ft = Fragment.fragmentize d ~cuts in
+        Array.for_all
+          (fun f ->
+            match List.rev (Fragment.spine ft f.Fragment.fid) with
+            | last :: _ -> last = f.Fragment.root.Tree.tag
+            | [] -> false)
+          ft.Fragment.fragments);
+  ]
+
+let () =
+  Alcotest.run "fragment"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_fragmentize;
+          Alcotest.test_case "nested" `Quick test_nested_fragments;
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "root cut ignored" `Quick test_root_cut_ignored;
+          Alcotest.test_case "cuts by size" `Quick test_cuts_by_size;
+          Alcotest.test_case "cuts by tag" `Quick test_cuts_by_tag;
+          Alcotest.test_case "measures" `Quick test_measures;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,81 @@
+(* Fragment-swapping evaluation of large documents (paper §1/§8): both
+   strategies are exact, and partial evaluation pages each fragment in
+   exactly once. *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Semantics = Pax_xpath.Semantics
+module Paging = Pax_core.Paging
+module Xmark = Pax_xmark.Xmark
+
+let doc = Xmark.doc ~seed:11 ~total_nodes:4000 ~n_sites:2
+
+let queries =
+  [
+    Xmark.q1;
+    Xmark.q2;
+    Xmark.q3;
+    "//person[address/country = \"Canada\"]/name";
+    "//annotation[happiness > 5]";
+  ]
+
+let test_exactness () =
+  List.iter
+    (fun qs ->
+      let q = Query.of_string qs in
+      let expected = Semantics.eval_ids q.Query.ast doc.Tree.root in
+      let r1 = Paging.run ~memory_budget:700 q doc in
+      let r2 = Paging.run_two_pass ~memory_budget:700 q doc in
+      Alcotest.(check (list int)) (qs ^ " (partial evaluation)") expected
+        r1.Paging.answer_ids;
+      Alcotest.(check (list int)) (qs ^ " (two-pass)") expected
+        r2.Paging.answer_ids)
+    queries
+
+let test_single_load_per_fragment () =
+  let q = Query.of_string Xmark.q3 in
+  let r = Paging.run ~memory_budget:700 q doc in
+  Alcotest.(check int) "swap-ins = fragments" r.Paging.n_fragments
+    r.Paging.swap_ins
+
+let test_two_pass_pays_more () =
+  let q = Query.of_string Xmark.q3 in
+  let pe = Paging.run ~memory_budget:700 q doc in
+  let tp = Paging.run_two_pass ~memory_budget:700 q doc in
+  Alcotest.(check bool) "two-pass loads at least twice as much" true
+    (tp.Paging.swap_ins >= 2 * pe.Paging.swap_ins);
+  Alcotest.(check bool) "two-pass pages more bytes" true
+    (tp.Paging.bytes_loaded > pe.Paging.bytes_loaded)
+
+let test_memory_budget_respected () =
+  List.iter
+    (fun budget ->
+      let q = Query.of_string Xmark.q1 in
+      let r = Paging.run ~memory_budget:budget q doc in
+      Alcotest.(check bool)
+        (Printf.sprintf "peak fragment near budget %d" budget)
+        true
+        (r.Paging.peak_fragment_nodes <= budget * 6))
+    [ 200; 500; 2000 ]
+
+let test_budget_vs_fragments () =
+  let q = Query.of_string Xmark.q1 in
+  let small = Paging.run ~memory_budget:300 q doc in
+  let large = Paging.run ~memory_budget:3000 q doc in
+  Alcotest.(check bool) "smaller budget, more fragments" true
+    (small.Paging.n_fragments > large.Paging.n_fragments)
+
+let () =
+  Alcotest.run "paging"
+    [
+      ( "paging",
+        [
+          Alcotest.test_case "exactness" `Quick test_exactness;
+          Alcotest.test_case "one load per fragment" `Quick
+            test_single_load_per_fragment;
+          Alcotest.test_case "two-pass pays more" `Quick test_two_pass_pays_more;
+          Alcotest.test_case "budget respected" `Quick test_memory_budget_respected;
+          Alcotest.test_case "budget vs fragment count" `Quick
+            test_budget_vs_fragments;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* PaX3-specific behaviour: stage structure, visit counts, stage
+   skipping, answer shipping. *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Semantics = Pax_xpath.Semantics
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Run_result = Pax_core.Run_result
+module H = Test_helpers
+
+let c = H.Data.clientele ()
+
+let run ?annotations query_text =
+  let q = Query.of_string query_text in
+  let cl = H.Data.clientele_cluster c in
+  let r = Pax_core.Pax3.run ?annotations cl q in
+  let expected = Semantics.eval_ids q.Query.ast c.doc.Tree.root in
+  Alcotest.(check (list int)) (query_text ^ " correct") expected
+    r.Run_result.answer_ids;
+  r
+
+let rounds r = r.Run_result.report.Cluster.rounds
+
+let test_three_stages_with_qualifiers () =
+  let r = run "client[country/text() = \"US\"]/broker[market]/name" in
+  Alcotest.(check (list string)) "stage1 -> stage2 -> stage3"
+    [ "stage1"; "stage2"; "stage3" ] (rounds r);
+  Alcotest.(check bool) "max 3 visits" true
+    (r.Run_result.report.Cluster.max_visits <= 3)
+
+let test_stage1_skipped_without_qualifiers () =
+  let r = run "client/broker/name" in
+  Alcotest.(check (list string)) "no qualifier stage"
+    [ "stage2"; "stage3" ] (rounds r);
+  Alcotest.(check bool) "max 2 visits" true
+    (r.Run_result.report.Cluster.max_visits <= 2)
+
+let test_single_fragment_single_pass () =
+  (* One fragment, no qualifiers: stage 2 suffices; no candidates means
+     stage 3 visits nobody. *)
+  let ft = Fragment.trivial c.doc in
+  let cl = Cluster.one_site_per_fragment ft in
+  let q = Query.of_string "client/broker/name" in
+  let r = Pax_core.Pax3.run cl q in
+  Alcotest.(check int) "a single visit" 1 r.Run_result.report.Cluster.max_visits
+
+let test_annotations_skip_stage3 () =
+  (* client/name with annotations: contexts are ground, so no fragment
+     produces candidates and stage 3 visits no one. *)
+  let r = run ~annotations:true "client/name" in
+  let visits = r.Run_result.report.Cluster.visits in
+  Alcotest.(check int) "no stage-3 visits: max 1 visit with XA" 1
+    (r.Run_result.report.Cluster.max_visits);
+  (* Sites 1, 2, 3 hold pruned fragments only: never visited at all. *)
+  Alcotest.(check (list int)) "irrelevant sites untouched" [ 0; 0; 0 ]
+    [ visits.(1); visits.(2); visits.(3) ]
+
+let test_annotations_prune_markets () =
+  (* //market/name: broker fragments relevant, client-level data too;
+     compare total ops with and without annotations. *)
+  let r_na = run "client/name" in
+  let r_xa = run ~annotations:true "client/name" in
+  Alcotest.(check bool) "XA does strictly less total work" true
+    (r_xa.Run_result.report.Cluster.total_ops
+    < r_na.Run_result.report.Cluster.total_ops)
+
+let test_answers_as_only_tree_data () =
+  let r = run "//stock/code" in
+  Alcotest.(check int) "no fragment shipping" 0
+    r.Run_result.report.Cluster.tree_bytes;
+  Alcotest.(check bool) "answers shipped" true
+    (r.Run_result.report.Cluster.answer_bytes > 0)
+
+let test_empty_answer_no_answer_bytes () =
+  let r = run "//nonexistent" in
+  Alcotest.(check (list int)) "empty" [] r.Run_result.answer_ids;
+  Alcotest.(check int) "nothing shipped" 0
+    r.Run_result.report.Cluster.answer_bytes
+
+let test_multi_fragment_site () =
+  (* All fragments on one site: still <= 3 visits of that site. *)
+  let ft = H.Data.clientele_ftree c in
+  let cl = Cluster.create ~ftree:ft ~n_sites:1 ~assign:(fun _ -> 0) in
+  let q = Query.of_string "client[country/text() = \"US\"]//stock/code" in
+  let r = Pax_core.Pax3.run cl q in
+  Alcotest.(check (list int)) "correct"
+    (Semantics.eval_ids q.Query.ast c.doc.Tree.root)
+    r.Run_result.answer_ids;
+  Alcotest.(check bool) "one site visited at most 3 times" true
+    (r.Run_result.report.Cluster.max_visits <= 3)
+
+let () =
+  Alcotest.run "pax3"
+    [
+      ( "stages",
+        [
+          Alcotest.test_case "three stages with qualifiers" `Quick
+            test_three_stages_with_qualifiers;
+          Alcotest.test_case "stage 1 skipped without qualifiers" `Quick
+            test_stage1_skipped_without_qualifiers;
+          Alcotest.test_case "single fragment, single pass" `Quick
+            test_single_fragment_single_pass;
+        ] );
+      ( "annotations",
+        [
+          Alcotest.test_case "ground contexts skip stage 3" `Quick
+            test_annotations_skip_stage3;
+          Alcotest.test_case "pruning saves total work" `Quick
+            test_annotations_prune_markets;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "answers are the only tree data" `Quick
+            test_answers_as_only_tree_data;
+          Alcotest.test_case "empty answers ship nothing" `Quick
+            test_empty_answer_no_answer_bytes;
+          Alcotest.test_case "many fragments on one site" `Quick
+            test_multi_fragment_site;
+        ] );
+    ]

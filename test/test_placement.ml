@@ -1,0 +1,96 @@
+(* Placement strategies: balance quality and the effect on parallel
+   cost. *)
+
+module Tree = Pax_xml.Tree
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Placement = Pax_dist.Placement
+module Query = Pax_xpath.Query
+module Xmark = Pax_xmark.Xmark
+
+(* A deliberately skewed document: fragments of very different sizes. *)
+let ft =
+  let doc = Xmark.doc ~seed:9 ~total_nodes:12_000 ~n_sites:3 in
+  let cuts = Fragment.cuts_by_size doc ~budget:900 in
+  Fragment.fragmentize doc ~cuts
+
+let test_round_robin () =
+  Alcotest.(check int) "0 -> 0" 0 (Placement.round_robin ~n_sites:3 0);
+  Alcotest.(check int) "4 -> 1" 1 (Placement.round_robin ~n_sites:3 4)
+
+let test_balanced_beats_round_robin () =
+  let n_sites = 4 in
+  let spread assign =
+    let loads = Placement.loads ft ~n_sites assign in
+    Array.fold_left max 0 loads
+  in
+  let rr = spread (Placement.round_robin ~n_sites) in
+  let bal = spread (Placement.balanced ft ~n_sites) in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced max load (%d) <= round robin (%d)" bal rr)
+    true (bal <= rr)
+
+let test_loads_cover_everything () =
+  let n_sites = 3 in
+  let assign = Placement.balanced ft ~n_sites in
+  let loads = Placement.loads ft ~n_sites assign in
+  let total = Array.fold_left ( + ) 0 loads in
+  let expected =
+    Array.fold_left
+      (fun acc f -> acc + Fragment.fragment_byte_size f)
+      0 ft.Fragment.fragments
+  in
+  Alcotest.(check int) "loads sum to the document" expected total
+
+let test_pack_respects_capacity () =
+  let biggest =
+    Array.fold_left
+      (fun acc f -> max acc (Fragment.fragment_byte_size f))
+      0 ft.Fragment.fragments
+  in
+  let cap = biggest * 2 in
+  let assign, n_sites = Placement.pack ft ~max_bytes:cap in
+  let loads = Placement.loads ft ~n_sites assign in
+  Array.iteri
+    (fun s l ->
+      Alcotest.(check bool) (Printf.sprintf "site %d under capacity" s) true
+        (l <= cap))
+    loads
+
+let test_balanced_placement_is_correct_and_faster () =
+  let n_sites = 3 in
+  let q = Query.of_string Xmark.q3 in
+  let cl_rr = Placement.cluster_round_robin ft ~n_sites in
+  let cl_bal = Placement.cluster_balanced ft ~n_sites in
+  let r_rr = Pax_core.Pax2.run cl_rr q in
+  let r_bal = Pax_core.Pax2.run cl_bal q in
+  Alcotest.(check (list int)) "same answers under any placement"
+    r_rr.Pax_core.Run_result.answer_ids r_bal.Pax_core.Run_result.answer_ids;
+  (* Identical work overall: placement only moves it between sites. *)
+  Alcotest.(check int) "same total ops under any placement"
+    r_rr.Pax_core.Run_result.report.Cluster.total_ops
+    r_bal.Pax_core.Run_result.report.Cluster.total_ops;
+  (* The byte-load bound that drives the parallel-cost guarantee. *)
+  let max_load assign =
+    Array.fold_left max 0 (Placement.loads ft ~n_sites assign)
+  in
+  Alcotest.(check bool) "balanced max byte load not larger" true
+    (max_load (Placement.balanced ft ~n_sites)
+    <= max_load (Placement.round_robin ~n_sites))
+
+let () =
+  Alcotest.run "placement"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "balanced beats round robin" `Quick
+            test_balanced_beats_round_robin;
+          Alcotest.test_case "loads cover everything" `Quick
+            test_loads_cover_everything;
+          Alcotest.test_case "pack respects capacity" `Quick
+            test_pack_respects_capacity;
+          Alcotest.test_case "balanced is correct and faster" `Quick
+            test_balanced_placement_is_correct_and_faster;
+        ] );
+    ]

@@ -1,0 +1,110 @@
+(* The naive set-based semantics (the oracle itself needs a ground
+   truth: hand-computed answers on small trees). *)
+
+module Tree = Pax_xml.Tree
+module Parser = Pax_xml.Parser
+module Parse = Pax_xpath.Parse
+module Semantics = Pax_xpath.Semantics
+
+let doc =
+  Parser.parse_string
+    "<r><a i=\"1\"><b>x</b><c>1</c></a><a i=\"2\"><b>y</b></a>\
+     <d><a i=\"3\"><b>x</b></a></d></r>"
+
+let root = doc.Tree.root
+
+let eval s = Semantics.eval (Parse.query s) root
+
+let tags s = List.map (fun (n : Tree.node) -> n.Tree.tag) (eval s)
+let texts s = List.map Tree.text_of (eval s)
+let count s = List.length (eval s)
+let check_i = Alcotest.(check int)
+
+let test_child_axis () =
+  check_i "a selects top-level a's" 2 (count "a");
+  check_i "a/b two" 2 (count "a/b");
+  check_i "d/a one" 1 (count "d/a");
+  check_i "no miss" 0 (count "zz")
+
+let test_descendant_axis () =
+  check_i "//a three" 3 (count "//a");
+  check_i "//b three" 3 (count "//b");
+  check_i "a//b two (no d)" 2 (count "a//b");
+  check_i "self included: .//a counts nested" 3 (count ".//a")
+
+let test_wildcard_and_self () =
+  check_i "* is all children" 3 (count "*");
+  check_i "dot is the root" 1 (count ".");
+  Alcotest.(check (list string)) "root tag" [ "r" ] (tags ".");
+  check_i "*/b" 2 (count "*/b")
+
+let test_absolute () =
+  check_i "/r is the root" 1 (count "/r");
+  check_i "/a is nothing (root is r)" 0 (count "/a");
+  check_i "//a absolute" 3 (count "//a");
+  Alcotest.(check (list string)) "/r tag" [ "r" ] (tags "/r")
+
+let test_qualifiers () =
+  check_i "a[b] both" 2 (count "a[b]");
+  check_i "a[c] one" 1 (count "a[c]");
+  check_i "a[b='x'] one at top" 1 (count "a[b = 'x']");
+  check_i "//a[b='x'] two" 2 (count "//a[b = 'x']");
+  check_i "a[not(c)] one" 1 (count "a[not(c)]");
+  check_i "a[b and c]" 1 (count "a[b and c]");
+  check_i "a[b or c]" 2 (count "a[b or c]");
+  check_i "a[c=1] numeric" 1 (count "a[c = 1]");
+  check_i "a[c>=2] none" 0 (count "a[c >= 2]");
+  check_i "a[c<2] one" 1 (count "a[c < 2]");
+  check_i "a[c != 1] none with c" 0 (count "a[c/val() != 1]")
+
+let test_document_order_dedup () =
+  (* a//b over overlapping contexts must not duplicate nodes. *)
+  check_i "no duplicates through //" 3 (count ".//b");
+  let ids = Semantics.eval_ids (Parse.query ".//b") root in
+  Alcotest.(check bool) "sorted ids" true
+    (List.sort compare ids = ids);
+  Alcotest.(check int) "distinct" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_text_access () =
+  Alcotest.(check (list string)) "texts of //b" [ "x"; "y"; "x" ] (texts "//b")
+
+let test_attributes () =
+  (* The document gives each top-level a an i attribute. *)
+  check_i "a[@i] selects attributed nodes" 2 (count "a[@i]");
+  check_i "a[@i = '1'] selects one" 1 (count "a[@i = '1']");
+  check_i "a[@i = '9'] selects none" 0 (count "a[@i = '9']");
+  check_i "//a[@i = '3'] finds the nested one" 1 (count "//a[@i = '3']");
+  check_i "a[@missing] selects none" 0 (count "a[@missing]");
+  check_i "path-anchored attribute" 1 (count ".[d/a/@i = '3']")
+
+let test_holds () =
+  Alcotest.(check bool) "root has a" true
+    (Semantics.holds (Parse.qual "a") root);
+  Alcotest.(check bool) "root has no zz" false
+    (Semantics.holds (Parse.qual "zz") root);
+  Alcotest.(check bool) "nested path" true
+    (Semantics.holds (Parse.qual "d/a/b/text() = 'x'") root)
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ( "axes",
+        [
+          Alcotest.test_case "child" `Quick test_child_axis;
+          Alcotest.test_case "descendant-or-self" `Quick test_descendant_axis;
+          Alcotest.test_case "wildcard and self" `Quick test_wildcard_and_self;
+          Alcotest.test_case "absolute anchoring" `Quick test_absolute;
+        ] );
+      ( "qualifiers",
+        [
+          Alcotest.test_case "boolean logic" `Quick test_qualifiers;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "holds" `Quick test_holds;
+        ] );
+      ( "sets",
+        [
+          Alcotest.test_case "document order, no dups" `Quick test_document_order_dedup;
+          Alcotest.test_case "text access" `Quick test_text_access;
+        ] );
+    ]

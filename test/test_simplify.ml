@@ -1,0 +1,90 @@
+(* Query simplification: the rewrites fire, and they never change the
+   meaning (checked against the reference semantics on random trees). *)
+
+module Ast = Pax_xpath.Ast
+module Parse = Pax_xpath.Parse
+module Normal = Pax_xpath.Normal
+module Simplify = Pax_xpath.Simplify
+module Semantics = Pax_xpath.Semantics
+module Query = Pax_xpath.Query
+module Tree = Pax_xml.Tree
+module H = Test_helpers
+
+let simp s = Normal.to_string (Simplify.normal (Normal.normalize (Parse.query s)))
+let check = Alcotest.(check string)
+
+let test_rewrites () =
+  check "double negation" "a/e[b]" (simp "a[not(not(b))]");
+  check "idempotent and" "a/e[b]" (simp "a[b and b]");
+  check "idempotent or" "a/e[b]" (simp "a[b or b]");
+  check "merged duplicates" "a/e[b]" (simp "a[b][b]");
+  check "trivial qualifier erased" "a/b" (simp "a[.]/b");
+  check "true absorbs or" "a" (simp "a[b or .]");
+  check "complementary and is false" "a/e[not(.)]" (simp "a[b and not(b)]");
+  check "complementary or is true" "a" (simp "a[b or not(b)]");
+  check "double dos" "a//b" (simp "a//.//b");
+  check "nested cleanup" "a/e[(b and c)]" (simp "a[b and (c and b)]")
+
+let test_static_qual () =
+  let sq s =
+    Simplify.static_qual (Normal.normalize_qual (Parse.qual s))
+  in
+  Alcotest.(check (option bool)) "epsilon is true" (Some true) (sq ".");
+  Alcotest.(check (option bool)) "not epsilon is false" (Some false) (sq "!.");
+  Alcotest.(check (option bool)) "data test unknown" None (sq "a/text() = 'x'");
+  Alcotest.(check (option bool)) "path unknown" None (sq "a/b")
+
+let test_simplify_query_handle () =
+  let q = Simplify.query "a[not(not(b))][.]/c" in
+  Alcotest.(check string) "compiled from simplified normal form" "a/e[b]/c"
+    (Normal.to_string q.Query.normal)
+
+(* Soundness: simplified queries evaluate identically. *)
+let prop_sound =
+  QCheck.Test.make ~name:"simplification preserves val(Q, r)" ~count:500
+    QCheck.(
+      make
+        ~print:(fun (d, q) ->
+          Format.asprintf "%a on %a" Ast.pp q Tree.pp d.Tree.root)
+        (fun st ->
+           let d = H.Gen.doc st in
+           let q = H.Gen.query st in
+           (d, q)))
+    (fun (d, ast) ->
+      let plain = Query.of_ast ast in
+      let simplified =
+        let n = Simplify.normal plain.Query.normal in
+        Pax_xpath.Compile.compile n
+      in
+      let a = Pax_core.Centralized.eval_ids plain d.Tree.root in
+      let b =
+        (Pax_core.Centralized.run
+           { plain with Query.compiled = simplified; normal = Simplify.normal plain.Query.normal }
+           d.Tree.root)
+          .Pax_core.Centralized.answer_ids
+      in
+      a = b)
+
+(* Simplification is idempotent. *)
+let prop_idempotent =
+  QCheck.Test.make ~name:"simplification is idempotent" ~count:500
+    (QCheck.make ~print:Ast.to_string H.Gen.query)
+    (fun ast ->
+      let once = Simplify.normal (Normal.normalize ast) in
+      Normal.equal once (Simplify.normal once))
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "rewrites",
+        [
+          Alcotest.test_case "rules" `Quick test_rewrites;
+          Alcotest.test_case "static qualifiers" `Quick test_static_qual;
+          Alcotest.test_case "query handle" `Quick test_simplify_query_handle;
+        ] );
+      ( "soundness",
+        [
+          QCheck_alcotest.to_alcotest prop_sound;
+          QCheck_alcotest.to_alcotest prop_idempotent;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+(* On-disk fragment stores: save/load round trips, corruption handling,
+   and query equivalence across a round trip. *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Semantics = Pax_xpath.Semantics
+module Fragment = Pax_frag.Fragment
+module Store = Pax_frag.Store
+module H = Test_helpers
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pax_store_test_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let clientele_store () =
+  let c = H.Data.clientele () in
+  (c, H.Data.clientele_ftree c)
+
+let test_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let c, ft = clientele_store () in
+      Store.save ft ~dir;
+      Alcotest.(check bool) "looks like a store" true (Store.is_store dir);
+      let loaded = Store.load ~dir in
+      Alcotest.(check int) "same fragment count" (Fragment.n_fragments ft)
+        (Fragment.n_fragments loaded);
+      Alcotest.(check bool) "reassembly matches the original document" true
+        (Tree.equal_structure (Fragment.reassemble loaded) c.H.Data.doc.Tree.root);
+      (* Annotations survive. *)
+      Array.iter2
+        (fun (a : Fragment.fragment) (b : Fragment.fragment) ->
+          Alcotest.(check (list string)) "annotation" a.Fragment.ann b.Fragment.ann;
+          Alcotest.(check (option int)) "parent" a.Fragment.parent b.Fragment.parent)
+        ft.Fragment.fragments loaded.Fragment.fragments)
+
+let test_queries_survive_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let _, ft = clientele_store () in
+      Store.save ft ~dir;
+      let loaded = Store.load ~dir in
+      let cl = Pax_dist.Cluster.one_site_per_fragment loaded in
+      List.iter
+        (fun qs ->
+          let q = Query.of_string qs in
+          let oracle = Semantics.eval_ids q.Query.ast (Fragment.reassemble loaded) in
+          let r = Pax_core.Pax2.run ~annotations:true cl q in
+          Alcotest.(check (list int)) (qs ^ " on the loaded store") oracle
+            r.Pax_core.Run_result.answer_ids)
+        [
+          "//broker[//stock/code/text() = \"GOOG\"]/name";
+          "client[country/text() = \"US\"]/broker/name";
+          "//stock[qt >= 75]/code";
+        ])
+
+let test_xmark_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let doc = Pax_xmark.Xmark.doc ~seed:21 ~total_nodes:2500 ~n_sites:2 in
+      let ft =
+        Fragment.fragmentize doc
+          ~cuts:(Fragment.cuts_by_size doc ~budget:400)
+      in
+      Store.save ft ~dir;
+      let loaded = Store.load ~dir in
+      (match Fragment.check loaded with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "xmark reassembly" true
+        (Tree.equal_structure (Fragment.reassemble loaded) doc.Tree.root))
+
+let test_not_a_store () =
+  Alcotest.(check bool) "missing dir" false (Store.is_store "/nonexistent-path");
+  with_tmp_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      Alcotest.(check bool) "empty dir" false (Store.is_store dir))
+
+let test_corrupt_manifest () =
+  with_tmp_dir (fun dir ->
+      let _, ft = clientele_store () in
+      Store.save ft ~dir;
+      let manifest = Filename.concat dir "MANIFEST" in
+      let oc = open_out manifest in
+      output_string oc "pax-store 1 fragments=2\nfragment 0 parent=- ann=\n";
+      close_out oc;
+      match Store.load ~dir with
+      | exception Store.Corrupt _ -> ()
+      | _ -> Alcotest.fail "corrupt manifest must be rejected")
+
+let test_missing_fragment_file () =
+  with_tmp_dir (fun dir ->
+      let _, ft = clientele_store () in
+      Store.save ft ~dir;
+      Sys.remove (Filename.concat dir "fragment_2.xml");
+      match Store.load ~dir with
+      | exception (Store.Corrupt _ | Sys_error _) -> ()
+      | _ -> Alcotest.fail "missing fragment file must be rejected")
+
+let test_virtual_node_pi_roundtrip () =
+  (* The XML layer itself round-trips the placeholder PI. *)
+  let b = Tree.builder () in
+  let t =
+    Tree.elem b "r" [ Tree.leaf b "x" "1"; Tree.virtual_node b 3; Tree.leaf b "y" "2" ]
+  in
+  let printed = Pax_xml.Printer.to_string t in
+  let reparsed = (Pax_xml.Parser.parse_string printed).Tree.root in
+  Alcotest.(check bool) "virtual node survives print/parse" true
+    (Tree.equal_structure t reparsed)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "store"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "save/load" `Quick test_roundtrip;
+          Alcotest.test_case "queries survive" `Quick test_queries_survive_roundtrip;
+          Alcotest.test_case "xmark store" `Quick test_xmark_roundtrip;
+          Alcotest.test_case "virtual-node PI" `Quick test_virtual_node_pi_roundtrip;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "not a store" `Quick test_not_a_store;
+          Alcotest.test_case "corrupt manifest" `Quick test_corrupt_manifest;
+          Alcotest.test_case "missing fragment" `Quick test_missing_fragment_file;
+        ] );
+    ]

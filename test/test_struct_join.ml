@@ -1,0 +1,78 @@
+(* The structural-join engine against the navigational engines. *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Semantics = Pax_xpath.Semantics
+module Struct_join = Pax_core.Struct_join
+module H = Test_helpers
+
+let c = H.Data.clientele ()
+let root = c.H.Data.doc.Tree.root
+
+let agree qs =
+  let q = Query.of_string qs in
+  Alcotest.(check (list int)) (qs ^ " via structural joins")
+    (Semantics.eval_ids q.Query.ast root)
+    (Struct_join.eval_ids q root)
+
+let test_paths () =
+  List.iter agree
+    [
+      "client";
+      "client/broker/name";
+      "//stock/code";
+      "//name";
+      "client//qt";
+      "*/*/market";
+      ".";
+      "//market//code";
+      "/clientele/client";
+      "//zzz";
+    ]
+
+let test_support () =
+  Alcotest.(check bool) "plain paths supported" true
+    (Struct_join.supported (Query.of_string "a/b//c"));
+  Alcotest.(check bool) "qualifiers unsupported" false
+    (Struct_join.supported (Query.of_string "a[b]/c"));
+  match Struct_join.eval_ids (Query.of_string "a[b]") root with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must reject qualifiers"
+
+let test_index_reuse () =
+  let idx = Struct_join.build root in
+  List.iter
+    (fun qs ->
+      let q = Query.of_string qs in
+      Alcotest.(check (list int)) (qs ^ " on a shared index")
+        (Semantics.eval_ids q.Query.ast root)
+        (Struct_join.run idx q))
+    [ "//stock"; "client/name"; "//broker/market/name" ]
+
+let prop_label_only =
+  QCheck.Test.make ~name:"structural joins = semantics (label-only paths)"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (d, q) ->
+         Format.asprintf "%a over %a" Pax_xpath.Ast.pp q Tree.pp d.Tree.root)
+       (fun st ->
+         let d = H.Gen.doc ~max_nodes:50 st in
+         let absolute = QCheck.Gen.bool st in
+         let path = H.Gen.path ~qdepth:0 st in
+         (d, { Pax_xpath.Ast.absolute; path })))
+    (fun (d, ast) ->
+      let q = Query.of_ast ast in
+      Struct_join.supported q
+      && Struct_join.eval_ids q d.Tree.root = Semantics.eval_ids ast d.Tree.root)
+
+let () =
+  Alcotest.run "struct_join"
+    [
+      ( "struct-join",
+        [
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "support check" `Quick test_support;
+          Alcotest.test_case "index reuse" `Quick test_index_reuse;
+          QCheck_alcotest.to_alcotest prop_label_only;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* The XMark-style generator: determinism, size control, schema shape,
+   and end-to-end agreement on the paper's Q1–Q4. *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Semantics = Pax_xpath.Semantics
+module Xmark = Pax_xmark.Xmark
+module Rng = Pax_xmark.Rng
+
+let doc = Xmark.doc ~seed:42 ~total_nodes:3000 ~n_sites:3
+
+let test_deterministic () =
+  let d1 = Xmark.doc ~seed:7 ~total_nodes:1000 ~n_sites:2 in
+  let d2 = Xmark.doc ~seed:7 ~total_nodes:1000 ~n_sites:2 in
+  Alcotest.(check bool) "same seed, same document" true
+    (Tree.equal_structure d1.Tree.root d2.Tree.root);
+  let d3 = Xmark.doc ~seed:8 ~total_nodes:1000 ~n_sites:2 in
+  Alcotest.(check bool) "different seed, different document" false
+    (Tree.equal_structure d1.Tree.root d3.Tree.root)
+
+let test_size_control () =
+  List.iter
+    (fun n ->
+      let d = Xmark.doc ~seed:1 ~total_nodes:n ~n_sites:1 in
+      let actual = d.Tree.node_count in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d nodes requested, %d produced" n actual)
+        true
+        (actual > n * 70 / 100 && actual < n * 1300 / 1000))
+    [ 500; 2000; 10000 ]
+
+let count q = List.length (Semantics.eval (Pax_xpath.Parse.query q) doc.Tree.root)
+
+let test_schema_shape () =
+  Alcotest.(check int) "three sites" 3 (count "/sites/site");
+  Alcotest.(check bool) "persons exist" true (count "/sites/site/people/person" > 10);
+  Alcotest.(check bool) "persons have ages" true
+    (count "//person/profile/age" > 0);
+  Alcotest.(check bool) "US addresses exist" true
+    (count "//person/address[country/text() = \"US\"]" > 0);
+  Alcotest.(check bool) "annotations under open auctions" true
+    (count "/sites/site/open_auctions//annotation" > 0);
+  Alcotest.(check bool) "regions populated" true (count "//regions/*/item" > 0);
+  Alcotest.(check bool) "closed auctions priced" true (count "//closed_auction/price" > 0)
+
+let test_paper_queries_nonempty () =
+  List.iter
+    (fun (name, q) ->
+      Alcotest.(check bool) (name ^ " selects something") true (count q > 0))
+    Xmark.queries
+
+let test_q3_subset_q1 () =
+  let q1 = Semantics.eval_ids (Pax_xpath.Parse.query Xmark.q1) doc.Tree.root in
+  let q3 = Semantics.eval_ids (Pax_xpath.Parse.query Xmark.q3) doc.Tree.root in
+  (* Q3 selects creditcards of a subset of Q1's persons. *)
+  Alcotest.(check bool) "Q3 smaller than Q1" true
+    (List.length q3 < List.length q1);
+  Alcotest.(check bool) "Q3 nonempty" true (q3 <> [])
+
+let test_q4_superset_q3 () =
+  let q3 = Semantics.eval_ids (Pax_xpath.Parse.query Xmark.q3) doc.Tree.root in
+  let q4 = Semantics.eval_ids (Pax_xpath.Parse.query Xmark.q4) doc.Tree.root in
+  (* Q4 relaxes the /site/people prefix with //people: at least Q3. *)
+  Alcotest.(check bool) "Q3 ⊆ Q4" true
+    (List.for_all (fun id -> List.mem id q4) q3)
+
+let test_attribute_queries () =
+  (* XMark persons carry @id; interests carry @category. *)
+  Alcotest.(check bool) "persons by id attribute" true
+    (count "//person[@id = \"person0\"]" >= 1);
+  Alcotest.(check bool) "interest categories" true
+    (count "//person[profile/interest/@category]" > 0);
+  let cuts = Pax_frag.Fragment.cuts_by_tag doc ~tag:"site" in
+  let ft = Pax_frag.Fragment.fragmentize doc ~cuts in
+  let cl = Pax_dist.Cluster.one_site_per_fragment ft in
+  let q = Query.of_string "//person[profile/interest/@category = \"category7\"]/name" in
+  let r = Pax_core.Pax2.run ~annotations:true cl q in
+  Alcotest.(check (list int)) "attribute query distributed"
+    (Semantics.eval_ids q.Query.ast doc.Tree.root)
+    r.Pax_core.Run_result.answer_ids
+
+let test_distributed_q1_to_q4 () =
+  (* Fragment by site and run the full algorithms on the generated data. *)
+  let cuts = Pax_frag.Fragment.cuts_by_tag doc ~tag:"site" in
+  let ft = Pax_frag.Fragment.fragmentize doc ~cuts in
+  let cl = Pax_dist.Cluster.one_site_per_fragment ft in
+  List.iter
+    (fun (name, qs) ->
+      let q = Query.of_string qs in
+      let expected = Semantics.eval_ids q.Query.ast doc.Tree.root in
+      List.iter
+        (fun (algo, run) ->
+          let r : Pax_core.Run_result.t = run cl q in
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s via %s" name algo)
+            expected r.Pax_core.Run_result.answer_ids)
+        [
+          ("PaX3", Pax_core.Pax3.run ?annotations:None);
+          ("PaX3-XA", Pax_core.Pax3.run ~annotations:true);
+          ("PaX2", Pax_core.Pax2.run ?annotations:None);
+          ("PaX2-XA", Pax_core.Pax2.run ~annotations:true);
+        ])
+    Xmark.queries
+
+let test_rng () =
+  let r = Rng.create ~seed:1 in
+  let xs = List.init 1000 (fun _ -> Rng.int r 10) in
+  List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 10)) xs;
+  (* All buckets hit over 1000 draws. *)
+  for v = 0 to 9 do
+    Alcotest.(check bool) (Printf.sprintf "bucket %d hit" v) true (List.mem v xs)
+  done;
+  let r1 = Rng.create ~seed:5 and r2 = Rng.create ~seed:5 in
+  Alcotest.(check (list int)) "deterministic"
+    (List.init 20 (fun _ -> Rng.int r1 1000))
+    (List.init 20 (fun _ -> Rng.int r2 1000));
+  let f = Rng.float (Rng.create ~seed:3) 1.0 in
+  Alcotest.(check bool) "float in range" true (f >= 0. && f < 1.)
+
+let () =
+  Alcotest.run "xmark"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "size control" `Quick test_size_control;
+          Alcotest.test_case "schema shape" `Quick test_schema_shape;
+          Alcotest.test_case "rng" `Quick test_rng;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "Q1-Q4 nonempty" `Quick test_paper_queries_nonempty;
+          Alcotest.test_case "Q3 subset of Q1 persons" `Quick test_q3_subset_q1;
+          Alcotest.test_case "Q3 subset of Q4" `Quick test_q4_superset_q3;
+          Alcotest.test_case "distributed Q1-Q4" `Quick test_distributed_q1_to_q4;
+          Alcotest.test_case "attribute queries" `Quick test_attribute_queries;
+        ] );
+    ]
