@@ -97,7 +97,8 @@ let build_cluster ft ~n_sites ~placement =
 
 let query_cmd =
   let run file query_text algo annotations fragment_tag fragment_budget n_sites
-      placement simplify stats quiet =
+      placement simplify stats quiet fault_seed fault_drop fault_crash retries
+      show_trace =
     match
       let ft = load_ftree file ~fragment_tag ~fragment_budget in
       let q =
@@ -114,6 +115,17 @@ let query_cmd =
             `Stream (Pax_core.Stream_eval.over_string q xml)
         | (Pax2 | Pax3 | Naive) as a ->
             let cluster = build_cluster ft ~n_sites ~placement in
+            (match fault_seed with
+            | Some seed ->
+                Cluster.set_fault cluster
+                  (Pax_dist.Fault.seeded ~drop:fault_drop ~dup:(fault_drop /. 2.)
+                     ~lose:(fault_drop /. 2.) ~crash:fault_crash ~seed ())
+            | None -> ());
+            (match retries with
+            | Some n ->
+                Cluster.set_retry cluster
+                  { Pax_dist.Retry.default with max_attempts = max 1 n }
+            | None -> ());
             let r =
               match a with
               | Pax2 -> Pax_core.Pax2.run ~annotations cluster q
@@ -147,9 +159,19 @@ let query_cmd =
               r.Pax_core.Run_result.answers;
           if stats then
             Format.printf "%a@."
-              Cluster.pp_report r.Pax_core.Run_result.report)
+              Cluster.pp_report r.Pax_core.Run_result.report;
+          if show_trace then
+            match r.Pax_core.Run_result.trace with
+            | Some tr -> Format.printf "%a@." Pax_dist.Trace.pp tr
+            | None -> ())
     with
     | () -> 0
+    | exception Cluster.Site_unreachable { site; stage; attempts } ->
+        Printf.eprintf
+          "site S%d unreachable during %s after %d attempts (retry budget \
+           exhausted)\n"
+          site stage attempts;
+        2
     | exception Parser.Parse_error { pos; msg } ->
         Printf.eprintf "XML error at byte %d: %s\n" pos msg;
         1
@@ -188,11 +210,32 @@ let query_cmd =
   let simplify =
     Arg.(value & flag & info [ "simplify" ] ~doc:"Algebraically simplify the query first.")
   in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ] ~doc:"Inject a deterministic random fault schedule with this seed.")
+  in
+  let fault_drop =
+    Arg.(value & opt float 0.1
+         & info [ "fault-drop" ] ~doc:"Per-transmission drop probability under --fault-seed.")
+  in
+  let fault_crash =
+    Arg.(value & opt float 0.05
+         & info [ "fault-crash" ] ~doc:"Per-(site, round) transient-crash probability under --fault-seed.")
+  in
+  let retries =
+    Arg.(value & opt (some int) None
+         & info [ "retries" ] ~doc:"Max delivery attempts per visit/message (default 8).")
+  in
+  let show_trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Print the structured event trace (visits, messages, retries, crashes).")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath query over a fragmented document.")
     Term.(
       const run $ file $ query_text $ algo $ annotations $ fragment_tag
-      $ fragment_budget $ n_sites $ placement $ simplify $ stats $ quiet)
+      $ fragment_budget $ n_sites $ placement $ simplify $ stats $ quiet
+      $ fault_seed $ fault_drop $ fault_crash $ retries $ show_trace)
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)

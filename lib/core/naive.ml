@@ -26,5 +26,6 @@ let run (cl : Cluster.t) (q : Pax_xpath.Query.t) : Run_result.t =
         Cluster.add_ops cl ~site:(-1) (r.Centralized.qual_ops + r.Centralized.sel_ops);
         r)
   in
-  Run_result.make ~query:q ~answers:result.Centralized.answers
-    ~report:(Cluster.report cl)
+  Run_result.make ~trace:(Cluster.trace cl) ~query:q
+    ~answers:result.Centralized.answers
+    ~report:(Cluster.report cl) ()

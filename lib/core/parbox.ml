@@ -18,14 +18,18 @@ let eval (cl : Cluster.t) (qual : Ast.qual) : bool * Cluster.report =
   let compiled = q.Query.compiled in
   let qp_store : Qual_pass.t option array = Array.make n_frag None in
   let sites = Cluster.sites_holding cl (Fragment.top_down ft) in
+  (* Keyed by fid: a replayed visit under a fault plan neither
+     recomputes nor double-counts. *)
   ignore
     (Cluster.run_round cl ~label:"parbox" ~sites (fun site ->
          List.iter
            (fun fid ->
-             let root = (Fragment.fragment ft fid).Fragment.root in
-             let qp = Qual_pass.run compiled root in
-             qp_store.(fid) <- Some qp;
-             Cluster.add_ops cl ~site qp.Qual_pass.ops)
+             if Option.is_none qp_store.(fid) then begin
+               let root = (Fragment.fragment ft fid).Fragment.root in
+               let qp = Qual_pass.run compiled root in
+               qp_store.(fid) <- Some qp;
+               Cluster.add_ops cl ~site qp.Qual_pass.ops
+             end)
            (Cluster.fragments_on cl site)));
   List.iter
     (fun site ->

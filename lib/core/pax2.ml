@@ -174,11 +174,14 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   let rel_fids = List.filter relevant (Fragment.top_down ft) in
   let stage1_sites = Cluster.sites_holding cl rel_fids in
   let outcomes : Combined.outcome option array = Array.make n_frag None in
+  (* Stage state is keyed by fid within the round: a replayed visit
+     (lost reply under a fault plan) finds the outcome already computed
+     and neither recomputes nor double-counts. *)
   ignore
     (Cluster.run_round cl ~label:"stage1" ~sites:stage1_sites (fun site ->
          List.iter
            (fun fid ->
-             if relevant fid then begin
+             if relevant fid && Option.is_none outcomes.(fid) then begin
                let outcome =
                  Combined.run compiled ~init:(init_for fid)
                    ~root_is_context:(fid = 0) eval_roots.(fid)
@@ -249,20 +252,31 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   in
   let cand_fids = List.filter has_candidates (Fragment.top_down ft) in
   let stage2_sites = Cluster.sites_holding cl cand_fids in
+  let stage2_memo : (int, Tree.node list) Hashtbl.t = Hashtbl.create 8 in
   let stage2_answers =
     Cluster.run_round cl ~label:"stage2" ~sites:stage2_sites (fun site ->
         List.concat_map
           (fun fid ->
             match outcomes.(fid) with
-            | Some oc when oc.Combined.candidates <> [] ->
-                List.filter_map
-                  (fun ((v : Tree.node), f) ->
-                    Cluster.add_ops cl ~site 1;
-                    match Formula.to_bool (Formula.subst full_lookup f) with
-                    | Some true when v.Tree.id >= 0 -> Some v
-                    | Some _ -> None
-                    | None -> invalid_arg "PaX2: candidate failed to resolve")
-                  oc.Combined.candidates
+            | Some oc when oc.Combined.candidates <> [] -> (
+                match Hashtbl.find_opt stage2_memo fid with
+                | Some answers -> answers
+                | None ->
+                    let answers =
+                      List.filter_map
+                        (fun ((v : Tree.node), f) ->
+                          Cluster.add_ops cl ~site 1;
+                          match
+                            Formula.to_bool (Formula.subst full_lookup f)
+                          with
+                          | Some true when v.Tree.id >= 0 -> Some v
+                          | Some _ -> None
+                          | None ->
+                              invalid_arg "PaX2: candidate failed to resolve")
+                        oc.Combined.candidates
+                    in
+                    Hashtbl.add stage2_memo fid answers;
+                    answers)
             | Some _ | None -> [])
           (Cluster.fragments_on cl site))
   in
@@ -298,4 +312,5 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
          | None -> [])
   in
   let answers = certain @ List.concat_map snd stage2_answers in
-  Run_result.make ~query:q ~answers ~report:(Cluster.report cl)
+  Run_result.make ~trace:(Cluster.trace cl) ~query:q ~answers
+    ~report:(Cluster.report cl) ()

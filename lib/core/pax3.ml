@@ -45,13 +45,18 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
     if not stage1_needed then None
     else begin
       let sites = active_sites cl (all_fids ft) in
+      (* Stage state is keyed by fid within the round: a replayed visit
+         (lost reply under a fault plan) skips recomputation, so ops are
+         not double-counted and stage-1 vectors are not rebuilt. *)
       ignore
         (Cluster.run_round cl ~label:"stage1" ~sites (fun site ->
              List.iter
                (fun fid ->
-                 let qp = Qual_pass.run compiled eval_roots.(fid) in
-                 qp_store.(fid) <- Some qp;
-                 Cluster.add_ops cl ~site qp.Qual_pass.ops)
+                 if Option.is_none qp_store.(fid) then begin
+                   let qp = Qual_pass.run compiled eval_roots.(fid) in
+                   qp_store.(fid) <- Some qp;
+                   Cluster.add_ops cl ~site qp.Qual_pass.ops
+                 end)
                (Cluster.fragments_on cl site)));
       List.iter
         (fun site ->
@@ -84,11 +89,15 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   let rel_fids = List.filter relevant_sel (all_fids ft) in
   let stage2_sites = active_sites cl rel_fids in
   let outcomes : Sel_pass.outcome option array = Array.make n_frag None in
+  (* The [Option.is_none] guard keeps replayed visits from re-running
+     [Qual_pass.resolve], which substitutes into the stage-1 vectors in
+     place — exactly the "corrupt stage-1 state" hazard idempotent
+     visits exist to prevent. *)
   ignore
     (Cluster.run_round cl ~label:"stage2" ~sites:stage2_sites (fun site ->
          List.iter
            (fun fid ->
-             if relevant_sel fid then begin
+             if relevant_sel fid && Option.is_none outcomes.(fid) then begin
                (match qp_store.(fid) with
                | Some qp ->
                    Cluster.add_ops cl ~site (Qual_pass.resolve qp qual_lookup)
@@ -173,21 +182,31 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   in
   let cand_fids = List.filter has_candidates (all_fids ft) in
   let stage3_sites = active_sites cl cand_fids in
+  let stage3_memo : (int, Tree.node list) Hashtbl.t = Hashtbl.create 8 in
   let stage3_answers =
     Cluster.run_round cl ~label:"stage3" ~sites:stage3_sites (fun site ->
         List.concat_map
           (fun fid ->
             match outcomes.(fid) with
-            | Some oc when oc.Sel_pass.candidates <> [] ->
-                List.filter_map
-                  (fun ((v : Tree.node), f) ->
-                    Cluster.add_ops cl ~site 1;
-                    match Formula.to_bool (Formula.subst ctx_lookup f) with
-                    | Some true when v.Tree.id >= 0 -> Some v
-                    | Some _ -> None
-                    | None ->
-                        invalid_arg "PaX3: candidate failed to resolve")
-                  oc.Sel_pass.candidates
+            | Some oc when oc.Sel_pass.candidates <> [] -> (
+                match Hashtbl.find_opt stage3_memo fid with
+                | Some answers -> answers
+                | None ->
+                    let answers =
+                      List.filter_map
+                        (fun ((v : Tree.node), f) ->
+                          Cluster.add_ops cl ~site 1;
+                          match
+                            Formula.to_bool (Formula.subst ctx_lookup f)
+                          with
+                          | Some true when v.Tree.id >= 0 -> Some v
+                          | Some _ -> None
+                          | None ->
+                              invalid_arg "PaX3: candidate failed to resolve")
+                        oc.Sel_pass.candidates
+                    in
+                    Hashtbl.add stage3_memo fid answers;
+                    answers)
             | Some _ | None -> [])
           (Cluster.fragments_on cl site))
   in
@@ -215,4 +234,5 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
          | None -> [])
   in
   let answers = certain @ List.concat_map snd stage3_answers in
-  Run_result.make ~query:q ~answers ~report:(Cluster.report cl)
+  Run_result.make ~trace:(Cluster.trace cl) ~query:q ~answers
+    ~report:(Cluster.report cl) ()

@@ -3,9 +3,10 @@ type t = {
   answers : Pax_xml.Tree.node list;
   answer_ids : int list;
   report : Pax_dist.Cluster.report;
+  trace : Pax_dist.Trace.t option;
 }
 
-let make ~query ~answers ~report =
+let make ?trace ~query ~answers ~report () =
   let answers =
     List.sort_uniq
       (fun (a : Pax_xml.Tree.node) (b : Pax_xml.Tree.node) -> compare a.id b.id)
@@ -16,7 +17,13 @@ let make ~query ~answers ~report =
     answers;
     answer_ids = List.map (fun (n : Pax_xml.Tree.node) -> n.Pax_xml.Tree.id) answers;
     report;
+    trace;
   }
+
+let trace_exn t =
+  match t.trace with
+  | Some tr -> tr
+  | None -> invalid_arg "Run_result.trace_exn: engine recorded no trace"
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>query: %a@,answers: %d node(s)@,%a@]"

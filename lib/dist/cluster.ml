@@ -1,5 +1,11 @@
-type endpoint = Coordinator | Site of int
-type msg_kind = Query | Vectors | Resolution | Answers | Tree_data
+type endpoint = Trace.endpoint = Coordinator | Site of int
+
+type msg_kind = Trace.msg_kind =
+  | Query
+  | Vectors
+  | Resolution
+  | Answers
+  | Tree_data
 
 type message = {
   src : endpoint;
@@ -8,6 +14,8 @@ type message = {
   bytes : int;
   label : string;
 }
+
+exception Site_unreachable of { site : int; stage : string; attempts : int }
 
 type round = { r_label : string; seconds : float array; ops : int array }
 
@@ -22,6 +30,12 @@ type t = {
   mutable current : round option;
   mutable coord_seconds : float;
   mutable coord_ops : int;
+  trace : Trace.t;
+  mutable fault : Fault.t;
+  mutable retry : Retry.t;
+  mutable round_no : int;
+  mutable retries : int;
+  mutable backoff_seconds : float;
 }
 
 let create ~ftree ~n_sites ~assign =
@@ -47,6 +61,12 @@ let create ~ftree ~n_sites ~assign =
     current = None;
     coord_seconds = 0.;
     coord_ops = 0;
+    trace = Trace.create ();
+    fault = Fault.none;
+    retry = Retry.default;
+    round_no = 0;
+    retries = 0;
+    backoff_seconds = 0.;
   }
 
 let one_site_per_fragment ftree =
@@ -61,17 +81,93 @@ let fragments_on t site = t.site_frags.(site)
 let sites_holding t fids =
   List.sort_uniq compare (List.map (fun fid -> t.frag_site.(fid)) fids)
 
+let trace t = t.trace
+let set_fault t plan = t.fault <- plan
+let set_retry t policy = t.retry <- policy
+let fault_active t = not (Fault.is_none t.fault)
+
+(* Back off before the next attempt (simulated time only) and record the
+   retry, or raise once the policy's budget is exhausted. *)
+let retry_or_give_up t ~site ~round ~stage ~attempt ~reason =
+  if Retry.should_retry t.retry ~attempt then begin
+    t.retries <- t.retries + 1;
+    t.backoff_seconds <-
+      t.backoff_seconds +. Retry.delay_before t.retry ~attempt:(attempt + 1);
+    Trace.add t.trace (Trace.Retry { site; round; attempt; reason })
+  end
+  else begin
+    Trace.add t.trace (Trace.Gave_up { site; round; attempts = attempt });
+    raise (Site_unreachable { site; stage; attempts = attempt })
+  end
+
+(* One (site, round) visit under the fault plan: deliver the request,
+   execute, deliver the reply — any leg may fail and be retried.  A lost
+   reply makes the site re-execute [f] on the next delivery, so [f] must
+   be (and the engines are) idempotent per round. *)
+let visit_site t r ~round ~label ~site f =
+  let executed = ref false in
+  let rec go ~was_down attempt =
+    let restart_if_needed () =
+      if was_down then
+        Trace.add t.trace (Trace.Site_restart { site; round; attempt })
+    in
+    match Fault.on_visit t.fault ~site ~round ~attempt with
+    | Fault.Down ->
+        Trace.add t.trace (Trace.Site_down { site; round; attempt });
+        retry_or_give_up t ~site ~round ~stage:label ~attempt
+          ~reason:"site down";
+        go ~was_down:true (attempt + 1)
+    | Fault.Lost_request ->
+        restart_if_needed ();
+        retry_or_give_up t ~site ~round ~stage:label ~attempt
+          ~reason:"visit request dropped";
+        go ~was_down:false (attempt + 1)
+    | (Fault.Visit_ok | Fault.Lost_reply) as fate ->
+        restart_if_needed ();
+        Trace.add t.trace
+          (Trace.Visit { site; round; attempt; replay = !executed });
+        executed := true;
+        let t0 = Unix.gettimeofday () in
+        let result = f site in
+        r.seconds.(site) <- r.seconds.(site) +. (Unix.gettimeofday () -. t0);
+        if fate = Fault.Lost_reply then begin
+          retry_or_give_up t ~site ~round ~stage:label ~attempt
+            ~reason:"visit reply dropped";
+          go ~was_down:false (attempt + 1)
+        end
+        else result
+  in
+  go ~was_down:false 1
+
 let run_round t ~label ~sites f =
-  let r = { r_label = label; seconds = Array.make t.n_sites 0.; ops = Array.make t.n_sites 0 } in
+  let round = t.round_no in
+  t.round_no <- round + 1;
+  Trace.add t.trace (Trace.Round_start { round; label });
+  let r =
+    {
+      r_label = label;
+      seconds = Array.make t.n_sites 0.;
+      ops = Array.make t.n_sites 0;
+    }
+  in
   t.current <- Some r;
+  (* One visit per (site, round), even if a caller lists a site twice. *)
+  let seen = Hashtbl.create 8 in
+  let sites =
+    List.filter
+      (fun s ->
+        if Hashtbl.mem seen s then false
+        else begin
+          Hashtbl.add seen s ();
+          true
+        end)
+      sites
+  in
   let results =
     List.map
       (fun site ->
         t.visits.(site) <- t.visits.(site) + 1;
-        let t0 = Unix.gettimeofday () in
-        let result = f site in
-        r.seconds.(site) <- r.seconds.(site) +. (Unix.gettimeofday () -. t0);
-        (site, result))
+        (site, visit_site t r ~round ~label ~site f))
       sites
   in
   t.current <- None;
@@ -85,7 +181,53 @@ let coord t ~label:_ f =
   result
 
 let send t ~src ~dst ~kind ~bytes ~label =
-  t.messages_rev <- { src; dst; kind; bytes; label } :: t.messages_rev
+  let record () = t.messages_rev <- { src; dst; kind; bytes; label } :: t.messages_rev in
+  if Fault.is_none t.fault then begin
+    record ();
+    Trace.add t.trace
+      (Trace.Message
+         { src; dst; kind; bytes; label; attempt = 1; status = Trace.Delivered })
+  end
+  else begin
+    (* Sends logically belong to the round just run (or 0 before any). *)
+    let round = max 0 (t.round_no - 1) in
+    let site =
+      match (dst, src) with Site s, _ | _, Site s -> s | _ -> -1
+    in
+    let rec go attempt =
+      let ctx =
+        {
+          Fault.m_src = src;
+          m_dst = dst;
+          m_kind = kind;
+          m_label = label;
+          m_round = round;
+          m_attempt = attempt;
+        }
+      in
+      let status =
+        match Fault.on_message t.fault ctx with
+        | Fault.Deliver -> Trace.Delivered
+        | Fault.Drop -> Trace.Dropped
+        | Fault.Duplicate -> Trace.Duplicated
+        | Fault.Delay s -> Trace.Delayed s
+      in
+      record ();
+      Trace.add t.trace
+        (Trace.Message { src; dst; kind; bytes; label; attempt; status });
+      match status with
+      | Trace.Delivered -> ()
+      | Trace.Duplicated ->
+          (* The spurious copy also crossed the wire. *)
+          record ()
+      | Trace.Delayed s -> t.backoff_seconds <- t.backoff_seconds +. s
+      | Trace.Dropped ->
+          retry_or_give_up t ~site ~round ~stage:label ~attempt
+            ~reason:("message dropped: " ^ label);
+          go (attempt + 1)
+    in
+    go 1
+  end
 
 let add_ops t ~site n =
   if site < 0 then t.coord_ops <- t.coord_ops + n
@@ -100,7 +242,11 @@ let reset t =
   t.rounds_rev <- [];
   t.current <- None;
   t.coord_seconds <- 0.;
-  t.coord_ops <- 0
+  t.coord_ops <- 0;
+  Trace.clear t.trace;
+  t.round_no <- 0;
+  t.retries <- 0;
+  t.backoff_seconds <- 0.
 
 type report = {
   parallel_seconds : float;
@@ -110,6 +256,7 @@ type report = {
   total_ops : int;
   visits : int array;
   max_visits : int;
+  retries : int;
   rounds : string list;
   control_bytes : int;
   answer_bytes : int;
@@ -145,11 +292,12 @@ let report t =
         | Query | Vectors | Resolution -> (c + m.bytes, d, f))
       (0, 0, 0) t.messages_rev
   in
-  (* LAN-like wire model: 0.1 ms per message plus 100 MB/s. *)
+  (* LAN-like wire model: 0.1 ms per message plus 100 MB/s, plus any
+     simulated retry backoff and injected delays. *)
   let net_seconds =
     List.fold_left
       (fun acc m -> acc +. 0.0001 +. (float_of_int m.bytes /. 100_000_000.))
-      0. t.messages_rev
+      t.backoff_seconds t.messages_rev
   in
   {
     parallel_seconds;
@@ -159,6 +307,7 @@ let report t =
     total_ops;
     visits = Array.copy t.visits;
     max_visits = imax t.visits;
+    retries = t.retries;
     rounds = List.map (fun r -> r.r_label) rounds;
     control_bytes;
     answer_bytes;
@@ -172,11 +321,12 @@ let messages t = List.rev t.messages_rev
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>parallel: %.4fs (%d ops)@,total:    %.4fs (%d ops)@,\
-     coordinator: %.4fs@,visits: [%s] (max %d)@,rounds: %s@,\
+     coordinator: %.4fs@,visits: [%s] (max %d)%s@,rounds: %s@,\
      traffic: %d control + %d answer + %d tree bytes in %d messages (net %.4fs)@]"
     r.parallel_seconds r.parallel_ops r.total_seconds r.total_ops
     r.coord_seconds
     (String.concat "; " (Array.to_list (Array.map string_of_int r.visits)))
     r.max_visits
+    (if r.retries > 0 then Printf.sprintf " after %d retries" r.retries else "")
     (String.concat " -> " r.rounds)
     r.control_bytes r.answer_bytes r.tree_bytes r.n_messages r.net_seconds

@@ -7,8 +7,9 @@
 
     - {b visits} — one per (site, communication round) in which the
       coordinator executes work at the site, irrespective of how many
-      fragments the site holds (paper property: ≤ 3 for PaX3, ≤ 2 for
-      PaX2, 1 for ParBoX);
+      fragments the site holds {e and of how many delivery attempts the
+      fault plan forces} (paper property: ≤ 3 for PaX3, ≤ 2 for PaX2,
+      1 for ParBoX);
     - {b network traffic} — bytes per message, split into control
       traffic (queries, partial-answer vectors, resolutions) and data
       traffic (shipped answer elements);
@@ -17,11 +18,27 @@
       (plus coordinator work), {e total cost} the sum over sites.
 
     Sites are stateful between visits, as in the paper (a site keeps the
-    vectors it computed in stage 1 for use in stages 2/3). *)
+    vectors it computed in stage 1 for use in stages 2/3).
 
-type endpoint = Coordinator | Site of int
+    {2 Faults and retries}
 
-type msg_kind =
+    A {!Fault.t} plan (installed with {!set_fault}) may drop, delay or
+    duplicate any message, lose a visit request or reply, or crash a
+    site between visits.  The cluster transparently retries under the
+    installed {!Retry.t} policy; when the budget is exhausted it raises
+    {!Site_unreachable} — runs either complete with correct answers or
+    fail with this typed error, never hang.  Every visit, transmission,
+    retry and crash is recorded in a {!Trace.t} (see {!trace}), from
+    which the paper's bounds are assertable post hoc.
+
+    A visit whose {e reply} was lost is re-delivered, and the site
+    re-executes it: site work passed to {!run_round} must therefore be
+    idempotent per round (the PaX engines key their stage state by
+    round for exactly this reason). *)
+
+type endpoint = Trace.endpoint = Coordinator | Site of int
+
+type msg_kind = Trace.msg_kind =
   | Query  (** the query shipped to a site *)
   | Vectors  (** partial answers: residual-formula vectors *)
   | Resolution  (** unified (ground) values sent back to sites *)
@@ -36,10 +53,16 @@ type message = {
   label : string;
 }
 
+(** Raised when a visit or message exhausts the retry policy's attempt
+    budget.  [stage] is the round label (or message label for a send
+    outside a round). *)
+exception Site_unreachable of { site : int; stage : string; attempts : int }
+
 type t
 
 (** [create ~ftree ~n_sites ~assign] places fragment [fid] on site
-    [assign fid] (sites are [0..n_sites-1]). *)
+    [assign fid] (sites are [0..n_sites-1]).  The new cluster has no
+    fault plan and the {!Retry.default} policy. *)
 val create : ftree:Pax_frag.Fragment.t -> n_sites:int -> assign:(int -> int) -> t
 
 (** One site per fragment. *)
@@ -54,22 +77,44 @@ val site_of : t -> int -> int
 (** Fragments held by a site, in fid order. *)
 val fragments_on : t -> int -> int list
 
-(** Sites holding at least one of the given fragments, ascending. *)
+(** Sites holding at least one of the given fragments, ascending and
+    duplicate-free — each site is charged at most one visit per round
+    no matter how many of the fragments it holds. *)
 val sites_holding : t -> int list -> int list
+
+(** {1 Faults, retries, tracing} *)
+
+(** Install a fault plan; it survives {!reset} so a plan set before a
+    run applies to the whole run. *)
+val set_fault : t -> Fault.t -> unit
+
+val set_retry : t -> Retry.t -> unit
+
+(** Is a non-trivial fault plan installed? *)
+val fault_active : t -> bool
+
+(** The structured event log of the current (or last) run.  Cleared by
+    {!reset}, i.e. at the start of each engine run. *)
+val trace : t -> Trace.t
 
 (** {1 Instrumented execution} *)
 
 (** [run_round t ~label ~sites f] visits each listed site once, running
     [f site] there; wall-clock spans are recorded per site, and the
     round's parallel cost is their maximum.  Returns the per-site
-    results in visiting order. *)
+    results in visiting order.  Under an installed fault plan each
+    visit may take several delivery attempts (see {!Site_unreachable});
+    the per-site visit counter is charged once per (site, round)
+    regardless. *)
 val run_round : t -> label:string -> sites:int list -> (int -> 'a) -> (int * 'a) list
 
 (** [coord t ~label f] runs coordinator-side work (e.g. [evalFT]),
     accounted in both parallel and total cost. *)
 val coord : t -> label:string -> (unit -> 'a) -> 'a
 
-(** [send t ~src ~dst ~kind ~bytes ~label] records a message. *)
+(** [send t ~src ~dst ~kind ~bytes ~label] records a message.  Under a
+    fault plan the transmission may be dropped (and retried, each
+    physical copy recorded), duplicated or delayed. *)
 val send :
   t -> src:endpoint -> dst:endpoint -> kind:msg_kind -> bytes:int ->
   label:string -> unit
@@ -79,7 +124,8 @@ val send :
     [site:(-1)] for the coordinator. *)
 val add_ops : t -> site:int -> int -> unit
 
-(** Forget all recorded costs (fragment placement stays). *)
+(** Forget all recorded costs and the trace (fragment placement, fault
+    plan and retry policy stay). *)
 val reset : t -> unit
 
 (** {1 Reports} *)
@@ -90,16 +136,18 @@ type report = {
   coord_seconds : float;
   parallel_ops : int;
   total_ops : int;
-  visits : int array;  (** per site *)
+  visits : int array;  (** per site, one per (site, round) *)
   max_visits : int;
+  retries : int;  (** delivery retries forced by the fault plan *)
   rounds : string list;  (** round labels, in order *)
   control_bytes : int;
   answer_bytes : int;
   tree_bytes : int;  (** nonzero only for fragment-shipping baselines *)
-  n_messages : int;
+  n_messages : int;  (** physical transmissions, retransmissions included *)
   net_seconds : float;
-      (** simulated wire time: per-message latency + bytes/bandwidth,
-          under a LAN-like model (0.1 ms, 100 MB/s) *)
+      (** simulated wire time: per-message latency + bytes/bandwidth
+          under a LAN-like model (0.1 ms, 100 MB/s), plus retry backoff
+          and injected delays *)
 }
 
 val report : t -> report

@@ -1,0 +1,24 @@
+type t = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+}
+
+let default =
+  { max_attempts = 8; base_delay = 0.0005; multiplier = 2.; max_delay = 0.05 }
+
+let none = { default with max_attempts = 1 }
+
+let should_retry t ~attempt = attempt < t.max_attempts
+
+let delay_before t ~attempt =
+  if attempt <= 1 then 0.
+  else
+    min t.max_delay
+      (t.base_delay *. (t.multiplier ** float_of_int (attempt - 2)))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "retry{attempts=%d; backoff=%.4fs x%.1f <= %.4fs}" t.max_attempts
+    t.base_delay t.multiplier t.max_delay

@@ -1,0 +1,30 @@
+(** The coordinator's retry/timeout policy.
+
+    Every visit and every message gets up to [max_attempts] delivery
+    attempts; before attempt [n+1] the coordinator backs off
+    [min (base_delay * multiplier^(n-1), max_delay)] simulated seconds
+    (accounted into the report's [net_seconds], never slept for real).
+    When the budget is exhausted the cluster raises
+    [Cluster.Site_unreachable] — a typed, clean failure; never a wrong
+    answer and never a hang. *)
+
+type t = {
+  max_attempts : int;  (** total attempts, ≥ 1 *)
+  base_delay : float;  (** simulated seconds before the first retry *)
+  multiplier : float;  (** exponential backoff factor *)
+  max_delay : float;  (** backoff cap *)
+}
+
+(** 8 attempts, 0.5 ms base delay, doubling, capped at 50 ms. *)
+val default : t
+
+(** A single attempt: any injected fault is immediately fatal. *)
+val none : t
+
+(** May attempt [attempt + 1] be made? *)
+val should_retry : t -> attempt:int -> bool
+
+(** Simulated backoff before the given attempt (≥ 2). *)
+val delay_before : t -> attempt:int -> float
+
+val pp : Format.formatter -> t -> unit

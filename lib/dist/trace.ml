@@ -1,0 +1,154 @@
+type endpoint = Coordinator | Site of int
+
+type msg_kind = Query | Vectors | Resolution | Answers | Tree_data
+
+type delivery = Delivered | Dropped | Duplicated | Delayed of float
+
+type event =
+  | Round_start of { round : int; label : string }
+  | Visit of { site : int; round : int; attempt : int; replay : bool }
+  | Message of {
+      src : endpoint;
+      dst : endpoint;
+      kind : msg_kind;
+      bytes : int;
+      label : string;
+      attempt : int;
+      status : delivery;
+    }
+  | Retry of { site : int; round : int; attempt : int; reason : string }
+  | Site_down of { site : int; round : int; attempt : int }
+  | Site_restart of { site : int; round : int; attempt : int }
+  | Gave_up of { site : int; round : int; attempts : int }
+
+type t = { mutable events_rev : event list; mutable n : int }
+
+let create () = { events_rev = []; n = 0 }
+
+let clear t =
+  t.events_rev <- [];
+  t.n <- 0
+
+let add t e =
+  t.events_rev <- e :: t.events_rev;
+  t.n <- t.n + 1
+
+let events t = List.rev t.events_rev
+let length t = t.n
+
+(* (site, round) pairs the coordinator engaged, from any event that
+   names a site in the context of a round. *)
+let engagement = function
+  | Visit { site; round; _ }
+  | Retry { site; round; _ }
+  | Site_down { site; round; _ }
+  | Site_restart { site; round; _ }
+  | Gave_up { site; round; attempts = _ } -> Some (site, round)
+  | Round_start _ | Message _ -> None
+
+let logical_pairs t =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      match engagement e with
+      | Some pair -> Hashtbl.replace seen pair ()
+      | None -> ())
+    t.events_rev;
+  seen
+
+let logical_visits t ~site =
+  Hashtbl.fold
+    (fun (s, _) () acc -> if s = site then acc + 1 else acc)
+    (logical_pairs t) 0
+
+let max_logical_visits t =
+  let per_site = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (s, _) () ->
+      Hashtbl.replace per_site s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_site s)))
+    (logical_pairs t);
+  Hashtbl.fold (fun _ n acc -> max n acc) per_site 0
+
+let physical_visits t ~site =
+  List.fold_left
+    (fun acc e ->
+      match e with Visit v when v.site = site -> acc + 1 | _ -> acc)
+    0 t.events_rev
+
+let max_physical_visits t =
+  let per_site = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Visit v ->
+          Hashtbl.replace per_site v.site
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_site v.site))
+      | _ -> ())
+    t.events_rev;
+  Hashtbl.fold (fun _ n acc -> max n acc) per_site 0
+
+let retries t =
+  List.fold_left
+    (fun acc e -> match e with Retry _ -> acc + 1 | _ -> acc)
+    0 t.events_rev
+
+let rounds t =
+  List.fold_left
+    (fun acc e -> match e with Round_start _ -> acc + 1 | _ -> acc)
+    0 t.events_rev
+
+let logical_bytes t ~kind =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Message m when m.kind = kind && m.attempt = 1 -> acc + m.bytes
+      | _ -> acc)
+    0 t.events_rev
+
+let logical_control_bytes t =
+  logical_bytes t ~kind:Query
+  + logical_bytes t ~kind:Vectors
+  + logical_bytes t ~kind:Resolution
+
+let pp_endpoint ppf = function
+  | Coordinator -> Format.pp_print_string ppf "coord"
+  | Site s -> Format.fprintf ppf "S%d" s
+
+let kind_name = function
+  | Query -> "query"
+  | Vectors -> "vectors"
+  | Resolution -> "resolution"
+  | Answers -> "answers"
+  | Tree_data -> "tree-data"
+
+let status_name = function
+  | Delivered -> "delivered"
+  | Dropped -> "DROPPED"
+  | Duplicated -> "delivered twice"
+  | Delayed s -> Printf.sprintf "delayed %.4fs" s
+
+let pp_event ppf = function
+  | Round_start { round; label } ->
+      Format.fprintf ppf "== round %d: %s" round label
+  | Visit { site; round; attempt; replay } ->
+      Format.fprintf ppf "visit S%d r%d attempt %d%s" site round attempt
+        (if replay then " (replay)" else "")
+  | Message { src; dst; kind; bytes; label; attempt; status } ->
+      Format.fprintf ppf "%a -> %a %s %dB [%s] attempt %d: %s" pp_endpoint src
+        pp_endpoint dst (kind_name kind) bytes label attempt
+        (status_name status)
+  | Retry { site; round; attempt; reason } ->
+      Format.fprintf ppf "retry S%d r%d after attempt %d: %s" site round
+        attempt reason
+  | Site_down { site; round; attempt } ->
+      Format.fprintf ppf "S%d DOWN (r%d attempt %d)" site round attempt
+  | Site_restart { site; round; attempt } ->
+      Format.fprintf ppf "S%d restarted (r%d attempt %d)" site round attempt
+  | Gave_up { site; round; attempts } ->
+      Format.fprintf ppf "GAVE UP on S%d r%d after %d attempts" site round
+        attempts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_event e) (events t);
+  Format.fprintf ppf "@]"

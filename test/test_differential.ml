@@ -1,0 +1,114 @@
+(* Differential oracle: on random trees, random fragmentations, random
+   placements and random class-X queries, PaX2 (NA/XA), PaX3 (NA/XA)
+   and the ParBoX-composed Boolean evaluation all agree with the
+   centralized answer — both on a well-behaved network and under a
+   randomly seeded fault plan, where each engine must either return the
+   identical answer-id set or fail with the typed
+   [Cluster.Site_unreachable]; a wrong answer is a bug either way.
+   The emitted trace is checked too: logical visits within the paper's
+   bound, and no tree data beyond answer elements ever shipped.
+
+   The default counts keep `dune runtest` fast; `dune build @slow`
+   reruns the suite with PAX_QCHECK_COUNT=2000 (see test/dune). *)
+
+module Tree = Pax_xml.Tree
+module Ast = Pax_xpath.Ast
+module Query = Pax_xpath.Query
+module Semantics = Pax_xpath.Semantics
+module Cluster = Pax_dist.Cluster
+module Fault = Pax_dist.Fault
+module Trace = Pax_dist.Trace
+module Run_result = Pax_core.Run_result
+module H = Test_helpers
+module G = QCheck.Gen
+
+let count n =
+  match Sys.getenv_opt "PAX_QCHECK_COUNT" with
+  | Some s -> (try int_of_string s with _ -> n)
+  | None -> n
+
+(* A scenario plus a fault-plan seed. *)
+let arbitrary_faulty =
+  QCheck.make
+    ~print:(fun (s, seed) ->
+      Printf.sprintf "fault seed %d\n%s" seed (H.Gen.print_scenario s))
+    G.(pair H.Gen.scenario (int_bound 1_000_000))
+
+let engines =
+  [
+    ("PaX2-NA", (fun cl q -> Pax_core.Pax2.run cl q), 2);
+    ("PaX2-XA", (fun cl q -> Pax_core.Pax2.run ~annotations:true cl q), 2);
+    ("PaX3-NA", (fun cl q -> Pax_core.Pax3.run cl q), 3);
+    ("PaX3-XA", (fun cl q -> Pax_core.Pax3.run ~annotations:true cl q), 3);
+  ]
+
+(* The engine result must match the centralized ids exactly; under a
+   fault plan the typed failure is also legal, anything else is not. *)
+let check_engine ~fault ~expected name run bound cl q =
+  match (run cl q : Run_result.t) with
+  | r ->
+      if r.Run_result.answer_ids <> expected then
+        QCheck.Test.fail_reportf "%s: expected [%s], got [%s]" name
+          (String.concat ";" (List.map string_of_int expected))
+          (String.concat ";"
+             (List.map string_of_int r.Run_result.answer_ids))
+      else begin
+        let tr = Run_result.trace_exn r in
+        if Trace.max_logical_visits tr > bound then
+          QCheck.Test.fail_reportf "%s: %d logical visits > %d" name
+            (Trace.max_logical_visits tr)
+            bound
+        else if Trace.logical_bytes tr ~kind:Trace.Tree_data <> 0 then
+          QCheck.Test.fail_reportf "%s: shipped non-answer tree data" name
+        else true
+      end
+  | exception Cluster.Site_unreachable _ ->
+      if fault then true
+      else QCheck.Test.fail_reportf "%s: unreachable without faults" name
+
+(* ParBoX composition: the query's path as a Boolean query at the root,
+   checked against the set semantics of the same composed AST. *)
+let check_parbox ~fault (s : H.Gen.scenario) =
+  let qual = Ast.QPath s.H.Gen.s_query.Ast.path in
+  let composed =
+    { Ast.absolute = false; path = Ast.Qualified (Ast.Empty, qual) }
+  in
+  let expected = Semantics.eval_ids composed s.H.Gen.s_doc.Tree.root <> [] in
+  match Pax_core.Parbox.eval s.H.Gen.s_cluster qual with
+  | b, _report ->
+      b = expected
+      || QCheck.Test.fail_reportf "ParBoX: expected %b, got %b" expected b
+  | exception Cluster.Site_unreachable _ ->
+      fault
+      || QCheck.Test.fail_reportf "ParBoX: unreachable without faults"
+
+let differential ~fault (s, seed) =
+  let cl = s.H.Gen.s_cluster in
+  Cluster.set_fault cl
+    (if fault then
+       Fault.seeded ~drop:0.12 ~dup:0.08 ~delay:0.05 ~lose:0.1 ~crash:0.15
+         ~seed ()
+     else Fault.none);
+  let q = Query.of_ast s.H.Gen.s_query in
+  let expected = Pax_core.Centralized.eval_ids q s.H.Gen.s_doc.Tree.root in
+  List.for_all
+    (fun (name, run, bound) -> check_engine ~fault ~expected name run bound cl q)
+    engines
+  && check_parbox ~fault s
+
+let make_test name ~count:n ~fault =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:(count n) arbitrary_faulty
+       (differential ~fault))
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "oracle",
+        [
+          make_test "all engines = centralized (clean network)" ~count:150
+            ~fault:false;
+          make_test "all engines = centralized or typed failure (faults)"
+            ~count:250 ~fault:true;
+        ] );
+    ]

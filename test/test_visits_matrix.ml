@@ -1,13 +1,18 @@
 (* Regression pin for the visit-count matrix of the cost table (the
    structural content of the §3.4 guarantees): exact visit counts per
    (query class, algorithm, annotations) on the flat FT1 layout, plus a
-   deep-chain stress test for all engines. *)
+   deep-chain stress test for all engines.  The counts are asserted
+   from the structured trace (logical visits) as well as from the live
+   counters, and a fault-plan section checks that retries inflate
+   neither the logical visit count nor the logical traffic. *)
 
 module Tree = Pax_xml.Tree
 module Query = Pax_xpath.Query
 module Semantics = Pax_xpath.Semantics
 module Fragment = Pax_frag.Fragment
 module Cluster = Pax_dist.Cluster
+module Fault = Pax_dist.Fault
+module Trace = Pax_dist.Trace
 module Run_result = Pax_core.Run_result
 module Xmark = Pax_xmark.Xmark
 
@@ -22,10 +27,17 @@ let cluster () =
   in
   Cluster.one_site_per_fragment (Fragment.fragmentize doc ~cuts)
 
+(* Both accountings of the same quantity: the live counter and the
+   post-hoc count of (site, round) pairs in the trace must agree. *)
 let max_visits run annotations qs =
   let cl = cluster () in
   let r : Run_result.t = run ~annotations cl (Query.of_string qs) in
-  r.Run_result.report.Cluster.max_visits
+  let from_report = r.Run_result.report.Cluster.max_visits in
+  let from_trace = Trace.max_logical_visits (Run_result.trace_exn r) in
+  Alcotest.(check int)
+    (Printf.sprintf "trace agrees with counter on %s" qs)
+    from_report from_trace;
+  from_report
 
 (* The matrix, as measured and recorded in EXPERIMENTS.md. *)
 let test_matrix () =
@@ -89,6 +101,78 @@ let test_deep_chain () =
   Alcotest.(check bool) "stream depth tracked" true
     (stream.Pax_core.Stream_eval.max_depth >= 3000)
 
+(* Under a fault plan that forces stage-1 replays, the *logical* visit
+   bound still holds — retries of a dropped reply re-deliver to the
+   same (site, round) and may not inflate the count. *)
+let test_bound_survives_retries () =
+  let cases =
+    [
+      ("PaX2", (fun cl q -> Pax_core.Pax2.run cl q), 2);
+      ("PaX3", (fun cl q -> Pax_core.Pax3.run cl q), 3);
+    ]
+  in
+  List.iter
+    (fun (name, run, bound) ->
+      let cl = cluster () in
+      Cluster.set_fault cl
+        (Fault.all
+           [
+             Fault.lose_reply ~times:2 ~site:1 ~round:0 ();
+             Fault.crash_site ~down_for:1 ~site:2 ~round:0 ();
+           ]);
+      let r : Run_result.t = run cl (Query.of_string Xmark.q1) in
+      let tr = Run_result.trace_exn r in
+      Alcotest.(check bool)
+        (name ^ ": replays happened") true
+        (Trace.physical_visits tr ~site:1 > Trace.logical_visits tr ~site:1);
+      Alcotest.(check bool)
+        (name ^ ": logical visits within bound") true
+        (Trace.max_logical_visits tr <= bound);
+      Alcotest.(check bool)
+        (name ^ ": counter agrees") true
+        (r.Run_result.report.Cluster.max_visits <= bound))
+    cases
+
+(* The communication side of the §6 cost model, asserted from the
+   trace: control traffic (everything that is not Answers/Tree_data)
+   stays within c·|Q|·|FT| logical bytes, tree data is never shipped,
+   and an active fault plan changes the physical byte count but not
+   the logical one. *)
+let test_traffic_bound () =
+  List.iter
+    (fun (name, run) ->
+      let q = Query.of_string Xmark.q3 in
+      let cl = cluster () in
+      let r : Run_result.t = run cl q in
+      let tr = Run_result.trace_exn r in
+      let budget =
+        200 * Query.size q
+        * Fragment.n_fragments (Cluster.ftree cl)
+      in
+      let clean_logical = Trace.logical_control_bytes tr in
+      Alcotest.(check bool)
+        (name ^ ": control bytes within c|Q||FT|") true
+        (clean_logical <= budget);
+      Alcotest.(check int)
+        (name ^ ": no tree data shipped") 0
+        (Trace.logical_bytes tr ~kind:Trace.Tree_data);
+      (* Same run under dropped vectors: retransmissions are physical
+         overhead only. *)
+      Cluster.set_fault cl
+        (Fault.drop_message (fun c -> c.Fault.m_kind = Trace.Vectors));
+      let r' : Run_result.t = run cl q in
+      let tr' = Run_result.trace_exn r' in
+      Alcotest.(check int)
+        (name ^ ": logical traffic unchanged by retries") clean_logical
+        (Trace.logical_control_bytes tr');
+      Alcotest.(check bool)
+        (name ^ ": physical traffic grew") true
+        (r'.Run_result.report.Cluster.control_bytes > clean_logical))
+    [
+      ("PaX2", fun cl q -> Pax_core.Pax2.run cl q);
+      ("PaX3", fun cl q -> Pax_core.Pax3.run cl q);
+    ]
+
 let test_cluster_guard () =
   let c = Test_helpers.Data.clientele () in
   let ft = Test_helpers.Data.clientele_ftree c in
@@ -102,6 +186,10 @@ let () =
       ( "matrix",
         [
           Alcotest.test_case "visit counts per configuration" `Quick test_matrix;
+          Alcotest.test_case "bounds survive retries" `Quick
+            test_bound_survives_retries;
+          Alcotest.test_case "traffic bound from trace" `Quick
+            test_traffic_bound;
           Alcotest.test_case "deep chains" `Quick test_deep_chain;
           Alcotest.test_case "cluster guard" `Quick test_cluster_guard;
         ] );
