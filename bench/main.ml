@@ -16,5 +16,6 @@ let () =
   Queries_fig.run ();
   Exp1.run ();
   Exp2.run ();
+  Scaling.run ();
   Costs.run ();
   Micro.run ()

@@ -1,0 +1,115 @@
+(* Schema check for the scaling benchmark's JSON (BENCH_PR2.json):
+
+     validate_bench.exe FILE
+
+   Exits 0 when the file is well-formed and carries every field later
+   PRs' perf tracking relies on; prints what is wrong and exits 1
+   otherwise.  Used by the @bench-smoke dune alias so a perf-harness
+   regression shows up as a build failure, not as a silently missing or
+   malformed artifact. *)
+
+module J = Bench_json
+
+let errors = ref []
+let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+
+let need_str obj ctx k =
+  match Option.bind (J.member k obj) J.as_str with
+  | Some s -> Some s
+  | None ->
+      err "%s: missing or non-string %S" ctx k;
+      None
+
+let need_num obj ctx k =
+  match Option.bind (J.member k obj) J.as_num with
+  | Some f -> Some f
+  | None ->
+      err "%s: missing or non-number %S" ctx k;
+      None
+
+let need_list obj ctx k =
+  match Option.bind (J.member k obj) J.as_list with
+  | Some l -> Some l
+  | None ->
+      err "%s: missing or non-array %S" ctx k;
+      None
+
+let check_run ctx r =
+  match Option.bind (J.member "domains" r) J.as_num with
+  | None -> err "%s: run without integer \"domains\"" ctx
+  | Some d ->
+      let ctx = Printf.sprintf "%s/domains:%.0f" ctx d in
+      if d < 1. || not (Float.is_integer d) then
+        err "%s: bad domain count" ctx;
+      List.iter
+        (fun k ->
+          match need_num r ctx k with
+          | Some v when v < 0. -> err "%s: negative %S" ctx k
+          | _ -> ())
+        [ "wall_s"; "parallel_s"; "total_s"; "speedup" ]
+
+let check_result i r =
+  let ctx =
+    match Option.bind (J.member "query" r) J.as_str with
+    | Some q -> Printf.sprintf "results[%d]=%s" i q
+    | None ->
+        err "results[%d]: missing or non-string \"query\"" i;
+        Printf.sprintf "results[%d]" i
+  in
+  ignore (need_str r ctx "config");
+  ignore (need_num r ctx "answers");
+  match need_list r ctx "runs" with
+  | Some (_ :: _ as runs) ->
+      List.iter (check_run ctx) runs;
+      (* The first run is the sequential baseline. *)
+      (match runs with
+      | first :: _ -> (
+          match Option.bind (J.member "domains" first) J.as_num with
+          | Some 1. -> ()
+          | _ -> err "%s: first run must be the domains:1 baseline" ctx)
+      | [] -> ())
+  | Some [] -> err "%s: empty \"runs\"" ctx
+  | None -> ()
+
+let check (v : J.t) =
+  (match Option.bind (J.member "bench" v) J.as_str with
+  | Some "scaling" -> ()
+  | Some other -> err "top: expected bench=\"scaling\", got %S" other
+  | None -> err "top: missing \"bench\"");
+  (match J.member "pr" v with
+  | Some _ -> ()
+  | None -> err "top: missing \"pr\"");
+  (match Option.bind (J.member "quick" v) J.as_bool with
+  | Some _ -> ()
+  | None -> err "top: missing or non-bool \"quick\"");
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k v) J.as_num with
+      | Some f when f >= 1. -> ()
+      | _ -> err "top: missing or bad %S" k)
+    [ "cores"; "size_mb"; "repeats" ];
+  (match Option.bind (J.member "domains_tested" v) J.as_list with
+  | Some (_ :: _) -> ()
+  | _ -> err "top: missing or empty \"domains_tested\"");
+  match Option.bind (J.member "results" v) J.as_list with
+  | Some (_ :: _ as results) -> List.iteri check_result results
+  | Some [] -> err "top: empty \"results\""
+  | None -> err "top: missing \"results\""
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: validate_bench FILE";
+        exit 2
+  in
+  (match J.parse_file path with
+  | v -> check v
+  | exception J.Parse_error m -> err "not valid JSON: %s" m
+  | exception Sys_error m -> err "%s" m);
+  match List.rev !errors with
+  | [] -> Printf.printf "%s: scaling bench schema OK\n" path
+  | es ->
+      List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;
+      exit 1

@@ -98,7 +98,7 @@ let build_cluster ft ~n_sites ~placement =
 let query_cmd =
   let run file query_text algo annotations fragment_tag fragment_budget n_sites
       placement simplify stats quiet fault_seed fault_drop fault_crash retries
-      show_trace =
+      show_trace domains =
     match
       let ft = load_ftree file ~fragment_tag ~fragment_budget in
       let q =
@@ -115,6 +115,7 @@ let query_cmd =
             `Stream (Pax_core.Stream_eval.over_string q xml)
         | (Pax2 | Pax3 | Naive) as a ->
             let cluster = build_cluster ft ~n_sites ~placement in
+            Cluster.set_domains cluster (max 1 domains);
             (match fault_seed with
             | Some seed ->
                 Cluster.set_fault cluster
@@ -162,7 +163,20 @@ let query_cmd =
               Cluster.pp_report r.Pax_core.Run_result.report;
           if show_trace then
             match r.Pax_core.Run_result.trace with
-            | Some tr -> Format.printf "%a@." Pax_dist.Trace.pp tr
+            | Some tr ->
+                (* Header: the execution mode the trace was produced
+                   under.  Faults force the sequential path whatever the
+                   requested pool size. *)
+                let mode =
+                  if fault_seed <> None then
+                    Printf.sprintf
+                      "sequential (fault plan active; --domains %d ignored)"
+                      domains
+                  else if domains > 1 then
+                    Printf.sprintf "parallel, pool of %d domains" domains
+                  else "sequential"
+                in
+                Format.printf "# trace: %s@.%a@." mode Pax_dist.Trace.pp tr
             | None -> ())
     with
     | () -> 0
@@ -230,12 +244,22 @@ let query_cmd =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"Print the structured event trace (visits, messages, retries, crashes).")
   in
+  let domains =
+    Arg.(value & opt int (Cluster.default_domains ())
+         & info [ "domains" ]
+             ~doc:"Execute each round's per-site visits on a pool of this \
+                   many OCaml domains (real cores). Default 1, or \
+                   $(b,PAX_DOMAINS). With $(b,--fault-seed) the run is \
+                   forced sequential: fault schedules are deterministic \
+                   functions of the visit order.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath query over a fragmented document.")
     Term.(
       const run $ file $ query_text $ algo $ annotations $ fragment_tag
       $ fragment_budget $ n_sites $ placement $ simplify $ stats $ quiet
-      $ fault_seed $ fault_drop $ fault_crash $ retries $ show_trace)
+      $ fault_seed $ fault_drop $ fault_crash $ retries $ show_trace
+      $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)

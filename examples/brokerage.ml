@@ -88,6 +88,7 @@ let () =
         else
           let root = (Fragment.fragment ft fid).Fragment.root in
           if List.mem root.Tree.id canada_roots then 1 else 2)
+      ()
   in
 
   let run name annotations qs =

@@ -252,14 +252,17 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   in
   let cand_fids = List.filter has_candidates (Fragment.top_down ft) in
   let stage2_sites = Cluster.sites_holding cl cand_fids in
-  let stage2_memo : (int, Tree.node list) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-fid memo (replay idempotence under fault plans) as an array,
+     not a shared hashtable: a fragment lives on exactly one site, so
+     under a parallel round the worker domains write disjoint cells. *)
+  let stage2_memo : Tree.node list option array = Array.make n_frag None in
   let stage2_answers =
     Cluster.run_round cl ~label:"stage2" ~sites:stage2_sites (fun site ->
         List.concat_map
           (fun fid ->
             match outcomes.(fid) with
             | Some oc when oc.Combined.candidates <> [] -> (
-                match Hashtbl.find_opt stage2_memo fid with
+                match stage2_memo.(fid) with
                 | Some answers -> answers
                 | None ->
                     let answers =
@@ -275,7 +278,7 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
                               invalid_arg "PaX2: candidate failed to resolve")
                         oc.Combined.candidates
                     in
-                    Hashtbl.add stage2_memo fid answers;
+                    stage2_memo.(fid) <- Some answers;
                     answers)
             | Some _ | None -> [])
           (Cluster.fragments_on cl site))

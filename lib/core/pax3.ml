@@ -182,14 +182,17 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   in
   let cand_fids = List.filter has_candidates (all_fids ft) in
   let stage3_sites = active_sites cl cand_fids in
-  let stage3_memo : (int, Tree.node list) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-fid memo (replay idempotence under fault plans) as an array,
+     not a shared hashtable: a fragment lives on exactly one site, so
+     under a parallel round the worker domains write disjoint cells. *)
+  let stage3_memo : Tree.node list option array = Array.make n_frag None in
   let stage3_answers =
     Cluster.run_round cl ~label:"stage3" ~sites:stage3_sites (fun site ->
         List.concat_map
           (fun fid ->
             match outcomes.(fid) with
             | Some oc when oc.Sel_pass.candidates <> [] -> (
-                match Hashtbl.find_opt stage3_memo fid with
+                match stage3_memo.(fid) with
                 | Some answers -> answers
                 | None ->
                     let answers =
@@ -205,7 +208,7 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
                               invalid_arg "PaX3: candidate failed to resolve")
                         oc.Sel_pass.candidates
                     in
-                    Hashtbl.add stage3_memo fid answers;
+                    stage3_memo.(fid) <- Some answers;
                     answers)
             | Some _ | None -> [])
           (Cluster.fragments_on cl site))

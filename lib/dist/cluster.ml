@@ -36,9 +36,47 @@ type t = {
   mutable round_no : int;
   mutable retries : int;
   mutable backoff_seconds : float;
+  mutable domains : int;
 }
 
-let create ~ftree ~n_sites ~assign =
+(* ------------------------------------------------------------------ *)
+(* Parallel visits: per-visit effect logs                             *)
+(* ------------------------------------------------------------------ *)
+
+(* When a round runs on the domain pool, the shared accumulators (trace,
+   message list, coordinator ops) must not be touched from worker
+   domains.  Instead each visit records its effects into a private log,
+   installed in domain-local storage for the duration of the visit;
+   [send] and [add_ops] divert to it transparently.  At the round
+   barrier the logs are merged in site order, which reproduces the
+   sequential event order bit for bit — a parallel run is
+   distinguishable from a sequential one only by wall-clock. *)
+type visit_log = {
+  mutable vl_events_rev : Trace.event list;
+  mutable vl_msgs_rev : message list;
+  mutable vl_coord_ops : int;
+  mutable vl_seconds : float;
+}
+
+let fresh_log () =
+  { vl_events_rev = []; vl_msgs_rev = []; vl_coord_ops = 0; vl_seconds = 0. }
+
+let dls_log : visit_log option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_log () = !(Domain.DLS.get dls_log)
+
+let default_domains () =
+  match Sys.getenv_opt "PAX_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+let create ?domains ~ftree ~n_sites ~assign () =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if domains < 1 then invalid_arg "Cluster.create: need domains >= 1";
   if n_sites < 1 then invalid_arg "Cluster.create: need at least one site";
   let n_frag = Pax_frag.Fragment.n_fragments ftree in
   let frag_site = Array.init n_frag assign in
@@ -67,14 +105,20 @@ let create ~ftree ~n_sites ~assign =
     round_no = 0;
     retries = 0;
     backoff_seconds = 0.;
+    domains;
   }
 
-let one_site_per_fragment ftree =
+let one_site_per_fragment ?domains ftree =
   let n = Pax_frag.Fragment.n_fragments ftree in
-  create ~ftree ~n_sites:n ~assign:Fun.id
+  create ?domains ~ftree ~n_sites:n ~assign:Fun.id ()
 
 let ftree t = t.ft
 let n_sites t = t.n_sites
+let domains t = t.domains
+
+let set_domains t d =
+  if d < 1 then invalid_arg "Cluster.set_domains: need domains >= 1";
+  t.domains <- d
 let site_of t fid = t.frag_site.(fid)
 let fragments_on t site = t.site_frags.(site)
 
@@ -139,6 +183,57 @@ let visit_site t r ~round ~label ~site f =
   in
   go ~was_down:false 1
 
+(* The parallel path: fan the visits out over the shared pool, one task
+   per site, each diverting its effects into a private [visit_log]; then
+   merge the logs at the barrier in input-site order.  Only taken with
+   no fault plan installed, so a visit is exactly: one [Visit] event,
+   then [f site].  If visits raised, the logs are still merged up to and
+   including the first failing site (in site order, not completion
+   order) and that site's exception is re-raised — the observable state
+   matches a sequential run that died at the same site. *)
+let run_round_parallel t r ~round ~label:_ ~sites f =
+  let sites_arr = Array.of_list sites in
+  let n = Array.length sites_arr in
+  let logs = Array.init n (fun _ -> fresh_log ()) in
+  let outcomes = Array.make n None in
+  let pool = Pool.shared ~domains:t.domains in
+  Pool.run pool ~n (fun i ->
+      let log = logs.(i) in
+      let slot = Domain.DLS.get dls_log in
+      slot := Some log;
+      let t0 = Unix.gettimeofday () in
+      let out =
+        match f sites_arr.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      log.vl_seconds <- Unix.gettimeofday () -. t0;
+      slot := None;
+      outcomes.(i) <- Some out);
+  let results = ref [] in
+  let failure = ref None in
+  let i = ref 0 in
+  while Option.is_none !failure && !i < n do
+    let site = sites_arr.(!i) in
+    let log = logs.(!i) in
+    t.visits.(site) <- t.visits.(site) + 1;
+    Trace.add t.trace (Trace.Visit { site; round; attempt = 1; replay = false });
+    List.iter (Trace.add t.trace) (List.rev log.vl_events_rev);
+    List.iter
+      (fun m -> t.messages_rev <- m :: t.messages_rev)
+      (List.rev log.vl_msgs_rev);
+    t.coord_ops <- t.coord_ops + log.vl_coord_ops;
+    r.seconds.(site) <- r.seconds.(site) +. log.vl_seconds;
+    (match outcomes.(!i) with
+    | Some (Ok v) -> results := (site, v) :: !results
+    | Some (Error (e, bt)) -> failure := Some (e, bt)
+    | None -> assert false);
+    incr i
+  done;
+  match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> List.rev !results
+
 let run_round t ~label ~sites f =
   let round = t.round_no in
   t.round_no <- round + 1;
@@ -151,7 +246,8 @@ let run_round t ~label ~sites f =
     }
   in
   t.current <- Some r;
-  (* One visit per (site, round), even if a caller lists a site twice. *)
+  (* One visit per (site, round), even if a caller lists a site twice;
+     results come back in this deduplicated input order. *)
   let seen = Hashtbl.create 8 in
   let sites =
     List.filter
@@ -164,11 +260,17 @@ let run_round t ~label ~sites f =
       sites
   in
   let results =
-    List.map
-      (fun site ->
-        t.visits.(site) <- t.visits.(site) + 1;
-        (site, visit_site t r ~round ~label ~site f))
-      sites
+    (* Fault plans stay on the sequential path: their schedules are
+       deterministic functions of the exact visit/attempt order, which
+       parallel execution would scramble. *)
+    if t.domains > 1 && List.length sites > 1 && Fault.is_none t.fault then
+      run_round_parallel t r ~round ~label ~sites f
+    else
+      List.map
+        (fun site ->
+          t.visits.(site) <- t.visits.(site) + 1;
+          (site, visit_site t r ~round ~label ~site f))
+        sites
   in
   t.current <- None;
   t.rounds_rev <- r :: t.rounds_rev;
@@ -182,6 +284,17 @@ let coord t ~label:_ f =
 
 let send t ~src ~dst ~kind ~bytes ~label =
   let record () = t.messages_rev <- { src; dst; kind; bytes; label } :: t.messages_rev in
+  match current_log () with
+  | Some log ->
+      (* Inside a pooled visit: divert to the visit's private log.  The
+         parallel path is only taken fault-free, so the message is
+         simply delivered. *)
+      log.vl_msgs_rev <- { src; dst; kind; bytes; label } :: log.vl_msgs_rev;
+      log.vl_events_rev <-
+        Trace.Message
+          { src; dst; kind; bytes; label; attempt = 1; status = Trace.Delivered }
+        :: log.vl_events_rev
+  | None ->
   if Fault.is_none t.fault then begin
     record ();
     Trace.add t.trace
@@ -230,8 +343,16 @@ let send t ~src ~dst ~kind ~bytes ~label =
   end
 
 let add_ops t ~site n =
-  if site < 0 then t.coord_ops <- t.coord_ops + n
+  if site < 0 then
+    (* Coordinator ops from inside a pooled visit go to the visit log
+       (the shared counter is not safe from worker domains). *)
+    match current_log () with
+    | Some log -> log.vl_coord_ops <- log.vl_coord_ops + n
+    | None -> t.coord_ops <- t.coord_ops + n
   else
+    (* Per-site ops are safe from workers as long as visit work only
+       charges its own site (the engines do): distinct sites write
+       distinct cells. *)
     match t.current with
     | Some r -> r.ops.(site) <- r.ops.(site) + n
     | None -> ()

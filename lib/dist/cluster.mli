@@ -34,7 +34,27 @@
     A visit whose {e reply} was lost is re-delivered, and the site
     re-executes it: site work passed to {!run_round} must therefore be
     idempotent per round (the PaX engines key their stage state by
-    round for exactly this reason). *)
+    round for exactly this reason).
+
+    {2 Real parallelism}
+
+    With [domains > 1] (see {!create}, {!set_domains}, the [PAX_DOMAINS]
+    environment variable and the CLI's [--domains]), the per-site visits
+    of a round execute concurrently on a {!Pool} of real OCaml domains —
+    the paper's parallel-cost bound [O(|Q| · max_site |F_site|)] becomes
+    physical wall-clock, not just accounting.  Each pooled visit records
+    its effects (trace events, {!send}s, coordinator {!add_ops}) into a
+    private log, merged at the round barrier in input-site order, so
+    answers, visit counts, traces and all deterministic report fields
+    are identical to a [domains:1] run.  Two requirements on site work
+    beyond the idempotence above: within a round it must not share
+    mutable state across sites (the engines keep stage state per
+    fragment, and a fragment lives on exactly one site), and it must
+    charge {!add_ops} only to the site being visited.
+
+    Rounds run under an installed fault plan always take the sequential
+    path, whatever the degree: the deterministic fault schedules are
+    functions of the exact visit order.  See docs/PARALLELISM.md. *)
 
 type endpoint = Trace.endpoint = Coordinator | Site of int
 
@@ -62,14 +82,29 @@ type t
 
 (** [create ~ftree ~n_sites ~assign] places fragment [fid] on site
     [assign fid] (sites are [0..n_sites-1]).  The new cluster has no
-    fault plan and the {!Retry.default} policy. *)
-val create : ftree:Pax_frag.Fragment.t -> n_sites:int -> assign:(int -> int) -> t
+    fault plan and the {!Retry.default} policy.  [domains] is the
+    concurrency degree for {!run_round} (default: {!default_domains},
+    i.e. [PAX_DOMAINS] or 1). *)
+val create :
+  ?domains:int ->
+  ftree:Pax_frag.Fragment.t -> n_sites:int -> assign:(int -> int) -> unit -> t
 
 (** One site per fragment. *)
-val one_site_per_fragment : Pax_frag.Fragment.t -> t
+val one_site_per_fragment : ?domains:int -> Pax_frag.Fragment.t -> t
 
 val ftree : t -> Pax_frag.Fragment.t
 val n_sites : t -> int
+
+(** Concurrency degree for rounds: 1 = sequential. *)
+val domains : t -> int
+
+(** Change the degree between runs (worker domains are pooled
+    process-wide, so this is cheap). *)
+val set_domains : t -> int -> unit
+
+(** [PAX_DOMAINS] from the environment if set to a positive integer,
+    else 1. *)
+val default_domains : unit -> int
 
 (** Site holding a fragment. *)
 val site_of : t -> int -> int
@@ -101,11 +136,20 @@ val trace : t -> Trace.t
 
 (** [run_round t ~label ~sites f] visits each listed site once, running
     [f site] there; wall-clock spans are recorded per site, and the
-    round's parallel cost is their maximum.  Returns the per-site
-    results in visiting order.  Under an installed fault plan each
-    visit may take several delivery attempts (see {!Site_unreachable});
-    the per-site visit counter is charged once per (site, round)
-    regardless. *)
+    round's parallel cost is their maximum.
+
+    {b Result order is a contract:} the returned [(site, result)] pairs
+    follow the input [sites] order with duplicates removed (first
+    occurrence wins) — {e not} any internal visiting or completion
+    order.  The deterministic parallel merge relies on this, and callers
+    may too.
+
+    With [domains > 1] and no fault plan, the visits run concurrently on
+    real domains; observable state afterwards is identical to the
+    sequential run (see the {e Real parallelism} section above).  Under
+    an installed fault plan each visit may take several delivery
+    attempts (see {!Site_unreachable}); the per-site visit counter is
+    charged once per (site, round) regardless. *)
 val run_round : t -> label:string -> sites:int list -> (int -> 'a) -> (int * 'a) list
 
 (** [coord t ~label f] runs coordinator-side work (e.g. [evalFT]),

@@ -60,7 +60,7 @@ let loads ft ~n_sites assign =
   load
 
 let cluster_round_robin ft ~n_sites =
-  Cluster.create ~ftree:ft ~n_sites ~assign:(round_robin ~n_sites)
+  Cluster.create ~ftree:ft ~n_sites ~assign:(round_robin ~n_sites) ()
 
 let cluster_balanced ft ~n_sites =
-  Cluster.create ~ftree:ft ~n_sites ~assign:(balanced ft ~n_sites)
+  Cluster.create ~ftree:ft ~n_sites ~assign:(balanced ft ~n_sites) ()

@@ -101,6 +101,7 @@ let clientele_cluster (c : clientele) : Pax_dist.Cluster.t =
       else if fid = f2 || fid = f4 then 2
       else if fid = f3 then 3
       else invalid_arg "unexpected fragment")
+    ()
 
 (* A tiny XMark-shaped document, handy for query-specific tests. *)
 let mini_sites () : Tree.doc =

@@ -107,7 +107,7 @@ let cluster (ft : Pax_frag.Fragment.t) : Pax_dist.Cluster.t G.t =
   let n_frag = Pax_frag.Fragment.n_fragments ft in
   let n_sites = G.int_range 1 n_frag st in
   let assignment = Array.init n_frag (fun _ -> G.int_range 0 (n_sites - 1) st) in
-  Pax_dist.Cluster.create ~ftree:ft ~n_sites ~assign:(fun fid -> assignment.(fid))
+  Pax_dist.Cluster.create ~ftree:ft ~n_sites ~assign:(fun fid -> assignment.(fid)) ()
 
 (* The full scenario: document + query + fragmentation + placement. *)
 type scenario = {

@@ -12,7 +12,7 @@ let ft =
   H.Data.clientele_ftree c
 
 let test_placement () =
-  let cl = Cluster.create ~ftree:ft ~n_sites:2 ~assign:(fun fid -> fid mod 2) in
+  let cl = Cluster.create ~ftree:ft ~n_sites:2 ~assign:(fun fid -> fid mod 2) () in
   Alcotest.(check int) "two sites" 2 (Cluster.n_sites cl);
   Alcotest.(check int) "F3 on site 1" 1 (Cluster.site_of cl 3);
   Alcotest.(check (list int)) "site 0 fragments" [ 0; 2; 4 ]
@@ -23,7 +23,7 @@ let test_placement () =
     (Cluster.sites_holding cl [ 0; 1; 2; 3; 4 ])
 
 let test_bad_placement_rejected () =
-  match Cluster.create ~ftree:ft ~n_sites:2 ~assign:(fun _ -> 7) with
+  match Cluster.create ~ftree:ft ~n_sites:2 ~assign:(fun _ -> 7) () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "out-of-range site must be rejected"
 

@@ -205,7 +205,7 @@ let test_retry_visit_accounting () =
 
 (* sites_holding charges a multi-fragment site once. *)
 let test_sites_holding_dedup () =
-  let cl = Cluster.create ~ftree:ft ~n_sites:2 ~assign:(fun _ -> 1) in
+  let cl = Cluster.create ~ftree:ft ~n_sites:2 ~assign:(fun _ -> 1) () in
   Alcotest.(check (list int)) "all fragments, one site" [ 1 ]
     (Cluster.sites_holding cl [ 0; 1; 2; 3; 4 ])
 

@@ -63,7 +63,7 @@ let test_traffic_independent_of_tree () =
   (* Keep |FT| comparable: only 4 cuts. *)
   let cuts = List.filteri (fun i _ -> i < 4) cuts in
   let ft = Pax_frag.Fragment.fragmentize doc ~cuts in
-  let cl = Cluster.create ~ftree:ft ~n_sites:4 ~assign:(fun fid -> fid mod 4) in
+  let cl = Cluster.create ~ftree:ft ~n_sites:4 ~assign:(fun fid -> fid mod 4) () in
   let _, report_big = Pax_core.Parbox.eval_string cl "//stock/code/text() = \"GOOG\"" in
   Alcotest.(check bool) "traffic same order despite 10x tree" true
     (report_big.Cluster.control_bytes < 4 * report_small.Cluster.control_bytes)

@@ -81,7 +81,7 @@ let test_empty_answer_no_answer_bytes () =
 let test_multi_fragment_site () =
   (* All fragments on one site: still <= 3 visits of that site. *)
   let ft = H.Data.clientele_ftree c in
-  let cl = Cluster.create ~ftree:ft ~n_sites:1 ~assign:(fun _ -> 0) in
+  let cl = Cluster.create ~ftree:ft ~n_sites:1 ~assign:(fun _ -> 0) () in
   let q = Query.of_string "client[country/text() = \"US\"]//stock/code" in
   let r = Pax_core.Pax3.run cl q in
   Alcotest.(check (list int)) "correct"

@@ -176,7 +176,7 @@ let test_traffic_bound () =
 let test_cluster_guard () =
   let c = Test_helpers.Data.clientele () in
   let ft = Test_helpers.Data.clientele_ftree c in
-  match Cluster.create ~ftree:ft ~n_sites:0 ~assign:(fun _ -> 0) with
+  match Cluster.create ~ftree:ft ~n_sites:0 ~assign:(fun _ -> 0) () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "zero sites must be rejected"
 
