@@ -109,10 +109,15 @@ let print_row (row : qrow) =
     row.runs
 
 let json ~size_mb (rows : qrow list) : J.t =
+  let cores = Domain.recommended_domain_count () in
   let run_json ~seq r =
     J.Obj
       [
         ("domains", J.int r.m_domains);
+        (* Honesty flag: this run asked for more domains than the
+           machine has cores, so its wall-clock is contention-bound and
+           must not be read as algorithmic scaling. *)
+        ("oversubscribed", J.Bool (r.m_domains > cores));
         ("wall_s", J.Num r.m_wall_s);
         ("parallel_s", J.Num r.m_parallel_s);
         ("total_s", J.Num r.m_total_s);

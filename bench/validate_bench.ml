@@ -1,12 +1,12 @@
-(* Schema check for the scaling benchmark's JSON (BENCH_PR2.json):
+(* Schema check for the scaling benchmark's JSON (BENCH_*.json):
 
-     validate_bench.exe FILE
+     validate_bench.exe FILE...
 
-   Exits 0 when the file is well-formed and carries every field later
+   Exits 0 when every file is well-formed and carries the fields later
    PRs' perf tracking relies on; prints what is wrong and exits 1
-   otherwise.  Used by the @bench-smoke dune alias so a perf-harness
-   regression shows up as a build failure, not as a silently missing or
-   malformed artifact. *)
+   otherwise.  Used by the @bench-smoke and @check dune aliases so a
+   perf-harness regression shows up as a build failure, not as a
+   silently missing or malformed artifact. *)
 
 module J = Bench_json
 
@@ -41,6 +41,12 @@ let check_run ctx r =
       let ctx = Printf.sprintf "%s/domains:%.0f" ctx d in
       if d < 1. || not (Float.is_integer d) then
         err "%s: bad domain count" ctx;
+      (* Optional (absent in pre-PR3 artifacts), but must be a bool
+         when present. *)
+      (match J.member "oversubscribed" r with
+      | Some v when J.as_bool v = None ->
+          err "%s: non-bool \"oversubscribed\"" ctx
+      | Some _ | None -> ());
       List.iter
         (fun k ->
           match need_num r ctx k with
@@ -96,20 +102,26 @@ let check (v : J.t) =
   | Some [] -> err "top: empty \"results\""
   | None -> err "top: missing \"results\""
 
-let () =
-  let path =
-    match Sys.argv with
-    | [| _; p |] -> p
-    | _ ->
-        prerr_endline "usage: validate_bench FILE";
-        exit 2
-  in
+let check_file path =
+  errors := [];
   (match J.parse_file path with
   | v -> check v
   | exception J.Parse_error m -> err "not valid JSON: %s" m
   | exception Sys_error m -> err "%s" m);
   match List.rev !errors with
-  | [] -> Printf.printf "%s: scaling bench schema OK\n" path
+  | [] ->
+      Printf.printf "%s: scaling bench schema OK\n" path;
+      true
   | es ->
       List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;
-      exit 1
+      false
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as paths) ->
+      (* Check every file even after a failure, then fail once. *)
+      if not (List.fold_left (fun ok p -> check_file p && ok) true paths) then
+        exit 1
+  | _ ->
+      prerr_endline "usage: validate_bench FILE...";
+      exit 2

@@ -10,6 +10,8 @@
      pax gen -n 50000 -s 10 -o sites.xml
      pax query sites.xml '/sites/site/people/person' --algo pax2 --annotations \
          --fragment-tag site --stats
+     pax serve store/ --site 0 --listen unix:/tmp/s0.sock &
+     pax query store/ '//person' --connect unix:/tmp/s0.sock,unix:/tmp/s1.sock
      pax explain 'a[b/text() = "x"]//c' *)
 
 module Tree = Pax_xml.Tree
@@ -95,16 +97,26 @@ let build_cluster ft ~n_sites ~placement =
           Pax_dist.Placement.cluster_round_robin ft ~n_sites:k
       | Balanced -> Pax_dist.Placement.cluster_balanced ft ~n_sites:k)
 
+let parse_connect spec =
+  Array.of_list
+    (List.map
+       (fun s ->
+         match Pax_net.Sockio.addr_of_string (String.trim s) with
+         | Ok a -> a
+         | Error e -> invalid_arg e)
+       (String.split_on_char ',' spec))
+
 let query_cmd =
   let run file query_text algo annotations fragment_tag fragment_budget n_sites
       placement simplify stats quiet fault_seed fault_drop fault_crash retries
-      show_trace domains =
+      show_trace domains connect =
     match
       let ft = load_ftree file ~fragment_tag ~fragment_budget in
       let q =
         if simplify then Pax_xpath.Simplify.query query_text
         else Query.of_string query_text
       in
+      let connect_addrs = Option.map parse_connect connect in
       let result =
         match algo with
         | Centralized ->
@@ -114,6 +126,13 @@ let query_cmd =
             let xml = Printer.to_string (Fragment.reassemble ft) in
             `Stream (Pax_core.Stream_eval.over_string q xml)
         | (Pax2 | Pax3 | Naive) as a ->
+            (* With --connect, the default site count is the number of
+               listed servers, not one per fragment. *)
+            let n_sites =
+              match (connect_addrs, n_sites) with
+              | Some addrs, None -> Some (Array.length addrs)
+              | _ -> n_sites
+            in
             let cluster = build_cluster ft ~n_sites ~placement in
             Cluster.set_domains cluster (max 1 domains);
             (match fault_seed with
@@ -127,11 +146,33 @@ let query_cmd =
                 Cluster.set_retry cluster
                   { Pax_dist.Retry.default with max_attempts = max 1 n }
             | None -> ());
+            let client =
+              match connect_addrs with
+              | None -> None
+              | Some addrs ->
+                  if fault_seed <> None then
+                    invalid_arg
+                      "--fault-seed and --connect are mutually exclusive \
+                       (fault injection applies to the in-process transport)";
+                  if Array.length addrs <> Cluster.n_sites cluster then
+                    invalid_arg
+                      (Printf.sprintf
+                         "--connect lists %d address(es) but the cluster has \
+                          %d sites"
+                         (Array.length addrs) (Cluster.n_sites cluster));
+                  let c = Pax_net.Client.create ~addrs () in
+                  Cluster.set_transport cluster
+                    (Some (Pax_net.Client.transport c));
+                  Some c
+            in
             let r =
-              match a with
-              | Pax2 -> Pax_core.Pax2.run ~annotations cluster q
-              | Pax3 -> Pax_core.Pax3.run ~annotations cluster q
-              | Naive | Centralized | Stream -> Pax_core.Naive.run cluster q
+              Fun.protect
+                ~finally:(fun () -> Option.iter Pax_net.Client.close client)
+                (fun () ->
+                  match a with
+                  | Pax2 -> Pax_core.Pax2.run ~annotations cluster q
+                  | Pax3 -> Pax_core.Pax3.run ~annotations cluster q
+                  | Naive | Centralized | Stream -> Pax_core.Naive.run cluster q)
             in
             `Distributed r
       in
@@ -165,13 +206,17 @@ let query_cmd =
             match r.Pax_core.Run_result.trace with
             | Some tr ->
                 (* Header: the execution mode the trace was produced
-                   under.  Faults force the sequential path whatever the
-                   requested pool size. *)
+                   under, read off the report rather than re-derived
+                   from the flags. *)
+                let report = r.Pax_core.Run_result.report in
                 let mode =
-                  if fault_seed <> None then
+                  if report.Cluster.forced_sequential then
                     Printf.sprintf
                       "sequential (fault plan active; --domains %d ignored)"
                       domains
+                  else if connect <> None then "remote sites over sockets"
+                  else if fault_seed <> None then
+                    "sequential (fault plan active)"
                   else if domains > 1 then
                     Printf.sprintf "parallel, pool of %d domains" domains
                   else "sequential"
@@ -186,11 +231,21 @@ let query_cmd =
            exhausted)\n"
           site stage attempts;
         2
+    | exception Pax_dist.Transport.Remote_failure { site; message } ->
+        Printf.eprintf "site S%d failed: %s\n" site message;
+        2
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "network error: %s %s: %s\n" fn arg
+          (Unix.error_message err);
+        2
     | exception Parser.Parse_error { pos; msg } ->
         Printf.eprintf "XML error at byte %d: %s\n" pos msg;
         1
     | exception Pax_xpath.Parse.Syntax_error { pos; msg } ->
         Printf.eprintf "query error at character %d: %s\n" pos msg;
+        1
+    | exception Invalid_argument e ->
+        Printf.eprintf "%s\n" e;
         1
     | exception Sys_error e ->
         Printf.eprintf "%s\n" e;
@@ -253,13 +308,106 @@ let query_cmd =
                    forced sequential: fault schedules are deterministic \
                    functions of the visit order.")
   in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR,ADDR,..."
+             ~doc:"Run the visits against live site servers (one address \
+                   per site, comma-separated: $(b,unix:PATH) or \
+                   $(b,HOST:PORT), matching $(b,pax serve)).  The report \
+                   then includes measured socket bytes alongside the \
+                   accounted traffic.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath query over a fragmented document.")
     Term.(
       const run $ file $ query_text $ algo $ annotations $ fragment_tag
       $ fragment_budget $ n_sites $ placement $ simplify $ stats $ quiet
       $ fault_seed $ fault_drop $ fault_crash $ retries $ show_trace
-      $ domains)
+      $ domains $ connect)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run file site listen fragment_tag fragment_budget n_sites placement =
+    match
+      let ft = load_ftree file ~fragment_tag ~fragment_budget in
+      let cluster = build_cluster ft ~n_sites ~placement in
+      if site < 0 || site >= Cluster.n_sites cluster then
+        invalid_arg
+          (Printf.sprintf "--site %d out of range (cluster has %d sites)" site
+             (Cluster.n_sites cluster));
+      let addr =
+        match Pax_net.Sockio.addr_of_string listen with
+        | Ok a -> a
+        | Error e -> invalid_arg e
+      in
+      let frags =
+        List.map
+          (fun fid -> (fid, (Fragment.fragment ft fid).Fragment.root))
+          (Cluster.fragments_on cluster site)
+      in
+      let fd = Pax_net.Sockio.listen addr in
+      Printf.printf "site S%d: %d fragment(s), listening on %s\n%!" site
+        (List.length frags)
+        (Pax_net.Sockio.addr_to_string addr);
+      Pax_net.Server.serve (Pax_net.Server.create ~frags) fd;
+      Unix.close fd
+    with
+    | () -> 0
+    | exception Parser.Parse_error { pos; msg } ->
+        Printf.eprintf "XML error at byte %d: %s\n" pos msg;
+        1
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "network error: %s %s: %s\n" fn arg
+          (Unix.error_message err);
+        2
+    | exception Invalid_argument e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let site =
+    Arg.(required & opt (some int) None
+         & info [ "site" ] ~doc:"Which site of the placement to serve.")
+  in
+  let listen =
+    Arg.(required & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Listen address: $(b,unix:PATH) or $(b,HOST:PORT).")
+  in
+  let fragment_tag =
+    Arg.(value & opt (some string) None
+         & info [ "fragment-tag" ] ~doc:"Cut at every node with this tag.")
+  in
+  let fragment_budget =
+    Arg.(value & opt (some int) None
+         & info [ "fragment-budget" ]
+             ~doc:"Cut into fragments of at most this many nodes.")
+  in
+  let n_sites =
+    Arg.(value & opt (some int) None
+         & info [ "machines" ]
+             ~doc:"Number of sites in the placement (default: one per \
+                   fragment).  Must match the querying coordinator.")
+  in
+  let placement =
+    Arg.(value & opt placement_conv Round_robin
+         & info [ "placement" ]
+             ~doc:"per-fragment, round-robin or balanced — must match the \
+                   querying coordinator.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve one site's fragments to a remote coordinator ($(b,pax \
+             query --connect)).  Runs until a Shutdown frame arrives.")
+    Term.(
+      const run $ file $ site $ listen $ fragment_tag $ fragment_budget
+      $ n_sites $ placement)
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)
@@ -454,4 +602,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ gen_cmd; query_cmd; count_cmd; fragment_cmd; assemble_cmd; inspect_cmd;
-         explain_cmd ]))
+         explain_cmd; serve_cmd ]))

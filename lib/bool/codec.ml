@@ -22,12 +22,23 @@ let varint_bytes n =
 let decode_varint s ~pos =
   let rec go pos shift acc =
     if pos >= String.length s then raise (Decode_error "truncated varint")
+    else if shift > Sys.int_size - 8 then
+      (* A shift this deep would drop bits (or make [lsl] undefined):
+         nothing we encode is that long, so the input is corrupt. *)
+      raise (Decode_error "varint overflow")
     else
       let b = Char.code s.[pos] in
       let acc = acc lor ((b land 0x7F) lsl shift) in
       if b land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
   in
   go pos 0 0
+
+(* An adversarial count (huge varint) must not drive a pre-sized
+   allocation: every counted item occupies at least [unit] byte(s), so a
+   count exceeding the bytes left is corrupt. *)
+let check_count s ~pos ~unit n what =
+  if n < 0 || n > (String.length s - pos) / unit then
+    raise (Decode_error ("bad " ^ what ^ " count"))
 
 (* ------------------------------------------------------------------ *)
 (* tags                                                               *)
@@ -144,6 +155,7 @@ let rec decode_formula s ~pos : Formula.t * int =
     (Formula.not_ g, pos)
   else if tag = t_and || tag = t_or then begin
     let n, pos = decode_varint s ~pos in
+    check_count s ~pos ~unit:1 n "connective";
     let rec go k pos acc =
       if k = 0 then (List.rev acc, pos)
       else
@@ -160,6 +172,7 @@ let rec decode_formula s ~pos : Formula.t * int =
 
 let decode_formula_array s ~pos =
   let n, pos = decode_varint s ~pos in
+  check_count s ~pos ~unit:1 n "formula array";
   let pos = ref pos in
   let fs =
     Array.init n (fun _ ->
@@ -205,3 +218,12 @@ let bool_array_of_string s =
   let bs, pos = decode_bool_array s ~pos:0 in
   if pos <> String.length s then raise (Decode_error "trailing bytes");
   bs
+
+(* Total decoders for wire exposure: any malformed, truncated or
+   trailing-garbage input is [None], never an exception.  The decoders
+   above raise only [Decode_error] (bounds and counts are checked before
+   any indexing or allocation), so catching it here is exhaustive. *)
+let total decode s = match decode s with x -> Some x | exception Decode_error _ -> None
+let formula_of_string_opt s = total formula_of_string s
+let formula_array_of_string_opt s = total formula_array_of_string s
+let bool_array_of_string_opt s = total bool_array_of_string s

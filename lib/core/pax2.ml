@@ -6,6 +6,7 @@ module Var = Pax_bool.Var
 module Fragment = Pax_frag.Fragment
 module Cluster = Pax_dist.Cluster
 module Measure = Pax_dist.Measure
+module Wire = Pax_wire.Wire
 
 let spf = Printf.sprintf
 
@@ -173,46 +174,116 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   (* ---------------- Stage 1: combined pass, relevant sites --------- *)
   let rel_fids = List.filter relevant (Fragment.top_down ft) in
   let stage1_sites = Cluster.sites_holding cl rel_fids in
-  let outcomes : Combined.outcome option array = Array.make n_frag None in
+  (* Per-fragment stage-1 views, filled either by the in-process
+     executor or by parsing wire replies — everything downstream
+     (accounting, unification, answer assembly) reads only these, so
+     both backends are observably identical.  [local_cands] holds the
+     actual candidate formulas and exists only in-process; a remote
+     site keeps its candidates to itself until the resolution stage. *)
+  let s1_seen = Array.make n_frag false in
+  let s1_qvec : Formula.t array array = Array.make n_frag [||] in
+  let s1_ctxs : (int * Formula.t array) list array = Array.make n_frag [] in
+  let s1_answers : Tree.node list array = Array.make n_frag [] in
+  let s1_cands = Array.make n_frag 0 in
+  let local_cands : (Tree.node * Formula.t) list array = Array.make n_frag [] in
   (* Stage state is keyed by fid within the round: a replayed visit
-     (lost reply under a fault plan) finds the outcome already computed
+     (lost reply under a fault plan) finds the view already filled
      and neither recomputes nor double-counts. *)
+  let s1_local site =
+    List.iter
+      (fun fid ->
+        if relevant fid && not s1_seen.(fid) then begin
+          let oc =
+            Combined.run compiled ~init:(init_for fid)
+              ~root_is_context:(fid = 0) eval_roots.(fid)
+          in
+          s1_qvec.(fid) <- oc.Combined.root_qvec;
+          s1_ctxs.(fid) <- oc.Combined.contexts;
+          s1_answers.(fid) <- oc.Combined.answers;
+          s1_cands.(fid) <- List.length oc.Combined.candidates;
+          local_cands.(fid) <- oc.Combined.candidates;
+          s1_seen.(fid) <- true;
+          Cluster.add_ops cl ~site oc.Combined.ops
+        end)
+      (Cluster.fragments_on cl site)
+  in
+  let s1_remote =
+    {
+      Cluster.build =
+        (fun site ->
+          Wire.Pax2_stage1
+            {
+              query = q.Query.source;
+              frags =
+                List.filter_map
+                  (fun fid ->
+                    if relevant fid then
+                      Some
+                        {
+                          Wire.fe_fid = fid;
+                          fe_is_root = fid = 0;
+                          (* Derivable inits stay implicit; only the
+                             annotation-pruned vectors ship. *)
+                          fe_init =
+                            (if annotations then Some (init_for fid) else None);
+                        }
+                    else None)
+                  (Cluster.fragments_on cl site);
+            });
+      parse =
+        (fun site reply ->
+          match reply with
+          | Wire.Frag_results frs ->
+              List.iter
+                (fun (fr : Wire.frag_result) ->
+                  let fid = fr.Wire.fr_fid in
+                  if not s1_seen.(fid) then begin
+                    s1_qvec.(fid) <-
+                      (match fr.Wire.fr_vec with
+                      | Some vec -> vec
+                      | None when compiled.Compile.n_qual = 0 -> [||]
+                      | None -> invalid_arg "PaX2: stage-1 reply lacks vector");
+                    s1_ctxs.(fid) <- fr.Wire.fr_ctxs;
+                    s1_answers.(fid) <-
+                      List.map Wire.node_of_answer fr.Wire.fr_answers;
+                    s1_cands.(fid) <- fr.Wire.fr_cands;
+                    s1_seen.(fid) <- true;
+                    Cluster.add_ops cl ~site fr.Wire.fr_ops
+                  end)
+                frs
+          | Wire.Final_answers _ ->
+              invalid_arg "PaX2: unexpected stage-1 reply");
+    }
+  in
+  let remote_if_net rm =
+    if Cluster.transport_active cl then Some rm else None
+  in
   ignore
-    (Cluster.run_round cl ~label:"stage1" ~sites:stage1_sites (fun site ->
-         List.iter
-           (fun fid ->
-             if relevant fid && Option.is_none outcomes.(fid) then begin
-               let outcome =
-                 Combined.run compiled ~init:(init_for fid)
-                   ~root_is_context:(fid = 0) eval_roots.(fid)
-               in
-               outcomes.(fid) <- Some outcome;
-               Cluster.add_ops cl ~site outcome.Combined.ops
-             end)
-           (Cluster.fragments_on cl site)));
+    (Cluster.run_round cl
+       ?remote:(remote_if_net s1_remote)
+       ~label:"stage1" ~sites:stage1_sites s1_local);
   List.iter
     (fun site ->
       Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Query
         ~bytes:(Measure.query q) ~label:"Q";
       List.iter
         (fun fid ->
-          match outcomes.(fid) with
-          | Some oc ->
-              if compiled.Compile.n_qual > 0 then
+          if s1_seen.(fid) then begin
+            if compiled.Compile.n_qual > 0 then
+              Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Vectors
+                ~bytes:(Measure.formula_array s1_qvec.(fid))
+                ~label:(spf "QV(F%d)" fid);
+            List.iter
+              (fun (sub, vec) ->
                 Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Vectors
-                  ~bytes:(Measure.formula_array oc.Combined.root_qvec)
-                  ~label:(spf "QV(F%d)" fid);
-              List.iter
-                (fun (sub, vec) ->
-                  Cluster.send cl ~src:(Site site) ~dst:Coordinator
-                    ~kind:Vectors ~bytes:(Measure.formula_array vec)
-                    ~label:(spf "SV(F%d)" sub))
-                oc.Combined.contexts;
-              if oc.Combined.answers <> [] then
-                Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Answers
-                  ~bytes:(Measure.answers oc.Combined.answers)
-                  ~label:(spf "ans(F%d)" fid)
-          | None -> ())
+                  ~bytes:(Measure.formula_array vec)
+                  ~label:(spf "SV(F%d)" sub))
+              s1_ctxs.(fid);
+            if s1_answers.(fid) <> [] then
+              Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Answers
+                ~bytes:(Measure.answers s1_answers.(fid))
+                ~label:(spf "ans(F%d)" fid)
+          end)
         (Cluster.fragments_on cl site))
     stage1_sites;
 
@@ -222,18 +293,15 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
     Cluster.coord cl ~label:"evalFT:quals" (fun () ->
         Cluster.add_ops cl ~site:(-1) (n_frag * compiled.Compile.n_qual);
         Eval_ft.resolve_quals ft ~root_vecs:(fun fid ->
-            Option.map (fun oc -> oc.Combined.root_qvec) outcomes.(fid)))
+            if s1_seen.(fid) then Some s1_qvec.(fid) else None))
   in
   let qual_lookup = Eval_ft.qual_lookup resolved_quals in
   let raw_ctx : Formula.t array option array = Array.make n_frag None in
-  Array.iter
-    (function
-      | Some oc ->
-          List.iter
-            (fun (sub, vec) -> raw_ctx.(sub) <- Some vec)
-            oc.Combined.contexts
-      | None -> ())
-    outcomes;
+  Array.iteri
+    (fun fid ctxs ->
+      if s1_seen.(fid) then
+        List.iter (fun (sub, vec) -> raw_ctx.(sub) <- Some vec) ctxs)
+    s1_ctxs;
   let resolved_ctx =
     Cluster.coord cl ~label:"evalFT:contexts" (fun () ->
         Cluster.add_ops cl ~site:(-1) (n_frag * compiled.Compile.n_sel);
@@ -245,43 +313,68 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   let full_lookup = Eval_ft.full_lookup ~quals:resolved_quals ~ctxs:resolved_ctx in
 
   (* ---------------- Stage 2: resolve candidates -------------------- *)
-  let has_candidates fid =
-    match outcomes.(fid) with
-    | Some oc -> oc.Combined.candidates <> []
-    | None -> false
-  in
+  let has_candidates fid = s1_seen.(fid) && s1_cands.(fid) > 0 in
   let cand_fids = List.filter has_candidates (Fragment.top_down ft) in
   let stage2_sites = Cluster.sites_holding cl cand_fids in
   (* Per-fid memo (replay idempotence under fault plans) as an array,
      not a shared hashtable: a fragment lives on exactly one site, so
      under a parallel round the worker domains write disjoint cells. *)
   let stage2_memo : Tree.node list option array = Array.make n_frag None in
+  let s2_local site =
+    List.concat_map
+      (fun fid ->
+        if has_candidates fid then
+          match stage2_memo.(fid) with
+          | Some answers -> answers
+          | None ->
+              let answers =
+                List.filter_map
+                  (fun ((v : Tree.node), f) ->
+                    Cluster.add_ops cl ~site 1;
+                    match Formula.to_bool (Formula.subst full_lookup f) with
+                    | Some true when v.Tree.id >= 0 -> Some v
+                    | Some _ -> None
+                    | None -> invalid_arg "PaX2: candidate failed to resolve")
+                  local_cands.(fid)
+              in
+              stage2_memo.(fid) <- Some answers;
+              answers
+        else [])
+      (Cluster.fragments_on cl site)
+  in
+  let s2_remote =
+    {
+      Cluster.build =
+        (fun site ->
+          Wire.Pax2_stage2
+            {
+              frags =
+                List.filter_map
+                  (fun fid ->
+                    if has_candidates fid then
+                      Some
+                        ( fid,
+                          resolved_ctx.(fid),
+                          List.map
+                            (fun sub -> (sub, resolved_quals.(sub)))
+                            ft.Fragment.children.(fid) )
+                    else None)
+                  (Cluster.fragments_on cl site);
+            });
+      parse =
+        (fun site reply ->
+          match reply with
+          | Wire.Final_answers { answers; ops } ->
+              Cluster.add_ops cl ~site ops;
+              List.map Wire.node_of_answer answers
+          | Wire.Frag_results _ ->
+              invalid_arg "PaX2: unexpected stage-2 reply");
+    }
+  in
   let stage2_answers =
-    Cluster.run_round cl ~label:"stage2" ~sites:stage2_sites (fun site ->
-        List.concat_map
-          (fun fid ->
-            match outcomes.(fid) with
-            | Some oc when oc.Combined.candidates <> [] -> (
-                match stage2_memo.(fid) with
-                | Some answers -> answers
-                | None ->
-                    let answers =
-                      List.filter_map
-                        (fun ((v : Tree.node), f) ->
-                          Cluster.add_ops cl ~site 1;
-                          match
-                            Formula.to_bool (Formula.subst full_lookup f)
-                          with
-                          | Some true when v.Tree.id >= 0 -> Some v
-                          | Some _ -> None
-                          | None ->
-                              invalid_arg "PaX2: candidate failed to resolve")
-                        oc.Combined.candidates
-                    in
-                    stage2_memo.(fid) <- Some answers;
-                    answers)
-            | Some _ | None -> [])
-          (Cluster.fragments_on cl site))
+    Cluster.run_round cl
+      ?remote:(remote_if_net s2_remote)
+      ~label:"stage2" ~sites:stage2_sites s2_local
   in
   List.iter
     (fun site ->
@@ -308,12 +401,7 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
           ~bytes:(Measure.answers answers) ~label:"ans")
     stage2_answers;
 
-  let certain =
-    Array.to_list outcomes
-    |> List.concat_map (function
-         | Some oc -> oc.Combined.answers
-         | None -> [])
-  in
+  let certain = List.concat (Array.to_list s1_answers) in
   let answers = certain @ List.concat_map snd stage2_answers in
   Run_result.make ~trace:(Cluster.trace cl) ~query:q ~answers
     ~report:(Cluster.report cl) ()

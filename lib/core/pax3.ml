@@ -6,6 +6,7 @@ module Var = Pax_bool.Var
 module Fragment = Pax_frag.Fragment
 module Cluster = Pax_dist.Cluster
 module Measure = Pax_dist.Measure
+module Wire = Pax_wire.Wire
 
 let spf = Printf.sprintf
 
@@ -38,9 +39,19 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
       | None -> Sel_pass.symbolic_init compiled ~fid
   in
   let qp_store : Qual_pass.t option array = Array.make n_frag None in
+  let remote_if_net rm =
+    if Cluster.transport_active cl then Some rm else None
+  in
 
   (* ---------------- Stage 1: qualifiers, all sites ---------------- *)
   let stage1_needed = not (Compile.no_qualifiers compiled) in
+  (* Per-fragment views of the stage-1 result (the root qualifier
+     vector), filled by the in-process pass or a wire reply; the
+     accounting loop and evalFT read only these.  [qp_store] holds the
+     full in-process qual-pass state for stage 2 — a remote site keeps
+     the equivalent state itself between visits. *)
+  let q1_seen = Array.make n_frag false in
+  let q1_vec : Formula.t array array = Array.make n_frag [||] in
   let resolved_quals =
     if not stage1_needed then None
     else begin
@@ -48,35 +59,66 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
       (* Stage state is keyed by fid within the round: a replayed visit
          (lost reply under a fault plan) skips recomputation, so ops are
          not double-counted and stage-1 vectors are not rebuilt. *)
+      let s1_local site =
+        List.iter
+          (fun fid ->
+            if not q1_seen.(fid) then begin
+              let qp = Qual_pass.run compiled eval_roots.(fid) in
+              qp_store.(fid) <- Some qp;
+              q1_vec.(fid) <- qp.Qual_pass.root_vec;
+              q1_seen.(fid) <- true;
+              Cluster.add_ops cl ~site qp.Qual_pass.ops
+            end)
+          (Cluster.fragments_on cl site)
+      in
+      let s1_remote =
+        {
+          Cluster.build =
+            (fun site ->
+              Wire.Pax3_stage1
+                { query = q.Query.source; fids = Cluster.fragments_on cl site });
+          parse =
+            (fun site reply ->
+              match reply with
+              | Wire.Frag_results frs ->
+                  List.iter
+                    (fun (fr : Wire.frag_result) ->
+                      let fid = fr.Wire.fr_fid in
+                      if not q1_seen.(fid) then begin
+                        q1_vec.(fid) <-
+                          (match fr.Wire.fr_vec with
+                          | Some vec -> vec
+                          | None ->
+                              invalid_arg "PaX3: stage-1 reply lacks vector");
+                        q1_seen.(fid) <- true;
+                        Cluster.add_ops cl ~site fr.Wire.fr_ops
+                      end)
+                    frs
+              | Wire.Final_answers _ ->
+                  invalid_arg "PaX3: unexpected stage-1 reply");
+        }
+      in
       ignore
-        (Cluster.run_round cl ~label:"stage1" ~sites (fun site ->
-             List.iter
-               (fun fid ->
-                 if Option.is_none qp_store.(fid) then begin
-                   let qp = Qual_pass.run compiled eval_roots.(fid) in
-                   qp_store.(fid) <- Some qp;
-                   Cluster.add_ops cl ~site qp.Qual_pass.ops
-                 end)
-               (Cluster.fragments_on cl site)));
+        (Cluster.run_round cl
+           ?remote:(remote_if_net s1_remote)
+           ~label:"stage1" ~sites s1_local);
       List.iter
         (fun site ->
           Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Query
             ~bytes:(Measure.query q) ~label:"QVect(Q)";
           List.iter
             (fun fid ->
-              match qp_store.(fid) with
-              | Some qp ->
-                  Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Vectors
-                    ~bytes:(Measure.formula_array qp.Qual_pass.root_vec)
-                    ~label:(spf "QV(F%d)" fid)
-              | None -> ())
+              if q1_seen.(fid) then
+                Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Vectors
+                  ~bytes:(Measure.formula_array q1_vec.(fid))
+                  ~label:(spf "QV(F%d)" fid))
             (Cluster.fragments_on cl site))
         sites;
       Some
         (Cluster.coord cl ~label:"evalFT:quals" (fun () ->
              Cluster.add_ops cl ~site:(-1) (n_frag * compiled.Compile.n_qual);
              Eval_ft.resolve_quals ft ~root_vecs:(fun fid ->
-                 Option.map (fun qp -> qp.Qual_pass.root_vec) qp_store.(fid))))
+                 if q1_seen.(fid) then Some q1_vec.(fid) else None)))
     end
   in
   let qual_lookup =
@@ -88,36 +130,99 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   (* ---------------- Stage 2: selection, relevant sites ------------- *)
   let rel_fids = List.filter relevant_sel (all_fids ft) in
   let stage2_sites = active_sites cl rel_fids in
-  let outcomes : Sel_pass.outcome option array = Array.make n_frag None in
-  (* The [Option.is_none] guard keeps replayed visits from re-running
+  (* Stage-2 views: context vectors, certain answers, and the number of
+     candidates each site kept back for stage 3 ([local_cands] has the
+     actual formulas in-process only). *)
+  let s2_seen = Array.make n_frag false in
+  let s2_ctxs : (int * Formula.t array) list array = Array.make n_frag [] in
+  let s2_certain : Tree.node list array = Array.make n_frag [] in
+  let s2_cands = Array.make n_frag 0 in
+  let local_cands : (Tree.node * Formula.t) list array = Array.make n_frag [] in
+  (* The [s2_seen] guard keeps replayed visits from re-running
      [Qual_pass.resolve], which substitutes into the stage-1 vectors in
      place — exactly the "corrupt stage-1 state" hazard idempotent
      visits exist to prevent. *)
+  let s2_local site =
+    List.iter
+      (fun fid ->
+        if relevant_sel fid && not s2_seen.(fid) then begin
+          (match qp_store.(fid) with
+          | Some qp ->
+              Cluster.add_ops cl ~site (Qual_pass.resolve qp qual_lookup)
+          | None -> ());
+          let sat v filter =
+            match qp_store.(fid) with
+            | Some qp ->
+                Qual_pass.sat compiled
+                  (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
+                  v filter
+            | None -> Qual_pass.sat compiled [||] v filter
+          in
+          let oc =
+            Sel_pass.run compiled ~init:(init_for fid)
+              ~root_is_context:(fid = 0) ~sat eval_roots.(fid)
+          in
+          s2_ctxs.(fid) <- oc.Sel_pass.contexts;
+          s2_certain.(fid) <- Sel_pass.real_answers oc.Sel_pass.answers;
+          s2_cands.(fid) <- List.length oc.Sel_pass.candidates;
+          local_cands.(fid) <- oc.Sel_pass.candidates;
+          s2_seen.(fid) <- true;
+          Cluster.add_ops cl ~site oc.Sel_pass.ops
+        end)
+      (Cluster.fragments_on cl site)
+  in
+  let s2_remote =
+    {
+      Cluster.build =
+        (fun site ->
+          Wire.Pax3_stage2
+            {
+              query = q.Query.source;
+              frags =
+                List.filter_map
+                  (fun fid ->
+                    if relevant_sel fid then
+                      Some
+                        ( {
+                            Wire.fe_fid = fid;
+                            fe_is_root = fid = 0;
+                            fe_init =
+                              (if annotations then Some (init_for fid)
+                               else None);
+                          },
+                          match resolved_quals with
+                          | Some r ->
+                              List.map
+                                (fun sub -> (sub, r.(sub)))
+                                ft.Fragment.children.(fid)
+                          | None -> [] )
+                    else None)
+                  (Cluster.fragments_on cl site);
+            });
+      parse =
+        (fun site reply ->
+          match reply with
+          | Wire.Frag_results frs ->
+              List.iter
+                (fun (fr : Wire.frag_result) ->
+                  let fid = fr.Wire.fr_fid in
+                  if not s2_seen.(fid) then begin
+                    s2_ctxs.(fid) <- fr.Wire.fr_ctxs;
+                    s2_certain.(fid) <-
+                      List.map Wire.node_of_answer fr.Wire.fr_answers;
+                    s2_cands.(fid) <- fr.Wire.fr_cands;
+                    s2_seen.(fid) <- true;
+                    Cluster.add_ops cl ~site fr.Wire.fr_ops
+                  end)
+                frs
+          | Wire.Final_answers _ ->
+              invalid_arg "PaX3: unexpected stage-2 reply");
+    }
+  in
   ignore
-    (Cluster.run_round cl ~label:"stage2" ~sites:stage2_sites (fun site ->
-         List.iter
-           (fun fid ->
-             if relevant_sel fid && Option.is_none outcomes.(fid) then begin
-               (match qp_store.(fid) with
-               | Some qp ->
-                   Cluster.add_ops cl ~site (Qual_pass.resolve qp qual_lookup)
-               | None -> ());
-               let sat v filter =
-                 match qp_store.(fid) with
-                 | Some qp ->
-                     Qual_pass.sat compiled
-                       (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
-                       v filter
-                 | None -> Qual_pass.sat compiled [||] v filter
-               in
-               let outcome =
-                 Sel_pass.run compiled ~init:(init_for fid)
-                   ~root_is_context:(fid = 0) ~sat eval_roots.(fid)
-               in
-               outcomes.(fid) <- Some outcome;
-               Cluster.add_ops cl ~site outcome.Sel_pass.ops
-             end)
-           (Cluster.fragments_on cl site)));
+    (Cluster.run_round cl
+       ?remote:(remote_if_net s2_remote)
+       ~label:"stage2" ~sites:stage2_sites s2_local);
   List.iter
     (fun site ->
       Cluster.send cl ~src:Coordinator ~dst:(Site site) ~kind:Query
@@ -136,34 +241,29 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
                       ~label:(spf "QV*(F%d)" sub))
                   (Cluster.ftree cl).Fragment.children.(fid)
             | None -> ());
-            match outcomes.(fid) with
-            | Some oc ->
-                List.iter
-                  (fun (sub, vec) ->
-                    Cluster.send cl ~src:(Site site) ~dst:Coordinator
-                      ~kind:Vectors ~bytes:(Measure.formula_array vec)
-                      ~label:(spf "SV(F%d)" sub))
-                  oc.Sel_pass.contexts;
-                let certain = Sel_pass.real_answers oc.Sel_pass.answers in
-                if certain <> [] then
+            if s2_seen.(fid) then begin
+              List.iter
+                (fun (sub, vec) ->
                   Cluster.send cl ~src:(Site site) ~dst:Coordinator
-                    ~kind:Answers ~bytes:(Measure.answers certain)
-                    ~label:(spf "ans(F%d)" fid)
-            | None -> ()
+                    ~kind:Vectors ~bytes:(Measure.formula_array vec)
+                    ~label:(spf "SV(F%d)" sub))
+                s2_ctxs.(fid);
+              if s2_certain.(fid) <> [] then
+                Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Answers
+                  ~bytes:(Measure.answers s2_certain.(fid))
+                  ~label:(spf "ans(F%d)" fid)
+            end
           end)
         (Cluster.fragments_on cl site))
     stage2_sites;
 
   (* Coordinator: unify the context vectors top-down. *)
   let raw_ctx : Formula.t array option array = Array.make n_frag None in
-  Array.iter
-    (function
-      | Some oc ->
-          List.iter
-            (fun (sub, vec) -> raw_ctx.(sub) <- Some vec)
-            oc.Sel_pass.contexts
-      | None -> ())
-    outcomes;
+  Array.iteri
+    (fun fid ctxs ->
+      if s2_seen.(fid) then
+        List.iter (fun (sub, vec) -> raw_ctx.(sub) <- Some vec) ctxs)
+    s2_ctxs;
   let resolved_ctx =
     Cluster.coord cl ~label:"evalFT:contexts" (fun () ->
         Cluster.add_ops cl ~site:(-1) (n_frag * compiled.Compile.n_sel);
@@ -175,43 +275,62 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   let ctx_lookup = Eval_ft.ctx_lookup resolved_ctx in
 
   (* ---------------- Stage 3: resolve candidates -------------------- *)
-  let has_candidates fid =
-    match outcomes.(fid) with
-    | Some oc -> oc.Sel_pass.candidates <> []
-    | None -> false
-  in
+  let has_candidates fid = s2_seen.(fid) && s2_cands.(fid) > 0 in
   let cand_fids = List.filter has_candidates (all_fids ft) in
   let stage3_sites = active_sites cl cand_fids in
   (* Per-fid memo (replay idempotence under fault plans) as an array,
      not a shared hashtable: a fragment lives on exactly one site, so
      under a parallel round the worker domains write disjoint cells. *)
   let stage3_memo : Tree.node list option array = Array.make n_frag None in
+  let s3_local site =
+    List.concat_map
+      (fun fid ->
+        if has_candidates fid then
+          match stage3_memo.(fid) with
+          | Some answers -> answers
+          | None ->
+              let answers =
+                List.filter_map
+                  (fun ((v : Tree.node), f) ->
+                    Cluster.add_ops cl ~site 1;
+                    match Formula.to_bool (Formula.subst ctx_lookup f) with
+                    | Some true when v.Tree.id >= 0 -> Some v
+                    | Some _ -> None
+                    | None -> invalid_arg "PaX3: candidate failed to resolve")
+                  local_cands.(fid)
+              in
+              stage3_memo.(fid) <- Some answers;
+              answers
+        else [])
+      (Cluster.fragments_on cl site)
+  in
+  let s3_remote =
+    {
+      Cluster.build =
+        (fun site ->
+          Wire.Pax3_stage3
+            {
+              frags =
+                List.filter_map
+                  (fun fid ->
+                    if has_candidates fid then Some (fid, resolved_ctx.(fid))
+                    else None)
+                  (Cluster.fragments_on cl site);
+            });
+      parse =
+        (fun site reply ->
+          match reply with
+          | Wire.Final_answers { answers; ops } ->
+              Cluster.add_ops cl ~site ops;
+              List.map Wire.node_of_answer answers
+          | Wire.Frag_results _ ->
+              invalid_arg "PaX3: unexpected stage-3 reply");
+    }
+  in
   let stage3_answers =
-    Cluster.run_round cl ~label:"stage3" ~sites:stage3_sites (fun site ->
-        List.concat_map
-          (fun fid ->
-            match outcomes.(fid) with
-            | Some oc when oc.Sel_pass.candidates <> [] -> (
-                match stage3_memo.(fid) with
-                | Some answers -> answers
-                | None ->
-                    let answers =
-                      List.filter_map
-                        (fun ((v : Tree.node), f) ->
-                          Cluster.add_ops cl ~site 1;
-                          match
-                            Formula.to_bool (Formula.subst ctx_lookup f)
-                          with
-                          | Some true when v.Tree.id >= 0 -> Some v
-                          | Some _ -> None
-                          | None ->
-                              invalid_arg "PaX3: candidate failed to resolve")
-                        oc.Sel_pass.candidates
-                    in
-                    stage3_memo.(fid) <- Some answers;
-                    answers)
-            | Some _ | None -> [])
-          (Cluster.fragments_on cl site))
+    Cluster.run_round cl
+      ?remote:(remote_if_net s3_remote)
+      ~label:"stage3" ~sites:stage3_sites s3_local
   in
   List.iter
     (fun site ->
@@ -230,12 +349,7 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
           ~bytes:(Measure.answers answers) ~label:"ans")
     stage3_answers;
 
-  let certain =
-    Array.to_list outcomes
-    |> List.concat_map (function
-         | Some oc -> Sel_pass.real_answers oc.Sel_pass.answers
-         | None -> [])
-  in
+  let certain = List.concat (Array.to_list s2_certain) in
   let answers = certain @ List.concat_map snd stage3_answers in
   Run_result.make ~trace:(Cluster.trace cl) ~query:q ~answers
     ~report:(Cluster.report cl) ()

@@ -37,6 +37,9 @@ type t = {
   mutable retries : int;
   mutable backoff_seconds : float;
   mutable domains : int;
+  mutable transport : Transport.t option;
+  mutable net_base : Transport.stats;
+  mutable forced_sequential : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -72,7 +75,7 @@ let default_domains () =
       match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
 
-let create ?domains ~ftree ~n_sites ~assign () =
+let create ?domains ?transport ~ftree ~n_sites ~assign () =
   let domains =
     match domains with Some d -> d | None -> default_domains ()
   in
@@ -106,6 +109,9 @@ let create ?domains ~ftree ~n_sites ~assign () =
     retries = 0;
     backoff_seconds = 0.;
     domains;
+    transport;
+    net_base = Transport.zero_stats;
+    forced_sequential = false;
   }
 
 let one_site_per_fragment ?domains ftree =
@@ -129,6 +135,12 @@ let trace t = t.trace
 let set_fault t plan = t.fault <- plan
 let set_retry t policy = t.retry <- policy
 let fault_active t = not (Fault.is_none t.fault)
+let set_transport t tr = t.transport <- tr
+let transport_active t = Option.is_some t.transport
+let cur_net_stats t = Option.map (fun tr -> tr.Transport.stats ()) t.transport
+
+let net_stats t =
+  Option.map (fun cur -> Transport.diff_stats cur t.net_base) (cur_net_stats t)
 
 (* Back off before the next attempt (simulated time only) and record the
    retry, or raise once the policy's budget is exhausted. *)
@@ -234,7 +246,39 @@ let run_round_parallel t r ~round ~label:_ ~sites f =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> List.rev !results
 
-let run_round t ~label ~sites f =
+type 'a remote = {
+  build : int -> Pax_wire.Wire.call;
+  parse : int -> Pax_wire.Wire.reply -> 'a;
+}
+
+(* The socket path: requests are built up front, the transport moves
+   them (pipelined across sites), replies are parsed in input-site
+   order.  Delivery failures come back through [retry], which shares
+   the budget/trace machinery with the simulated fault path — except
+   that here the backoff is physically slept, since a restarting
+   server needs the wall-clock time. *)
+let run_round_net t tr r ~round ~label ~sites (rm : 'a remote) =
+  if not (Fault.is_none t.fault) then
+    invalid_arg
+      "Cluster: simulated fault plans apply to the in-process transport only";
+  List.iter
+    (fun site ->
+      t.visits.(site) <- t.visits.(site) + 1;
+      Trace.add t.trace (Trace.Visit { site; round; attempt = 1; replay = false }))
+    sites;
+  let reqs = List.map (fun site -> (site, rm.build site)) sites in
+  let retry ~site ~attempt ~reason =
+    retry_or_give_up t ~site ~round ~stage:label ~attempt ~reason;
+    Unix.sleepf (Retry.delay_before t.retry ~attempt:(attempt + 1))
+  in
+  let replies = tr.Transport.visit_round ~round ~label ~retry reqs in
+  List.map
+    (fun (site, reply, secs) ->
+      r.seconds.(site) <- r.seconds.(site) +. secs;
+      (site, rm.parse site reply))
+    replies
+
+let run_round ?remote t ~label ~sites f =
   let round = t.round_no in
   t.round_no <- round + 1;
   Trace.add t.trace (Trace.Round_start { round; label });
@@ -260,17 +304,30 @@ let run_round t ~label ~sites f =
       sites
   in
   let results =
-    (* Fault plans stay on the sequential path: their schedules are
-       deterministic functions of the exact visit/attempt order, which
-       parallel execution would scramble. *)
-    if t.domains > 1 && List.length sites > 1 && Fault.is_none t.fault then
-      run_round_parallel t r ~round ~label ~sites f
-    else
-      List.map
-        (fun site ->
-          t.visits.(site) <- t.visits.(site) + 1;
-          (site, visit_site t r ~round ~label ~site f))
-        sites
+    match (t.transport, remote) with
+    | Some tr, Some rm -> run_round_net t tr r ~round ~label ~sites rm
+    | Some _, None ->
+        invalid_arg
+          (Printf.sprintf
+             "Cluster.run_round: stage %S has no remote implementation for \
+              the socket transport"
+             label)
+    | None, _ ->
+        (* Fault plans stay on the sequential path: their schedules are
+           deterministic functions of the exact visit/attempt order,
+           which parallel execution would scramble.  Record the forced
+           downgrade so reports and trace headers can say so. *)
+        if t.domains > 1 && List.length sites > 1 && Fault.is_none t.fault then
+          run_round_parallel t r ~round ~label ~sites f
+        else begin
+          if t.domains > 1 && not (Fault.is_none t.fault) then
+            t.forced_sequential <- true;
+          List.map
+            (fun site ->
+              t.visits.(site) <- t.visits.(site) + 1;
+              (site, visit_site t r ~round ~label ~site f))
+            sites
+        end
   in
   t.current <- None;
   t.rounds_rev <- r :: t.rounds_rev;
@@ -367,7 +424,13 @@ let reset t =
   Trace.clear t.trace;
   t.round_no <- 0;
   t.retries <- 0;
-  t.backoff_seconds <- 0.
+  t.backoff_seconds <- 0.;
+  t.forced_sequential <- false;
+  match t.transport with
+  | Some tr ->
+      tr.Transport.reset_run ();
+      t.net_base <- tr.Transport.stats ()
+  | None -> ()
 
 type report = {
   parallel_seconds : float;
@@ -384,6 +447,8 @@ type report = {
   tree_bytes : int;
   n_messages : int;
   net_seconds : float;
+  measured_bytes : int option;
+  forced_sequential : bool;
 }
 
 let report t =
@@ -435,6 +500,11 @@ let report t =
     tree_bytes;
     n_messages = List.length t.messages_rev;
     net_seconds;
+    measured_bytes =
+      Option.map
+        (fun (s : Transport.stats) -> s.sent_bytes + s.received_bytes)
+        (net_stats t);
+    forced_sequential = t.forced_sequential;
   }
 
 let messages t = List.rev t.messages_rev
@@ -442,12 +512,17 @@ let messages t = List.rev t.messages_rev
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>parallel: %.4fs (%d ops)@,total:    %.4fs (%d ops)@,\
-     coordinator: %.4fs@,visits: [%s] (max %d)%s@,rounds: %s@,\
-     traffic: %d control + %d answer + %d tree bytes in %d messages (net %.4fs)@]"
+     coordinator: %.4fs@,visits: [%s] (max %d)%s@,rounds: %s%s@,\
+     traffic: %d control + %d answer + %d tree bytes in %d messages (net %.4fs)%s@]"
     r.parallel_seconds r.parallel_ops r.total_seconds r.total_ops
     r.coord_seconds
     (String.concat "; " (Array.to_list (Array.map string_of_int r.visits)))
     r.max_visits
     (if r.retries > 0 then Printf.sprintf " after %d retries" r.retries else "")
     (String.concat " -> " r.rounds)
+    (if r.forced_sequential then " [sequential: fault plan overrode domains]"
+     else "")
     r.control_bytes r.answer_bytes r.tree_bytes r.n_messages r.net_seconds
+    (match r.measured_bytes with
+    | Some b -> Printf.sprintf "; measured on wire: %d bytes" b
+    | None -> "")

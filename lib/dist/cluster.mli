@@ -84,9 +84,12 @@ type t
     [assign fid] (sites are [0..n_sites-1]).  The new cluster has no
     fault plan and the {!Retry.default} policy.  [domains] is the
     concurrency degree for {!run_round} (default: {!default_domains},
-    i.e. [PAX_DOMAINS] or 1). *)
+    i.e. [PAX_DOMAINS] or 1).  [transport] plugs in a remote backend
+    ({!Pax_net.Client.transport} builds the socket one); without it
+    visits run in-process. *)
 val create :
   ?domains:int ->
+  ?transport:Transport.t ->
   ftree:Pax_frag.Fragment.t -> n_sites:int -> assign:(int -> int) -> unit -> t
 
 (** One site per fragment. *)
@@ -128,11 +131,37 @@ val set_retry : t -> Retry.t -> unit
 (** Is a non-trivial fault plan installed? *)
 val fault_active : t -> bool
 
+(** {1 Transports}
+
+    Fault plans and transports are mutually exclusive: the simulated
+    schedules assume in-process delivery, so a round that finds both
+    installed raises [Invalid_argument].  Real delivery failures on a
+    transport go through the same {!Retry} budget and raise the same
+    {!Site_unreachable}. *)
+
+(** Install or remove the remote backend. *)
+val set_transport : t -> Transport.t option -> unit
+
+(** Is a remote backend installed?  Engines consult this to decide
+    whether to pass [?remote] stage implementations to {!run_round}. *)
+val transport_active : t -> bool
+
+(** Transport byte counters accumulated since the last {!reset} (i.e.
+    for the current run), or [None] without a transport. *)
+val net_stats : t -> Transport.stats option
+
 (** The structured event log of the current (or last) run.  Cleared by
     {!reset}, i.e. at the start of each engine run. *)
 val trace : t -> Trace.t
 
 (** {1 Instrumented execution} *)
+
+(** A stage's remote implementation: how to phrase a site visit as a
+    wire call and read the result back from the reply. *)
+type 'a remote = {
+  build : int -> Pax_wire.Wire.call;
+  parse : int -> Pax_wire.Wire.reply -> 'a;
+}
 
 (** [run_round t ~label ~sites f] visits each listed site once, running
     [f site] there; wall-clock spans are recorded per site, and the
@@ -149,8 +178,18 @@ val trace : t -> Trace.t
     sequential run (see the {e Real parallelism} section above).  Under
     an installed fault plan each visit may take several delivery
     attempts (see {!Site_unreachable}); the per-site visit counter is
-    charged once per (site, round) regardless. *)
-val run_round : t -> label:string -> sites:int list -> (int -> 'a) -> (int * 'a) list
+    charged once per (site, round) regardless.
+
+    With a transport installed (see {!set_transport}), the round runs
+    remotely through [remote] instead of calling [f]: [build site] is
+    the wire call shipped to the site and [parse site reply] turns the
+    reply into the same result [f] would have produced.  Visit counts,
+    trace events and accounted messages are identical across backends;
+    omitting [remote] while a transport is installed raises
+    [Invalid_argument] (the stage cannot run remotely). *)
+val run_round :
+  ?remote:'a remote ->
+  t -> label:string -> sites:int list -> (int -> 'a) -> (int * 'a) list
 
 (** [coord t ~label f] runs coordinator-side work (e.g. [evalFT]),
     accounted in both parallel and total cost. *)
@@ -192,6 +231,12 @@ type report = {
       (** simulated wire time: per-message latency + bytes/bandwidth
           under a LAN-like model (0.1 ms, 100 MB/s), plus retry backoff
           and injected delays *)
+  measured_bytes : int option;
+      (** actual socket bytes this run, both directions, when a
+          transport is installed; [None] for in-process runs *)
+  forced_sequential : bool;
+      (** true when [domains > 1] was requested but an installed fault
+          plan forced rounds down the sequential path *)
 }
 
 val report : t -> report

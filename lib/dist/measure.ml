@@ -1,12 +1,13 @@
-(* Control-message sizes use the real wire codec (Pax_bool.Codec); the
-   4-byte additions stand for a message header. *)
+(* Control-message sizes are the real wire sizes of Pax_wire: each
+   message unit is one wire section, costing its encoded payload plus
+   the 4-byte section header.  The simulator and the socket transport
+   therefore account the same bytes (docs/NETWORK.md). *)
 
-let query q = 4 + (8 * Pax_xpath.Query.size q)
-let formula_array fs = 4 + Pax_bool.Codec.formula_array_bytes fs
-let bool_array bs = 4 + Pax_bool.Codec.bool_array_bytes bs
+let query q = Pax_wire.Wire.query_section_bytes q.Pax_xpath.Query.source
+let formula_array fs = Pax_wire.Wire.vectors_section_bytes fs
+let bool_array bs = Pax_wire.Wire.resolution_section_bytes bs
 
 let valuation vs =
   List.fold_left (fun acc (v, _) -> acc + 1 + Pax_bool.Var.byte_size v) 4 vs
 
-let answers nodes =
-  List.fold_left (fun acc n -> acc + Pax_xml.Tree.answer_byte_size n) 4 nodes
+let answers nodes = Pax_wire.Wire.answers_section_bytes nodes

@@ -1,8 +1,10 @@
-(** Serialized-size estimates for everything the algorithms ship.
+(** Serialized sizes for everything the algorithms ship.
 
     The paper's communication bound is [O(|Q| |FT| + |ans|)]; these
-    estimators let the simulator verify it by counting the bytes an
-    actual wire encoding would take. *)
+    are the exact byte counts of the {!Pax_wire.Wire} sections the
+    socket transport puts on the wire (payload + 4-byte section
+    header), so accounted traffic and measured traffic coincide —
+    see docs/NETWORK.md. *)
 
 val query : Pax_xpath.Query.t -> int
 

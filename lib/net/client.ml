@@ -1,0 +1,172 @@
+module Wire = Pax_wire.Wire
+module Transport = Pax_dist.Transport
+
+type t = {
+  addrs : Sockio.addr array;
+  timeout : float;
+  conns : Unix.file_descr option array;
+  mutable run : int;
+  mutable run_counter : int;
+  mutable sent_bytes : int;
+  mutable received_bytes : int;
+  mutable section_bytes : int;
+  mutable sections : int;
+  mutable frag_entries : int;
+  mutable frames : int;
+}
+
+let create ?(timeout = 30.) ~addrs () =
+  {
+    addrs;
+    timeout;
+    conns = Array.make (Array.length addrs) None;
+    run = 0;
+    run_counter = 0;
+    sent_bytes = 0;
+    received_bytes = 0;
+    section_bytes = 0;
+    sections = 0;
+    frag_entries = 0;
+    frames = 0;
+  }
+
+let stats t =
+  {
+    Transport.sent_bytes = t.sent_bytes;
+    received_bytes = t.received_bytes;
+    section_bytes = t.section_bytes;
+    sections = t.sections;
+    frag_entries = t.frag_entries;
+    frames = t.frames;
+  }
+
+(* A fresh run id per engine run: servers key their visit state by it,
+   so stale state from an aborted run can never leak in.  Best-effort
+   unique (hash of pid, clock and a counter), non-negative for the
+   varint encoding. *)
+let reset_run t =
+  t.run_counter <- t.run_counter + 1;
+  t.run <-
+    Hashtbl.hash (Unix.getpid (), Unix.gettimeofday (), t.run_counter)
+    land max_int
+
+let conn t site =
+  match t.conns.(site) with
+  | Some fd -> fd
+  | None ->
+      let fd = Sockio.connect t.addrs.(site) in
+      t.conns.(site) <- Some fd;
+      fd
+
+let drop t site =
+  match t.conns.(site) with
+  | Some fd ->
+      (try Unix.close fd with _ -> ());
+      t.conns.(site) <- None
+  | None -> ()
+
+let tally_msg t msg ~payload_len =
+  let y = Wire.tally msg in
+  t.section_bytes <- t.section_bytes + y.Wire.section_bytes;
+  t.sections <- t.sections + y.Wire.sections;
+  t.frag_entries <- t.frag_entries + y.Wire.frag_entries;
+  t.frames <- t.frames + 1;
+  ignore payload_len
+
+let send_msg t site msg =
+  let payload = Wire.encode_payload msg in
+  Sockio.write_frame (conn t site) payload;
+  t.sent_bytes <- t.sent_bytes + 4 + String.length payload;
+  tally_msg t msg ~payload_len:(String.length payload)
+
+let recv_msg t site =
+  match Sockio.read_frame ~timeout:t.timeout (conn t site) with
+  | None -> failwith "connection closed by site server"
+  | Some payload -> (
+      t.received_bytes <- t.received_bytes + 4 + String.length payload;
+      match Wire.decode_payload payload with
+      | Ok msg ->
+          tally_msg t msg ~payload_len:(String.length payload);
+          msg
+      | Error err -> failwith (Format.asprintf "%a" Wire.pp_error err))
+
+(* Send all requests first (sites start working in parallel), then
+   collect replies in input order.  Any delivery failure drops the
+   connection and reports to [retry] — which raises once the budget is
+   gone — then reconnects and resends; the server's per-round reply
+   memo makes the resend safe. *)
+let visit_round t ~round ~label ~retry reqs =
+  let attempts = Hashtbl.create 8 in
+  let next_attempt site =
+    let a = Option.value (Hashtbl.find_opt attempts site) ~default:1 in
+    Hashtbl.replace attempts site (a + 1);
+    a
+  in
+  let failed site e =
+    drop t site;
+    retry ~site ~attempt:(next_attempt site) ~reason:(Printexc.to_string e)
+  in
+  let request site call =
+    Wire.Visit_request { run = t.run; round; site; label; call }
+  in
+  let rec send site call =
+    match send_msg t site (request site call) with
+    | () -> ()
+    | exception ((Unix.Unix_error _ | Failure _) as e) ->
+        failed site e;
+        send site call
+  in
+  let started = Hashtbl.create 8 in
+  List.iter
+    (fun (site, call) ->
+      Hashtbl.replace started site (Unix.gettimeofday ());
+      send site call)
+    reqs;
+  let rec recv site call =
+    match recv_msg t site with
+    | Wire.Visit_reply { run; round = r; reply }
+      when run = t.run && r = round -> (
+        match reply with
+        | Ok rep -> rep
+        | Error message -> raise (Transport.Remote_failure { site; message }))
+    | Wire.Visit_reply _ | Wire.Pong | Wire.Ping | Wire.Shutdown
+    | Wire.Visit_request _ ->
+        (* A stale frame (earlier run or round, duplicated reply): skip. *)
+        recv site call
+    | exception ((Unix.Unix_error _ | Failure _ | Sockio.Timeout) as e) ->
+        failed site e;
+        send site call;
+        recv site call
+  in
+  List.map
+    (fun (site, call) ->
+      let reply = recv site call in
+      let t0 =
+        Option.value (Hashtbl.find_opt started site)
+          ~default:(Unix.gettimeofday ())
+      in
+      (site, reply, Unix.gettimeofday () -. t0))
+    reqs
+
+let close t = Array.iteri (fun site _ -> drop t site) t.conns
+
+let shutdown_sites t =
+  Array.iteri
+    (fun site _ ->
+      (try Sockio.write_frame (conn t site) (Wire.encode_payload Wire.Shutdown)
+       with _ -> ());
+      drop t site)
+    t.conns
+
+let transport t =
+  {
+    Transport.describe =
+      Printf.sprintf "sockets: %s"
+        (String.concat ", "
+           (Array.to_list (Array.map Sockio.addr_to_string t.addrs)));
+    visit_round = (fun ~round ~label ~retry reqs ->
+        visit_round t ~round ~label ~retry reqs);
+    stats = (fun () -> stats t);
+    reset_run = (fun () -> reset_run t);
+    close = (fun () -> close t);
+  }

@@ -1,0 +1,31 @@
+(** The coordinator's side of the socket transport: one connection per
+    site, lazily opened, with visit requests pipelined across sites
+    within a round and per-frame byte accounting.
+
+    Failure semantics match the simulated cluster's: every failed
+    delivery attempt (connect refusal, timeout, EOF, reset) goes
+    through the round's [retry] callback, which charges the
+    {!Pax_dist.Retry} budget and raises
+    {!Pax_dist.Cluster.Site_unreachable} when it is exhausted.  A
+    deterministic server-side error (an [Error] reply) raises
+    {!Pax_dist.Transport.Remote_failure} instead — retrying cannot
+    help.  Reconnect-and-resend is safe because servers memoize replies
+    per (run, round). *)
+
+type t
+
+(** [create ~addrs] — a client for sites [0 .. n-1] at the given
+    addresses.  [timeout] (seconds, default 30) bounds each wait for a
+    reply frame. *)
+val create : ?timeout:float -> addrs:Sockio.addr array -> unit -> t
+
+(** The {!Pax_dist.Transport.t} view, to install with
+    [Cluster.set_transport] (or pass to [Cluster.create]). *)
+val transport : t -> Pax_dist.Transport.t
+
+(** Best-effort [Shutdown] to every site (ignores delivery failures);
+    then closes the connections. *)
+val shutdown_sites : t -> unit
+
+(** Close all connections (servers see EOF and await reconnection). *)
+val close : t -> unit

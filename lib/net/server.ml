@@ -1,0 +1,287 @@
+module Wire = Pax_wire.Wire
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Compile = Pax_xpath.Compile
+module Formula = Pax_bool.Formula
+module Var = Pax_bool.Var
+module Qual_pass = Pax_core.Qual_pass
+module Sel_pass = Pax_core.Sel_pass
+module Combined = Pax_core.Pax2.Combined
+
+(* Per-run visit state.  Stage-1 results feed the later stages of the
+   same run; replies are memoized by round so a retransmitted request
+   (lost reply, client reconnect) is answered identically without
+   re-execution — [Qual_pass.resolve] mutates stage-1 vectors in place,
+   so re-execution would corrupt them. *)
+type run_state = {
+  rs_run : int;
+  mutable rs_query : (string * Query.t) option;
+  rs_pax2 : (int, Combined.outcome) Hashtbl.t;
+  rs_qp : (int, Qual_pass.t) Hashtbl.t;
+  rs_sel : (int, Sel_pass.outcome) Hashtbl.t;
+  rs_replies : (int, Wire.reply) Hashtbl.t;  (* round -> reply *)
+}
+
+type t = {
+  frags : (int, Tree.node) Hashtbl.t;
+  mutable st : run_state option;
+}
+
+let create ~frags =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (fid, root) -> Hashtbl.replace tbl fid root) frags;
+  { frags = tbl; st = None }
+
+let fresh_state run =
+  {
+    rs_run = run;
+    rs_query = None;
+    rs_pax2 = Hashtbl.create 8;
+    rs_qp = Hashtbl.create 8;
+    rs_sel = Hashtbl.create 8;
+    rs_replies = Hashtbl.create 8;
+  }
+
+let state_for t run =
+  match t.st with
+  | Some st when st.rs_run = run -> st
+  | _ ->
+      let st = fresh_state run in
+      t.st <- Some st;
+      st
+
+let frag_root t fid =
+  match Hashtbl.find_opt t.frags fid with
+  | Some root -> root
+  | None -> failwith (Printf.sprintf "site server holds no fragment %d" fid)
+
+(* All stages of one run evaluate the same query; compile it once. *)
+let query_of st source =
+  match st.rs_query with
+  | Some (src, q) when src = source -> q
+  | _ ->
+      let q = Query.of_string source in
+      st.rs_query <- Some (source, q);
+      q
+
+let eval_root compiled ~is_root root =
+  if is_root then fst (Sel_pass.context_root compiled root) else root
+
+let init_of compiled ~fid ~is_root = function
+  | Some vec -> vec
+  | None ->
+      if is_root then Sel_pass.blank_init compiled
+      else Sel_pass.symbolic_init compiled ~fid
+
+(* A candidate formula of fragment [fid] only mentions
+   [Sel_ctx (fid, _)] and [Qual (sub, _)] for direct sub-fragments, so
+   the per-fragment resolutions in a request are a complete
+   substitution source. *)
+let lookup_of ~ctxs ~quals = function
+  | Var.Sel_ctx (f, i) ->
+      Option.map (fun (a : bool array) -> Formula.bool a.(i))
+        (Hashtbl.find_opt ctxs f)
+  | Var.Qual (f, e) ->
+      Option.map (fun (a : bool array) -> Formula.bool a.(e))
+        (Hashtbl.find_opt quals f)
+  | Var.Qual_at _ -> None
+
+let resolve_candidates cands lookup ~ops =
+  List.filter_map
+    (fun ((v : Tree.node), f) ->
+      incr ops;
+      match Formula.to_bool (Formula.subst lookup f) with
+      | Some true when v.Tree.id >= 0 -> Some v
+      | Some _ -> None
+      | None -> failwith "site server: candidate failed to resolve")
+    cands
+
+let handle_call t ~run call =
+  let st = state_for t run in
+  match call with
+  | Wire.Pax2_stage1 { query; frags } ->
+      let q = query_of st query in
+      let compiled = q.Query.compiled in
+      Wire.Frag_results
+        (List.map
+           (fun (fe : Wire.frag_eval) ->
+             let fid = fe.Wire.fe_fid in
+             let is_root = fe.Wire.fe_is_root in
+             let oc =
+               Combined.run compiled
+                 ~init:(init_of compiled ~fid ~is_root fe.Wire.fe_init)
+                 ~root_is_context:is_root
+                 (eval_root compiled ~is_root (frag_root t fid))
+             in
+             Hashtbl.replace st.rs_pax2 fid oc;
+             {
+               Wire.fr_fid = fid;
+               fr_vec =
+                 (if compiled.Compile.n_qual > 0 then
+                    Some oc.Combined.root_qvec
+                  else None);
+               fr_ctxs = oc.Combined.contexts;
+               fr_answers = List.map Wire.answer_of_node oc.Combined.answers;
+               fr_cands = List.length oc.Combined.candidates;
+               fr_ops = oc.Combined.ops;
+             })
+           frags)
+  | Wire.Pax2_stage2 { frags } ->
+      let ctxs = Hashtbl.create 8 and quals = Hashtbl.create 8 in
+      List.iter
+        (fun (fid, ctx, subs) ->
+          Hashtbl.replace ctxs fid ctx;
+          List.iter (fun (sub, vec) -> Hashtbl.replace quals sub vec) subs)
+        frags;
+      let lookup = lookup_of ~ctxs ~quals in
+      let ops = ref 0 in
+      let answers =
+        List.concat_map
+          (fun (fid, _, _) ->
+            match Hashtbl.find_opt st.rs_pax2 fid with
+            | Some oc -> resolve_candidates oc.Combined.candidates lookup ~ops
+            | None ->
+                failwith
+                  (Printf.sprintf "no stage-1 state for fragment %d" fid))
+          frags
+      in
+      Wire.Final_answers
+        { answers = List.map Wire.answer_of_node answers; ops = !ops }
+  | Wire.Pax3_stage1 { query; fids } ->
+      let q = query_of st query in
+      let compiled = q.Query.compiled in
+      Wire.Frag_results
+        (List.map
+           (fun fid ->
+             let is_root = fid = 0 in
+             let qp =
+               Qual_pass.run compiled
+                 (eval_root compiled ~is_root (frag_root t fid))
+             in
+             Hashtbl.replace st.rs_qp fid qp;
+             {
+               Wire.fr_fid = fid;
+               fr_vec = Some qp.Qual_pass.root_vec;
+               fr_ctxs = [];
+               fr_answers = [];
+               fr_cands = 0;
+               fr_ops = qp.Qual_pass.ops;
+             })
+           fids)
+  | Wire.Pax3_stage2 { query; frags } ->
+      let q = query_of st query in
+      let compiled = q.Query.compiled in
+      Wire.Frag_results
+        (List.map
+           (fun ((fe : Wire.frag_eval), subs) ->
+             let fid = fe.Wire.fe_fid in
+             let is_root = fe.Wire.fe_is_root in
+             let quals = Hashtbl.create 4 in
+             List.iter (fun (sub, vec) -> Hashtbl.replace quals sub vec) subs;
+             let lookup = lookup_of ~ctxs:(Hashtbl.create 1) ~quals in
+             let resolve_ops =
+               match Hashtbl.find_opt st.rs_qp fid with
+               | Some qp -> Qual_pass.resolve qp lookup
+               | None -> 0
+             in
+             let sat v filter =
+               match Hashtbl.find_opt st.rs_qp fid with
+               | Some qp ->
+                   Qual_pass.sat compiled
+                     (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
+                     v filter
+               | None -> Qual_pass.sat compiled [||] v filter
+             in
+             let oc =
+               Sel_pass.run compiled
+                 ~init:(init_of compiled ~fid ~is_root fe.Wire.fe_init)
+                 ~root_is_context:is_root ~sat
+                 (eval_root compiled ~is_root (frag_root t fid))
+             in
+             Hashtbl.replace st.rs_sel fid oc;
+             {
+               Wire.fr_fid = fid;
+               fr_vec = None;
+               fr_ctxs = oc.Sel_pass.contexts;
+               fr_answers =
+                 List.map Wire.answer_of_node
+                   (Sel_pass.real_answers oc.Sel_pass.answers);
+               fr_cands = List.length oc.Sel_pass.candidates;
+               fr_ops = resolve_ops + oc.Sel_pass.ops;
+             })
+           frags)
+  | Wire.Pax3_stage3 { frags } ->
+      let ctxs = Hashtbl.create 8 in
+      List.iter (fun (fid, ctx) -> Hashtbl.replace ctxs fid ctx) frags;
+      let lookup = lookup_of ~ctxs ~quals:(Hashtbl.create 1) in
+      let ops = ref 0 in
+      let answers =
+        List.concat_map
+          (fun (fid, _) ->
+            match Hashtbl.find_opt st.rs_sel fid with
+            | Some oc -> resolve_candidates oc.Sel_pass.candidates lookup ~ops
+            | None ->
+                failwith
+                  (Printf.sprintf "no stage-2 state for fragment %d" fid))
+          frags
+      in
+      Wire.Final_answers
+        { answers = List.map Wire.answer_of_node answers; ops = !ops }
+
+let handle_request t ~run ~round call =
+  let st = state_for t run in
+  match Hashtbl.find_opt st.rs_replies round with
+  | Some reply -> Ok reply
+  | None -> (
+      match handle_call t ~run call with
+      | reply ->
+          Hashtbl.replace st.rs_replies round reply;
+          Ok reply
+      | exception e -> Error (Printexc.to_string e))
+
+let serve t fd =
+  let rec conn_loop conn =
+    match Sockio.read_frame conn with
+    | None -> `Eof
+    | Some payload -> (
+        match Wire.decode_payload payload with
+        | Ok (Wire.Visit_request { run; round; site = _; label = _; call }) ->
+            let reply = handle_request t ~run ~round call in
+            Sockio.write_frame conn
+              (Wire.encode_payload (Wire.Visit_reply { run; round; reply }));
+            conn_loop conn
+        | Ok Wire.Ping ->
+            Sockio.write_frame conn (Wire.encode_payload Wire.Pong);
+            conn_loop conn
+        | Ok Wire.Shutdown -> `Shutdown
+        | Ok (Wire.Visit_reply _ | Wire.Pong) ->
+            (* Not ours to receive; ignore. *)
+            conn_loop conn
+        | Error err ->
+            Format.eprintf "site server: bad frame: %a@." Wire.pp_error err;
+            `Eof)
+  in
+  let rec accept_loop () =
+    match Unix.accept fd with
+    | conn, _ ->
+        let outcome = try conn_loop conn with _ -> `Eof in
+        (try Unix.close conn with _ -> ());
+        if outcome = `Eof then accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ()
+
+let spawn ~addr ~frags =
+  (* Bind before forking so the parent can connect without racing the
+     child's startup. *)
+  let fd = Sockio.listen addr in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try serve (create ~frags) fd with _ -> ());
+      (try Unix.close fd with _ -> ());
+      Unix._exit 0
+  | pid ->
+      (try Unix.close fd with _ -> ());
+      pid

@@ -1,0 +1,43 @@
+(** The site server: one process per site, holding that site's
+    fragments and answering {!Wire} visit requests over a socket.
+
+    A server is a faithful stand-in for the in-process site closures of
+    the PaX engines: it runs the {e same} pass code
+    ({!Pax_core.Pax2.Combined}, {!Pax_core.Qual_pass},
+    {!Pax_core.Sel_pass}) on the same fragment trees, so answers, per
+    fragment vectors and operation counts are bit-identical across
+    transports.
+
+    Visit state is kept per run (the coordinator stamps every request
+    with a run id): stage-1 results are retained for the later stages,
+    and every computed reply is memoized by round — a retransmitted
+    request is answered from the memo, making visits idempotent exactly
+    as the simulated cluster requires.  A request for a new run id
+    discards all previous state. *)
+
+type t
+
+(** [create ~frags] — a server holding fragments [(fid, root)].
+    Fragment 0, when present, is the document root (fragment ids are
+    topological). *)
+val create : frags:(int * Pax_xml.Tree.node) list -> t
+
+(** Answer one call (exposed for tests; [serve] handles the memo and
+    envelope around this).
+    @raise Failure (and others) on malformed calls — [serve] turns any
+    exception into an [Error] reply. *)
+val handle_call : t -> run:int -> Pax_wire.Wire.call -> Pax_wire.Wire.reply
+
+(** [serve t fd] — accept loop on a listening socket.  One connection
+    at a time; on EOF the client may reconnect.  [Ping] is answered
+    with [Pong]; [Shutdown] makes [serve] return (the listening socket
+    stays open for the caller to close).  Malformed frames close the
+    offending connection. *)
+val serve : t -> Unix.file_descr -> unit
+
+(** [spawn ~addr ~frags] — fork a child serving [frags] on [addr]; the
+    socket is bound and listening before [spawn] returns, so a client
+    may connect immediately.  Returns the child pid (the child never
+    returns).  The child exits 0 after [Shutdown], or dies with the
+    signal it receives — reap it with [Unix.waitpid]. *)
+val spawn : addr:Sockio.addr -> frags:(int * Pax_xml.Tree.node) list -> int

@@ -1,0 +1,122 @@
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | _ when s = "" -> Error "empty address"
+  | _ when s.[0] = '/' || s.[0] = '.' -> Ok (Unix_path s)
+  | Some 4 when String.sub s 0 4 = "unix" ->
+      let path = String.sub s 5 (String.length s - 5) in
+      if path = "" then Error "empty unix socket path" else Ok (Unix_path path)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error (Printf.sprintf "bad port in %S" s))
+  | None -> Error (Printf.sprintf "bad address %S (want unix:PATH or HOST:PORT)" s)
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+(* A peer closing mid-write must surface as EPIPE (mapped to a retry),
+   not kill the process. *)
+let ignore_sigpipe =
+  lazy (if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      Unix.ADDR_INET (ip, port)
+
+let domain_of = function
+  | Unix_path _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let listen ?(backlog = 16) addr =
+  Lazy.force ignore_sigpipe;
+  (match addr with
+  | Unix_path p when Sys.file_exists p -> ( try Unix.unlink p with _ -> ())
+  | _ -> ());
+  let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | Unix_path _ -> ());
+  Unix.bind fd (sockaddr_of addr);
+  Unix.listen fd backlog;
+  fd
+
+let connect addr =
+  Lazy.force ignore_sigpipe;
+  let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of addr)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+exception Timeout
+
+let max_frame = 64 * 1024 * 1024
+
+let wait_readable fd deadline =
+  match deadline with
+  | None -> ()
+  | Some dl ->
+      let remaining = dl -. Unix.gettimeofday () in
+      if remaining <= 0. then raise Timeout
+      else
+        let r, _, _ = Unix.select [ fd ] [] [] remaining in
+        if r = [] then raise Timeout
+
+(* EINTR-safe exact read; [None] iff EOF at offset 0 and [eof_ok]. *)
+let read_exact ?timeout fd n ~eof_ok =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string b)
+    else begin
+      wait_readable fd deadline;
+      match Unix.read fd b off (n - off) with
+      | 0 ->
+          if off = 0 && eof_ok then None
+          else failwith "Sockio: connection closed mid-frame"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let read_frame ?timeout fd =
+  match read_exact ?timeout fd 4 ~eof_ok:true with
+  | None -> None
+  | Some hdr ->
+      let n =
+        (Char.code hdr.[0] lsl 24)
+        lor (Char.code hdr.[1] lsl 16)
+        lor (Char.code hdr.[2] lsl 8)
+        lor Char.code hdr.[3]
+      in
+      if n > max_frame then failwith "Sockio: oversized frame"
+      else read_exact ?timeout fd n ~eof_ok:false
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (n + 4) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.blit_string payload 0 b 4 n;
+  let rec go off =
+    if off < n + 4 then
+      match Unix.write fd b off (n + 4 - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0

@@ -1,0 +1,34 @@
+(** Socket plumbing shared by the site server and the coordinator
+    client: addresses, connect/listen, and framed reads/writes (a
+    big-endian [u32] length prefix before every {!Wire} payload). *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this path *)
+  | Tcp of string * int  (** host, port *)
+
+(** ["unix:/path"], ["/abs/path"] (leading [/] or [.]), or
+    ["host:port"]. *)
+val addr_of_string : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+(** Bind + listen (unlinking a stale Unix-socket path first).
+    @raise Unix.Unix_error on failure. *)
+val listen : ?backlog:int -> addr -> Unix.file_descr
+
+val connect : addr -> Unix.file_descr
+
+(** Raised by {!read_frame} when [timeout] elapses without a frame. *)
+exception Timeout
+
+(** [read_frame ?timeout fd] reads one length-prefixed frame payload;
+    [None] on orderly EOF before a frame starts.
+    @raise Unix.Unix_error on connection errors
+    @raise Timeout after [timeout] seconds (default: none)
+    @raise Failure on an over-long or short frame *)
+val read_frame : ?timeout:float -> Unix.file_descr -> string option
+
+(** [write_frame fd payload] writes the length prefix and payload.
+    @raise Unix.Unix_error on connection errors (EPIPE included;
+    [SIGPIPE] is disabled process-wide on first use of this module) *)
+val write_frame : Unix.file_descr -> string -> unit

@@ -1,0 +1,661 @@
+module Codec = Pax_bool.Codec
+module Formula = Pax_bool.Formula
+module Tree = Pax_xml.Tree
+
+let version = 1
+let max_section = 0xFFFFFF
+
+type answer = {
+  a_id : int;
+  a_tag : string;
+  a_text : string option;
+  a_attrs : (string * string) list;
+}
+
+let answer_of_node (n : Tree.node) =
+  { a_id = n.Tree.id; a_tag = n.Tree.tag; a_text = n.Tree.text; a_attrs = n.Tree.attrs }
+
+let node_of_answer a : Tree.node =
+  {
+    Tree.id = a.a_id;
+    tag = a.a_tag;
+    text = a.a_text;
+    attrs = a.a_attrs;
+    children = [];
+    kind = Tree.Element;
+  }
+
+type section =
+  | Query of string
+  | Vectors of Formula.t array
+  | Resolution of bool array
+  | Answers of answer list
+  | Tree_data of string
+
+type frag_eval = {
+  fe_fid : int;
+  fe_is_root : bool;
+  fe_init : Formula.t array option;
+}
+
+type sub_resolution = (int * bool array) list
+
+type call =
+  | Pax2_stage1 of { query : string; frags : frag_eval list }
+  | Pax2_stage2 of { frags : (int * bool array * sub_resolution) list }
+  | Pax3_stage1 of { query : string; fids : int list }
+  | Pax3_stage2 of { query : string; frags : (frag_eval * sub_resolution) list }
+  | Pax3_stage3 of { frags : (int * bool array) list }
+
+type frag_result = {
+  fr_fid : int;
+  fr_vec : Formula.t array option;
+  fr_ctxs : (int * Formula.t array) list;
+  fr_answers : answer list;
+  fr_cands : int;
+  fr_ops : int;
+}
+
+type reply =
+  | Frag_results of frag_result list
+  | Final_answers of { answers : answer list; ops : int }
+
+type msg =
+  | Visit_request of {
+      run : int;
+      round : int;
+      site : int;
+      label : string;
+      call : call;
+    }
+  | Visit_reply of { run : int; round : int; reply : (reply, string) result }
+  | Ping
+  | Pong
+  | Shutdown
+
+type error = Truncated | Bad_version of int | Corrupt of string
+
+let pp_error ppf = function
+  | Truncated -> Format.fprintf ppf "truncated frame"
+  | Bad_version v -> Format.fprintf ppf "unsupported protocol version %d" v
+  | Corrupt msg -> Format.fprintf ppf "corrupt frame: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* primitives                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let fail msg = raise (Bad msg)
+let add_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xFF))
+let add_varint = Codec.encode_varint
+
+let add_str buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let get_u8 s ~pos =
+  if pos >= String.length s then fail "truncated byte";
+  (Char.code s.[pos], pos + 1)
+
+let get_varint s ~pos =
+  match Codec.decode_varint s ~pos with
+  | v -> v
+  | exception Codec.Decode_error m -> fail m
+
+let get_str s ~pos =
+  let n, pos = get_varint s ~pos in
+  if n < 0 || n > String.length s - pos then fail "truncated string";
+  (String.sub s pos n, pos + n)
+
+(* ------------------------------------------------------------------ *)
+(* sections                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let k_query = 1
+let k_vectors = 2
+let k_resolution = 3
+let k_answers = 4
+let k_tree = 5
+
+let answer_payload_bytes a =
+  Codec.varint_bytes a.a_id
+  + Codec.varint_bytes (String.length a.a_tag)
+  + String.length a.a_tag + 1
+  + (match a.a_text with
+    | None -> 0
+    | Some t -> Codec.varint_bytes (String.length t) + String.length t)
+  + Codec.varint_bytes (List.length a.a_attrs)
+  + List.fold_left
+      (fun acc (k, v) ->
+        acc
+        + Codec.varint_bytes (String.length k)
+        + String.length k
+        + Codec.varint_bytes (String.length v)
+        + String.length v)
+      0 a.a_attrs
+
+let answers_payload_bytes answers =
+  List.fold_left
+    (fun acc a -> acc + answer_payload_bytes a)
+    (Codec.varint_bytes (List.length answers))
+    answers
+
+let add_answer buf a =
+  add_varint buf a.a_id;
+  add_str buf a.a_tag;
+  (match a.a_text with
+  | None -> add_u8 buf 0
+  | Some t ->
+      add_u8 buf 1;
+      add_str buf t);
+  add_varint buf (List.length a.a_attrs);
+  List.iter
+    (fun (k, v) ->
+      add_str buf k;
+      add_str buf v)
+    a.a_attrs
+
+let get_answer s ~pos =
+  let a_id, pos = get_varint s ~pos in
+  let a_tag, pos = get_str s ~pos in
+  let flag, pos = get_u8 s ~pos in
+  let a_text, pos =
+    if flag = 0 then (None, pos)
+    else
+      let t, pos = get_str s ~pos in
+      (Some t, pos)
+  in
+  let n, pos = get_varint s ~pos in
+  if n > String.length s - pos then fail "bad attr count";
+  let rec attrs k pos acc =
+    if k = 0 then (List.rev acc, pos)
+    else
+      let key, pos = get_str s ~pos in
+      let v, pos = get_str s ~pos in
+      attrs (k - 1) pos ((key, v) :: acc)
+  in
+  let a_attrs, pos = attrs n pos [] in
+  ({ a_id; a_tag; a_text; a_attrs }, pos)
+
+let section_payload = function
+  | Query q -> q
+  | Vectors fs -> Codec.formula_array_to_string fs
+  | Resolution bs -> Codec.bool_array_to_string bs
+  | Answers answers ->
+      let buf = Buffer.create 128 in
+      add_varint buf (List.length answers);
+      List.iter (add_answer buf) answers;
+      Buffer.contents buf
+  | Tree_data xml -> xml
+
+let section_kind = function
+  | Query _ -> k_query
+  | Vectors _ -> k_vectors
+  | Resolution _ -> k_resolution
+  | Answers _ -> k_answers
+  | Tree_data _ -> k_tree
+
+(* A section costs exactly 4 + payload bytes: kind byte + u24 length,
+   matching the "+4 header" of the Measure model. *)
+let add_section buf sec =
+  let payload = section_payload sec in
+  let n = String.length payload in
+  if n > max_section then invalid_arg "Wire: section exceeds 16 MiB";
+  add_u8 buf (section_kind sec);
+  add_u8 buf (n lsr 16);
+  add_u8 buf (n lsr 8);
+  add_u8 buf n;
+  Buffer.add_string buf payload
+
+let get_section s ~pos =
+  let kind, pos = get_u8 s ~pos in
+  let b2, pos = get_u8 s ~pos in
+  let b1, pos = get_u8 s ~pos in
+  let b0, pos = get_u8 s ~pos in
+  let n = (b2 lsl 16) lor (b1 lsl 8) lor b0 in
+  if n > String.length s - pos then fail "truncated section";
+  let payload = String.sub s pos n in
+  let pos = pos + n in
+  let sec =
+    if kind = k_query then Query payload
+    else if kind = k_vectors then
+      match Codec.formula_array_of_string_opt payload with
+      | Some fs -> Vectors fs
+      | None -> fail "bad vectors payload"
+    else if kind = k_resolution then
+      match Codec.bool_array_of_string_opt payload with
+      | Some bs -> Resolution bs
+      | None -> fail "bad resolution payload"
+    else if kind = k_answers then begin
+      let n, p = get_varint payload ~pos:0 in
+      if n > String.length payload - p then fail "bad answer count";
+      let rec go k p acc =
+        if k = 0 then
+          if p = String.length payload then List.rev acc
+          else fail "trailing answer bytes"
+        else
+          let a, p = get_answer payload ~pos:p in
+          go (k - 1) p (a :: acc)
+      in
+      Answers (go n p [])
+    end
+    else if kind = k_tree then Tree_data payload
+    else fail "unknown section kind"
+  in
+  (sec, pos)
+
+let expect_vectors s ~pos =
+  match get_section s ~pos with
+  | Vectors fs, pos -> (fs, pos)
+  | _ -> fail "expected a vectors section"
+
+let expect_resolution s ~pos =
+  match get_section s ~pos with
+  | Resolution bs, pos -> (bs, pos)
+  | _ -> fail "expected a resolution section"
+
+let expect_query s ~pos =
+  match get_section s ~pos with
+  | Query q, pos -> (q, pos)
+  | _ -> fail "expected a query section"
+
+let expect_answers s ~pos =
+  match get_section s ~pos with
+  | Answers a, pos -> (a, pos)
+  | _ -> fail "expected an answers section"
+
+let section_bytes sec = 4 + String.length (section_payload sec)
+let query_section_bytes q = 4 + String.length q
+let vectors_section_bytes fs = 4 + Codec.formula_array_bytes fs
+let resolution_section_bytes bs = 4 + Codec.bool_array_bytes bs
+
+let answers_section_bytes nodes =
+  4 + answers_payload_bytes (List.map answer_of_node nodes)
+
+let tree_to_section n = Tree_data (Pax_xml.Printer.to_string n)
+
+let tree_of_section = function
+  | Tree_data xml -> (
+      match Pax_xml.Parser.parse_string xml with
+      | doc -> Some doc.Tree.root
+      | exception Pax_xml.Parser.Parse_error _ -> None)
+  | _ -> None
+
+let section_to_string sec =
+  let buf = Buffer.create 128 in
+  add_section buf sec;
+  Buffer.contents buf
+
+let section_of_string s =
+  match get_section s ~pos:0 with
+  | sec, pos -> if pos = String.length s then Some sec else None
+  | exception Bad _ -> None
+  | exception Codec.Decode_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* calls                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let c_pax2_stage1 = 1
+let c_pax2_stage2 = 2
+let c_pax3_stage1 = 3
+let c_pax3_stage2 = 4
+let c_pax3_stage3 = 5
+
+let add_counted buf xs add =
+  add_varint buf (List.length xs);
+  List.iter (add buf) xs
+
+let get_counted s ~pos get =
+  let n, pos = get_varint s ~pos in
+  if n > String.length s - pos then fail "bad list count";
+  let rec go k pos acc =
+    if k = 0 then (List.rev acc, pos)
+    else
+      let x, pos = get s ~pos in
+      go (k - 1) pos (x :: acc)
+  in
+  go n pos []
+
+let add_frag_eval buf fe =
+  add_varint buf fe.fe_fid;
+  add_u8 buf
+    ((if fe.fe_is_root then 1 else 0)
+    lor match fe.fe_init with Some _ -> 2 | None -> 0);
+  match fe.fe_init with Some init -> add_section buf (Vectors init) | None -> ()
+
+let get_frag_eval s ~pos =
+  let fe_fid, pos = get_varint s ~pos in
+  let flags, pos = get_u8 s ~pos in
+  let fe_init, pos =
+    if flags land 2 <> 0 then
+      let fs, pos = expect_vectors s ~pos in
+      (Some fs, pos)
+    else (None, pos)
+  in
+  ({ fe_fid; fe_is_root = flags land 1 <> 0; fe_init }, pos)
+
+let add_subs buf (subs : sub_resolution) =
+  add_counted buf subs (fun buf (sub, bs) ->
+      add_varint buf sub;
+      add_section buf (Resolution bs))
+
+let get_subs s ~pos : sub_resolution * int =
+  get_counted s ~pos (fun s ~pos ->
+      let sub, pos = get_varint s ~pos in
+      let bs, pos = expect_resolution s ~pos in
+      ((sub, bs), pos))
+
+let add_call buf = function
+  | Pax2_stage1 { query; frags } ->
+      add_u8 buf c_pax2_stage1;
+      add_section buf (Query query);
+      add_counted buf frags add_frag_eval
+  | Pax2_stage2 { frags } ->
+      add_u8 buf c_pax2_stage2;
+      add_counted buf frags (fun buf (fid, ctx, subs) ->
+          add_varint buf fid;
+          add_section buf (Resolution ctx);
+          add_subs buf subs)
+  | Pax3_stage1 { query; fids } ->
+      add_u8 buf c_pax3_stage1;
+      add_section buf (Query query);
+      add_counted buf fids (fun buf fid -> add_varint buf fid)
+  | Pax3_stage2 { query; frags } ->
+      add_u8 buf c_pax3_stage2;
+      add_section buf (Query query);
+      add_counted buf frags (fun buf (fe, subs) ->
+          add_frag_eval buf fe;
+          add_subs buf subs)
+  | Pax3_stage3 { frags } ->
+      add_u8 buf c_pax3_stage3;
+      add_counted buf frags (fun buf (fid, ctx) ->
+          add_varint buf fid;
+          add_section buf (Resolution ctx))
+
+let get_call s ~pos =
+  let tag, pos = get_u8 s ~pos in
+  if tag = c_pax2_stage1 then
+    let query, pos = expect_query s ~pos in
+    let frags, pos = get_counted s ~pos get_frag_eval in
+    (Pax2_stage1 { query; frags }, pos)
+  else if tag = c_pax2_stage2 then
+    let frags, pos =
+      get_counted s ~pos (fun s ~pos ->
+          let fid, pos = get_varint s ~pos in
+          let ctx, pos = expect_resolution s ~pos in
+          let subs, pos = get_subs s ~pos in
+          ((fid, ctx, subs), pos))
+    in
+    (Pax2_stage2 { frags }, pos)
+  else if tag = c_pax3_stage1 then
+    let query, pos = expect_query s ~pos in
+    let fids, pos = get_counted s ~pos (fun s ~pos -> get_varint s ~pos) in
+    (Pax3_stage1 { query; fids }, pos)
+  else if tag = c_pax3_stage2 then
+    let query, pos = expect_query s ~pos in
+    let frags, pos =
+      get_counted s ~pos (fun s ~pos ->
+          let fe, pos = get_frag_eval s ~pos in
+          let subs, pos = get_subs s ~pos in
+          ((fe, subs), pos))
+    in
+    (Pax3_stage2 { query; frags }, pos)
+  else if tag = c_pax3_stage3 then
+    let frags, pos =
+      get_counted s ~pos (fun s ~pos ->
+          let fid, pos = get_varint s ~pos in
+          let ctx, pos = expect_resolution s ~pos in
+          ((fid, ctx), pos))
+    in
+    (Pax3_stage3 { frags }, pos)
+  else fail "unknown call tag"
+
+(* ------------------------------------------------------------------ *)
+(* replies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let r_frag_results = 1
+let r_final = 2
+
+let add_frag_result buf fr =
+  add_varint buf fr.fr_fid;
+  add_u8 buf
+    ((match fr.fr_vec with Some _ -> 1 | None -> 0)
+    lor if fr.fr_answers <> [] then 2 else 0);
+  (match fr.fr_vec with Some vec -> add_section buf (Vectors vec) | None -> ());
+  add_counted buf fr.fr_ctxs (fun buf (sub, vec) ->
+      add_varint buf sub;
+      add_section buf (Vectors vec));
+  if fr.fr_answers <> [] then add_section buf (Answers fr.fr_answers);
+  add_varint buf fr.fr_cands;
+  add_varint buf fr.fr_ops
+
+let get_frag_result s ~pos =
+  let fr_fid, pos = get_varint s ~pos in
+  let flags, pos = get_u8 s ~pos in
+  let fr_vec, pos =
+    if flags land 1 <> 0 then
+      let fs, pos = expect_vectors s ~pos in
+      (Some fs, pos)
+    else (None, pos)
+  in
+  let fr_ctxs, pos =
+    get_counted s ~pos (fun s ~pos ->
+        let sub, pos = get_varint s ~pos in
+        let vec, pos = expect_vectors s ~pos in
+        ((sub, vec), pos))
+  in
+  let fr_answers, pos =
+    if flags land 2 <> 0 then expect_answers s ~pos else ([], pos)
+  in
+  let fr_cands, pos = get_varint s ~pos in
+  let fr_ops, pos = get_varint s ~pos in
+  ({ fr_fid; fr_vec; fr_ctxs; fr_answers; fr_cands; fr_ops }, pos)
+
+let add_reply buf = function
+  | Frag_results frs ->
+      add_u8 buf r_frag_results;
+      add_counted buf frs add_frag_result
+  | Final_answers { answers; ops } ->
+      add_u8 buf r_final;
+      if answers <> [] then begin
+        add_u8 buf 1;
+        add_section buf (Answers answers)
+      end
+      else add_u8 buf 0;
+      add_varint buf ops
+
+let get_reply s ~pos =
+  let tag, pos = get_u8 s ~pos in
+  if tag = r_frag_results then
+    let frs, pos = get_counted s ~pos get_frag_result in
+    (Frag_results frs, pos)
+  else if tag = r_final then begin
+    let flag, pos = get_u8 s ~pos in
+    let answers, pos = if flag = 1 then expect_answers s ~pos else ([], pos) in
+    let ops, pos = get_varint s ~pos in
+    (Final_answers { answers; ops }, pos)
+  end
+  else fail "unknown reply tag"
+
+(* ------------------------------------------------------------------ *)
+(* messages                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let m_request = 1
+let m_reply = 2
+let m_ping = 3
+let m_pong = 4
+let m_shutdown = 5
+
+let encode_payload msg =
+  let buf = Buffer.create 256 in
+  add_u8 buf version;
+  (match msg with
+  | Visit_request { run; round; site; label; call } ->
+      add_u8 buf m_request;
+      add_varint buf run;
+      add_varint buf round;
+      add_varint buf site;
+      add_str buf label;
+      add_call buf call
+  | Visit_reply { run; round; reply } ->
+      add_u8 buf m_reply;
+      add_varint buf run;
+      add_varint buf round;
+      (match reply with
+      | Ok r ->
+          add_u8 buf 0;
+          add_reply buf r
+      | Error e ->
+          add_u8 buf 1;
+          Buffer.add_string buf e)
+  | Ping -> add_u8 buf m_ping
+  | Pong -> add_u8 buf m_pong
+  | Shutdown -> add_u8 buf m_shutdown);
+  Buffer.contents buf
+
+let encode msg =
+  let payload = encode_payload msg in
+  let n = String.length payload in
+  let buf = Buffer.create (n + 4) in
+  add_u8 buf (n lsr 24);
+  add_u8 buf (n lsr 16);
+  add_u8 buf (n lsr 8);
+  add_u8 buf n;
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode_payload s =
+  match
+    let ver, pos = get_u8 s ~pos:0 in
+    if ver <> version then Error (Bad_version ver)
+    else
+      let tag, pos = get_u8 s ~pos in
+      let finish msg pos =
+        if pos = String.length s then Ok msg else Error (Corrupt "trailing bytes")
+      in
+      if tag = m_ping then finish Ping pos
+      else if tag = m_pong then finish Pong pos
+      else if tag = m_shutdown then finish Shutdown pos
+      else if tag = m_request then begin
+        let run, pos = get_varint s ~pos in
+        let round, pos = get_varint s ~pos in
+        let site, pos = get_varint s ~pos in
+        let label, pos = get_str s ~pos in
+        let call, pos = get_call s ~pos in
+        finish (Visit_request { run; round; site; label; call }) pos
+      end
+      else if tag = m_reply then begin
+        let run, pos = get_varint s ~pos in
+        let round, pos = get_varint s ~pos in
+        let status, pos = get_u8 s ~pos in
+        if status = 0 then
+          let reply, pos = get_reply s ~pos in
+          finish (Visit_reply { run; round; reply = Ok reply }) pos
+        else if status = 1 then
+          let e = String.sub s pos (String.length s - pos) in
+          Ok (Visit_reply { run; round; reply = Error e })
+        else Error (Corrupt "bad reply status")
+      end
+      else Error (Corrupt "unknown message tag")
+  with
+  | result -> result
+  | exception Bad m -> Error (Corrupt m)
+  | exception Codec.Decode_error m -> Error (Corrupt m)
+
+let decode s =
+  if String.length s < 4 then Error Truncated
+  else
+    let n =
+      (Char.code s.[0] lsl 24)
+      lor (Char.code s.[1] lsl 16)
+      lor (Char.code s.[2] lsl 8)
+      lor Char.code s.[3]
+    in
+    if String.length s - 4 < n then Error Truncated
+    else if String.length s - 4 > n then Error (Corrupt "bytes beyond frame")
+    else decode_payload (String.sub s 4 n)
+
+(* ------------------------------------------------------------------ *)
+(* accounting                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type tally = { sections : int; section_bytes : int; frag_entries : int }
+
+let empty_tally = { sections = 0; section_bytes = 0; frag_entries = 0 }
+
+let t_add t sec =
+  {
+    t with
+    sections = t.sections + 1;
+    section_bytes = t.section_bytes + section_bytes sec;
+  }
+
+let t_frag t = { t with frag_entries = t.frag_entries + 1 }
+
+let tally_subs t subs =
+  List.fold_left (fun t (_, bs) -> t_add t (Resolution bs)) t subs
+
+let tally_call t = function
+  | Pax2_stage1 { query; frags } ->
+      List.fold_left
+        (fun t fe ->
+          let t = t_frag t in
+          match fe.fe_init with
+          | Some init -> t_add t (Vectors init)
+          | None -> t)
+        (t_add t (Query query))
+        frags
+  | Pax2_stage2 { frags } ->
+      List.fold_left
+        (fun t (_, ctx, subs) ->
+          tally_subs (t_add (t_frag t) (Resolution ctx)) subs)
+        t frags
+  | Pax3_stage1 { query; fids } ->
+      List.fold_left (fun t _ -> t_frag t) (t_add t (Query query)) fids
+  | Pax3_stage2 { query; frags } ->
+      List.fold_left
+        (fun t (fe, subs) ->
+          let t = t_frag t in
+          let t =
+            match fe.fe_init with Some init -> t_add t (Vectors init) | None -> t
+          in
+          tally_subs t subs)
+        (t_add t (Query query))
+        frags
+  | Pax3_stage3 { frags } ->
+      List.fold_left
+        (fun t (_, ctx) -> t_add (t_frag t) (Resolution ctx))
+        t frags
+
+let tally_reply t = function
+  | Frag_results frs ->
+      List.fold_left
+        (fun t fr ->
+          let t = t_frag t in
+          let t =
+            match fr.fr_vec with Some vec -> t_add t (Vectors vec) | None -> t
+          in
+          let t =
+            List.fold_left (fun t (_, vec) -> t_add t (Vectors vec)) t fr.fr_ctxs
+          in
+          if fr.fr_answers <> [] then t_add t (Answers fr.fr_answers) else t)
+        t frs
+  | Final_answers { answers; ops = _ } ->
+      if answers <> [] then t_add t (Answers answers) else t
+
+let tally = function
+  | Visit_request { call; _ } -> tally_call empty_tally call
+  | Visit_reply { reply = Ok r; _ } -> tally_reply empty_tally r
+  | Visit_reply { reply = Error _; _ } | Ping | Pong | Shutdown -> empty_tally
+
+(* Worst-case structure bytes (docs/NETWORK.md derives these): frame
+   header + version + tags + envelope varints and label; per fragment
+   entry its identifiers, flags and counters; per section one adjacent
+   varint identifier. *)
+let frame_overhead = 96
+let frag_overhead = 48
+let section_overhead = 12

@@ -1,0 +1,166 @@
+(** The binary wire protocol spoken between the coordinator and site
+    servers (docs/NETWORK.md).
+
+    A {e frame} is a big-endian [u32] payload length followed by the
+    payload; a payload is a version byte, a message tag and a
+    tag-specific body.  Inside bodies, every quantity the simulator's
+    cost model charges for travels as a {e section}: a kind byte (one
+    per {!Pax_dist.Cluster.msg_kind}), a [u24] payload length and the
+    payload — exactly [4 + payload] bytes, the same "+4 header" the
+    {!Pax_dist.Measure} model uses, so summed section bytes of a run
+    equal its accounted traffic to the byte.  All remaining bytes
+    (frame header, envelope fields, per-fragment structure) are
+    {e framing overhead}, bounded by {!frame_overhead},
+    {!frag_overhead} and {!section_overhead}.
+
+    {!decode} is total: truncated or corrupt input yields [Error _],
+    never an exception. *)
+
+module Formula = Pax_bool.Formula
+module Tree = Pax_xml.Tree
+
+val version : int
+
+(** {1 Answers}
+
+    Answer elements ship shallow: id, tag, character data and
+    attributes of the answer node itself — the per-element unit of the
+    paper's [O(|ans|)] term (children are part of other answers or not
+    part of the answer at all). *)
+
+type answer = {
+  a_id : int;
+  a_tag : string;
+  a_text : string option;
+  a_attrs : (string * string) list;
+}
+
+val answer_of_node : Tree.node -> answer
+
+(** A childless [Element] node carrying the shipped fields; the id is
+    the server-assigned one, so answer sets compare across transports. *)
+val node_of_answer : answer -> Tree.node
+
+(** {1 Sections} *)
+
+type section =
+  | Query of string  (** query source text *)
+  | Vectors of Formula.t array  (** residual-formula vectors *)
+  | Resolution of bool array  (** unified ground vectors *)
+  | Answers of answer list  (** shipped answer elements *)
+  | Tree_data of string  (** a printed XML (sub)document *)
+
+(** Serialized size of a section including its 4-byte header — the
+    byte count {!Pax_dist.Measure} charges. *)
+val section_bytes : section -> int
+
+val query_section_bytes : string -> int
+val vectors_section_bytes : Formula.t array -> int
+val resolution_section_bytes : bool array -> int
+val answers_section_bytes : Tree.node list -> int
+
+(** Print / parse a subtree for [Tree_data] sections (node ids are
+    reassigned on parse, as with {!Pax_frag.Store} round trips). *)
+val tree_to_section : Tree.node -> section
+
+val tree_of_section : section -> Tree.node option
+
+(** Standalone section round trip (used by fuzz tests; the envelope
+    codecs embed sections with the same representation). *)
+val section_to_string : section -> string
+
+val section_of_string : string -> section option
+
+(** {1 Visit calls}
+
+    One request per (site, round): the engine-stage payload for every
+    fragment the site holds.  [fe_init] is [None] when the site can
+    derive the initial vector itself (blank for the root fragment,
+    symbolic otherwise); annotated runs ship the pruned vector
+    explicitly. *)
+
+type frag_eval = {
+  fe_fid : int;
+  fe_is_root : bool;
+  fe_init : Formula.t array option;
+}
+
+(** Unified qualifier values for a fragment's sub-fragments. *)
+type sub_resolution = (int * bool array) list
+
+type call =
+  | Pax2_stage1 of { query : string; frags : frag_eval list }
+  | Pax2_stage2 of { frags : (int * bool array * sub_resolution) list }
+  | Pax3_stage1 of { query : string; fids : int list }
+  | Pax3_stage2 of { query : string; frags : (frag_eval * sub_resolution) list }
+  | Pax3_stage3 of { frags : (int * bool array) list }
+
+(** Per-fragment stage result.  [fr_vec] is the root qualifier (or
+    selection) vector when the stage ships one; [fr_cands] the number
+    of unresolved candidates kept at the site. *)
+type frag_result = {
+  fr_fid : int;
+  fr_vec : Formula.t array option;
+  fr_ctxs : (int * Formula.t array) list;
+  fr_answers : answer list;
+  fr_cands : int;
+  fr_ops : int;
+}
+
+type reply =
+  | Frag_results of frag_result list
+  | Final_answers of { answers : answer list; ops : int }
+
+(** {1 Messages} *)
+
+type msg =
+  | Visit_request of {
+      run : int;
+      round : int;
+      site : int;
+      label : string;
+      call : call;
+    }
+  | Visit_reply of { run : int; round : int; reply : (reply, string) result }
+  | Ping
+  | Pong
+  | Shutdown
+
+type error =
+  | Truncated
+  | Bad_version of int
+  | Corrupt of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Encode a full frame (length prefix included). *)
+val encode : msg -> string
+
+(** Payload only — what travels after the [u32] length prefix. *)
+val encode_payload : msg -> string
+
+(** Total decoder over a complete frame.  Never raises: short input is
+    [Error Truncated], anything malformed [Error (Corrupt _)]. *)
+val decode : string -> (msg, error) result
+
+val decode_payload : string -> (msg, error) result
+
+(** {1 Accounting}
+
+    [tally] splits a message into accounted section bytes and counts
+    of the structures that generate framing overhead. *)
+
+type tally = { sections : int; section_bytes : int; frag_entries : int }
+
+val tally : msg -> tally
+
+(** Worst-case framing overhead (structure bytes outside sections):
+    per frame, per fragment entry, and per section (the varint
+    identifiers adjacent to a section).  docs/NETWORK.md derives the
+    constants; the differential test holds measured traffic to
+    [accounted + frames·frame + frags·frag + sections·section]. *)
+
+val frame_overhead : int
+
+val frag_overhead : int
+val section_overhead : int

@@ -11,7 +11,7 @@ The deterministic examples run and produce their expected output.
   F4: 10 nodes, parent F1, ann market
   F5: 6 nodes, parent F2, ann market
   
-  ParBoX  [//stock/code/text() = "GOOG"]  =>  true   (max 1 visit/site, 602 control bytes)
+  ParBoX  [//stock/code/text() = "GOOG"]  =>  true   (max 1 visit/site, 362 control bytes)
   
 
   $ ../../examples/live_updates.exe
@@ -23,4 +23,4 @@ The deterministic examples run and produce their expected output.
     refused as expected: node 20 is a fragment root (or the document root)
   after a refused delete (broker is a fragment root)   brokers holding GOOG: E*trade, CIBC
   
-  count(//stock) = 2  — 176 control bytes, 0 answer bytes, 2 visits max
+  count(//stock) = 2  — 101 control bytes, 0 answer bytes, 2 visits max

@@ -52,6 +52,54 @@ let props =
         String.length (Codec.bool_array_to_string a) = Codec.bool_array_bytes a);
   ]
 
+(* Totality fuzz: mutate valid encodings (byte flips, truncation,
+   garbage suffixes) — the [_opt] decoders must return, never raise.
+   Where they do decode, a re-encode/decode round trip must agree
+   (no partially-corrupt value sneaks through as unstable). *)
+let gen_mutations : (string -> string) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let flip_byte =
+    pair (int_bound 10_000) (int_bound 255) >|= fun (pos, b) s ->
+    if s = "" then s
+    else begin
+      let bs = Bytes.of_string s in
+      Bytes.set bs (pos mod Bytes.length bs) (Char.chr b);
+      Bytes.to_string bs
+    end
+  in
+  let truncate =
+    int_bound 10_000 >|= fun n s -> String.sub s 0 (n mod (String.length s + 1))
+  in
+  let append = string_size (int_range 1 5) >|= fun junk s -> s ^ junk in
+  list_size (int_range 1 4) (oneof [ flip_byte; truncate; append ])
+  >|= fun ms s -> List.fold_left (fun acc m -> m acc) s ms
+
+let total_after_mutation (type a) name count gen encode
+    (decode_opt : string -> a option) =
+  QCheck.Test.make ~name ~count
+    (QCheck.make QCheck.Gen.(pair gen gen_mutations))
+    (fun (x, mutate) ->
+      match decode_opt (mutate (encode x)) with
+      | None -> true
+      | Some _ -> true)
+
+let fuzz =
+  [
+    total_after_mutation "mutated formula never raises" 2000 gen_formula
+      Codec.formula_to_string Codec.formula_of_string_opt;
+    total_after_mutation "mutated vector never raises" 1000
+      QCheck.Gen.(map Array.of_list (list_size (int_range 0 12) gen_formula))
+      Codec.formula_array_to_string Codec.formula_array_of_string_opt;
+    total_after_mutation "mutated bool array never raises" 1000
+      QCheck.Gen.(map Array.of_list (list bool))
+      Codec.bool_array_to_string Codec.bool_array_of_string_opt;
+    QCheck.Test.make ~name:"opt agrees with raising decoder" ~count:500
+      arbitrary_formula (fun f ->
+        match Codec.formula_of_string_opt (Codec.formula_to_string f) with
+        | Some g -> F.equal f g
+        | None -> false);
+  ]
+
 let test_compactness () =
   (* A ground vector of 64 entries costs ~65 bytes, not 64 words. *)
   let vec = Array.make 64 F.true_ in
@@ -87,4 +135,5 @@ let () =
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
         ] );
       ("roundtrip", List.map QCheck_alcotest.to_alcotest props);
+      ("fuzz", List.map QCheck_alcotest.to_alcotest fuzz);
     ]

@@ -1,0 +1,503 @@
+(* The socket transport, end to end over loopback Unix sockets:
+   - wire codec round trips and totality under mutation;
+   - differential runs: PaX2/PaX3 through forked site servers must be
+     observably identical to the in-process transport (answers, visit
+     counts, accounted messages), with measured socket bytes inside
+     [accounted, accounted + documented framing overhead];
+   - a SIGKILLed server surfaces as Site_unreachable once the retry
+     budget is spent — never a hang (the suite runs under an alarm). *)
+
+module Tree = Pax_xml.Tree
+module Query = Pax_xpath.Query
+module Formula = Pax_bool.Formula
+module Var = Pax_bool.Var
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Transport = Pax_dist.Transport
+module Wire = Pax_wire.Wire
+module Sockio = Pax_net.Sockio
+module Server = Pax_net.Server
+module Client = Pax_net.Client
+
+exception Timed_out
+
+(* Hard guard: any hang in the socket machinery kills the test, not the
+   suite. *)
+let with_timeout secs f =
+  let old =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
+  in
+  ignore (Unix.alarm secs);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm old)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec units                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_vec =
+  [|
+    Formula.true_;
+    Formula.false_;
+    Formula.conj
+      (Formula.var (Var.Qual (3, 1)))
+      (Formula.not_ (Formula.var (Var.Sel_ctx (7, 0))));
+  |]
+
+let sample_answer =
+  { Wire.a_id = 42; a_tag = "item"; a_text = Some "a<b&\"c\""; a_attrs = [ ("id", "i7"); ("featured", "") ] }
+
+let sample_msgs =
+  [
+    Wire.Visit_request
+      {
+        run = 123456;
+        round = 0;
+        site = 2;
+        label = "stage1";
+        call =
+          Wire.Pax2_stage1
+            {
+              query = "//person[profile/education]";
+              frags =
+                [
+                  { Wire.fe_fid = 0; fe_is_root = true; fe_init = None };
+                  {
+                    Wire.fe_fid = 3;
+                    fe_is_root = false;
+                    fe_init = Some sample_vec;
+                  };
+                ];
+            };
+      };
+    Wire.Visit_request
+      {
+        run = 1;
+        round = 1;
+        site = 0;
+        label = "stage2";
+        call =
+          Wire.Pax2_stage2
+            {
+              frags =
+                [ (1, [| true; false; true |], [ (2, [| false |]); (3, [||]) ]) ];
+            };
+      };
+    Wire.Visit_request
+      {
+        run = 9;
+        round = 0;
+        site = 1;
+        label = "stage1";
+        call = Wire.Pax3_stage1 { query = "a[b]//c"; fids = [ 0; 2; 5 ] };
+      };
+    Wire.Visit_request
+      {
+        run = 9;
+        round = 1;
+        site = 1;
+        label = "stage2";
+        call =
+          Wire.Pax3_stage2
+            {
+              query = "a[b]//c";
+              frags =
+                [
+                  ( { Wire.fe_fid = 2; fe_is_root = false; fe_init = None },
+                    [ (4, [| true; true |]) ] );
+                ];
+            };
+      };
+    Wire.Visit_request
+      {
+        run = 9;
+        round = 2;
+        site = 1;
+        label = "stage3";
+        call = Wire.Pax3_stage3 { frags = [ (2, [| false; true |]) ] };
+      };
+    Wire.Visit_reply
+      {
+        run = 9;
+        round = 0;
+        reply =
+          Ok
+            (Wire.Frag_results
+               [
+                 {
+                   Wire.fr_fid = 2;
+                   fr_vec = Some sample_vec;
+                   fr_ctxs = [ (4, sample_vec); (5, [||]) ];
+                   fr_answers = [ sample_answer ];
+                   fr_cands = 3;
+                   fr_ops = 99;
+                 };
+               ]);
+      };
+    Wire.Visit_reply
+      {
+        run = 9;
+        round = 2;
+        reply =
+          Ok (Wire.Final_answers { answers = [ sample_answer ]; ops = 7 });
+      };
+    Wire.Visit_reply
+      { run = 5; round = 1; reply = Error "no stage-1 state for fragment 9" };
+    Wire.Ping;
+    Wire.Pong;
+    Wire.Shutdown;
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun msg ->
+      match Wire.decode (Wire.encode msg) with
+      | Ok msg' ->
+          Alcotest.(check bool) "encode/decode round trip" true (msg = msg')
+      | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e)
+    sample_msgs
+
+let test_decode_total () =
+  (* Truncations at every length, byte flips at every position, for
+     every sample message: decode must return, and never misparse a
+     damaged frame as a longer-than-input value. *)
+  List.iter
+    (fun msg ->
+      let s = Wire.encode msg in
+      for cut = 0 to String.length s - 1 do
+        match Wire.decode (String.sub s 0 cut) with
+        | Ok _ | Error _ -> ()
+      done;
+      for pos = 0 to String.length s - 1 do
+        for byte = 0 to 255 do
+          let b = Bytes.of_string s in
+          Bytes.set b pos (Char.chr byte);
+          match Wire.decode (Bytes.to_string b) with
+          | Ok _ | Error _ -> ()
+        done
+      done)
+    sample_msgs
+
+let test_decode_errors () =
+  (match Wire.decode "" with
+  | Error Wire.Truncated -> ()
+  | _ -> Alcotest.fail "empty input must be Truncated");
+  (match Wire.decode "\x00\x00" with
+  | Error Wire.Truncated -> ()
+  | _ -> Alcotest.fail "short header must be Truncated");
+  let good = Wire.encode Wire.Ping in
+  (match Wire.decode (good ^ "junk") with
+  | Error (Wire.Corrupt _) -> ()
+  | _ -> Alcotest.fail "bytes beyond the frame must be Corrupt");
+  let bad_version = Bytes.of_string good in
+  Bytes.set bad_version 4 '\xee';
+  match Wire.decode (Bytes.to_string bad_version) with
+  | Error (Wire.Bad_version 0xee) -> ()
+  | _ -> Alcotest.fail "wrong version byte must be Bad_version"
+
+let test_section_bytes_match_measure () =
+  let q = Query.of_string "//person[profile/education]/name" in
+  Alcotest.(check int) "query section = Measure.query"
+    (Pax_dist.Measure.query q)
+    (Wire.query_section_bytes q.Query.source);
+  Alcotest.(check int) "vector section = Measure.formula_array"
+    (Pax_dist.Measure.formula_array sample_vec)
+    (Wire.vectors_section_bytes sample_vec);
+  Alcotest.(check int) "bools section = Measure.bool_array"
+    (Pax_dist.Measure.bool_array [| true; false |])
+    (Wire.resolution_section_bytes [| true; false |])
+
+let test_addr_parse () =
+  let ok s expected =
+    match Sockio.addr_of_string s with
+    | Ok a -> Alcotest.(check string) s expected (Sockio.addr_to_string a)
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "./rel.sock" "unix:./rel.sock";
+  ok "localhost:7000" "localhost:7000";
+  ok ":7000" "127.0.0.1:7000";
+  List.iter
+    (fun s ->
+      match Sockio.addr_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" s)
+    [ ""; "host:"; "host:0"; "host:99999"; "unix:"; "noport" ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: sockets vs in-process                                *)
+(* ------------------------------------------------------------------ *)
+
+(* An Exp-2-shaped setup: an XMark document cut at its site subtrees,
+   fragments round-robined over fewer machines than fragments. *)
+let make_setup () =
+  let doc = Pax_xmark.Xmark.doc ~seed:11 ~total_nodes:1600 ~n_sites:4 in
+  let ft =
+    Fragment.fragmentize doc ~cuts:(Fragment.cuts_by_tag doc ~tag:"site")
+  in
+  (doc, ft)
+
+let queries =
+  [
+    "//person[profile/education]";
+    "//person/profile/age";
+    "//regions/*/item/name";
+    "//person[profile/interest/@category]/name";
+    "/site/open_auctions/open_auction[bidder]";
+    "//item[location/text() = \"United States\"]";
+  ]
+
+let site_frags cl ft site =
+  List.map
+    (fun fid -> (fid, (Fragment.fragment ft fid).Fragment.root))
+    (Cluster.fragments_on cl site)
+
+let with_servers ft ~n_sites f =
+  let cl = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pax_net_test_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Sys.mkdir dir 0o755;
+  let addrs =
+    Array.init n_sites (fun site ->
+        Sockio.Unix_path (Filename.concat dir (Printf.sprintf "s%d.sock" site)))
+  in
+  let pids =
+    Array.to_list
+      (Array.mapi
+         (fun site addr -> Server.spawn ~addr ~frags:(site_frags cl ft site))
+         addrs)
+  in
+  let client = Client.create ~timeout:20. ~addrs () in
+  Cluster.set_transport cl (Some (Client.transport client));
+  Fun.protect
+    ~finally:(fun () ->
+      Client.shutdown_sites client;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        pids;
+      Array.iter
+        (fun a ->
+          match a with
+          | Sockio.Unix_path p -> ( try Sys.remove p with _ -> ())
+          | Sockio.Tcp _ -> ())
+        addrs;
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f cl client pids)
+
+let accounted (r : Cluster.report) =
+  r.Cluster.control_bytes + r.Cluster.answer_bytes + r.Cluster.tree_bytes
+
+let check_differential engine_name engine () =
+  with_timeout 120 (fun () ->
+      let _, ft = make_setup () in
+      let n_sites = 3 in
+      let cl_ctrl = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
+      with_servers ft ~n_sites (fun cl_net _client _pids ->
+          List.iter
+            (fun qs ->
+              let q = Query.of_string qs in
+              let r_ctrl : Pax_core.Run_result.t = engine cl_ctrl q in
+              let r_net : Pax_core.Run_result.t = engine cl_net q in
+              let name what = Printf.sprintf "%s %s: %s" engine_name qs what in
+              Alcotest.(check (list int))
+                (name "answers")
+                r_ctrl.Pax_core.Run_result.answer_ids
+                r_net.Pax_core.Run_result.answer_ids;
+              let rep_c = r_ctrl.Pax_core.Run_result.report in
+              let rep_n = r_net.Pax_core.Run_result.report in
+              Alcotest.(check (array int))
+                (name "per-site visits")
+                rep_c.Cluster.visits rep_n.Cluster.visits;
+              Alcotest.(check (list string))
+                (name "rounds")
+                rep_c.Cluster.rounds rep_n.Cluster.rounds;
+              Alcotest.(check int)
+                (name "accounted control bytes")
+                rep_c.Cluster.control_bytes rep_n.Cluster.control_bytes;
+              Alcotest.(check int)
+                (name "accounted answer bytes")
+                rep_c.Cluster.answer_bytes rep_n.Cluster.answer_bytes;
+              Alcotest.(check bool)
+                (name "identical message log")
+                true
+                (Cluster.messages cl_ctrl = Cluster.messages cl_net);
+              Alcotest.(check int)
+                (name "total ops")
+                rep_c.Cluster.total_ops rep_n.Cluster.total_ops;
+              (* Byte honesty: what crossed the sockets this run. *)
+              let stats =
+                match Cluster.net_stats cl_net with
+                | Some s -> s
+                | None -> Alcotest.fail (name "net_stats missing")
+              in
+              let measured =
+                stats.Transport.sent_bytes + stats.Transport.received_bytes
+              in
+              Alcotest.(check (option int))
+                (name "report.measured_bytes")
+                (Some measured) rep_n.Cluster.measured_bytes;
+              let acct = accounted rep_n in
+              Alcotest.(check int)
+                (name "section bytes = accounted bytes")
+                acct stats.Transport.section_bytes;
+              if measured < acct then
+                Alcotest.failf "%s: measured %d < accounted %d"
+                  (name "lower bound") measured acct;
+              let bound =
+                acct
+                + (stats.Transport.frames * Wire.frame_overhead)
+                + (stats.Transport.frag_entries * Wire.frag_overhead)
+                + (stats.Transport.sections * Wire.section_overhead)
+              in
+              if measured > bound then
+                Alcotest.failf "%s: measured %d > accounted %d + overhead %d"
+                  (name "upper bound") measured acct (bound - acct))
+            queries))
+
+(* Annotated runs ship explicit init vectors; answers must still agree
+   (byte parity is not asserted here — fe_init is extra wire payload
+   the simulator's model does not charge for). *)
+let check_differential_annotated () =
+  with_timeout 120 (fun () ->
+      let _, ft = make_setup () in
+      let n_sites = 3 in
+      let cl_ctrl = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
+      with_servers ft ~n_sites (fun cl_net _client _pids ->
+          List.iter
+            (fun qs ->
+              let q = Query.of_string qs in
+              List.iter
+                (fun (engine_name, engine) ->
+                  let r_ctrl : Pax_core.Run_result.t =
+                    engine ~annotations:true cl_ctrl q
+                  in
+                  let r_net : Pax_core.Run_result.t =
+                    engine ~annotations:true cl_net q
+                  in
+                  Alcotest.(check (list int))
+                    (Printf.sprintf "%s %s: annotated answers" engine_name qs)
+                    r_ctrl.Pax_core.Run_result.answer_ids
+                    r_net.Pax_core.Run_result.answer_ids;
+                  Alcotest.(check (array int))
+                    (Printf.sprintf "%s %s: annotated visits" engine_name qs)
+                    r_ctrl.Pax_core.Run_result.report.Cluster.visits
+                    r_net.Pax_core.Run_result.report.Cluster.visits)
+                [
+                  ("pax2", fun ~annotations cl q ->
+                      Pax_core.Pax2.run ~annotations cl q);
+                  ("pax3", fun ~annotations cl q ->
+                      Pax_core.Pax3.run ~annotations cl q);
+                ])
+            [ "//person[profile/education]"; "//regions/*/item/name" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Failure: a killed server is a typed error, not a hang              *)
+(* ------------------------------------------------------------------ *)
+
+let test_killed_server () =
+  with_timeout 60 (fun () ->
+      let _, ft = make_setup () in
+      with_servers ft ~n_sites:3 (fun cl_net _client pids ->
+          Cluster.set_retry cl_net
+            {
+              Pax_dist.Retry.max_attempts = 3;
+              base_delay = 0.01;
+              multiplier = 1.0;
+              max_delay = 0.01;
+            };
+          let q = Query.of_string "//person[profile/education]" in
+          (* A clean run first: connections to every site are live. *)
+          let r = Pax_core.Pax2.run cl_net q in
+          Alcotest.(check bool) "warm run answers" true
+            (r.Pax_core.Run_result.answer_ids <> []);
+          (* Kill one site's server; its connection dies under the
+             client.  The next run must fail typed, after the retry
+             budget, naming the dead site. *)
+          let dead = List.nth pids 1 in
+          Unix.kill dead Sys.sigkill;
+          ignore (Unix.waitpid [] dead);
+          match Pax_core.Pax2.run cl_net q with
+          | _ -> Alcotest.fail "run against a dead site must not succeed"
+          | exception Cluster.Site_unreachable { site; attempts; _ } ->
+              Alcotest.(check int) "the killed site" 1 site;
+              Alcotest.(check int) "after the retry budget" 3 attempts))
+
+(* A server that was never started: connection refused from the very
+   first attempt, same typed failure. *)
+let test_refused_connection () =
+  with_timeout 60 (fun () ->
+      let _, ft = make_setup () in
+      let cl = Pax_dist.Placement.cluster_round_robin ft ~n_sites:2 in
+      let dir = Filename.get_temp_dir_name () in
+      let addrs =
+        [|
+          Sockio.Unix_path (Filename.concat dir "pax_net_nobody_0.sock");
+          Sockio.Unix_path (Filename.concat dir "pax_net_nobody_1.sock");
+        |]
+      in
+      let client = Client.create ~timeout:5. ~addrs () in
+      Cluster.set_transport cl (Some (Client.transport client));
+      Cluster.set_retry cl
+        {
+          Pax_dist.Retry.max_attempts = 2;
+          base_delay = 0.01;
+          multiplier = 1.0;
+          max_delay = 0.01;
+        };
+      let q = Query.of_string "//person" in
+      match Pax_core.Pax3.run cl q with
+      | _ -> Alcotest.fail "no servers: run must fail"
+      | exception Cluster.Site_unreachable { attempts; _ } ->
+          Alcotest.(check int) "budget spent" 2 attempts)
+
+(* Faults and transports are mutually exclusive by contract. *)
+let test_fault_plan_rejected () =
+  let _, ft = make_setup () in
+  with_timeout 60 (fun () ->
+      with_servers ft ~n_sites:2 (fun cl_net _client _pids ->
+          Cluster.set_fault cl_net
+            (Pax_dist.Fault.seeded ~drop:0.5 ~dup:0. ~lose:0. ~crash:0. ~seed:1 ());
+          let q = Query.of_string "//person" in
+          match Pax_core.Pax2.run cl_net q with
+          | _ -> Alcotest.fail "fault plan + transport must be rejected"
+          | exception Invalid_argument _ -> ()))
+
+let () =
+  Random.self_init ();
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "round trips" `Quick test_roundtrip;
+          Alcotest.test_case "decode is total" `Quick test_decode_total;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "sections = Measure" `Quick
+            test_section_bytes_match_measure;
+          Alcotest.test_case "addresses" `Quick test_addr_parse;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "pax2 over sockets" `Quick
+            (check_differential "pax2" (fun cl q -> Pax_core.Pax2.run cl q));
+          Alcotest.test_case "pax3 over sockets" `Quick
+            (check_differential "pax3" (fun cl q -> Pax_core.Pax3.run cl q));
+          Alcotest.test_case "annotated engines" `Quick
+            check_differential_annotated;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "killed server" `Quick test_killed_server;
+          Alcotest.test_case "refused connection" `Quick
+            test_refused_connection;
+          Alcotest.test_case "fault plan rejected" `Quick
+            test_fault_plan_rejected;
+        ] );
+    ]

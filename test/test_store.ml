@@ -105,6 +105,56 @@ let test_missing_fragment_file () =
       | exception (Store.Corrupt _ | Sys_error _) -> ()
       | _ -> Alcotest.fail "missing fragment file must be rejected")
 
+(* Attribute-rich data whose text and attribute values all need XML
+   escaping — quotes, angle brackets, ampersands, entity-looking
+   strings — must survive save/load byte-exactly (ids are reassigned,
+   values are not). *)
+let test_escaping_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let b = Tree.builder () in
+      let nasty_attrs =
+        [
+          ("currency", "\"USD\" & <EUR>");
+          ("note", "a < b > c & d");
+          ("entity-ish", "&amp; &lt; &quot; &#38;");
+          ("empty", "");
+          ("spaces", "  leading and trailing  ");
+        ]
+      in
+      let item i =
+        Tree.elem b "item"
+          ~attrs:[ ("id", Printf.sprintf "item<%d>" i); ("featured", "\"yes\"") ]
+          [
+            Tree.elem b "name" ~text:"Tom & Jerry <limited \"edition\">" [];
+            Tree.elem b "price" ~attrs:nasty_attrs ~text:"9.99 < 10 & > 9" [];
+          ]
+      in
+      let root =
+        Tree.elem b "regions"
+          [
+            Tree.elem b "africa" [ item 1; item 2 ];
+            Tree.elem b "asia" [ item 3 ];
+          ]
+      in
+      let doc = { Tree.root; node_count = Tree.allocated b } in
+      let ft = Fragment.fragmentize doc ~cuts:(Fragment.cuts_by_tag doc ~tag:"item") in
+      Store.save ft ~dir;
+      let loaded = Store.load ~dir in
+      Alcotest.(check bool) "escaped structure survives" true
+        (Tree.equal_structure (Fragment.reassemble loaded) root);
+      (* Spot-check one attribute value through the whole pipeline. *)
+      let found = ref None in
+      Tree.iter
+        (fun n -> if n.Tree.tag = "price" && !found = None then found := Some n)
+        (Fragment.reassemble loaded);
+      match !found with
+      | None -> Alcotest.fail "price node lost"
+      | Some n ->
+          Alcotest.(check (option string)) "nasty attribute value"
+            (Some "\"USD\" & <EUR>") (Tree.attr n "currency");
+          Alcotest.(check (option string)) "entity-looking value"
+            (Some "&amp; &lt; &quot; &#38;") (Tree.attr n "entity-ish"))
+
 let test_virtual_node_pi_roundtrip () =
   (* The XML layer itself round-trips the placeholder PI. *)
   let b = Tree.builder () in
@@ -125,6 +175,7 @@ let () =
           Alcotest.test_case "save/load" `Quick test_roundtrip;
           Alcotest.test_case "queries survive" `Quick test_queries_survive_roundtrip;
           Alcotest.test_case "xmark store" `Quick test_xmark_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_escaping_roundtrip;
           Alcotest.test_case "virtual-node PI" `Quick test_virtual_node_pi_roundtrip;
         ] );
       ( "corruption",
