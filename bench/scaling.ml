@@ -27,6 +27,7 @@ let out_path () = Option.value ~default:"BENCH_PR2.json" (Sys.getenv_opt "PAX_BE
    PaX2's two; PaX3-NA covers all four and is the paper's headline
    configuration for Exp-2. *)
 let config = Setup.pax3_na
+let engine = "pax3"
 
 type run_m = {
   m_domains : int;
@@ -34,6 +35,10 @@ type run_m = {
   m_parallel_s : float;  (* modelled: per-round max over sites + coord *)
   m_total_s : float;  (* modelled: per-round sum over sites + coord *)
   m_result : Run_result.t;
+  m_latency : (string * float) list;
+      (* telemetry pairs from the final repeat (every engine run
+         starts with [Cluster.reset], which clears the sink, so the
+         pairs describe exactly one run at this degree) *)
 }
 
 let time_run cl q : run_m =
@@ -54,6 +59,8 @@ let time_run cl q : run_m =
     m_parallel_s = rep.Cluster.parallel_seconds;
     m_total_s = rep.Cluster.total_seconds;
     m_result = r;
+    m_latency =
+      Pax_obs.Metrics.pairs (Cluster.sink cl).Pax_obs.Sink.metrics;
   }
 
 (* The equivalence assertions of the acceptance criterion: identical
@@ -76,10 +83,15 @@ let assert_equivalent ~qname (seq : run_m) (par : run_m) =
     <> Trace.events (Run_result.trace_exn seq.m_result)
   then fail "traces"
 
-type qrow = { q_name : string; runs : run_m list }
+type qrow = {
+  q_name : string;
+  runs : run_m list;
+  q_audit : Pax_obs.Audit.report;
+}
 
 let sweep_query ~size_mb qname : qrow =
   let cl = Setup.ft2 ~cumulative_mb:size_mb in
+  Cluster.set_sink cl (Pax_obs.Sink.create ());
   let q = Setup.query qname in
   let runs =
     List.map
@@ -92,7 +104,15 @@ let sweep_query ~size_mb qname : qrow =
   | seq :: rest -> List.iter (fun r -> assert_equivalent ~qname seq r) rest
   | [] -> ());
   runs |> List.iter (fun r -> ignore r.m_wall_s);
-  { q_name = qname; runs }
+  let q_audit =
+    Pax_core.Guarantee.audit ~engine ~ftree:(Cluster.ftree cl)
+      (List.hd runs).m_result
+  in
+  if not q_audit.Pax_obs.Audit.pass then
+    failwith
+      (Printf.sprintf "scaling: guarantee audit FAILED on %s (%s)" qname
+         (Format.asprintf "%a" Pax_obs.Audit.pp q_audit));
+  { q_name = qname; runs; q_audit }
 
 let speedup ~(seq : run_m) (r : run_m) =
   if r.m_wall_s > 0. then seq.m_wall_s /. r.m_wall_s else 1.
@@ -108,6 +128,59 @@ let print_row (row : qrow) =
         r.m_wall_s r.m_parallel_s r.m_total_s (speedup ~seq r))
     row.runs
 
+(* The sink's pax_round_seconds histogram for one run, re-shaped for
+   the artifact: cumulative buckets in ascending le order plus sum and
+   count.  Pairs come flattened from {!Pax_obs.Metrics.pairs} as
+   [name_bucket{le="..."}] entries. *)
+let latency_json (pairs : (string * float) list) : J.t =
+  let pre = "pax_round_seconds_bucket{le=\"" in
+  let npre = String.length pre in
+  let buckets =
+    List.filter_map
+      (fun (name, v) ->
+        if String.length name > npre + 2 && String.sub name 0 npre = pre then
+          let le = String.sub name npre (String.length name - npre - 2) in
+          let le_num =
+            if le = "+Inf" then infinity else float_of_string le
+          in
+          Some (le_num, le, v)
+        else None)
+      pairs
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let find k = Option.value ~default:0. (List.assoc_opt k pairs) in
+  J.Obj
+    [
+      ( "buckets",
+        J.List
+          (List.map
+             (fun (_, le, v) ->
+               J.Obj [ ("le", J.Str le); ("count", J.Num v) ])
+             buckets) );
+      ("sum", J.Num (find "pax_round_seconds_sum"));
+      ("count", J.Num (find "pax_round_seconds_count"));
+    ]
+
+let audit_json (a : Pax_obs.Audit.report) : J.t =
+  J.Obj
+    [
+      ("pass", J.Bool a.Pax_obs.Audit.pass);
+      ( "bounds",
+        J.List
+          (List.map
+             (fun (b : Pax_obs.Audit.bound) ->
+               J.Obj
+                 [
+                   ("name", J.Str b.b_name);
+                   ("formula", J.Str b.b_formula);
+                   ("actual", J.Num b.b_actual);
+                   ("limit", J.Num b.b_limit);
+                   ("pass", J.Bool b.b_pass);
+                   ("margin", J.Num b.b_margin);
+                 ])
+             a.Pax_obs.Audit.bounds) );
+    ]
+
 let json ~size_mb (rows : qrow list) : J.t =
   let cores = Domain.recommended_domain_count () in
   let run_json ~seq r =
@@ -122,6 +195,7 @@ let json ~size_mb (rows : qrow list) : J.t =
         ("parallel_s", J.Num r.m_parallel_s);
         ("total_s", J.Num r.m_total_s);
         ("speedup", J.Num (speedup ~seq r));
+        ("round_latency_s", latency_json r.m_latency);
       ]
   in
   let row_json (row : qrow) =
@@ -132,6 +206,7 @@ let json ~size_mb (rows : qrow list) : J.t =
         ("config", J.Str config.Setup.cname);
         ( "answers",
           J.int (List.length (List.hd row.runs).m_result.Run_result.answers) );
+        ("audit", audit_json row.q_audit);
         ("runs", J.List (List.map (run_json ~seq) row.runs));
       ]
   in

@@ -34,6 +34,59 @@ let need_list obj ctx k =
       err "%s: missing or non-array %S" ctx k;
       None
 
+(* Optional (absent in pre-PR4 artifacts): the per-run round-latency
+   histogram exported from the telemetry sink.  When present it must
+   carry ascending-le cumulative buckets and non-negative sum/count. *)
+let check_latency ctx h =
+  let ctx = ctx ^ "/round_latency_s" in
+  (match need_list h ctx "buckets" with
+  | Some buckets ->
+      let last_cum = ref 0. in
+      List.iteri
+        (fun i b ->
+          let bctx = Printf.sprintf "%s/buckets[%d]" ctx i in
+          ignore (need_str b bctx "le");
+          match need_num b bctx "count" with
+          | Some c when c < 0. -> err "%s: negative count" bctx
+          | Some c when c < !last_cum ->
+              err "%s: cumulative counts must be non-decreasing" bctx
+          | Some c -> last_cum := c
+          | None -> ())
+        buckets
+  | None -> ());
+  List.iter
+    (fun k ->
+      match need_num h ctx k with
+      | Some v when v < 0. -> err "%s: negative %S" ctx k
+      | _ -> ())
+    [ "sum"; "count" ]
+
+(* Optional (absent in pre-PR4 artifacts): the guarantee auditor's
+   verdict for the query.  Committed artifacts must only ever carry
+   passing audits — a failed bound is a regression, not data. *)
+let check_audit ctx a =
+  let ctx = ctx ^ "/audit" in
+  (match Option.bind (J.member "pass" a) J.as_bool with
+  | Some true -> ()
+  | Some false -> err "%s: audit failed (pass=false)" ctx
+  | None -> err "%s: missing or non-bool \"pass\"" ctx);
+  match need_list a ctx "bounds" with
+  | Some (_ :: _ as bounds) ->
+      List.iteri
+        (fun i b ->
+          let bctx = Printf.sprintf "%s/bounds[%d]" ctx i in
+          ignore (need_str b bctx "name");
+          ignore (need_str b bctx "formula");
+          ignore (need_num b bctx "actual");
+          ignore (need_num b bctx "limit");
+          ignore (need_num b bctx "margin");
+          match Option.bind (J.member "pass" b) J.as_bool with
+          | Some _ -> ()
+          | None -> err "%s: missing or non-bool \"pass\"" bctx)
+        bounds
+  | Some [] -> err "%s: empty \"bounds\"" ctx
+  | None -> ()
+
 let check_run ctx r =
   match Option.bind (J.member "domains" r) J.as_num with
   | None -> err "%s: run without integer \"domains\"" ctx
@@ -47,6 +100,9 @@ let check_run ctx r =
       | Some v when J.as_bool v = None ->
           err "%s: non-bool \"oversubscribed\"" ctx
       | Some _ | None -> ());
+      (match J.member "round_latency_s" r with
+      | Some h -> check_latency ctx h
+      | None -> ());
       List.iter
         (fun k ->
           match need_num r ctx k with
@@ -64,6 +120,9 @@ let check_result i r =
   in
   ignore (need_str r ctx "config");
   ignore (need_num r ctx "answers");
+  (match J.member "audit" r with
+  | Some a -> check_audit ctx a
+  | None -> ());
   match need_list r ctx "runs" with
   | Some (_ :: _ as runs) ->
       List.iter (check_run ctx) runs;

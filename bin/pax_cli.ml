@@ -106,10 +106,21 @@ let parse_connect spec =
          | Error e -> invalid_arg e)
        (String.split_on_char ',' spec))
 
+(* [--report-out]: one compact JSON document per run. *)
+let write_json path doc =
+  let oc = open_out path in
+  output_string oc (Pax_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let metrics_json pairs =
+  Pax_obs.Json.Obj (List.map (fun (k, v) -> (k, Pax_obs.Json.Num v)) pairs)
+
 let query_cmd =
   let run file query_text algo annotations fragment_tag fragment_budget n_sites
       placement simplify stats quiet fault_seed fault_drop fault_crash retries
-      show_trace domains connect =
+      show_trace domains connect trace_out report_out =
     match
       let ft = load_ftree file ~fragment_tag ~fragment_budget in
       let q =
@@ -117,6 +128,14 @@ let query_cmd =
         else Query.of_string query_text
       in
       let connect_addrs = Option.map parse_connect connect in
+      (* Telemetry is opt-in: with neither --stats nor --trace-out the
+         noop sink is threaded through and the run is bit-identical to
+         an uninstrumented one. *)
+      let sink =
+        if stats || trace_out <> None || report_out <> None then
+          Pax_obs.Sink.create ()
+        else Pax_obs.Sink.noop
+      in
       let result =
         match algo with
         | Centralized ->
@@ -135,6 +154,7 @@ let query_cmd =
             in
             let cluster = build_cluster ft ~n_sites ~placement in
             Cluster.set_domains cluster (max 1 domains);
+            Cluster.set_sink cluster sink;
             (match fault_seed with
             | Some seed ->
                 Cluster.set_fault cluster
@@ -161,20 +181,43 @@ let query_cmd =
                           %d sites"
                          (Array.length addrs) (Cluster.n_sites cluster));
                   let c = Pax_net.Client.create ~addrs () in
+                  Pax_net.Client.set_sink c sink;
                   Cluster.set_transport cluster
                     (Some (Pax_net.Client.transport c));
                   Some c
             in
-            let r =
+            let engine =
+              match a with
+              | Pax2 -> "pax2"
+              | Pax3 -> "pax3"
+              | Naive | Centralized | Stream -> "naive"
+            in
+            let r, server_stats =
               Fun.protect
                 ~finally:(fun () -> Option.iter Pax_net.Client.close client)
                 (fun () ->
-                  match a with
-                  | Pax2 -> Pax_core.Pax2.run ~annotations cluster q
-                  | Pax3 -> Pax_core.Pax3.run ~annotations cluster q
-                  | Naive | Centralized | Stream -> Pax_core.Naive.run cluster q)
+                  let r =
+                    match a with
+                    | Pax2 -> Pax_core.Pax2.run ~annotations cluster q
+                    | Pax3 -> Pax_core.Pax3.run ~annotations cluster q
+                    | Naive | Centralized | Stream ->
+                        Pax_core.Naive.run cluster q
+                  in
+                  (* Pull each site server's counters while the
+                     connections are still open; the raw-IO fetch does
+                     not disturb the counters it reads. *)
+                  let server_stats =
+                    match client with
+                    | Some c when stats || report_out <> None ->
+                        List.init (Cluster.n_sites cluster) (fun site ->
+                            match Pax_net.Client.fetch_stats c site with
+                            | pairs -> (site, pairs)
+                            | exception _ -> (site, []))
+                    | _ -> []
+                  in
+                  (r, server_stats))
             in
-            `Distributed r
+            `Distributed (r, engine, server_stats)
       in
       (match result with
       | `Stream r ->
@@ -186,22 +229,121 @@ let query_cmd =
             Printf.printf
               "elements: %d | max depth: %d | peak pending: %d\n"
               r.Pax_core.Stream_eval.elements r.Pax_core.Stream_eval.max_depth
-              r.Pax_core.Stream_eval.peak_pending
+              r.Pax_core.Stream_eval.peak_pending;
+          Option.iter
+            (fun path ->
+              let module J = Pax_obs.Json in
+              write_json path
+                (J.Obj
+                   [
+                     ("query", J.Str query_text);
+                     ("engine", J.Str "stream");
+                     ( "answers",
+                       J.int (List.length r.Pax_core.Stream_eval.matches) );
+                   ]))
+            report_out
       | `Centralized r ->
           Printf.printf "%d answer(s)\n" (List.length r.Pax_core.Centralized.answers);
           if not quiet then
             List.iter
               (fun n -> print_string (Printer.to_string n))
-              r.Pax_core.Centralized.answers
-      | `Distributed r ->
+              r.Pax_core.Centralized.answers;
+          Option.iter
+            (fun path ->
+              let module J = Pax_obs.Json in
+              write_json path
+                (J.Obj
+                   [
+                     ("query", J.Str query_text);
+                     ("engine", J.Str "centralized");
+                     ( "answers",
+                       J.int (List.length r.Pax_core.Centralized.answers) );
+                   ]))
+            report_out
+      | `Distributed (r, engine, server_stats) ->
           Printf.printf "%d answer(s)\n" (List.length r.Pax_core.Run_result.answers);
           if not quiet then
             List.iter
               (fun n -> print_string (Printer.to_string n))
               r.Pax_core.Run_result.answers;
-          if stats then
+          if stats then begin
             Format.printf "%a@."
               Cluster.pp_report r.Pax_core.Run_result.report;
+            if sink.Pax_obs.Sink.enabled then begin
+              print_string "# coordinator telemetry\n";
+              print_string
+                (Pax_obs.Metrics.dump sink.Pax_obs.Sink.metrics)
+            end;
+            List.iter
+              (fun (site, pairs) ->
+                Printf.printf "# site S%d telemetry\n" site;
+                List.iter
+                  (fun (name, v) -> Printf.printf "%s %g\n" name v)
+                  (Pax_obs.Metrics.of_pairs pairs))
+              server_stats;
+            Format.printf "%a@." Pax_obs.Audit.pp
+              (Pax_core.Guarantee.audit ~engine ~ftree:ft r)
+          end;
+          (match report_out with
+          | Some path ->
+              let module J = Pax_obs.Json in
+              let report = r.Pax_core.Run_result.report in
+              write_json path
+                (J.Obj
+                   [
+                     ("query", J.Str query_text);
+                     ("engine", J.Str engine);
+                     ( "answers",
+                       J.int (List.length r.Pax_core.Run_result.answers) );
+                     ( "report",
+                       J.Obj
+                         [
+                           ( "rounds",
+                             J.List
+                               (List.map
+                                  (fun l -> J.Str l)
+                                  report.Cluster.rounds) );
+                           ( "visits",
+                             J.List
+                               (Array.to_list
+                                  (Array.map J.int report.Cluster.visits)) );
+                           ("max_visits", J.int report.Cluster.max_visits);
+                           ("total_ops", J.int report.Cluster.total_ops);
+                           ("parallel_ops", J.int report.Cluster.parallel_ops);
+                           ("retries", J.int report.Cluster.retries);
+                           ("control_bytes", J.int report.Cluster.control_bytes);
+                           ("answer_bytes", J.int report.Cluster.answer_bytes);
+                           ("tree_bytes", J.int report.Cluster.tree_bytes);
+                           ("n_messages", J.int report.Cluster.n_messages);
+                           ("total_seconds", J.Num report.Cluster.total_seconds);
+                           ( "parallel_seconds",
+                             J.Num report.Cluster.parallel_seconds );
+                           ("net_seconds", J.Num report.Cluster.net_seconds);
+                           ( "measured_bytes",
+                             match report.Cluster.measured_bytes with
+                             | Some b -> J.int b
+                             | None -> J.Null );
+                           ( "forced_sequential",
+                             J.Bool report.Cluster.forced_sequential );
+                         ] );
+                     ( "metrics",
+                       metrics_json
+                         (Pax_obs.Metrics.pairs sink.Pax_obs.Sink.metrics) );
+                     ( "server_metrics",
+                       J.List
+                         (List.map
+                            (fun (site, pairs) ->
+                              J.Obj
+                                [
+                                  ("site", J.int site);
+                                  ("metrics", metrics_json pairs);
+                                ])
+                            server_stats) );
+                     ( "audit",
+                       Pax_obs.Audit.to_json
+                         (Pax_core.Guarantee.audit ~engine ~ftree:ft r) );
+                   ])
+          | None -> ());
           if show_trace then
             match r.Pax_core.Run_result.trace with
             | Some tr ->
@@ -222,7 +364,13 @@ let query_cmd =
                   else "sequential"
                 in
                 Format.printf "# trace: %s@.%a@." mode Pax_dist.Trace.pp tr
-            | None -> ())
+            | None -> ());
+      match trace_out with
+      | Some path ->
+          let spans = Pax_obs.Span.spans sink.Pax_obs.Sink.spans in
+          Pax_obs.Chrome.write_file path spans;
+          Printf.printf "wrote %s: %d span(s)\n" path (List.length spans)
+      | None -> ()
     with
     | () -> 0
     | exception Cluster.Site_unreachable { site; stage; attempts } ->
@@ -270,7 +418,15 @@ let query_cmd =
   let n_sites =
     Arg.(value & opt (some int) None & info [ "machines" ] ~doc:"Number of simulated sites (default: one per fragment).")
   in
-  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the cost report.") in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the cost report, telemetry counters \
+                   (Prometheus text format; with $(b,--connect) also \
+                   each site server's) and the guarantee-auditor \
+                   verdicts for the paper's visit/communication/\
+                   computation bounds.")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print answer elements.") in
   let placement =
     Arg.(value & opt placement_conv Round_robin
@@ -317,13 +473,29 @@ let query_cmd =
                    then includes measured socket bytes alongside the \
                    accounted traffic.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON timeline of the run \
+                   (rounds, site visits, wire frames) to $(docv), \
+                   loadable in Perfetto (ui.perfetto.dev) or \
+                   chrome://tracing.")
+  in
+  let report_out =
+    Arg.(value & opt (some string) None
+         & info [ "report-out" ] ~docv:"FILE"
+             ~doc:"Write a structured JSON run report to $(docv): the \
+                   cost report, the telemetry counters (coordinator and, \
+                   with $(b,--connect), per site), and the guarantee \
+                   audit with margins.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath query over a fragmented document.")
     Term.(
       const run $ file $ query_text $ algo $ annotations $ fragment_tag
       $ fragment_budget $ n_sites $ placement $ simplify $ stats $ quiet
       $ fault_seed $ fault_drop $ fault_crash $ retries $ show_trace
-      $ domains $ connect)
+      $ domains $ connect $ trace_out $ report_out)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                              *)

@@ -40,7 +40,11 @@ type t = {
   mutable transport : Transport.t option;
   mutable net_base : Transport.stats;
   mutable forced_sequential : bool;
+  mutable sink : Pax_obs.Sink.t;
 }
+
+let site_track site = Printf.sprintf "site %d" site
+let enabled t = t.sink.Pax_obs.Sink.enabled
 
 (* ------------------------------------------------------------------ *)
 (* Parallel visits: per-visit effect logs                             *)
@@ -112,6 +116,7 @@ let create ?domains ?transport ~ftree ~n_sites ~assign () =
     transport;
     net_base = Transport.zero_stats;
     forced_sequential = false;
+    sink = Pax_obs.Sink.noop;
   }
 
 let one_site_per_fragment ?domains ftree =
@@ -132,6 +137,8 @@ let sites_holding t fids =
   List.sort_uniq compare (List.map (fun fid -> t.frag_site.(fid)) fids)
 
 let trace t = t.trace
+let sink t = t.sink
+let set_sink t s = t.sink <- s
 let set_fault t plan = t.fault <- plan
 let set_retry t policy = t.retry <- policy
 let fault_active t = not (Fault.is_none t.fault)
@@ -149,6 +156,7 @@ let retry_or_give_up t ~site ~round ~stage ~attempt ~reason =
     t.retries <- t.retries + 1;
     t.backoff_seconds <-
       t.backoff_seconds +. Retry.delay_before t.retry ~attempt:(attempt + 1);
+    Pax_obs.Sink.count t.sink "pax_retries_total";
     Trace.add t.trace (Trace.Retry { site; round; attempt; reason })
   end
   else begin
@@ -180,12 +188,22 @@ let visit_site t r ~round ~label ~site f =
         go ~was_down:false (attempt + 1)
     | (Fault.Visit_ok | Fault.Lost_reply) as fate ->
         restart_if_needed ();
-        Trace.add t.trace
-          (Trace.Visit { site; round; attempt; replay = !executed });
+        let replay = !executed in
+        Trace.add t.trace (Trace.Visit { site; round; attempt; replay });
         executed := true;
-        let t0 = Unix.gettimeofday () in
+        let t0 = Pax_obs.Clock.now () in
         let result = f site in
-        r.seconds.(site) <- r.seconds.(site) +. (Unix.gettimeofday () -. t0);
+        let t1 = Pax_obs.Clock.now () in
+        r.seconds.(site) <- r.seconds.(site) +. (t1 -. t0);
+        if enabled t then
+          Pax_obs.Sink.record t.sink ~cat:"visit" ~track:(site_track site)
+            ~args:
+              [
+                ("round", string_of_int round);
+                ("attempt", string_of_int attempt);
+                ("replay", string_of_bool replay);
+              ]
+            label ~t0 ~t1;
         if fate = Fault.Lost_reply then begin
           retry_or_give_up t ~site ~round ~stage:label ~attempt
             ~reason:"visit reply dropped";
@@ -203,23 +221,29 @@ let visit_site t r ~round ~label ~site f =
    including the first failing site (in site order, not completion
    order) and that site's exception is re-raised — the observable state
    matches a sequential run that died at the same site. *)
-let run_round_parallel t r ~round ~label:_ ~sites f =
+let run_round_parallel t r ~round ~label ~sites f =
   let sites_arr = Array.of_list sites in
   let n = Array.length sites_arr in
   let logs = Array.init n (fun _ -> fresh_log ()) in
   let outcomes = Array.make n None in
   let pool = Pool.shared ~domains:t.domains in
-  Pool.run pool ~n (fun i ->
+  Pool.run ~obs:t.sink pool ~n (fun i ->
       let log = logs.(i) in
       let slot = Domain.DLS.get dls_log in
       slot := Some log;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Pax_obs.Clock.now () in
       let out =
         match f sites_arr.(i) with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in
-      log.vl_seconds <- Unix.gettimeofday () -. t0;
+      let t1 = Pax_obs.Clock.now () in
+      log.vl_seconds <- t1 -. t0;
+      if enabled t then
+        Pax_obs.Sink.record t.sink ~cat:"visit"
+          ~track:(site_track sites_arr.(i))
+          ~args:[ ("round", string_of_int round); ("attempt", "1") ]
+          label ~t0 ~t1;
       slot := None;
       outcomes.(i) <- Some out);
   let results = ref [] in
@@ -275,6 +299,15 @@ let run_round_net t tr r ~round ~label ~sites (rm : 'a remote) =
   List.map
     (fun (site, reply, secs) ->
       r.seconds.(site) <- r.seconds.(site) +. secs;
+      (* Remote visits run pipelined inside the transport, so spans are
+         synthesized at merge time from the server-side duration: the
+         interval ends "now" and lasted [secs]. *)
+      if enabled t then begin
+        let t1 = Pax_obs.Clock.now () in
+        Pax_obs.Sink.record t.sink ~cat:"visit" ~track:(site_track site)
+          ~args:[ ("round", string_of_int round); ("remote", "true") ]
+          label ~t0:(t1 -. secs) ~t1
+      end;
       (site, rm.parse site reply))
     replies
 
@@ -303,7 +336,7 @@ let run_round ?remote t ~label ~sites f =
         end)
       sites
   in
-  let results =
+  let dispatch () =
     match (t.transport, remote) with
     | Some tr, Some rm -> run_round_net t tr r ~round ~label ~sites rm
     | Some _, None ->
@@ -329,17 +362,58 @@ let run_round ?remote t ~label ~sites f =
             sites
         end
   in
+  let results =
+    if not (enabled t) then dispatch ()
+    else begin
+      Pax_obs.Sink.count t.sink "pax_rounds_total";
+      List.iter
+        (fun site ->
+          Pax_obs.Sink.count t.sink
+            ~labels:[ ("site", string_of_int site) ]
+            "pax_visits_total")
+        sites;
+      let t0 = Pax_obs.Clock.now () in
+      let finish () =
+        let t1 = Pax_obs.Clock.now () in
+        Pax_obs.Sink.record t.sink ~cat:"round"
+          ~args:
+            [
+              ("round", string_of_int round);
+              ("sites", string_of_int (List.length sites));
+            ]
+          ("round " ^ label) ~t0 ~t1;
+        Pax_obs.Sink.observe t.sink "pax_round_seconds" (t1 -. t0)
+      in
+      match dispatch () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e
+    end
+  in
   t.current <- None;
   t.rounds_rev <- r :: t.rounds_rev;
   results
 
-let coord t ~label:_ f =
-  let t0 = Unix.gettimeofday () in
+let coord t ~label f =
+  let t0 = Pax_obs.Clock.now () in
   let result = f () in
-  t.coord_seconds <- t.coord_seconds +. (Unix.gettimeofday () -. t0);
+  let t1 = Pax_obs.Clock.now () in
+  t.coord_seconds <- t.coord_seconds +. (t1 -. t0);
+  if enabled t then Pax_obs.Sink.record t.sink ~cat:"stage" label ~t0 ~t1;
   result
 
 let send t ~src ~dst ~kind ~bytes ~label =
+  if enabled t then begin
+    (* One logical message per send, whatever the fault plan does to its
+       delivery; the metrics mirror Trace's logical accounting. *)
+    let labels = [ ("kind", Trace.kind_name kind) ] in
+    Pax_obs.Sink.count t.sink ~labels "pax_messages_total";
+    Pax_obs.Sink.count t.sink ~labels ~by:(float_of_int bytes)
+      "pax_message_bytes_total"
+  end;
   let record () = t.messages_rev <- { src; dst; kind; bytes; label } :: t.messages_rev in
   match current_log () with
   | Some log ->
@@ -426,6 +500,7 @@ let reset t =
   t.retries <- 0;
   t.backoff_seconds <- 0.;
   t.forced_sequential <- false;
+  Pax_obs.Sink.clear t.sink;
   match t.transport with
   | Some tr ->
       tr.Transport.reset_run ();

@@ -154,6 +154,25 @@ val net_stats : t -> Transport.stats option
     {!reset}, i.e. at the start of each engine run. *)
 val trace : t -> Trace.t
 
+(** {1 Telemetry}
+
+    A {!Pax_obs.Sink.t} (default: the no-op sink) collects spans and
+    metrics alongside — never instead of — the semantic accounting
+    above.  With an enabled sink each round records a span
+    (track ["coordinator"], category ["round"]) and a
+    [pax_round_seconds] observation, each visit a span on its site's
+    track (category ["visit"]), each {!coord} stage a span (category
+    ["stage"]), and counters [pax_rounds_total],
+    [pax_visits_total{site}], [pax_retries_total],
+    [pax_messages_total{kind}] and [pax_message_bytes_total{kind}]
+    mirror the logical accounting.  The no-op sink costs one branch per
+    call site, and answers, visit counts, op counts and accounted
+    traffic are bit-identical either way (asserted by
+    [test/test_obs.ml]).  Cleared by {!reset} like the trace. *)
+
+val sink : t -> Pax_obs.Sink.t
+val set_sink : t -> Pax_obs.Sink.t -> unit
+
 (** {1 Instrumented execution} *)
 
 (** A stage's remote implementation: how to phrase a site visit as a

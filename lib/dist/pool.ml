@@ -77,7 +77,33 @@ let create ~domains =
 
 let degree t = t.deg
 
-let run t ~n run_one =
+(* With an enabled sink, each task gets a span on its worker's track
+   plus a queue-wait observation (publish -> claim).  The wrapper is
+   built once per batch; with the no-op sink [run_one] is untouched, so
+   instrumentation costs the disabled path nothing. *)
+let instrument obs run_one =
+  if not obs.Pax_obs.Sink.enabled then run_one
+  else begin
+    let published = Pax_obs.Clock.now () in
+    fun i ->
+      let t0 = Pax_obs.Clock.now () in
+      Pax_obs.Sink.observe obs "pax_pool_queue_wait_seconds" (t0 -. published);
+      let finish () =
+        Pax_obs.Sink.record obs ~cat:"pool"
+          ~track:(Printf.sprintf "pool worker %d" (Domain.self () :> int))
+          (Printf.sprintf "task %d" i)
+          ~t0
+          ~t1:(Pax_obs.Clock.now ())
+      in
+      match run_one i with
+      | () -> finish ()
+      | exception e ->
+          finish ();
+          raise e
+  end
+
+let run ?(obs = Pax_obs.Sink.noop) t ~n run_one =
+  let run_one = instrument obs run_one in
   if n > 0 then
     if t.deg = 1 || n = 1 then
       for i = 0 to n - 1 do

@@ -40,8 +40,13 @@ val shared : domains:int -> t
     pool plus the calling domain, and returns when all have finished.
     [f] must not raise — capture exceptions into your own results slot
     (or use {!map}).  Completion of the batch synchronizes memory: writes
-    made by tasks are visible to the caller after [run] returns. *)
-val run : t -> n:int -> (int -> unit) -> unit
+    made by tasks are visible to the caller after [run] returns.
+
+    With an enabled [obs] sink, each task records a span on its worker
+    domain's track (category ["pool"]) and one
+    [pax_pool_queue_wait_seconds] observation measuring publish→claim
+    latency; the default no-op sink leaves [f] untouched. *)
+val run : ?obs:Pax_obs.Sink.t -> t -> n:int -> (int -> unit) -> unit
 
 (** [map t f xs] is [Array.map f xs] with the applications distributed
     over the pool, results in input order.  If one or more applications

@@ -97,6 +97,38 @@ let rounds t =
     (fun acc e -> match e with Round_start _ -> acc + 1 | _ -> acc)
     0 t.events_rev
 
+(* One logical message per [Cluster.send]: the attempt-1 record, however
+   many retransmissions or spurious copies followed. *)
+let logical_messages t =
+  List.fold_left
+    (fun acc e ->
+      match e with Message m when m.attempt = 1 -> acc + 1 | _ -> acc)
+    0 t.events_rev
+
+(* Wire transmissions: every attempt crossed the wire (a Dropped copy
+   was sent, just never arrived), and a Duplicated delivery put a
+   spurious second copy on the wire. *)
+let physical_of_status = function
+  | Duplicated -> 2
+  | Delivered | Dropped | Delayed _ -> 1
+
+let physical_messages t =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Message m -> acc + physical_of_status m.status
+      | _ -> acc)
+    0 t.events_rev
+
+let physical_bytes t ~kind =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Message m when m.kind = kind ->
+          acc + (m.bytes * physical_of_status m.status)
+      | _ -> acc)
+    0 t.events_rev
+
 let logical_bytes t ~kind =
   List.fold_left
     (fun acc e ->

@@ -79,6 +79,19 @@ val retries : t -> int
 (** Number of rounds started. *)
 val rounds : t -> int
 
+(** Logical message count: one per [Cluster.send] (attempt-1 records
+    only), however many retransmissions or duplicate copies followed. *)
+val logical_messages : t -> int
+
+(** Wire transmissions: every attempt counts (a [Dropped] copy was
+    sent, just never arrived) and a [Duplicated] delivery counts twice
+    for its spurious second copy. *)
+val physical_messages : t -> int
+
+(** Bytes of the given kind that crossed the wire, weighting each
+    record by its transmission count (see {!physical_messages}). *)
+val physical_bytes : t -> kind:msg_kind -> int
+
 (** Bytes of the given kind, counting each logical message once
     (attempt 1 only — retransmissions and duplicates excluded). *)
 val logical_bytes : t -> kind:msg_kind -> int
@@ -86,6 +99,10 @@ val logical_bytes : t -> kind:msg_kind -> int
 (** Logical bytes of the control kinds: [Query] + [Vectors] +
     [Resolution] — everything but answers and shipped fragments. *)
 val logical_control_bytes : t -> int
+
+(** Stable lower-case name of a message kind (["query"], ["vectors"],
+    …) — used as a metric label by {!Cluster} and the net client. *)
+val kind_name : msg_kind -> string
 
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit

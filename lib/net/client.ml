@@ -6,13 +6,13 @@ type t = {
   timeout : float;
   conns : Unix.file_descr option array;
   mutable run : int;
-  mutable run_counter : int;
   mutable sent_bytes : int;
   mutable received_bytes : int;
   mutable section_bytes : int;
   mutable sections : int;
   mutable frag_entries : int;
   mutable frames : int;
+  mutable sink : Pax_obs.Sink.t;
 }
 
 let create ?(timeout = 30.) ~addrs () =
@@ -21,14 +21,16 @@ let create ?(timeout = 30.) ~addrs () =
     timeout;
     conns = Array.make (Array.length addrs) None;
     run = 0;
-    run_counter = 0;
     sent_bytes = 0;
     received_bytes = 0;
     section_bytes = 0;
     sections = 0;
     frag_entries = 0;
     frames = 0;
+    sink = Pax_obs.Sink.noop;
   }
+
+let set_sink t s = t.sink <- s
 
 let stats t =
   {
@@ -41,14 +43,46 @@ let stats t =
   }
 
 (* A fresh run id per engine run: servers key their visit state by it,
-   so stale state from an aborted run can never leak in.  Best-effort
-   unique (hash of pid, clock and a counter), non-negative for the
-   varint encoding. *)
-let reset_run t =
-  t.run_counter <- t.run_counter + 1;
-  t.run <-
-    Hashtbl.hash (Unix.getpid (), Unix.gettimeofday (), t.run_counter)
-    land max_int
+   so stale state from an aborted run can never leak in.  The id must
+   be distinct across rapid successive runs (a clock-derived hash is
+   not: two runs inside one clock tick collide) and unlikely to repeat
+   across coordinator processes talking to the same servers.  So: the
+   low 32 bits come from a process-global monotonic counter — ids
+   within a process are *guaranteed* distinct for 2^32 runs — and the
+   high bits from a per-process random base read once from
+   /dev/urandom (falling back to a pid+clock hash where unavailable).
+   The final mask keeps the id inside the 55 bits the wire varint
+   decoder accepts (and so non-negative), leaving 23 random bits above
+   the counter. *)
+let run_id_counter = Atomic.make 0
+
+let run_id_base =
+  lazy
+    (let of_urandom () =
+       let ic = open_in_bin "/dev/urandom" in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           let s = really_input_string ic 8 in
+           let v = ref 0 in
+           String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+           !v)
+     in
+     let base =
+       match of_urandom () with
+       | v -> v
+       | exception _ -> Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ())
+     in
+     (* Mix the pid so forked children that inherited the lazy cell
+        unforced still diverge. *)
+     base lxor (Unix.getpid () * 0x9E3779B9))
+
+let fresh_run_id () =
+  let c = Atomic.fetch_and_add run_id_counter 1 in
+  (Lazy.force run_id_base land lnot 0xFFFFFFFF lor (c land 0xFFFFFFFF))
+  land ((1 lsl 55) - 1)
+
+let reset_run t = t.run <- fresh_run_id ()
 
 let conn t site =
   match t.conns.(site) with
@@ -73,19 +107,46 @@ let tally_msg t msg ~payload_len =
   t.frames <- t.frames + 1;
   ignore payload_len
 
+(* Telemetry for visit traffic only: Stats/Ping frames are excluded on
+   both ends, so the client's counters and the sum of the servers'
+   agree for a run (asserted in test_obs.ml). *)
+let frame_obs t ~dir msg ~frame_len =
+  if t.sink.Pax_obs.Sink.enabled then
+    match msg with
+    | Wire.Visit_request _ | Wire.Visit_reply _ ->
+        let labels = [ ("dir", dir) ] in
+        Pax_obs.Sink.count t.sink ~labels "pax_net_visit_frames_total";
+        Pax_obs.Sink.count t.sink ~labels ~by:(float_of_int frame_len)
+          "pax_net_visit_bytes_total"
+    | _ -> ()
+
 let send_msg t site msg =
   let payload = Wire.encode_payload msg in
-  Sockio.write_frame (conn t site) payload;
+  Pax_obs.Sink.span t.sink ~cat:"wire"
+    ~args:(fun () ->
+      [
+        ("site", string_of_int site);
+        ("bytes", string_of_int (4 + String.length payload));
+      ])
+    "send frame"
+    (fun () -> Sockio.write_frame (conn t site) payload);
   t.sent_bytes <- t.sent_bytes + 4 + String.length payload;
+  frame_obs t ~dir:"sent" msg ~frame_len:(4 + String.length payload);
   tally_msg t msg ~payload_len:(String.length payload)
 
 let recv_msg t site =
-  match Sockio.read_frame ~timeout:t.timeout (conn t site) with
+  match
+    Pax_obs.Sink.span t.sink ~cat:"wire"
+      ~args:(fun () -> [ ("site", string_of_int site) ])
+      "recv frame"
+      (fun () -> Sockio.read_frame ~timeout:t.timeout (conn t site))
+  with
   | None -> failwith "connection closed by site server"
   | Some payload -> (
       t.received_bytes <- t.received_bytes + 4 + String.length payload;
       match Wire.decode_payload payload with
       | Ok msg ->
+          frame_obs t ~dir:"recv" msg ~frame_len:(4 + String.length payload);
           tally_msg t msg ~payload_len:(String.length payload);
           msg
       | Error err -> failwith (Format.asprintf "%a" Wire.pp_error err))
@@ -119,7 +180,7 @@ let visit_round t ~round ~label ~retry reqs =
   let started = Hashtbl.create 8 in
   List.iter
     (fun (site, call) ->
-      Hashtbl.replace started site (Unix.gettimeofday ());
+      Hashtbl.replace started site (Pax_obs.Clock.now ());
       send site call)
     reqs;
   let rec recv site call =
@@ -130,7 +191,7 @@ let visit_round t ~round ~label ~retry reqs =
         | Ok rep -> rep
         | Error message -> raise (Transport.Remote_failure { site; message }))
     | Wire.Visit_reply _ | Wire.Pong | Wire.Ping | Wire.Shutdown
-    | Wire.Visit_request _ ->
+    | Wire.Visit_request _ | Wire.Stats_request | Wire.Stats_reply _ ->
         (* A stale frame (earlier run or round, duplicated reply): skip. *)
         recv site call
     | exception ((Unix.Unix_error _ | Failure _ | Sockio.Timeout) as e) ->
@@ -143,10 +204,24 @@ let visit_round t ~round ~label ~retry reqs =
       let reply = recv site call in
       let t0 =
         Option.value (Hashtbl.find_opt started site)
-          ~default:(Unix.gettimeofday ())
+          ~default:(Pax_obs.Clock.now ())
       in
-      (site, reply, Unix.gettimeofday () -. t0))
+      (site, reply, Pax_obs.Clock.now () -. t0))
     reqs
+
+(* Ask one site server for its telemetry counters.  Deliberately uses
+   raw Sockio instead of [send_msg]/[recv_msg]: fetching stats must not
+   disturb the byte counters whose values are being fetched. *)
+let fetch_stats t site =
+  let fd = conn t site in
+  Sockio.write_frame fd (Wire.encode_payload Wire.Stats_request);
+  match Sockio.read_frame ~timeout:t.timeout fd with
+  | None -> failwith "connection closed by site server"
+  | Some payload -> (
+      match Wire.decode_payload payload with
+      | Ok (Wire.Stats_reply pairs) -> pairs
+      | Ok _ -> failwith "unexpected reply to a stats request"
+      | Error err -> failwith (Format.asprintf "%a" Wire.pp_error err))
 
 let close t = Array.iteri (fun site _ -> drop t site) t.conns
 

@@ -19,9 +19,30 @@ type t
     reply frame. *)
 val create : ?timeout:float -> addrs:Sockio.addr array -> unit -> t
 
+(** Install a telemetry sink (default: no-op).  With an enabled sink
+    every visit frame records a span (category ["wire"]) and the
+    counters [pax_net_visit_frames_total{dir}] /
+    [pax_net_visit_bytes_total{dir}] — visit traffic only, mirroring
+    the servers' counters, so the two ends agree for a run. *)
+val set_sink : t -> Pax_obs.Sink.t -> unit
+
+(** [fetch_stats t site] asks the site server for its telemetry
+    counters ([Stats_request]/[Stats_reply]), returned as sorted
+    [(series, value)] pairs.  Uses raw socket IO: fetching stats does
+    not disturb the client-side byte counters being compared.  Raises
+    [Failure] on connection loss or a malformed reply. *)
+val fetch_stats : t -> int -> (string * float) list
+
 (** The {!Pax_dist.Transport.t} view, to install with
     [Cluster.set_transport] (or pass to [Cluster.create]). *)
 val transport : t -> Pax_dist.Transport.t
+
+(** A fresh run id: the low 32 bits come from a process-global
+    monotonic counter (guaranteed distinct across rapid successive
+    runs in one process), the bits above from a per-process random
+    base ([/dev/urandom], pid-mixed), masked to the 55 bits the wire
+    varint codec carries.  Exposed for the uniqueness test. *)
+val fresh_run_id : unit -> int
 
 (** Best-effort [Shutdown] to every site (ignores delivery failures);
     then closes the connections. *)

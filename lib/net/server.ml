@@ -25,12 +25,18 @@ type run_state = {
 type t = {
   frags : (int, Tree.node) Hashtbl.t;
   mutable st : run_state option;
+  (* Always-on telemetry: a server exists to be queried, so its sink is
+     enabled from the start and its counters are served on
+     [Stats_request].  Only visit traffic is counted (not stats or ping
+     frames), mirroring the client's counters — see
+     [Client.fetch_stats]. *)
+  obs : Pax_obs.Sink.t;
 }
 
 let create ~frags =
   let tbl = Hashtbl.create 8 in
   List.iter (fun (fid, root) -> Hashtbl.replace tbl fid root) frags;
-  { frags = tbl; st = None }
+  { frags = tbl; st = None; obs = Pax_obs.Sink.create () }
 
 let fresh_state run =
   {
@@ -239,22 +245,46 @@ let handle_request t ~run ~round call =
           Ok reply
       | exception e -> Error (Printexc.to_string e))
 
+let count_visit_frame t ~dir ~frame_len =
+  let labels = [ ("dir", dir) ] in
+  Pax_obs.Sink.count t.obs ~labels "pax_net_visit_frames_total";
+  Pax_obs.Sink.count t.obs ~labels ~by:(float_of_int frame_len)
+    "pax_net_visit_bytes_total"
+
 let serve t fd =
   let rec conn_loop conn =
     match Sockio.read_frame conn with
     | None -> `Eof
     | Some payload -> (
         match Wire.decode_payload payload with
-        | Ok (Wire.Visit_request { run; round; site = _; label = _; call }) ->
-            let reply = handle_request t ~run ~round call in
-            Sockio.write_frame conn
-              (Wire.encode_payload (Wire.Visit_reply { run; round; reply }));
+        | Ok (Wire.Visit_request { run; round; site = _; label; call }) ->
+            count_visit_frame t ~dir:"recv"
+              ~frame_len:(4 + String.length payload);
+            let reply =
+              Pax_obs.Sink.span t.obs ~cat:"visit"
+                ~args:(fun () ->
+                  [ ("run", string_of_int run); ("round", string_of_int round) ])
+                label
+                (fun () -> handle_request t ~run ~round call)
+            in
+            let out =
+              Wire.encode_payload (Wire.Visit_reply { run; round; reply })
+            in
+            Pax_obs.Sink.span t.obs ~cat:"wire" "send frame" (fun () ->
+                Sockio.write_frame conn out);
+            count_visit_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
             conn_loop conn
         | Ok Wire.Ping ->
             Sockio.write_frame conn (Wire.encode_payload Wire.Pong);
             conn_loop conn
+        | Ok Wire.Stats_request ->
+            Sockio.write_frame conn
+              (Wire.encode_payload
+                 (Wire.Stats_reply
+                    (Pax_obs.Metrics.pairs t.obs.Pax_obs.Sink.metrics)));
+            conn_loop conn
         | Ok Wire.Shutdown -> `Shutdown
-        | Ok (Wire.Visit_reply _ | Wire.Pong) ->
+        | Ok (Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _) ->
             (* Not ours to receive; ignore. *)
             conn_loop conn
         | Error err ->

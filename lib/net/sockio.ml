@@ -64,11 +64,14 @@ exception Timeout
 
 let max_frame = 64 * 1024 * 1024
 
+(* Deadlines are computed on the monotonic clock, so a wall-clock step
+   (NTP, VM migration) can neither fire a timeout early nor postpone it
+   indefinitely. *)
 let wait_readable fd deadline =
   match deadline with
   | None -> ()
   | Some dl ->
-      let remaining = dl -. Unix.gettimeofday () in
+      let remaining = dl -. Pax_obs.Clock.now () in
       if remaining <= 0. then raise Timeout
       else
         let r, _, _ = Unix.select [ fd ] [] [] remaining in
@@ -76,7 +79,7 @@ let wait_readable fd deadline =
 
 (* EINTR-safe exact read; [None] iff EOF at offset 0 and [eof_ok]. *)
 let read_exact ?timeout fd n ~eof_ok =
-  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  let deadline = Option.map (fun t -> Pax_obs.Clock.now () +. t) timeout in
   let b = Bytes.create n in
   let rec go off =
     if off = n then Some (Bytes.unsafe_to_string b)

@@ -72,6 +72,8 @@ type msg =
   | Ping
   | Pong
   | Shutdown
+  | Stats_request
+  | Stats_reply of (string * float) list
 
 type error = Truncated | Bad_version of int | Corrupt of string
 
@@ -489,6 +491,26 @@ let m_reply = 2
 let m_ping = 3
 let m_pong = 4
 let m_shutdown = 5
+let m_stats_request = 6
+let m_stats_reply = 7
+
+(* Metric values travel as IEEE-754 bits, big-endian, so the reply is
+   byte-exact (counters compare with [=] across the wire). *)
+let add_f64 buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    add_u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+  done
+
+let get_f64 s ~pos =
+  if pos + 8 > String.length s then fail "truncated f64";
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  (Int64.float_of_bits !bits, pos + 8)
 
 let encode_payload msg =
   let buf = Buffer.create 256 in
@@ -514,7 +536,16 @@ let encode_payload msg =
           Buffer.add_string buf e)
   | Ping -> add_u8 buf m_ping
   | Pong -> add_u8 buf m_pong
-  | Shutdown -> add_u8 buf m_shutdown);
+  | Shutdown -> add_u8 buf m_shutdown
+  | Stats_request -> add_u8 buf m_stats_request
+  | Stats_reply pairs ->
+      add_u8 buf m_stats_reply;
+      add_varint buf (List.length pairs);
+      List.iter
+        (fun (name, v) ->
+          add_str buf name;
+          add_f64 buf v)
+        pairs);
   Buffer.contents buf
 
 let encode msg =
@@ -540,6 +571,16 @@ let decode_payload s =
       if tag = m_ping then finish Ping pos
       else if tag = m_pong then finish Pong pos
       else if tag = m_shutdown then finish Shutdown pos
+      else if tag = m_stats_request then finish Stats_request pos
+      else if tag = m_stats_reply then begin
+        let pairs, pos =
+          get_counted s ~pos (fun s ~pos ->
+              let name, pos = get_str s ~pos in
+              let v, pos = get_f64 s ~pos in
+              ((name, v), pos))
+        in
+        finish (Stats_reply pairs) pos
+      end
       else if tag = m_request then begin
         let run, pos = get_varint s ~pos in
         let round, pos = get_varint s ~pos in
@@ -650,7 +691,11 @@ let tally_reply t = function
 let tally = function
   | Visit_request { call; _ } -> tally_call empty_tally call
   | Visit_reply { reply = Ok r; _ } -> tally_reply empty_tally r
-  | Visit_reply { reply = Error _; _ } | Ping | Pong | Shutdown -> empty_tally
+  | Visit_reply { reply = Error _; _ }
+  | Ping | Pong | Shutdown
+  (* Stats traffic is telemetry, not query evaluation: it carries no
+     sections and is excluded from accounted traffic entirely. *)
+  | Stats_request | Stats_reply _ -> empty_tally
 
 (* Worst-case structure bytes (docs/NETWORK.md derives these): frame
    header + version + tags + envelope varints and label; per fragment

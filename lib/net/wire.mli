@@ -125,6 +125,13 @@ type msg =
   | Ping
   | Pong
   | Shutdown
+  | Stats_request
+      (** ask a site server for its telemetry counters *)
+  | Stats_reply of (string * float) list
+      (** sorted [(series, value)] pairs as {!Pax_obs.Metrics.pairs}
+          flattens them; values travel as IEEE-754 bits, so counters
+          compare byte-exactly across the wire.  Stats frames carry no
+          sections and are excluded from accounted traffic. *)
 
 type error =
   | Truncated

@@ -1,0 +1,123 @@
+(* Live guarantee auditor.
+
+   The paper (§6) proves three bounds for PaX2/PaX3 over a fragmented
+   tree T with fragment tree FT and query Q:
+
+     visits:  every site is visited at most 2 (PaX2) / 3 (PaX3) times;
+     comm:    total communication is O(|Q|·|FT| + |ans|);
+     comp:    total computation is O(|Q|·|T|).
+
+   This module turns a run's accounting into concrete checks.  The
+   big-O constants are calibrated empirically (see
+   docs/OBSERVABILITY.md "Auditor constants"): we measure the worst
+   observed ratio across the example suite and the bench workloads and
+   set each constant with >= 4x headroom, so the auditor fails only on
+   genuine asymptotic regressions (e.g. shipping a fragment's subtree
+   in a control message, or re-evaluating a stage per visit), not on
+   noise.  Callers can tighten or loosen via [?c_comm]/[?c_comp].
+
+   Units: |Q| is the compiled query's entry count (selection +
+   qualifier vectors) — the quantity both engines' per-node work is
+   linear in; |FT| is the number of fragments; |T| is the document
+   node count; byte bounds use the accounted (Measure) sizes that the
+   wire codec reproduces exactly. *)
+
+type input = {
+  engine : string; (* "pax2" | "pax3" | ... *)
+  visit_limit : int option; (* None: engine makes no visit promise *)
+  max_visits : int; (* max logical visits on any one site *)
+  q_entries : int; (* |Q|: n_sel + n_qual *)
+  ft_size : int; (* |FT|: number of fragments *)
+  t_size : int; (* |T|: document node count *)
+  control_bytes : int; (* logical non-answer traffic (Measure bytes) *)
+  answer_bytes : int; (* logical answer traffic (Measure bytes) *)
+  total_ops : int; (* coordinator + site ops *)
+}
+
+type bound = {
+  b_name : string; (* "visits" | "comm" | "comp" *)
+  b_formula : string; (* human-readable instantiated formula *)
+  b_actual : float;
+  b_limit : float;
+  b_pass : bool;
+  b_margin : float; (* (limit - actual) / limit; negative = violated *)
+}
+
+type report = { bounds : bound list; pass : bool }
+
+let default_c_comm = 64.
+let default_c_comp = 32.
+
+let mk_bound name formula ~actual ~limit =
+  {
+    b_name = name;
+    b_formula = formula;
+    b_actual = actual;
+    b_limit = limit;
+    b_pass = actual <= limit;
+    b_margin = (if limit > 0. then (limit -. actual) /. limit else neg_infinity);
+  }
+
+let evaluate ?(c_comm = default_c_comm) ?(c_comp = default_c_comp) (i : input) :
+    report =
+  let fi = float_of_int in
+  let visits =
+    match i.visit_limit with
+    | None -> []
+    | Some lim ->
+        [
+          mk_bound "visits"
+            (Printf.sprintf "max logical visits per site <= %d (%s)" lim
+               i.engine)
+            ~actual:(fi i.max_visits) ~limit:(fi lim);
+        ]
+  in
+  let comm_limit = (c_comm *. fi i.q_entries *. fi i.ft_size) +. fi i.answer_bytes in
+  let comm =
+    mk_bound "comm"
+      (Printf.sprintf
+         "control+answer bytes <= %g*|Q|*|FT| + |ans| = %g*%d*%d + %d" c_comm
+         c_comm i.q_entries i.ft_size i.answer_bytes)
+      ~actual:(fi (i.control_bytes + i.answer_bytes))
+      ~limit:comm_limit
+  in
+  let comp =
+    mk_bound "comp"
+      (Printf.sprintf "total ops <= %g*|Q|*|T| = %g*%d*%d" c_comp c_comp
+         i.q_entries i.t_size)
+      ~actual:(fi i.total_ops)
+      ~limit:(c_comp *. fi i.q_entries *. fi i.t_size)
+  in
+  let bounds = visits @ [ comm; comp ] in
+  { bounds; pass = List.for_all (fun b -> b.b_pass) bounds }
+
+(* ---------------- rendering --------------------------------------- *)
+
+let pp_bound ppf b =
+  Format.fprintf ppf "%-6s %s  actual=%.0f limit=%.0f margin=%.1f%%  %s"
+    b.b_name
+    (if b.b_pass then "PASS" else "FAIL")
+    b.b_actual b.b_limit (100. *. b.b_margin) b.b_formula
+
+let pp ppf r =
+  Format.fprintf ppf "guarantee audit: %s@\n"
+    (if r.pass then "PASS" else "FAIL");
+  List.iter (fun b -> Format.fprintf ppf "  %a@\n" pp_bound b) r.bounds
+
+let bound_to_json b =
+  Json.Obj
+    [
+      ("name", Json.Str b.b_name);
+      ("formula", Json.Str b.b_formula);
+      ("actual", Json.Num b.b_actual);
+      ("limit", Json.Num b.b_limit);
+      ("pass", Json.Bool b.b_pass);
+      ("margin", Json.Num b.b_margin);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("pass", Json.Bool r.pass);
+      ("bounds", Json.List (List.map bound_to_json r.bounds));
+    ]

@@ -1,0 +1,42 @@
+(** Live guarantee auditor for the paper's three bounds (PAPER.md §6):
+    per-site visit limits (≤2 PaX2 / ≤3 PaX3), communication
+    [O(|Q|·|FT| + |ans|)], and total computation [O(|Q|·|T|)].
+
+    The big-O constants default to empirically calibrated values with
+    ≥4× headroom over the worst ratio observed on the example suite
+    and bench workloads (see docs/OBSERVABILITY.md), so failures mean
+    asymptotic regressions, not noise. *)
+
+type input = {
+  engine : string;
+  visit_limit : int option;
+      (** the engine's promised per-site visit cap; [None] if the
+          engine makes no such promise (no visits bound emitted) *)
+  max_visits : int;  (** max logical visits on any one site (Trace) *)
+  q_entries : int;  (** |Q|: compiled selection + qualifier entries *)
+  ft_size : int;  (** |FT|: number of fragments *)
+  t_size : int;  (** |T|: document node count *)
+  control_bytes : int;  (** logical non-answer traffic, Measure bytes *)
+  answer_bytes : int;  (** logical answer traffic, Measure bytes *)
+  total_ops : int;  (** coordinator + site operations *)
+}
+
+type bound = {
+  b_name : string;  (** ["visits"], ["comm"] or ["comp"] *)
+  b_formula : string;  (** instantiated human-readable formula *)
+  b_actual : float;
+  b_limit : float;
+  b_pass : bool;
+  b_margin : float;  (** [(limit - actual) / limit]; negative = violated *)
+}
+
+type report = { bounds : bound list; pass : bool }
+
+val default_c_comm : float
+val default_c_comp : float
+
+val evaluate : ?c_comm:float -> ?c_comp:float -> input -> report
+
+val pp_bound : Format.formatter -> bound -> unit
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Json.t

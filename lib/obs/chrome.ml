@@ -1,0 +1,84 @@
+(* Chrome trace-event JSON export (the format Perfetto and
+   chrome://tracing load).  We emit the object form:
+
+     { "traceEvents": [ ... ], "displayTimeUnit": "ms" }
+
+   with one metadata event per track naming its thread, followed by
+   one complete ("ph":"X") event per span.  Timestamps are
+   microseconds relative to the earliest span so files from different
+   runs line up at t=0.  Spec:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU *)
+
+let pid = 1 (* single-process trace; tids distinguish tracks *)
+
+let track_ids (spans : Span.span list) : (string * int) list =
+  (* First-appearance order (spans arrive sorted by begin time), so the
+     coordinator track — which starts first — gets tid 0 on top. *)
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Span.span) ->
+      if not (Hashtbl.mem seen s.Span.sp_track) then begin
+        Hashtbl.add seen s.Span.sp_track (Hashtbl.length seen);
+        order := s.Span.sp_track :: !order
+      end)
+    spans;
+  List.rev !order |> List.mapi (fun i t -> (t, i))
+
+let us_of rel = Float.round (rel *. 1e6)
+
+let to_json (spans : Span.span list) : Json.t =
+  let t_origin =
+    List.fold_left
+      (fun acc (s : Span.span) -> Float.min acc s.Span.sp_begin)
+      infinity spans
+  in
+  let t_origin = if t_origin = infinity then 0. else t_origin in
+  let tracks = track_ids spans in
+  let tid_of track = List.assoc track tracks in
+  let meta =
+    List.map
+      (fun (name, tid) ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.int pid);
+            ("tid", Json.int tid);
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
+          ])
+      tracks
+  in
+  let events =
+    List.map
+      (fun (s : Span.span) ->
+        Json.Obj
+          [
+            ("name", Json.Str s.Span.sp_name);
+            ("cat", Json.Str (if s.Span.sp_cat = "" then "pax" else s.Span.sp_cat));
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (us_of (s.Span.sp_begin -. t_origin)));
+            ("dur", Json.Num (Float.max 1. (us_of s.Span.sp_dur)));
+            ("pid", Json.int pid);
+            ("tid", Json.int (tid_of s.Span.sp_track));
+            ( "args",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.Str v)) s.Span.sp_args) );
+          ])
+      spans
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string spans = Json.to_string (to_json spans)
+
+let write_file path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string spans);
+      output_char oc '\n')

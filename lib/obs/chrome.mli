@@ -1,0 +1,11 @@
+(** Chrome trace-event JSON export, loadable in Perfetto
+    (https://ui.perfetto.dev) and chrome://tracing.
+
+    Emits the object form [{"traceEvents": [...]}] containing one
+    ["ph":"M"] thread-name metadata event per span track followed by
+    one complete ["ph":"X"] event per span, with [ts]/[dur] in
+    microseconds relative to the earliest span. *)
+
+val to_json : Span.span list -> Json.t
+val to_string : Span.span list -> string
+val write_file : string -> Span.span list -> unit

@@ -1,0 +1,69 @@
+(* Monotonic time for everything that measures durations or computes
+   deadlines.  OCaml's Unix module (without external packages) only
+   exposes wall-clock time, so we monotonize it: a process-global
+   high-water mark clamps [now] to be non-decreasing even if the wall
+   clock is stepped backwards (NTP, VM migration).  Forward jumps
+   still inflate one interval — documented in docs/OBSERVABILITY.md —
+   but backward jumps can no longer produce negative durations or
+   never-expiring socket deadlines.
+
+   The source is swappable so tests can drive time by hand. *)
+
+type source = unit -> float
+
+let wall : source = Unix.gettimeofday
+
+(* High-water mark, stored as Int64 bits because Atomic.t over floats
+   would box on every set; CAS on the bits is lock-free. *)
+let hwm = Atomic.make (Int64.bits_of_float 0.)
+
+let monotonize (raw : float) : float =
+  let rec bump () =
+    let prev_bits = Atomic.get hwm in
+    let prev = Int64.float_of_bits prev_bits in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set hwm prev_bits (Int64.bits_of_float raw) then
+      raw
+    else bump ()
+  in
+  bump ()
+
+let source = Atomic.make wall
+
+(* Installing a source starts a fresh monotonic epoch; otherwise a fake
+   clock starting at 0 would be clamped up to earlier wall readings. *)
+let reset_mark () = Atomic.set hwm (Int64.bits_of_float neg_infinity)
+
+let set_source s =
+  Atomic.set source s;
+  reset_mark ()
+
+let use_wall () = set_source wall
+
+let with_source s f =
+  let prev = Atomic.get source in
+  set_source s;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set source prev;
+      reset_mark ())
+    f
+
+let now () = monotonize (Atomic.get source ())
+
+(* A hand-cranked clock for tests. *)
+module Fake = struct
+  type t = float Atomic.t
+
+  let create ?(at = 0.) () = Atomic.make at
+  let source (t : t) : source = fun () -> Atomic.get t
+
+  let advance t dt =
+    let rec go () =
+      let prev = Atomic.get t in
+      if not (Atomic.compare_and_set t prev (prev +. dt)) then go ()
+    in
+    go ()
+
+  let set t at = Atomic.set t at
+end

@@ -1,0 +1,45 @@
+(** Monotonic time source.
+
+    [now ()] returns seconds from an arbitrary origin (the Unix epoch
+    under the default wall source), guaranteed non-decreasing within
+    the process even if the wall clock is stepped backwards.  All
+    duration and deadline math in the repo goes through this module so
+    that a single injection point ([set_source] / [with_source]) makes
+    timing deterministic in tests. *)
+
+type source = unit -> float
+
+val wall : source
+(** The default source: [Unix.gettimeofday]. *)
+
+val now : unit -> float
+(** Current time from the installed source, monotonized: never less
+    than any value previously returned by [now] in this process. *)
+
+val monotonize : float -> float
+(** Clamp a raw reading against the process-global high-water mark and
+    advance the mark.  [now] is [monotonize (source ())]. *)
+
+val set_source : source -> unit
+(** Install a replacement time source (process-global) and start a
+    fresh monotonic epoch, so a fake clock running behind the wall
+    clock is not clamped up to earlier wall readings.  The
+    non-decreasing guarantee therefore holds per installed source, not
+    across installs. *)
+
+val use_wall : unit -> unit
+(** Restore the default wall source (also a fresh epoch). *)
+
+val with_source : source -> (unit -> 'a) -> 'a
+(** Run [f] with a temporary source; restores the previous source even
+    on exceptions. *)
+
+(** Hand-cranked clock for deterministic tests. *)
+module Fake : sig
+  type t
+
+  val create : ?at:float -> unit -> t
+  val source : t -> source
+  val advance : t -> float -> unit
+  val set : t -> float -> unit
+end

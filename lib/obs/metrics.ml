@@ -1,0 +1,166 @@
+(* Counter / gauge / histogram registry.
+
+   One mutex guards a registry; instruments are keyed by
+   (name, sorted labels) so the same logical series is shared no matter
+   which call site touches it first.  Dumps are sorted by key, so the
+   Prometheus-style text output and the [pairs] flattening are
+   deterministic regardless of update order — which in turn lets the
+   client/server stats-agreement test compare registries built on
+   opposite ends of a socket. *)
+
+type labels = (string * string) list
+
+type instrument =
+  | Counter of float ref
+  | Gauge of float ref
+  | Histogram of {
+      buckets : float array; (* upper bounds, strictly increasing *)
+      counts : int array; (* same length + 1 (overflow bucket) *)
+      mutable sum : float;
+      mutable count : int;
+    }
+
+type t = {
+  mu : Mutex.t;
+  tbl : (string * labels, instrument) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+
+let norm_labels (l : labels) : labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Seconds-scale latency buckets: 10us .. 10s, roughly half-decade. *)
+let latency_buckets =
+  [| 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.; 3.; 10. |]
+
+let find t kind name labels (fresh : unit -> instrument) : instrument =
+  let key = (name, norm_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some i ->
+      (match (kind, i) with
+      | `Counter, Counter _ | `Gauge, Gauge _ | `Histogram, Histogram _ -> ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s re-registered with a different kind"
+               name));
+      i
+  | None ->
+      let i = fresh () in
+      Hashtbl.replace t.tbl key i;
+      i
+
+let incr t ?(labels = []) ?(by = 1.) name =
+  if by < 0. then invalid_arg "Metrics.incr: negative increment";
+  with_lock t (fun () ->
+      match find t `Counter name labels (fun () -> Counter (ref 0.)) with
+      | Counter r -> r := !r +. by
+      | _ -> assert false)
+
+let set t ?(labels = []) name v =
+  with_lock t (fun () ->
+      match find t `Gauge name labels (fun () -> Gauge (ref 0.)) with
+      | Gauge r -> r := v
+      | _ -> assert false)
+
+let observe t ?(labels = []) ?(buckets = latency_buckets) name v =
+  with_lock t (fun () ->
+      match
+        find t `Histogram name labels (fun () ->
+            Histogram
+              {
+                buckets = Array.copy buckets;
+                counts = Array.make (Array.length buckets + 1) 0;
+                sum = 0.;
+                count = 0;
+              })
+      with
+      | Histogram h ->
+          let n = Array.length h.buckets in
+          let i = ref 0 in
+          while !i < n && v > h.buckets.(!i) do
+            i := !i + 1
+          done;
+          h.counts.(!i) <- h.counts.(!i) + 1;
+          h.sum <- h.sum +. v;
+          h.count <- h.count + 1
+      | _ -> assert false)
+
+let value t ?(labels = []) name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl (name, norm_labels labels) with
+      | Some (Counter r) | Some (Gauge r) -> Some !r
+      | Some (Histogram h) -> Some h.sum
+      | None -> None)
+
+(* ---------------- export ------------------------------------------ *)
+
+let label_suffix = function
+  | [] -> ""
+  | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+      ^ "}"
+
+let sorted_entries t =
+  let xs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) xs
+
+(* Flatten to (series-name, value) pairs — the payload of the Stats
+   wire reply.  Histograms expand to _sum / _count / _bucket{le=...}
+   series, mirroring the text dump. *)
+let pairs t : (string * float) list =
+  with_lock t (fun () ->
+      sorted_entries t
+      |> List.concat_map (fun ((name, labels), inst) ->
+             let base = name ^ label_suffix labels in
+             match inst with
+             | Counter r | Gauge r -> [ (base, !r) ]
+             | Histogram h ->
+                 let bucket i le =
+                   ( Printf.sprintf "%s_bucket%s"
+                       name
+                       (label_suffix (norm_labels (("le", le) :: labels))),
+                     float_of_int i )
+                 in
+                 let cumulative = ref 0 in
+                 let bs =
+                   List.init
+                     (Array.length h.buckets + 1)
+                     (fun i ->
+                       cumulative := !cumulative + h.counts.(i);
+                       let le =
+                         if i = Array.length h.buckets then "+Inf"
+                         else Printf.sprintf "%g" h.buckets.(i)
+                       in
+                       bucket !cumulative le)
+                 in
+                 bs
+                 @ [
+                     (name ^ "_sum" ^ label_suffix labels, h.sum);
+                     ( name ^ "_count" ^ label_suffix labels,
+                       float_of_int h.count );
+                   ]))
+
+let num s =
+  if Float.is_integer s && Float.abs s < 1e15 then Printf.sprintf "%.0f" s
+  else Printf.sprintf "%g" s
+
+(* Prometheus-style text exposition (values only, no TYPE/HELP —
+   enough to read and to diff in tests). *)
+let dump t : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (series, v) -> Buffer.add_string b (series ^ " " ^ num v ^ "\n"))
+    (pairs t);
+  Buffer.contents b
+
+let of_pairs (ps : (string * float) list) : (string * float) list =
+  List.sort (fun (a, _) (b, _) -> compare a b) ps
+
+let clear t = with_lock t (fun () -> Hashtbl.reset t.tbl)

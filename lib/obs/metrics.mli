@@ -1,0 +1,45 @@
+(** Thread-safe counter / gauge / histogram registry.
+
+    Series are keyed by name + labels (label order is irrelevant).
+    Exports ({!pairs}, {!dump}) are sorted, so two registries holding
+    the same series compare equal regardless of update order — used by
+    the client/server stats-agreement test. *)
+
+type t
+type labels = (string * string) list
+
+val create : unit -> t
+
+val incr : t -> ?labels:labels -> ?by:float -> string -> unit
+(** Bump a counter (creates it at 0 on first touch).  [by] must be
+    non-negative.  Raises [Invalid_argument] if [name]+[labels] was
+    already registered as a different kind. *)
+
+val set : t -> ?labels:labels -> string -> float -> unit
+(** Set a gauge. *)
+
+val observe : t -> ?labels:labels -> ?buckets:float array -> string -> float -> unit
+(** Record one histogram observation.  [buckets] are strictly
+    increasing upper bounds, fixed at first touch (later values are
+    ignored); defaults to {!latency_buckets}. *)
+
+val latency_buckets : float array
+(** Seconds-scale defaults: 10µs … 10s, roughly half-decade steps. *)
+
+val value : t -> ?labels:labels -> string -> float option
+(** Current value of a counter or gauge; a histogram's sum. *)
+
+val pairs : t -> (string * float) list
+(** Flatten to sorted [(series, value)] pairs.  Histograms expand to
+    cumulative [_bucket{le="..."}] series plus [_sum] and [_count].
+    This is the payload of the [Stats] wire reply. *)
+
+val of_pairs : (string * float) list -> (string * float) list
+(** Sort a received pair list into the {!pairs} order so both sides of
+    the wire compare canonically. *)
+
+val dump : t -> string
+(** Prometheus-style text exposition: one ["series value"] line per
+    {!pairs} entry, sorted. *)
+
+val clear : t -> unit

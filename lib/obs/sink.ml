@@ -1,0 +1,59 @@
+(* The instrumentation seam.
+
+   Every instrumented call site in the cluster, engines, pool and
+   socket code takes a [Sink.t] and is written so that with [noop] the
+   site costs one branch on [enabled] — no clock reads, no allocation,
+   no lock — and the semantic accounting (answers, visit counts, op
+   counts, traffic) takes the *same* code path either way.  The
+   differential test in test_obs.ml holds that contract. *)
+
+type t = {
+  enabled : bool;
+  spans : Span.t;
+  metrics : Metrics.t;
+}
+
+(* One shared disabled sink: collectors exist (so the record type has
+   no options to match on) but are never touched because every
+   instrumentation helper checks [enabled] first. *)
+let noop =
+  { enabled = false; spans = Span.create (); metrics = Metrics.create () }
+
+let create () =
+  { enabled = true; spans = Span.create (); metrics = Metrics.create () }
+
+let span t ?cat ?track ?(args = fun () -> []) name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = Clock.now () in
+    let finish () =
+      Span.record t.spans ?cat ?track ~args:(args ()) name ~t0
+        ~t1:(Clock.now ())
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* For call sites that already hold t0/t1 readings for semantic timing:
+   reuse them so enabled runs take zero extra clock reads on that path. *)
+let record t ?cat ?track ?(args = []) name ~t0 ~t1 =
+  if t.enabled then Span.record t.spans ?cat ?track ~args name ~t0 ~t1
+
+let count t ?labels ?by name =
+  if t.enabled then Metrics.incr t.metrics ?labels ?by name
+
+let observe t ?labels ?buckets name v =
+  if t.enabled then Metrics.observe t.metrics ?labels ?buckets name v
+
+let set t ?labels name v = if t.enabled then Metrics.set t.metrics ?labels name v
+
+let clear t =
+  if t.enabled then begin
+    Span.clear t.spans;
+    Metrics.clear t.metrics
+  end

@@ -1,0 +1,52 @@
+(** The instrumentation seam threaded through the stack.
+
+    A sink bundles a span collector and a metrics registry behind an
+    [enabled] flag.  With {!noop} every helper below is a single
+    branch — no clock read, no allocation, no lock — and instrumented
+    code must keep its semantic accounting on the same path either
+    way; the differential test in [test_obs.ml] asserts answers,
+    visits, op counts and accounted traffic are identical under
+    {!noop} and {!create}. *)
+
+type t = private {
+  enabled : bool;
+  spans : Span.t;
+  metrics : Metrics.t;
+}
+
+val noop : t
+(** The shared disabled sink (the default everywhere). *)
+
+val create : unit -> t
+(** A fresh enabled sink with empty collectors. *)
+
+val span :
+  t ->
+  ?cat:string ->
+  ?track:string ->
+  ?args:(unit -> (string * string) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span t name f] times [f ()] and records it; on the noop sink it
+    is exactly [f ()].  [args] is a thunk so attribute building costs
+    nothing when disabled.  The span is recorded even if [f] raises. *)
+
+val record :
+  t ->
+  ?cat:string ->
+  ?track:string ->
+  ?args:(string * string) list ->
+  string ->
+  t0:float ->
+  t1:float ->
+  unit
+(** Record a span from clock readings the caller already took for its
+    own (semantic) timing — zero extra clock reads when enabled. *)
+
+val count : t -> ?labels:Metrics.labels -> ?by:float -> string -> unit
+val observe : t -> ?labels:Metrics.labels -> ?buckets:float array -> string -> float -> unit
+val set : t -> ?labels:Metrics.labels -> string -> float -> unit
+
+val clear : t -> unit
+(** Empty both collectors (no-op on {!noop}). *)

@@ -1,0 +1,69 @@
+(* Timed spans.
+
+   A span is a closed interval on a named track ("coordinator",
+   "site 3", "pool worker 1", ...) with a category, free-form string
+   attributes, and a process-global sequence number.  Collection is a
+   mutex-protected list: spans may be recorded concurrently from pool
+   domains, and [spans] returns them sorted by (begin time, seq) so
+   export order is stable.  Note this differs from the PR-2 visit-log
+   pattern (DLS buffers merged at barriers): spans are non-semantic —
+   nothing downstream branches on them — so the differential test pins
+   the *observables* (answers, visits, ops, traffic) instead of span
+   order, and a simple lock keeps the collector reusable from code
+   that has no barrier to merge at (sockets, CLI). *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_track : string; (* rendered as a thread in the Chrome trace *)
+  sp_begin : float; (* Clock.now seconds *)
+  sp_dur : float; (* seconds, >= 0 *)
+  sp_args : (string * string) list;
+  sp_seq : int;
+}
+
+type t = { mu : Mutex.t; mutable acc : span list; mutable n : int }
+
+let seq = Atomic.make 0
+
+let create () = { mu = Mutex.create (); acc = []; n = 0 }
+
+let record t ?(cat = "") ?(track = "coordinator") ?(args = []) name ~t0 ~t1 =
+  let sp =
+    {
+      sp_name = name;
+      sp_cat = cat;
+      sp_track = track;
+      sp_begin = t0;
+      sp_dur = Float.max 0. (t1 -. t0);
+      sp_args = args;
+      sp_seq = Atomic.fetch_and_add seq 1;
+    }
+  in
+  Mutex.lock t.mu;
+  t.acc <- sp :: t.acc;
+  t.n <- t.n + 1;
+  Mutex.unlock t.mu
+
+let spans t =
+  Mutex.lock t.mu;
+  let xs = t.acc in
+  Mutex.unlock t.mu;
+  List.sort
+    (fun a b ->
+      match compare a.sp_begin b.sp_begin with
+      | 0 -> compare a.sp_seq b.sp_seq
+      | c -> c)
+    xs
+
+let length t =
+  Mutex.lock t.mu;
+  let n = t.n in
+  Mutex.unlock t.mu;
+  n
+
+let clear t =
+  Mutex.lock t.mu;
+  t.acc <- [];
+  t.n <- 0;
+  Mutex.unlock t.mu

@@ -1,0 +1,42 @@
+(** Timed spans and their collector.
+
+    Spans are pure telemetry: nothing in the engines or the cluster
+    branches on them, so they can be collected under a simple lock
+    from any domain without perturbing the deterministic observables
+    (which the differential test in [test_obs.ml] pins). *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;  (** e.g. ["round"], ["visit"], ["wire"], ["stage"] *)
+  sp_track : string;
+      (** logical timeline, rendered as a named thread in the Chrome
+          trace: ["coordinator"], ["site 3"], ["pool worker 2"], … *)
+  sp_begin : float;  (** {!Clock.now} seconds *)
+  sp_dur : float;  (** seconds, clamped >= 0 *)
+  sp_args : (string * string) list;
+  sp_seq : int;  (** process-global record order *)
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  ?cat:string ->
+  ?track:string ->
+  ?args:(string * string) list ->
+  string ->
+  t0:float ->
+  t1:float ->
+  unit
+(** Record a closed span [t0, t1] (callers take both readings from
+    {!Clock.now}; reusing readings they already made for semantic
+    accounting keeps the enabled/disabled paths identical).  [track]
+    defaults to ["coordinator"]. *)
+
+val spans : t -> span list
+(** Snapshot, sorted by (begin time, seq) — stable export order. *)
+
+val length : t -> int
+val clear : t -> unit

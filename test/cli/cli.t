@@ -57,3 +57,27 @@ Fragment into an on-disk store, then query the store directly:
 
   $ ../../bin/pax_cli.exe count store '//person'
   17
+
+Telemetry: --stats prints the guarantee-auditor verdicts (the counter
+and histogram values are timing-dependent, so only the audit lines are
+pinned here), and --trace-out writes a Chrome trace-event file:
+
+  $ ../../bin/pax_cli.exe query doc.xml '//person[address/country = "US"]/name' --algo pax2 --fragment-tag site -q --stats --trace-out run.json | grep -E '^(guarantee|  (visits|comm|comp)|wrote run)'
+  guarantee audit: PASS
+    visits PASS  actual=2 limit=2 margin=0.0%  max logical visits per site <= 2 (pax2)
+    comm   PASS  actual=277 limit=2012 margin=86.2%  control+answer bytes <= 64*|Q|*|FT| + |ans| = 64*10*3 + 92
+    comp   PASS  actual=9886 limit=209600 margin=95.3%  total ops <= 32*|Q|*|T| = 32*10*655
+  wrote run.json: 9 span(s)
+
+  $ grep -c traceEvents run.json
+  1
+
+--report-out writes a structured JSON run report whose audit agrees
+with the --stats verdict above:
+
+  $ ../../bin/pax_cli.exe query doc.xml '//person[address/country = "US"]/name' --algo pax2 --fragment-tag site -q --report-out report.json
+  4 answer(s)
+  wrote report.json
+
+  $ grep -c '"audit":{"pass":true' report.json
+  1

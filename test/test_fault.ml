@@ -146,6 +146,87 @@ let test_lost_reply_replay () =
     baseline.Run_result.report.Cluster.total_ops
     r.Run_result.report.Cluster.total_ops
 
+(* Post-hoc logical-vs-physical message accounting under duplicated
+   deliveries: the paper's communication bound is stated over logical
+   messages and bytes, so those must be immune to a fault plan that
+   duplicates every resolution message, while the physical counters
+   bill every transmission. *)
+let test_duplicated_accounting () =
+  let cl, q, oracle = setup () in
+  let clean = Pax_core.Pax2.run cl q in
+  let clean_tr = Run_result.trace_exn clean in
+  Cluster.set_fault cl
+    (Fault.duplicate_message (fun c -> c.Fault.m_kind = Trace.Resolution));
+  let r = Pax_core.Pax2.run cl q in
+  check_ids "answers unchanged" oracle r;
+  let tr = Run_result.trace_exn r in
+  let dups =
+    List.length
+      (List.filter
+         (function
+           | Trace.Message { status = Trace.Duplicated; _ } -> true
+           | _ -> false)
+         (Trace.events tr))
+  in
+  Alcotest.(check bool) "some resolutions duplicated" true (dups > 0);
+  Alcotest.(check int) "logical messages immune to duplication"
+    (Trace.logical_messages clean_tr)
+    (Trace.logical_messages tr);
+  Alcotest.(check int) "each duplicate bills one extra transmission"
+    (Trace.logical_messages tr + dups)
+    (Trace.physical_messages tr);
+  Alcotest.(check int) "logical resolution bytes immune"
+    (Trace.logical_bytes clean_tr ~kind:Trace.Resolution)
+    (Trace.logical_bytes tr ~kind:Trace.Resolution);
+  Alcotest.(check bool) "physical resolution bytes billed double" true
+    (Trace.physical_bytes tr ~kind:Trace.Resolution
+    > Trace.logical_bytes tr ~kind:Trace.Resolution)
+
+(* Delayed deliveries are still single transmissions: physical equals
+   logical everywhere; only the delay is recorded. *)
+let test_delayed_accounting () =
+  let cl, q, oracle = setup () in
+  Cluster.set_fault cl
+    (Fault.delay_message ~seconds:0.01 (fun c ->
+         c.Fault.m_kind = Trace.Vectors));
+  let r = Pax_core.Pax2.run cl q in
+  check_ids "answers unchanged under delays" oracle r;
+  let tr = Run_result.trace_exn r in
+  Alcotest.(check bool) "delays recorded" true
+    (events_with
+       (function
+         | Trace.Message { status = Trace.Delayed _; _ } -> true | _ -> false)
+       tr);
+  Alcotest.(check int) "a delayed message is one transmission"
+    (Trace.logical_messages tr)
+    (Trace.physical_messages tr);
+  List.iter
+    (fun kind ->
+      Alcotest.(check int)
+        ("physical = logical bytes: " ^ Trace.kind_name kind)
+        (Trace.logical_bytes tr ~kind)
+        (Trace.physical_bytes tr ~kind))
+    [ Trace.Query; Trace.Vectors; Trace.Resolution; Trace.Answers ]
+
+(* Replayed visits (lost replies) never inflate the logical message
+   log: retransmissions carry attempt > 1 and are excluded. *)
+let test_replay_accounting () =
+  let cl, q, oracle = setup () in
+  let clean = Pax_core.Pax2.run cl q in
+  let clean_tr = Run_result.trace_exn clean in
+  Cluster.set_fault cl (Fault.lose_reply ~times:2 ~site:2 ~round:0 ());
+  let r = Pax_core.Pax2.run cl q in
+  check_ids "answers unchanged under replays" oracle r;
+  let tr = Run_result.trace_exn r in
+  Alcotest.(check bool) "the replay really happened" true
+    (Trace.physical_visits tr ~site:2 > Trace.logical_visits tr ~site:2);
+  Alcotest.(check int) "logical visits match the clean run"
+    (Trace.logical_visits clean_tr ~site:2)
+    (Trace.logical_visits tr ~site:2);
+  Alcotest.(check int) "logical control bytes match the clean run"
+    (Trace.logical_control_bytes clean_tr)
+    (Trace.logical_control_bytes tr)
+
 (* Message-level retry exhaustion is the same typed error. *)
 let test_message_retry_exhaustion () =
   let cl, q, _oracle = setup () in
@@ -226,6 +307,11 @@ let () =
         ] );
       ( "accounting",
         [
+          Alcotest.test_case "duplicated deliveries" `Quick
+            test_duplicated_accounting;
+          Alcotest.test_case "delayed deliveries" `Quick
+            test_delayed_accounting;
+          Alcotest.test_case "replayed visits" `Quick test_replay_accounting;
           Alcotest.test_case "duplicate site in round" `Quick
             test_duplicate_site_in_round;
           Alcotest.test_case "retries charge one visit" `Quick
