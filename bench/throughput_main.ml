@@ -1,0 +1,1 @@
+let () = Throughput.main ()

@@ -1,12 +1,15 @@
-(* Schema check for the scaling benchmark's JSON (BENCH_*.json):
+(* Schema check for the benchmark JSON artifacts (BENCH_*.json):
 
      validate_bench.exe FILE...
 
-   Exits 0 when every file is well-formed and carries the fields later
-   PRs' perf tracking relies on; prints what is wrong and exits 1
-   otherwise.  Used by the @bench-smoke and @check dune aliases so a
-   perf-harness regression shows up as a build failure, not as a
-   silently missing or malformed artifact. *)
+   Dispatches on the top-level "bench" field: "scaling" (the multicore
+   scaling runs of BENCH_PR2-style files) or "throughput" (the serving
+   benchmark of bench/throughput.ml).  Exits 0 when every file is
+   well-formed and carries the fields later PRs' perf tracking relies
+   on; prints what is wrong and exits 1 otherwise.  Used by the
+   @bench-smoke and @check dune aliases so a perf-harness regression
+   shows up as a build failure, not as a silently missing or malformed
+   artifact. *)
 
 module J = Bench_json
 
@@ -136,11 +139,7 @@ let check_result i r =
   | Some [] -> err "%s: empty \"runs\"" ctx
   | None -> ()
 
-let check (v : J.t) =
-  (match Option.bind (J.member "bench" v) J.as_str with
-  | Some "scaling" -> ()
-  | Some other -> err "top: expected bench=\"scaling\", got %S" other
-  | None -> err "top: missing \"bench\"");
+let check_scaling (v : J.t) =
   (match J.member "pr" v with
   | Some _ -> ()
   | None -> err "top: missing \"pr\"");
@@ -161,15 +160,125 @@ let check (v : J.t) =
   | Some [] -> err "top: empty \"results\""
   | None -> err "top: missing \"results\""
 
+(* ---------------- the serving throughput schema -------------------- *)
+
+(* One (concurrency, cache) combo of bench/throughput.ml. *)
+let check_combo i r =
+  let ctx = Printf.sprintf "results[%d]" i in
+  let conc =
+    match need_num r ctx "concurrency" with
+    | Some c when c >= 1. && Float.is_integer c -> Some c
+    | Some _ ->
+        err "%s: bad \"concurrency\"" ctx;
+        None
+    | None -> None
+  in
+  let cached = Option.bind (J.member "cache" r) J.as_bool in
+  if cached = None then err "%s: missing or non-bool \"cache\"" ctx;
+  List.iter
+    (fun k ->
+      match need_num r ctx k with
+      | Some v when v <= 0. -> err "%s: non-positive %S" ctx k
+      | _ -> ())
+    [ "queries"; "wall_s"; "qps" ];
+  (match (need_num r ctx "p50_ms", need_num r ctx "p99_ms") with
+  | Some p50, Some p99 ->
+      if p50 < 0. || p99 < 0. then err "%s: negative latency" ctx;
+      if p50 > p99 then err "%s: p50 > p99" ctx
+  | _ -> ());
+  (match Option.bind (J.member "audit_pass" r) J.as_bool with
+  | Some true -> ()
+  | Some false -> err "%s: audit failed (audit_pass=false)" ctx
+  | None -> err "%s: missing or non-bool \"audit_pass\"" ctx);
+  match (conc, cached, Option.bind (J.member "qps" r) J.as_num) with
+  | Some c, Some k, Some q -> Some (c, k, q)
+  | _ -> None
+
+let check_throughput (v : J.t) =
+  (match J.member "pr" v with
+  | Some _ -> ()
+  | None -> err "top: missing \"pr\"");
+  let quick =
+    match Option.bind (J.member "quick" v) J.as_bool with
+    | Some q -> q
+    | None ->
+        err "top: missing or non-bool \"quick\"";
+        false
+  in
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k v) J.as_num with
+      | Some f when f >= 1. -> ()
+      | _ -> err "top: missing or bad %S" k)
+    [ "cores"; "size_mb"; "repeats"; "total_queries" ];
+  (match Option.bind (J.member "site_delay_ms" v) J.as_num with
+  | Some d when d >= 0. -> ()
+  | _ -> err "top: missing or bad \"site_delay_ms\"");
+  (match Option.bind (J.member "queries" v) J.as_list with
+  | Some (_ :: _) -> ()
+  | _ -> err "top: missing or empty \"queries\"");
+  match Option.bind (J.member "results" v) J.as_list with
+  | Some (_ :: _ as results) ->
+      let combos =
+        List.mapi (fun i r -> check_combo i r) results
+        |> List.filter_map Fun.id
+      in
+      (* The serving claim itself (quick smoke runs are too short to
+         hold it to a perf bound): with the cross-query cache off, the
+         highest tested concurrency must beat the sequential closed
+         loop — otherwise concurrent serving isn't buying anything and
+         the artifact documents a regression. *)
+      let off = List.filter (fun (_, cached, _) -> not cached) combos in
+      let qps_at c =
+        List.find_map
+          (fun (c', _, q) -> if c' = c then Some q else None)
+          off
+      in
+      if not quick then (
+        let cmax =
+          List.fold_left (fun acc (c, _, _) -> Float.max acc c) 1. off
+        in
+        match (qps_at 1., qps_at cmax) with
+        | Some q1, Some qn ->
+            if cmax > 1. && qn <= q1 then
+              err
+                "top: concurrency %.0f qps (%.1f) must exceed the \
+                 concurrency 1 baseline (%.1f) with cache off"
+                cmax qn q1
+        | _ -> err "top: cache-off results must include concurrency 1")
+  | Some [] -> err "top: empty \"results\""
+  | None -> err "top: missing \"results\""
+
+let check (v : J.t) =
+  match Option.bind (J.member "bench" v) J.as_str with
+  | Some "scaling" ->
+      check_scaling v;
+      "scaling"
+  | Some "throughput" ->
+      check_throughput v;
+      "throughput"
+  | Some other ->
+      err "top: unknown bench kind %S" other;
+      "?"
+  | None ->
+      err "top: missing \"bench\"";
+      "?"
+
 let check_file path =
   errors := [];
-  (match J.parse_file path with
-  | v -> check v
-  | exception J.Parse_error m -> err "not valid JSON: %s" m
-  | exception Sys_error m -> err "%s" m);
+  let kind =
+    match J.parse_file path with
+    | v -> check v
+    | exception J.Parse_error m ->
+        err "not valid JSON: %s" m;
+        "?"
+    | exception Sys_error m ->
+        err "%s" m;
+        "?"
+  in
   match List.rev !errors with
   | [] ->
-      Printf.printf "%s: scaling bench schema OK\n" path;
+      Printf.printf "%s: %s bench schema OK\n" path kind;
       true
   | es ->
       List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) es;

@@ -524,7 +524,7 @@ let serve_cmd =
       Printf.printf "site S%d: %d fragment(s), listening on %s\n%!" site
         (List.length frags)
         (Pax_net.Sockio.addr_to_string addr);
-      Pax_net.Server.serve (Pax_net.Server.create ~frags) fd;
+      Pax_net.Server.serve (Pax_net.Server.create ~frags ()) fd;
       Unix.close fd
     with
     | () -> 0
@@ -580,6 +580,236 @@ let serve_cmd =
     Term.(
       const run $ file $ site $ listen $ fragment_tag $ fragment_budget
       $ n_sites $ placement)
+
+(* ------------------------------------------------------------------ *)
+(* coordinator                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A line-oriented front door over Pax_serve.Coordinator: clients
+   connect, send "ID QUERY" lines, and read "ID OK|ERR|BUSY ..." lines
+   back as each run finishes (out of order across in-flight ids; see
+   docs/SERVING.md).  Each connection is one fair-scheduling source. *)
+let coordinator_cmd =
+  let run file listen connect annotations fragment_tag fragment_budget n_sites
+      placement max_inflight max_queue no_cache stats =
+    match
+      let ft = load_ftree file ~fragment_tag ~fragment_budget in
+      let sink = if stats then Pax_obs.Sink.create () else Pax_obs.Sink.noop in
+      let connect_addrs = Option.map parse_connect connect in
+      let n_sites =
+        match (connect_addrs, n_sites) with
+        | Some addrs, None -> Some (Array.length addrs)
+        | _ -> n_sites
+      in
+      (* One prototype cluster fixes the placement; per-run clusters
+         (in-process backend) are cut from the same cloth. *)
+      let proto = build_cluster ft ~n_sites ~placement in
+      let backend, mux =
+        match connect_addrs with
+        | None ->
+            ( Pax_serve.Coordinator.In_process
+                (fun () -> build_cluster ft ~n_sites ~placement),
+              None )
+        | Some addrs ->
+            if Array.length addrs <> Cluster.n_sites proto then
+              invalid_arg
+                (Printf.sprintf
+                   "--connect lists %d address(es) but the placement has %d \
+                    sites"
+                   (Array.length addrs) (Cluster.n_sites proto));
+            let mux = Pax_net.Client.create ~addrs () in
+            ( Pax_serve.Coordinator.Sockets
+                {
+                  mux;
+                  ftree = ft;
+                  n_sites = Cluster.n_sites proto;
+                  assign = (fun fid -> Cluster.site_of proto fid);
+                },
+              Some mux )
+        in
+      let cache =
+        if no_cache then None else Some (Pax_serve.Cache.create ~sink ft)
+      in
+      let coord =
+        Pax_serve.Coordinator.create ?max_inflight ?max_queue ?cache ~sink
+          backend
+      in
+      let addr =
+        match Pax_net.Sockio.addr_of_string listen with
+        | Ok a -> a
+        | Error e -> invalid_arg e
+      in
+      let fd = Pax_net.Sockio.listen addr in
+      Printf.printf
+        "coordinator: %d fragment(s) on %d site(s) (%s), listening on %s\n%!"
+        (Fragment.n_fragments ft) (Cluster.n_sites proto)
+        (match mux with Some _ -> "sockets" | None -> "in-process")
+        (Pax_net.Sockio.addr_to_string addr);
+      let n_clients = ref 0 in
+      let handle_client cfd source =
+        let inb = Unix.in_channel_of_descr cfd in
+        let wlock = Mutex.create () in
+        let reply line =
+          Mutex.lock wlock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock wlock)
+            (fun () ->
+              try
+                ignore
+                  (Unix.write_substring cfd (line ^ "\n") 0
+                     (String.length line + 1))
+              with Unix.Unix_error _ -> ())
+        in
+        let rec loop () =
+          match input_line inb with
+          | exception End_of_file -> ()
+          | line -> (
+              let line = String.trim line in
+              if line = "" then loop ()
+              else
+                match String.index_opt line ' ' with
+                | None ->
+                    reply (line ^ " ERR expected: ID QUERY");
+                    loop ()
+                | Some sp -> (
+                    let id = String.sub line 0 sp in
+                    let text =
+                      String.trim
+                        (String.sub line (sp + 1)
+                           (String.length line - sp - 1))
+                    in
+                    match Query.of_string text with
+                    | exception Pax_xpath.Parse.Syntax_error { pos; msg } ->
+                        reply
+                          (Printf.sprintf "%s ERR query error at %d: %s" id pos
+                             msg);
+                        loop ()
+                    | q -> (
+                        match
+                          Pax_serve.Coordinator.submit ~annotations ~source
+                            coord q
+                        with
+                        | Error r ->
+                            reply
+                              (Format.asprintf "%s BUSY %a" id
+                                 Pax_serve.Sched.pp_rejection r);
+                            loop ()
+                        | Ok tk ->
+                            ignore
+                              (Thread.create
+                                 (fun () ->
+                                   match Pax_serve.Coordinator.await tk with
+                                   | Ok r ->
+                                       reply
+                                         (Printf.sprintf "%s OK %d %s" id
+                                            (List.length
+                                               r.Pax_core.Run_result.answer_ids)
+                                            (String.concat ","
+                                               (List.map string_of_int
+                                                  r
+                                                    .Pax_core.Run_result
+                                                     .answer_ids)))
+                                   | Error e ->
+                                       reply
+                                         (Printf.sprintf "%s ERR %s" id
+                                            (Printexc.to_string e)))
+                                 ());
+                            loop ())))
+        in
+        loop ();
+        (try Unix.close cfd with Unix.Unix_error _ -> ())
+      in
+      let rec accept_loop () =
+        let cfd, _ = Unix.accept fd in
+        incr n_clients;
+        let source = Printf.sprintf "client-%d" !n_clients in
+        ignore (Thread.create (fun () -> handle_client cfd source) ());
+        accept_loop ()
+      in
+      accept_loop ()
+    with
+    | () -> 0
+    | exception Parser.Parse_error { pos; msg } ->
+        Printf.eprintf "XML error at byte %d: %s\n" pos msg;
+        1
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "network error: %s %s: %s\n" fn arg
+          (Unix.error_message err);
+        2
+    | exception Invalid_argument e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let listen =
+    Arg.(required & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Accept query submissions on $(b,unix:PATH) or \
+                   $(b,HOST:PORT).")
+  in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR,ADDR,..."
+             ~doc:"Run visits against live site servers (one address per \
+                   site, matching $(b,pax serve)); without it each run \
+                   executes in-process.")
+  in
+  let annotations =
+    Arg.(value & flag & info [ "annotations"; "xa" ] ~doc:"Use XPath-annotations.")
+  in
+  let fragment_tag =
+    Arg.(value & opt (some string) None
+         & info [ "fragment-tag" ] ~doc:"Cut at every node with this tag.")
+  in
+  let fragment_budget =
+    Arg.(value & opt (some int) None
+         & info [ "fragment-budget" ]
+             ~doc:"Cut into fragments of at most this many nodes.")
+  in
+  let n_sites =
+    Arg.(value & opt (some int) None
+         & info [ "machines" ]
+             ~doc:"Number of sites in the placement (default: one per \
+                   fragment, or one per $(b,--connect) address).")
+  in
+  let placement =
+    Arg.(value & opt placement_conv Round_robin
+         & info [ "placement" ]
+             ~doc:"per-fragment, round-robin or balanced — must match the \
+                   site servers.")
+  in
+  let max_inflight =
+    Arg.(value & opt (some int) None
+         & info [ "max-inflight" ]
+             ~doc:"Concurrent runs in flight (default 4).")
+  in
+  let max_queue =
+    Arg.(value & opt (some int) None
+         & info [ "max-queue" ]
+             ~doc:"Admission queue bound; submissions beyond it get a \
+                   $(b,BUSY) reply (default 64).")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the cross-query stage-result cache.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Collect serving telemetry.")
+  in
+  Cmd.v
+    (Cmd.info "coordinator"
+       ~doc:"Serve queries concurrently over a fragmented document: a \
+             bounded admission queue, fair scheduling across client \
+             connections, and an optional cross-query cache \
+             (docs/SERVING.md).  Runs until killed.")
+    Term.(
+      const run $ file $ listen $ connect $ annotations $ fragment_tag
+      $ fragment_budget $ n_sites $ placement $ max_inflight $ max_queue
+      $ no_cache $ stats)
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)
@@ -774,4 +1004,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ gen_cmd; query_cmd; count_cmd; fragment_cmd; assemble_cmd; inspect_cmd;
-         explain_cmd; serve_cmd ]))
+         explain_cmd; serve_cmd; coordinator_cmd ]))

@@ -173,7 +173,6 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
 
   (* ---------------- Stage 1: combined pass, relevant sites --------- *)
   let rel_fids = List.filter relevant (Fragment.top_down ft) in
-  let stage1_sites = Cluster.sites_holding cl rel_fids in
   (* Per-fragment stage-1 views, filled either by the in-process
      executor or by parsing wire replies — everything downstream
      (accounting, unification, answer assembly) reads only these, so
@@ -186,6 +185,45 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
   let s1_answers : Tree.node list array = Array.make n_frag [] in
   let s1_cands = Array.make n_frag 0 in
   let local_cands : (Tree.node * Formula.t) list array = Array.make n_frag [] in
+  let fill_view fid (fr : Wire.frag_result) =
+    s1_qvec.(fid) <-
+      (match fr.Wire.fr_vec with
+      | Some vec -> vec
+      | None when compiled.Compile.n_qual = 0 -> [||]
+      | None -> invalid_arg "PaX2: stage-1 reply lacks vector");
+    s1_ctxs.(fid) <- fr.Wire.fr_ctxs;
+    s1_answers.(fid) <- List.map Wire.node_of_answer fr.Wire.fr_answers;
+    s1_cands.(fid) <- fr.Wire.fr_cands;
+    s1_seen.(fid) <- true
+  in
+  (* Cross-query cache (transport path only; Stage_cache.noop unless a
+     serving layer installed one).  A hit prefills the stage-1 view and
+     elides the fragment from the round — no visit, no vector/answer
+     traffic, no site ops, exactly as if the wire reply from the run
+     that warmed the cache were replayed.  Only fully-resolved results
+     (fr_cands = 0) are cached: a fragment retaining candidates has
+     server-side state stage 2 must revisit. *)
+  let cache = Cluster.stage_cache cl in
+  let use_cache = Cluster.transport_active cl in
+  let qkey =
+    if use_cache then
+      spf "%s|annot=%b" (Pax_xpath.Normal.to_string q.Query.normal) annotations
+    else ""
+  in
+  let from_cache = Array.make n_frag false in
+  if use_cache then
+    List.iter
+      (fun fid ->
+        match cache.Pax_dist.Stage_cache.lookup ~qkey ~fid with
+        | Some fr when fr.Wire.fr_cands = 0 && fr.Wire.fr_fid = fid ->
+            fill_view fid fr;
+            from_cache.(fid) <- true
+        | Some _ | None -> ())
+      rel_fids;
+  let stage1_sites =
+    Cluster.sites_holding cl
+      (List.filter (fun fid -> not from_cache.(fid)) rel_fids)
+  in
   (* Stage state is keyed by fid within the round: a replayed visit
      (lost reply under a fault plan) finds the view already filled
      and neither recomputes nor double-counts. *)
@@ -238,17 +276,10 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
                 (fun (fr : Wire.frag_result) ->
                   let fid = fr.Wire.fr_fid in
                   if not s1_seen.(fid) then begin
-                    s1_qvec.(fid) <-
-                      (match fr.Wire.fr_vec with
-                      | Some vec -> vec
-                      | None when compiled.Compile.n_qual = 0 -> [||]
-                      | None -> invalid_arg "PaX2: stage-1 reply lacks vector");
-                    s1_ctxs.(fid) <- fr.Wire.fr_ctxs;
-                    s1_answers.(fid) <-
-                      List.map Wire.node_of_answer fr.Wire.fr_answers;
-                    s1_cands.(fid) <- fr.Wire.fr_cands;
-                    s1_seen.(fid) <- true;
-                    Cluster.add_ops cl ~site fr.Wire.fr_ops
+                    fill_view fid fr;
+                    Cluster.add_ops cl ~site fr.Wire.fr_ops;
+                    if use_cache && fr.Wire.fr_cands = 0 then
+                      cache.Pax_dist.Stage_cache.store ~qkey ~fid fr
                   end)
                 frs
           | Wire.Final_answers _ ->
@@ -268,7 +299,9 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
         ~bytes:(Measure.query q) ~label:"Q";
       List.iter
         (fun fid ->
-          if s1_seen.(fid) then begin
+          (* Cache-hit fragments were not visited: their vectors and
+             answers are already coordinator-side, so nothing travels. *)
+          if s1_seen.(fid) && not from_cache.(fid) then begin
             if compiled.Compile.n_qual > 0 then
               Cluster.send cl ~src:(Site site) ~dst:Coordinator ~kind:Vectors
                 ~bytes:(Measure.formula_array s1_qvec.(fid))

@@ -38,6 +38,7 @@ type t = {
   mutable backoff_seconds : float;
   mutable domains : int;
   mutable transport : Transport.t option;
+  mutable stage_cache : Stage_cache.t;
   mutable net_base : Transport.stats;
   mutable forced_sequential : bool;
   mutable sink : Pax_obs.Sink.t;
@@ -114,6 +115,7 @@ let create ?domains ?transport ~ftree ~n_sites ~assign () =
     backoff_seconds = 0.;
     domains;
     transport;
+    stage_cache = Stage_cache.noop;
     net_base = Transport.zero_stats;
     forced_sequential = false;
     sink = Pax_obs.Sink.noop;
@@ -144,6 +146,8 @@ let set_retry t policy = t.retry <- policy
 let fault_active t = not (Fault.is_none t.fault)
 let set_transport t tr = t.transport <- tr
 let transport_active t = Option.is_some t.transport
+let set_stage_cache t c = t.stage_cache <- c
+let stage_cache t = t.stage_cache
 let cur_net_stats t = Option.map (fun tr -> tr.Transport.stats ()) t.transport
 
 let net_stats t =

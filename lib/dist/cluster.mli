@@ -146,6 +146,20 @@ val set_transport : t -> Transport.t option -> unit
     whether to pass [?remote] stage implementations to {!run_round}. *)
 val transport_active : t -> bool
 
+(** {1 Cross-query cache}
+
+    A {!Stage_cache.t} (default: {!Stage_cache.noop}) lets engines skip
+    recomputing fully-resolved stage-1 results for (query, fragment)
+    pairs already evaluated by an earlier run over the same fragment
+    tree.  Only consulted on the transport path — a cache hit elides a
+    real network visit; in-process simulated runs stay cache-free so
+    their accounted costs remain the paper's.  See {!Stage_cache} for
+    the correctness contract and docs/SERVING.md for the serving-layer
+    implementation. *)
+
+val set_stage_cache : t -> Stage_cache.t -> unit
+val stage_cache : t -> Stage_cache.t
+
 (** Transport byte counters accumulated since the last {!reset} (i.e.
     for the current run), or [None] without a transport. *)
 val net_stats : t -> Transport.stats option

@@ -1,0 +1,18 @@
+(* The cross-query cache seam: like Transport, a record of closures so
+   pax_core can consult a cache without depending on the serving layer
+   that implements one (lib/serve/cache.ml). *)
+
+module Wire = Pax_wire.Wire
+
+type t = {
+  describe : string;
+  lookup : qkey:string -> fid:int -> Wire.frag_result option;
+  store : qkey:string -> fid:int -> Wire.frag_result -> unit;
+}
+
+let noop =
+  {
+    describe = "noop";
+    lookup = (fun ~qkey:_ ~fid:_ -> None);
+    store = (fun ~qkey:_ ~fid:_ _ -> ());
+  }

@@ -1,0 +1,32 @@
+(** The cross-query result cache seam under the PaX engines.
+
+    When a coordinator serves many queries over the same fragmented
+    tree, stage-1 work repeats: the same (query, fragment) pair
+    produces the same qualifier/selection vectors until that fragment
+    is edited.  A [t] lets an engine consult such a cache without
+    depending on the serving layer that implements it
+    ({!Pax_serve.Cache} — which keys entries by the fragment's
+    generation counter so {!Pax_frag.Update.apply} invalidates them;
+    docs/SERVING.md).
+
+    Correctness contract for implementations: [lookup] may return a
+    {!Pax_wire.Wire.frag_result} only if it is bit-identical to what
+    the site would compute fresh for that [qkey] and fragment {e now}.
+    Engines only offer fully-resolved stage-1 results ([fr_cands = 0])
+    to [store] — a fragment retaining unresolved candidates has
+    server-side state a later stage must visit, which a cache hit would
+    skip. *)
+
+module Wire = Pax_wire.Wire
+
+type t = {
+  describe : string;  (** for banners and traces *)
+  lookup : qkey:string -> fid:int -> Wire.frag_result option;
+      (** [lookup ~qkey ~fid] — a previously stored, still-valid
+          result, or [None]. *)
+  store : qkey:string -> fid:int -> Wire.frag_result -> unit;
+      (** Record a freshly computed result for later runs. *)
+}
+
+(** Never hits, never stores — the default. *)
+val noop : t

@@ -12,6 +12,7 @@ type t = {
   fragments : fragment array;
   children : int list array;
   doc_node_count : int;
+  generations : int array;
 }
 
 type pending = {
@@ -65,7 +66,12 @@ let fragmentize (doc : Tree.doc) ~cuts : t =
       | None -> ())
     fragments;
   Array.iteri (fun i l -> children.(i) <- List.rev l) children;
-  { fragments; children; doc_node_count = doc.node_count }
+  {
+    fragments;
+    children;
+    doc_node_count = doc.node_count;
+    generations = Array.make !next_fid 0;
+  }
 
 let trivial doc = fragmentize doc ~cuts:[]
 
@@ -93,6 +99,8 @@ let cuts_by_tag (doc : Tree.doc) ~tag =
 let fragment t fid = t.fragments.(fid)
 let n_fragments t = Array.length t.fragments
 let root_fragment t = t.fragments.(0)
+let generation t fid = t.generations.(fid)
+let bump_generation t fid = t.generations.(fid) <- t.generations.(fid) + 1
 
 let spine t fid =
   let rec go fid acc =

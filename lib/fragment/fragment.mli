@@ -28,6 +28,12 @@ type t = {
   fragments : fragment array;  (** indexed by fid; parents precede children *)
   children : int list array;  (** fragment-tree adjacency *)
   doc_node_count : int;
+  generations : int array;
+      (** per-fragment update generation, bumped by {!Update.apply} on
+          every successful mutation of the fragment — cache keys derived
+          from a fragment's content must embed its generation so an
+          update invalidates exactly the touched fragment's entries
+          (docs/SERVING.md) *)
 }
 
 (** {1 Construction} *)
@@ -56,6 +62,13 @@ val cuts_by_tag : Pax_xml.Tree.doc -> tag:string -> int list
 val fragment : t -> int -> fragment
 val n_fragments : t -> int
 val root_fragment : t -> fragment
+
+(** Current update generation of a fragment (0 at construction). *)
+val generation : t -> int -> int
+
+(** Advance a fragment's generation; {!Update.apply} calls this on every
+    successful operation, so callers normally never need to. *)
+val bump_generation : t -> int -> unit
 
 (** [spine t fid] is the tag path from the document's root element
     (inclusive) down to [root(fid)] (inclusive) — the concatenation of

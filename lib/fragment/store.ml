@@ -119,6 +119,7 @@ let load ~dir : Fragment.t =
         Array.fold_left
           (fun acc f -> acc + Fragment.fragment_node_count f)
           0 fragments;
+      generations = Array.make n_fragments 0;
     }
   in
   (match Fragment.check ft with

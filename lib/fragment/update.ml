@@ -51,7 +51,7 @@ let existing_ids (ft : Fragment.t) =
     ft.Fragment.fragments;
   ids
 
-let apply (ft : Fragment.t) (op : op) : (int, error) result =
+let apply_op (ft : Fragment.t) (op : op) : (int, error) result =
   match op with
   | Set_text (node_id, text) -> (
       match locate ft node_id with
@@ -106,6 +106,16 @@ let apply (ft : Fragment.t) (op : op) : (int, error) result =
                 f.Fragment.root;
               if !found then Ok fid else Error (Node_not_found node_id)
             end)
+
+(* Every successful mutation advances the touched fragment's update
+   generation, so caches keyed by (fragment, generation) are invalidated
+   by exactly the fragments an update touched. *)
+let apply (ft : Fragment.t) (op : op) : (int, error) result =
+  match apply_op ft op with
+  | Ok fid ->
+      Fragment.bump_generation ft fid;
+      Ok fid
+  | Error _ as e -> e
 
 let node_count (ft : Fragment.t) =
   Array.fold_left

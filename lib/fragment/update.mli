@@ -34,7 +34,9 @@ type error =
 val error_to_string : error -> string
 
 (** [apply ft op] performs the update; on success returns the id of the
-    fragment that was modified. *)
+    fragment that was modified and bumps that fragment's
+    {!Fragment.generation}, invalidating any cache entries keyed by the
+    old generation (see {!Fragment.t} and docs/SERVING.md). *)
 val apply : Fragment.t -> op -> (int, error) result
 
 (** [locate ft node_id] — which fragment holds a node. *)

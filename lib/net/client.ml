@@ -1,46 +1,9 @@
 module Wire = Pax_wire.Wire
 module Transport = Pax_dist.Transport
 
-type t = {
-  addrs : Sockio.addr array;
-  timeout : float;
-  conns : Unix.file_descr option array;
-  mutable run : int;
-  mutable sent_bytes : int;
-  mutable received_bytes : int;
-  mutable section_bytes : int;
-  mutable sections : int;
-  mutable frag_entries : int;
-  mutable frames : int;
-  mutable sink : Pax_obs.Sink.t;
-}
-
-let create ?(timeout = 30.) ~addrs () =
-  {
-    addrs;
-    timeout;
-    conns = Array.make (Array.length addrs) None;
-    run = 0;
-    sent_bytes = 0;
-    received_bytes = 0;
-    section_bytes = 0;
-    sections = 0;
-    frag_entries = 0;
-    frames = 0;
-    sink = Pax_obs.Sink.noop;
-  }
-
-let set_sink t s = t.sink <- s
-
-let stats t =
-  {
-    Transport.sent_bytes = t.sent_bytes;
-    received_bytes = t.received_bytes;
-    section_bytes = t.section_bytes;
-    sections = t.sections;
-    frag_entries = t.frag_entries;
-    frames = t.frames;
-  }
+(* ------------------------------------------------------------------ *)
+(* Run ids                                                            *)
+(* ------------------------------------------------------------------ *)
 
 (* A fresh run id per engine run: servers key their visit state by it,
    so stale state from an aborted run can never leak in.  The id must
@@ -82,81 +45,359 @@ let fresh_run_id () =
   (Lazy.force run_id_base land lnot 0xFFFFFFFF lor (c land 0xFFFFFFFF))
   land ((1 lsl 55) - 1)
 
-let reset_run t = t.run <- fresh_run_id ()
+(* Correlation ids are process-global too: a corr in flight is unique
+   across every run sharing the process's connections, so a late reply
+   to an abandoned request can never be mistaken for anyone else's. *)
+let corr_counter = Atomic.make 1
+let fresh_corr () = Atomic.fetch_and_add corr_counter 1 land ((1 lsl 55) - 1)
 
-let conn t site =
-  match t.conns.(site) with
-  | Some fd -> fd
-  | None ->
-      let fd = Sockio.connect t.addrs.(site) in
-      t.conns.(site) <- Some fd;
-      fd
+(* ------------------------------------------------------------------ *)
+(* The multiplexer                                                    *)
+(* ------------------------------------------------------------------ *)
 
+(* One request in flight: registered under [lock] before its frame is
+   written, filled exactly once — by the site's receiver thread (reply,
+   deadline expiry or connection death) — and collected by the thread
+   that sent it.  [int] alongside the message is the frame length, for
+   the collector's byte accounting. *)
+type pending = {
+  p_site : int;
+  p_deadline : float;
+  mutable p_result : (Wire.msg * int, exn) result option;
+}
+
+type conn = { c_fd : Unix.file_descr; c_gen : int }
+
+type t = {
+  addrs : Sockio.addr array;
+  timeout : float;
+  lock : Mutex.t;  (** guards [conns], [pending], [gen], signals [cond] *)
+  cond : Condition.t;
+  conns : conn option array;
+  send_locks : Mutex.t array;  (** one writer at a time per socket *)
+  pending : (int, pending) Hashtbl.t;  (** corr -> waiter *)
+  mutable gen : int;
+  mutable sink : Pax_obs.Sink.t;
+  mutable default_handle : handle option;
+}
+
+(* One run's view of the shared connections: its own run id, its own
+   byte counters, its own telemetry sink.  A handle is driven by one
+   engine run at a time (counters are not locked); many handles
+   multiplex over one [t] concurrently. *)
+and handle = {
+  h_mux : t;
+  mutable h_run : int;
+  h_touched : bool array;  (** sites contacted during the current run *)
+  mutable h_sink : Pax_obs.Sink.t option;  (** [None]: inherit the mux's *)
+  mutable sent_bytes : int;
+  mutable received_bytes : int;
+  mutable section_bytes : int;
+  mutable sections : int;
+  mutable frag_entries : int;
+  mutable frames : int;
+}
+
+(* How often an idle receiver re-checks deadlines.  A frame arriving
+   wakes the poll immediately; this only bounds how stale an expired
+   deadline can go unnoticed. *)
+let poll_interval = 0.05
+
+let create ?(timeout = 30.) ~addrs () =
+  {
+    addrs;
+    timeout;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    conns = Array.make (Array.length addrs) None;
+    send_locks = Array.init (Array.length addrs) (fun _ -> Mutex.create ());
+    pending = Hashtbl.create 32;
+    gen = 0;
+    sink = Pax_obs.Sink.noop;
+    default_handle = None;
+  }
+
+let set_sink t s = t.sink <- s
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Fail every waiter of [site] that has no result yet.  Idempotent:
+   results are written at most once, so a racing deadline expiry or a
+   second failure sweep cannot overwrite a delivered reply. *)
+let fail_waiters_locked t site e =
+  Hashtbl.iter
+    (fun _ p ->
+      if p.p_site = site && p.p_result = None then p.p_result <- Some (Error e))
+    t.pending;
+  Condition.broadcast t.cond
+
+(* Close a site's connection (requested by a sender that saw a delivery
+   failure, or by the site's receiver).  The receiver notices the
+   generation change and exits; in-flight waiters are failed here so
+   their senders retry without waiting for the receiver's next poll. *)
 let drop t site =
-  match t.conns.(site) with
-  | Some fd ->
-      (try Unix.close fd with _ -> ());
-      t.conns.(site) <- None
+  locked t (fun () ->
+      match t.conns.(site) with
+      | Some c ->
+          (try Unix.close c.c_fd with _ -> ());
+          t.conns.(site) <- None;
+          fail_waiters_locked t site
+            (Failure "connection to site server lost")
+      | None -> ())
+
+let deposit t site payload =
+  match Wire.decode_payload_corr payload with
+  | Ok (corr, msg) ->
+      locked t (fun () ->
+          match Hashtbl.find_opt t.pending corr with
+          | Some p when p.p_site = site && p.p_result = None ->
+              p.p_result <- Some (Ok (msg, 4 + String.length payload));
+              Condition.broadcast t.cond
+          | Some _ | None ->
+              (* A reply to a request nobody waits for any more (resend
+                 after timeout, abandoned run): drop it. *)
+              ())
+      |> fun () -> Ok ()
+  | Error err -> Error (Failure (Format.asprintf "%a" Wire.pp_error err))
+
+let expire_due t site =
+  locked t (fun () ->
+      let now = Pax_obs.Clock.now () in
+      let fired = ref false in
+      Hashtbl.iter
+        (fun _ p ->
+          if p.p_site = site && p.p_result = None && p.p_deadline <= now then begin
+            p.p_result <- Some (Error Sockio.Timeout);
+            fired := true
+          end)
+        t.pending;
+      if !fired then Condition.broadcast t.cond)
+
+(* The per-connection receiver: the only thread that reads this socket.
+   It polls (so a per-request deadline can never abandon a half-read
+   frame and desynchronize the stream) and commits to a full frame read
+   only once bytes are available; a mid-frame stall longer than the
+   client timeout means the stream is broken and kills the connection.
+   On any exit path every in-flight waiter of the site is failed — no
+   sender can be left waiting on a dead connection. *)
+let receiver t site (c : conn) =
+  let alive () =
+    locked t (fun () ->
+        match t.conns.(site) with
+        | Some c' -> c'.c_gen = c.c_gen
+        | None -> false)
+  in
+  let fail e =
+    locked t (fun () ->
+        (match t.conns.(site) with
+        | Some c' when c'.c_gen = c.c_gen ->
+            (try Unix.close c.c_fd with _ -> ());
+            t.conns.(site) <- None
+        | _ -> ());
+        fail_waiters_locked t site e)
+  in
+  let rec loop () =
+    if alive () then begin
+      match Sockio.poll_readable c.c_fd poll_interval with
+      | false ->
+          expire_due t site;
+          loop ()
+      | true -> (
+          match Sockio.read_frame ~timeout:t.timeout c.c_fd with
+          | None -> fail (Failure "connection closed by site server")
+          | Some payload -> (
+              match deposit t site payload with
+              | Ok () -> loop ()
+              | Error e -> fail e)
+          | exception e -> fail e)
+      | exception e -> fail e
+    end
+  in
+  loop ()
+
+let ensure_conn t site =
+  match locked t (fun () -> t.conns.(site)) with
+  | Some c -> c
+  | None -> (
+      let fd = Sockio.connect t.addrs.(site) in
+      match
+        locked t (fun () ->
+            match t.conns.(site) with
+            | Some c -> `Existing c
+            | None ->
+                t.gen <- t.gen + 1;
+                let c = { c_fd = fd; c_gen = t.gen } in
+                t.conns.(site) <- Some c;
+                `Fresh c)
+      with
+      | `Existing c ->
+          (try Unix.close fd with _ -> ());
+          c
+      | `Fresh c ->
+          ignore (Thread.create (fun () -> receiver t site c) ());
+          c)
+
+(* Register the waiter *before* writing: whatever kills the connection
+   after the write — even before this thread reaches [await] — sweeps
+   the waiter and wakes us with the error. *)
+let post t site msg =
+  let corr = fresh_corr () in
+  let p =
+    {
+      p_site = site;
+      p_deadline = Pax_obs.Clock.now () +. t.timeout;
+      p_result = None;
+    }
+  in
+  locked t (fun () -> Hashtbl.replace t.pending corr p);
+  let payload = Wire.encode_payload ~corr msg in
+  (match
+     let c = ensure_conn t site in
+     Mutex.lock t.send_locks.(site);
+     Fun.protect
+       ~finally:(fun () -> Mutex.unlock t.send_locks.(site))
+       (fun () -> Sockio.write_frame c.c_fd payload)
+   with
+  | () -> ()
+  | exception e ->
+      locked t (fun () -> Hashtbl.remove t.pending corr);
+      raise e);
+  (corr, p, 4 + String.length payload)
+
+let await t corr p =
+  locked t (fun () ->
+      let rec wait () =
+        match p.p_result with
+        | Some r ->
+            Hashtbl.remove t.pending corr;
+            r
+        | None ->
+            Condition.wait t.cond t.lock;
+            wait ()
+      in
+      wait ())
+
+let close t =
+  Array.iteri (fun site _ -> drop t site) t.conns
+
+(* Best-effort, uncorrelated, uncounted control frame on an *existing*
+   connection (Run_done, Shutdown): session control is not accounted
+   traffic, and a site we have no connection to has no state to shed. *)
+let post_control t site msg =
+  match locked t (fun () -> t.conns.(site)) with
   | None -> ()
+  | Some c -> (
+      let payload = Wire.encode_payload msg in
+      Mutex.lock t.send_locks.(site);
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.send_locks.(site))
+        (fun () -> try Sockio.write_frame c.c_fd payload with _ -> ()))
 
-let tally_msg t msg ~payload_len =
+let shutdown_sites t =
+  Array.iteri
+    (fun site _ ->
+      (try
+         let c = ensure_conn t site in
+         Mutex.lock t.send_locks.(site);
+         Fun.protect
+           ~finally:(fun () -> Mutex.unlock t.send_locks.(site))
+           (fun () ->
+             Sockio.write_frame c.c_fd (Wire.encode_payload Wire.Shutdown))
+       with _ -> ());
+      drop t site)
+    t.conns
+
+(* Ask one site server for its telemetry counters.  The request flows
+   through the multiplexer like any other (the receiver owns the
+   socket) but deliberately skips every byte counter: fetching stats
+   must not disturb the numbers being fetched. *)
+let fetch_stats t site =
+  let corr, p, _ = post t site Wire.Stats_request in
+  match await t corr p with
+  | Ok (Wire.Stats_reply pairs, _) -> pairs
+  | Ok _ -> failwith "unexpected reply to a stats request"
+  | Error e -> raise e
+
+(* ------------------------------------------------------------------ *)
+(* Handles: one run's transport view                                  *)
+(* ------------------------------------------------------------------ *)
+
+let handle ?sink t =
+  {
+    h_mux = t;
+    h_run = fresh_run_id ();
+    h_touched = Array.make (Array.length t.addrs) false;
+    h_sink = sink;
+    sent_bytes = 0;
+    received_bytes = 0;
+    section_bytes = 0;
+    sections = 0;
+    frag_entries = 0;
+    frames = 0;
+  }
+
+let sink_of h = match h.h_sink with Some s -> s | None -> h.h_mux.sink
+let set_handle_sink h s = h.h_sink <- Some s
+
+let stats h =
+  {
+    Transport.sent_bytes = h.sent_bytes;
+    received_bytes = h.received_bytes;
+    section_bytes = h.section_bytes;
+    sections = h.sections;
+    frag_entries = h.frag_entries;
+    frames = h.frames;
+  }
+
+(* Tell every site the current run touched that its state can go
+   (docs/SERVING.md: the reply-memo eviction protocol).  Losing the
+   frame only delays eviction until the server's LRU bound. *)
+let finish_run h =
+  Array.iteri
+    (fun site touched ->
+      if touched then begin
+        h.h_touched.(site) <- false;
+        post_control h.h_mux site (Wire.Run_done { run = h.h_run })
+      end)
+    h.h_touched
+
+let reset_run h =
+  finish_run h;
+  h.h_run <- fresh_run_id ()
+
+let tally_msg h msg =
   let y = Wire.tally msg in
-  t.section_bytes <- t.section_bytes + y.Wire.section_bytes;
-  t.sections <- t.sections + y.Wire.sections;
-  t.frag_entries <- t.frag_entries + y.Wire.frag_entries;
-  t.frames <- t.frames + 1;
-  ignore payload_len
+  h.section_bytes <- h.section_bytes + y.Wire.section_bytes;
+  h.sections <- h.sections + y.Wire.sections;
+  h.frag_entries <- h.frag_entries + y.Wire.frag_entries;
+  h.frames <- h.frames + 1
 
-(* Telemetry for visit traffic only: Stats/Ping frames are excluded on
-   both ends, so the client's counters and the sum of the servers'
-   agree for a run (asserted in test_obs.ml). *)
-let frame_obs t ~dir msg ~frame_len =
-  if t.sink.Pax_obs.Sink.enabled then
+(* Telemetry for visit traffic only: stats/ping/control frames are
+   excluded on both ends, so the client's counters and the sum of the
+   servers' agree for a run (asserted in test_obs.ml). *)
+let frame_obs h ~dir msg ~frame_len =
+  let sink = sink_of h in
+  if sink.Pax_obs.Sink.enabled then
     match msg with
     | Wire.Visit_request _ | Wire.Visit_reply _ ->
         let labels = [ ("dir", dir) ] in
-        Pax_obs.Sink.count t.sink ~labels "pax_net_visit_frames_total";
-        Pax_obs.Sink.count t.sink ~labels ~by:(float_of_int frame_len)
+        Pax_obs.Sink.count sink ~labels "pax_net_visit_frames_total";
+        Pax_obs.Sink.count sink ~labels ~by:(float_of_int frame_len)
           "pax_net_visit_bytes_total"
     | _ -> ()
 
-let send_msg t site msg =
-  let payload = Wire.encode_payload msg in
-  Pax_obs.Sink.span t.sink ~cat:"wire"
-    ~args:(fun () ->
-      [
-        ("site", string_of_int site);
-        ("bytes", string_of_int (4 + String.length payload));
-      ])
-    "send frame"
-    (fun () -> Sockio.write_frame (conn t site) payload);
-  t.sent_bytes <- t.sent_bytes + 4 + String.length payload;
-  frame_obs t ~dir:"sent" msg ~frame_len:(4 + String.length payload);
-  tally_msg t msg ~payload_len:(String.length payload)
-
-let recv_msg t site =
-  match
-    Pax_obs.Sink.span t.sink ~cat:"wire"
-      ~args:(fun () -> [ ("site", string_of_int site) ])
-      "recv frame"
-      (fun () -> Sockio.read_frame ~timeout:t.timeout (conn t site))
-  with
-  | None -> failwith "connection closed by site server"
-  | Some payload -> (
-      t.received_bytes <- t.received_bytes + 4 + String.length payload;
-      match Wire.decode_payload payload with
-      | Ok msg ->
-          frame_obs t ~dir:"recv" msg ~frame_len:(4 + String.length payload);
-          tally_msg t msg ~payload_len:(String.length payload);
-          msg
-      | Error err -> failwith (Format.asprintf "%a" Wire.pp_error err))
-
 (* Send all requests first (sites start working in parallel), then
    collect replies in input order.  Any delivery failure drops the
-   connection and reports to [retry] — which raises once the budget is
-   gone — then reconnects and resends; the server's per-round reply
-   memo makes the resend safe. *)
-let visit_round t ~round ~label ~retry reqs =
+   site's connection and reports to [retry] — which raises once the
+   budget is gone — then reconnects and resends under a fresh
+   correlation id; the server's per-round reply memo makes the resend
+   safe, and a late reply to the abandoned id is dropped by the
+   receiver.  Replies are matched by correlation id, so frames of other
+   runs interleaved on the same socket are invisible here. *)
+let visit_round h ~round ~label ~retry reqs =
+  let t = h.h_mux in
   let attempts = Hashtbl.create 8 in
   let next_attempt site =
     let a = Option.value (Hashtbl.find_opt attempts site) ~default:1 in
@@ -168,80 +409,94 @@ let visit_round t ~round ~label ~retry reqs =
     retry ~site ~attempt:(next_attempt site) ~reason:(Printexc.to_string e)
   in
   let request site call =
-    Wire.Visit_request { run = t.run; round; site; label; call }
+    Wire.Visit_request { run = h.h_run; round; site; label; call }
   in
   let rec send site call =
-    match send_msg t site (request site call) with
-    | () -> ()
+    let msg = request site call in
+    match
+      Pax_obs.Sink.span (sink_of h) ~cat:"wire"
+        ~args:(fun () -> [ ("site", string_of_int site) ])
+        "send frame"
+        (fun () -> post t site msg)
+    with
+    | corr, p, frame_len ->
+        h.sent_bytes <- h.sent_bytes + frame_len;
+        h.h_touched.(site) <- true;
+        frame_obs h ~dir:"sent" msg ~frame_len;
+        tally_msg h msg;
+        (corr, p)
     | exception ((Unix.Unix_error _ | Failure _) as e) ->
         failed site e;
         send site call
   in
   let started = Hashtbl.create 8 in
-  List.iter
-    (fun (site, call) ->
-      Hashtbl.replace started site (Pax_obs.Clock.now ());
-      send site call)
-    reqs;
-  let rec recv site call =
-    match recv_msg t site with
-    | Wire.Visit_reply { run; round = r; reply }
-      when run = t.run && r = round -> (
+  let posted =
+    List.map
+      (fun (site, call) ->
+        Hashtbl.replace started site (Pax_obs.Clock.now ());
+        (site, call, ref (send site call)))
+      reqs
+  in
+  let rec recv site call waiter =
+    let corr, p = !waiter in
+    match
+      Pax_obs.Sink.span (sink_of h) ~cat:"wire"
+        ~args:(fun () -> [ ("site", string_of_int site) ])
+        "recv frame"
+        (fun () -> await t corr p)
+    with
+    | Ok ((Wire.Visit_reply { run; round = r; reply } as msg), frame_len)
+      when run = h.h_run && r = round -> (
+        h.received_bytes <- h.received_bytes + frame_len;
+        frame_obs h ~dir:"recv" msg ~frame_len;
+        tally_msg h msg;
         match reply with
         | Ok rep -> rep
         | Error message -> raise (Transport.Remote_failure { site; message }))
-    | Wire.Visit_reply _ | Wire.Pong | Wire.Ping | Wire.Shutdown
-    | Wire.Visit_request _ | Wire.Stats_request | Wire.Stats_reply _ ->
-        (* A stale frame (earlier run or round, duplicated reply): skip. *)
-        recv site call
-    | exception ((Unix.Unix_error _ | Failure _ | Sockio.Timeout) as e) ->
+    | Ok _ ->
+        (* The server echoed our correlation id on the wrong body:
+           protocol violation — drop the connection and retry. *)
+        failed site (Failure "correlated reply does not match its request");
+        waiter := send site call;
+        recv site call waiter
+    | Error ((Unix.Unix_error _ | Failure _ | Sockio.Timeout) as e) ->
         failed site e;
-        send site call;
-        recv site call
+        waiter := send site call;
+        recv site call waiter
+    | Error e -> raise e
   in
   List.map
-    (fun (site, call) ->
-      let reply = recv site call in
+    (fun (site, call, waiter) ->
+      let reply = recv site call waiter in
       let t0 =
         Option.value (Hashtbl.find_opt started site)
           ~default:(Pax_obs.Clock.now ())
       in
       (site, reply, Pax_obs.Clock.now () -. t0))
-    reqs
+    posted
 
-(* Ask one site server for its telemetry counters.  Deliberately uses
-   raw Sockio instead of [send_msg]/[recv_msg]: fetching stats must not
-   disturb the byte counters whose values are being fetched. *)
-let fetch_stats t site =
-  let fd = conn t site in
-  Sockio.write_frame fd (Wire.encode_payload Wire.Stats_request);
-  match Sockio.read_frame ~timeout:t.timeout fd with
-  | None -> failwith "connection closed by site server"
-  | Some payload -> (
-      match Wire.decode_payload payload with
-      | Ok (Wire.Stats_reply pairs) -> pairs
-      | Ok _ -> failwith "unexpected reply to a stats request"
-      | Error err -> failwith (Format.asprintf "%a" Wire.pp_error err))
-
-let close t = Array.iteri (fun site _ -> drop t site) t.conns
-
-let shutdown_sites t =
-  Array.iteri
-    (fun site _ ->
-      (try Sockio.write_frame (conn t site) (Wire.encode_payload Wire.Shutdown)
-       with _ -> ());
-      drop t site)
-    t.conns
-
-let transport t =
+let handle_transport h =
+  let t = h.h_mux in
   {
     Transport.describe =
       Printf.sprintf "sockets: %s"
         (String.concat ", "
            (Array.to_list (Array.map Sockio.addr_to_string t.addrs)));
     visit_round = (fun ~round ~label ~retry reqs ->
-        visit_round t ~round ~label ~retry reqs);
-    stats = (fun () -> stats t);
-    reset_run = (fun () -> reset_run t);
-    close = (fun () -> close t);
+        visit_round h ~round ~label ~retry reqs);
+    stats = (fun () -> stats h);
+    reset_run = (fun () -> reset_run h);
+    close = (fun () -> finish_run h);
   }
+
+(* The v1-compatible single-run view: one implicit handle per client,
+   inheriting the client's sink. *)
+let default_handle t =
+  match t.default_handle with
+  | Some h -> h
+  | None ->
+      let h = handle t in
+      t.default_handle <- Some h;
+      h
+
+let transport t = handle_transport (default_handle t)

@@ -1,6 +1,14 @@
-(** The coordinator's side of the socket transport: one connection per
-    site, lazily opened, with visit requests pipelined across sites
-    within a round and per-frame byte accounting.
+(** The coordinator's side of the socket transport: one persistent
+    {e multiplexed} connection per site, lazily opened and shared by
+    every run in the process.
+
+    Protocol v2 stamps each request with a correlation id that the
+    server echoes on the reply, so many in-flight runs share a socket:
+    a dedicated receiver thread per connection reads every frame and
+    deposits it into the per-request mailbox its correlation id names
+    (docs/SERVING.md).  A {!handle} is one run's view of the shared
+    connections — its own run id, byte counters and telemetry sink —
+    and [visit_round]s of different handles interleave freely.
 
     Failure semantics match the simulated cluster's: every failed
     delivery attempt (connect refusal, timeout, EOF, reset) goes
@@ -10,32 +18,65 @@
     deterministic server-side error (an [Error] reply) raises
     {!Pax_dist.Transport.Remote_failure} instead — retrying cannot
     help.  Reconnect-and-resend is safe because servers memoize replies
-    per (run, round). *)
+    per (run, round), and a late reply to an abandoned correlation id
+    is dropped by the receiver.  Dropping a site's connection fails the
+    other runs' requests in flight on it; they retry under their own
+    budgets. *)
 
 type t
+(** The shared multiplexer. *)
+
+type handle
+(** One run's transport view over the shared connections.  Driven by
+    one engine run at a time; create one per concurrent query. *)
 
 (** [create ~addrs] — a client for sites [0 .. n-1] at the given
     addresses.  [timeout] (seconds, default 30) bounds each wait for a
-    reply frame. *)
+    reply frame, enforced by the receiver threads. *)
 val create : ?timeout:float -> addrs:Sockio.addr array -> unit -> t
 
-(** Install a telemetry sink (default: no-op).  With an enabled sink
-    every visit frame records a span (category ["wire"]) and the
-    counters [pax_net_visit_frames_total{dir}] /
+(** Install a telemetry sink (default: no-op) inherited by the default
+    handle (and any {!handle} created without its own).  With an
+    enabled sink every visit frame records a span (category ["wire"])
+    and the counters [pax_net_visit_frames_total{dir}] /
     [pax_net_visit_bytes_total{dir}] — visit traffic only, mirroring
     the servers' counters, so the two ends agree for a run. *)
 val set_sink : t -> Pax_obs.Sink.t -> unit
 
 (** [fetch_stats t site] asks the site server for its telemetry
     counters ([Stats_request]/[Stats_reply]), returned as sorted
-    [(series, value)] pairs.  Uses raw socket IO: fetching stats does
-    not disturb the client-side byte counters being compared.  Raises
-    [Failure] on connection loss or a malformed reply. *)
+    [(series, value)] pairs.  Flows through the multiplexer like any
+    request but touches no byte counter: fetching stats does not
+    disturb the numbers being fetched.  Raises [Failure] (or the
+    underlying [Unix.Unix_error]/{!Sockio.Timeout}) on connection loss
+    or a malformed reply. *)
 val fetch_stats : t -> int -> (string * float) list
 
-(** The {!Pax_dist.Transport.t} view, to install with
+(** The {!Pax_dist.Transport.t} view of the client's {e default handle}
+    — the v1-compatible single-run-at-a-time interface, to install with
     [Cluster.set_transport] (or pass to [Cluster.create]). *)
 val transport : t -> Pax_dist.Transport.t
+
+(** {1 Per-run handles} *)
+
+(** A fresh handle with a fresh run id.  [sink] defaults to inheriting
+    the client's (see {!set_sink}). *)
+val handle : ?sink:Pax_obs.Sink.t -> t -> handle
+
+val set_handle_sink : handle -> Pax_obs.Sink.t -> unit
+
+(** The {!Pax_dist.Transport.t} view of one handle.  Its [reset_run]
+    sends best-effort [Run_done] for the finished run (servers evict
+    that run's state) before drawing a fresh run id; its [close] sends
+    [Run_done] without consuming the handle. *)
+val handle_transport : handle -> Pax_dist.Transport.t
+
+(** Best-effort [Run_done] for the handle's current run to every site
+    it contacted — servers drop the run's stage state and reply memos.
+    Idempotent; called by [handle_transport]'s [close] and [reset_run]. *)
+val finish_run : handle -> unit
+
+(** {1 Process-global ids} *)
 
 (** A fresh run id: the low 32 bits come from a process-global
     monotonic counter (guaranteed distinct across rapid successive
@@ -44,9 +85,13 @@ val transport : t -> Pax_dist.Transport.t
     varint codec carries.  Exposed for the uniqueness test. *)
 val fresh_run_id : unit -> int
 
+(** {1 Teardown} *)
+
 (** Best-effort [Shutdown] to every site (ignores delivery failures);
     then closes the connections. *)
 val shutdown_sites : t -> unit
 
-(** Close all connections (servers see EOF and await reconnection). *)
+(** Close all connections (receiver threads exit, in-flight requests
+    fail over to their retry budgets, servers see EOF and await
+    reconnection). *)
 val close : t -> unit

@@ -20,11 +20,32 @@ type run_state = {
   rs_qp : (int, Qual_pass.t) Hashtbl.t;
   rs_sel : (int, Sel_pass.outcome) Hashtbl.t;
   rs_replies : (int, Wire.reply) Hashtbl.t;  (* round -> reply *)
+  mutable rs_touch : int;  (* recency stamp for LRU eviction *)
 }
 
 type t = {
   frags : (int, Tree.node) Hashtbl.t;
-  mutable st : run_state option;
+  (* Many runs interleave on one multiplexed connection, so state is a
+     table keyed by run id, not a single slot.  Its size is bounded two
+     ways: the coordinator announces finished runs ([Run_done] →
+     eviction), and — since that frame is best-effort — an LRU cap of
+     [max_runs] sheds the stalest run when a new one arrives.  Evicting
+     a live run is safe for correctness (its next request rebuilds
+     stage-1 state lazily only for stage-1 calls; later-stage calls on
+     evicted state fail as typed [Error] replies and the client run
+     fails over its retry budget) but [max_runs] should comfortably
+     exceed the coordinator's max in-flight runs. *)
+  states : (int, run_state) Hashtbl.t;
+  max_runs : int;
+  (* Simulated per-visit service latency.  Loopback sockets have no
+     network delay, so a bench or test that wants the paper's setting —
+     one machine per site, a WAN between them — asks each site to
+     sleep this long before computing a visit reply.  Sleeps at
+     different sites (and queued requests behind them) overlap in wall
+     clock without consuming CPU, which is exactly what distinguishes
+     them from compute. *)
+  service_delay : float;
+  mutable clock : int;
   (* Always-on telemetry: a server exists to be queried, so its sink is
      enabled from the start and its counters are served on
      [Stats_request].  Only visit traffic is counted (not stats or ping
@@ -33,10 +54,22 @@ type t = {
   obs : Pax_obs.Sink.t;
 }
 
-let create ~frags =
+let default_max_runs = 64
+
+let create ?(max_runs = default_max_runs) ?(service_delay = 0.) ~frags () =
+  if max_runs < 1 then invalid_arg "Server.create: need max_runs >= 1";
+  if service_delay < 0. then
+    invalid_arg "Server.create: negative service_delay";
   let tbl = Hashtbl.create 8 in
   List.iter (fun (fid, root) -> Hashtbl.replace tbl fid root) frags;
-  { frags = tbl; st = None; obs = Pax_obs.Sink.create () }
+  {
+    frags = tbl;
+    states = Hashtbl.create 16;
+    max_runs;
+    service_delay;
+    clock = 0;
+    obs = Pax_obs.Sink.create ();
+  }
 
 let fresh_state run =
   {
@@ -46,15 +79,39 @@ let fresh_state run =
     rs_qp = Hashtbl.create 8;
     rs_sel = Hashtbl.create 8;
     rs_replies = Hashtbl.create 8;
+    rs_touch = 0;
   }
 
+let n_run_states t = Hashtbl.length t.states
+let evict_run t run = Hashtbl.remove t.states run
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun run st ->
+      match !victim with
+      | Some (_, touch) when touch <= st.rs_touch -> ()
+      | _ -> victim := Some (run, st.rs_touch))
+    t.states;
+  match !victim with
+  | Some (run, _) ->
+      evict_run t run;
+      Pax_obs.Sink.count t.obs "pax_srv_runs_evicted_total"
+  | None -> ()
+
 let state_for t run =
-  match t.st with
-  | Some st when st.rs_run = run -> st
-  | _ ->
-      let st = fresh_state run in
-      t.st <- Some st;
-      st
+  t.clock <- t.clock + 1;
+  let st =
+    match Hashtbl.find_opt t.states run with
+    | Some st -> st
+    | None ->
+        if Hashtbl.length t.states >= t.max_runs then evict_lru t;
+        let st = fresh_state run in
+        Hashtbl.replace t.states run st;
+        st
+  in
+  st.rs_touch <- t.clock;
+  st
 
 let frag_root t fid =
   match Hashtbl.find_opt t.frags fid with
@@ -251,15 +308,19 @@ let count_visit_frame t ~dir ~frame_len =
   Pax_obs.Sink.count t.obs ~labels ~by:(float_of_int frame_len)
     "pax_net_visit_bytes_total"
 
+(* Replies echo the request's correlation id, so a demultiplexing
+   client can route them to the right in-flight run without inspecting
+   bodies. *)
 let serve t fd =
   let rec conn_loop conn =
     match Sockio.read_frame conn with
     | None -> `Eof
     | Some payload -> (
-        match Wire.decode_payload payload with
-        | Ok (Wire.Visit_request { run; round; site = _; label; call }) ->
+        match Wire.decode_payload_corr payload with
+        | Ok (corr, Wire.Visit_request { run; round; site = _; label; call }) ->
             count_visit_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
+            if t.service_delay > 0. then Thread.delay t.service_delay;
             let reply =
               Pax_obs.Sink.span t.obs ~cat:"visit"
                 ~args:(fun () ->
@@ -268,23 +329,29 @@ let serve t fd =
                 (fun () -> handle_request t ~run ~round call)
             in
             let out =
-              Wire.encode_payload (Wire.Visit_reply { run; round; reply })
+              Wire.encode_payload ~corr (Wire.Visit_reply { run; round; reply })
             in
             Pax_obs.Sink.span t.obs ~cat:"wire" "send frame" (fun () ->
                 Sockio.write_frame conn out);
             count_visit_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
             conn_loop conn
-        | Ok Wire.Ping ->
-            Sockio.write_frame conn (Wire.encode_payload Wire.Pong);
+        | Ok (corr, Wire.Ping) ->
+            Sockio.write_frame conn (Wire.encode_payload ~corr Wire.Pong);
             conn_loop conn
-        | Ok Wire.Stats_request ->
+        | Ok (corr, Wire.Stats_request) ->
             Sockio.write_frame conn
-              (Wire.encode_payload
+              (Wire.encode_payload ~corr
                  (Wire.Stats_reply
                     (Pax_obs.Metrics.pairs t.obs.Pax_obs.Sink.metrics)));
             conn_loop conn
-        | Ok Wire.Shutdown -> `Shutdown
-        | Ok (Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _) ->
+        | Ok (_, Wire.Run_done { run }) ->
+            (* The coordinator is done with this run: shed its stage
+               state and reply memos (the bounded-memory contract of
+               docs/SERVING.md).  No reply. *)
+            evict_run t run;
+            conn_loop conn
+        | Ok (_, Wire.Shutdown) -> `Shutdown
+        | Ok (_, (Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _)) ->
             (* Not ours to receive; ignore. *)
             conn_loop conn
         | Error err ->
@@ -301,7 +368,7 @@ let serve t fd =
   in
   accept_loop ()
 
-let spawn ~addr ~frags =
+let spawn ?max_runs ?service_delay ~addr ~frags () =
   (* Bind before forking so the parent can connect without racing the
      child's startup. *)
   let fd = Sockio.listen addr in
@@ -309,7 +376,7 @@ let spawn ~addr ~frags =
   flush stderr;
   match Unix.fork () with
   | 0 ->
-      (try serve (create ~frags) fd with _ -> ());
+      (try serve (create ?max_runs ?service_delay ~frags ()) fd with _ -> ());
       (try Unix.close fd with _ -> ());
       Unix._exit 0
   | pid ->

@@ -12,15 +12,42 @@
     with a run id): stage-1 results are retained for the later stages,
     and every computed reply is memoized by round — a retransmitted
     request is answered from the memo, making visits idempotent exactly
-    as the simulated cluster requires.  A request for a new run id
-    discards all previous state. *)
+    as the simulated cluster requires.  Runs are tracked concurrently
+    in a bounded table: a [Run_done] frame evicts a finished run's
+    state eagerly, and an LRU cap of [max_runs] bounds memory even when
+    coordinators die without sending one (docs/SERVING.md).  Evicting a
+    still-live run is safe — its later requests recompute, or fail with
+    a typed [Error] the client retries. *)
 
 type t
 
-(** [create ~frags] — a server holding fragments [(fid, root)].
+val default_max_runs : int
+(** Default LRU cap on concurrently retained run states (64). *)
+
+(** [create ~frags ()] — a server holding fragments [(fid, root)].
     Fragment 0, when present, is the document root (fragment ids are
-    topological). *)
-val create : frags:(int * Pax_xml.Tree.node) list -> t
+    topological).  [max_runs] caps retained per-run state (default
+    {!default_max_runs}); beyond it the least-recently-touched run is
+    evicted (counted as [pax_srv_runs_evicted_total]).
+
+    [service_delay] (seconds, default 0) sleeps before computing each
+    visit reply, simulating the network/service latency of a genuinely
+    remote site — loopback sockets have none, and latency is what
+    concurrent serving overlaps (bench/throughput.ml, docs/SERVING.md).
+    Ping, stats and [Run_done] frames are never delayed. *)
+val create :
+  ?max_runs:int ->
+  ?service_delay:float ->
+  frags:(int * Pax_xml.Tree.node) list ->
+  unit ->
+  t
+
+(** Number of run states currently retained — exposed so tests can
+    check the memo table stays bounded. *)
+val n_run_states : t -> int
+
+(** Drop one run's state (what a [Run_done] frame does). *)
+val evict_run : t -> int -> unit
 
 (** Answer one call (exposed for tests; [serve] handles the memo and
     envelope around this).
@@ -35,9 +62,15 @@ val handle_call : t -> run:int -> Pax_wire.Wire.call -> Pax_wire.Wire.reply
     offending connection. *)
 val serve : t -> Unix.file_descr -> unit
 
-(** [spawn ~addr ~frags] — fork a child serving [frags] on [addr]; the
-    socket is bound and listening before [spawn] returns, so a client
-    may connect immediately.  Returns the child pid (the child never
-    returns).  The child exits 0 after [Shutdown], or dies with the
-    signal it receives — reap it with [Unix.waitpid]. *)
-val spawn : addr:Sockio.addr -> frags:(int * Pax_xml.Tree.node) list -> int
+(** [spawn ~addr ~frags ()] — fork a child serving [frags] on [addr];
+    the socket is bound and listening before [spawn] returns, so a
+    client may connect immediately.  Returns the child pid (the child
+    never returns).  The child exits 0 after [Shutdown], or dies with
+    the signal it receives — reap it with [Unix.waitpid]. *)
+val spawn :
+  ?max_runs:int ->
+  ?service_delay:float ->
+  addr:Sockio.addr ->
+  frags:(int * Pax_xml.Tree.node) list ->
+  unit ->
+  int

@@ -77,6 +77,17 @@ let wait_readable fd deadline =
         let r, _, _ = Unix.select [ fd ] [] [] remaining in
         if r = [] then raise Timeout
 
+(* Wait until [fd] is readable for at most [timeout] seconds; [false]
+   on timeout, with nothing consumed from the stream — unlike a
+   mid-frame [read_frame] timeout, a [false] here is always safe to
+   retry.  The demultiplexing client's receiver loops on this so its
+   per-request deadlines never desynchronize the shared stream. *)
+let poll_readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
 (* EINTR-safe exact read; [None] iff EOF at offset 0 and [eof_ok]. *)
 let read_exact ?timeout fd n ~eof_ok =
   let deadline = Option.map (fun t -> Pax_obs.Clock.now () +. t) timeout in

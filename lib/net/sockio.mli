@@ -21,6 +21,13 @@ val connect : addr -> Unix.file_descr
 (** Raised by {!read_frame} when [timeout] elapses without a frame. *)
 exception Timeout
 
+(** [poll_readable fd t] waits at most [t] seconds for [fd] to become
+    readable; [false] on timeout.  Nothing is consumed from the stream,
+    so — unlike a mid-frame {!read_frame} timeout — a [false] is always
+    safe to retry.  The demultiplexing {!Client} receiver polls with
+    this before committing to a frame read. *)
+val poll_readable : Unix.file_descr -> float -> bool
+
 (** [read_frame ?timeout fd] reads one length-prefixed frame payload;
     [None] on orderly EOF before a frame starts.
     @raise Unix.Unix_error on connection errors

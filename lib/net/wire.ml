@@ -2,7 +2,7 @@ module Codec = Pax_bool.Codec
 module Formula = Pax_bool.Formula
 module Tree = Pax_xml.Tree
 
-let version = 1
+let version = 2
 let max_section = 0xFFFFFF
 
 type answer = {
@@ -74,6 +74,7 @@ type msg =
   | Shutdown
   | Stats_request
   | Stats_reply of (string * float) list
+  | Run_done of { run : int }
 
 type error = Truncated | Bad_version of int | Corrupt of string
 
@@ -493,6 +494,7 @@ let m_pong = 4
 let m_shutdown = 5
 let m_stats_request = 6
 let m_stats_reply = 7
+let m_run_done = 8
 
 (* Metric values travel as IEEE-754 bits, big-endian, so the reply is
    byte-exact (counters compare with [=] across the wire). *)
@@ -512,9 +514,18 @@ let get_f64 s ~pos =
   done;
   (Int64.float_of_bits !bits, pos + 8)
 
-let encode_payload msg =
+(* The v2 envelope carries a correlation id right after the version
+   byte, on every message: the coordinator stamps each request with a
+   fresh id and the server echoes it back, so many in-flight runs can
+   share one socket and the client can demultiplex replies without
+   inspecting bodies.  [corr] is envelope, not a section: it never
+   enters [tally], only the per-frame framing-overhead allowance
+   ({!frame_overhead}).  0 means "uncorrelated" (pings, shutdowns,
+   unsolicited frames). *)
+let encode_payload ?(corr = 0) msg =
   let buf = Buffer.create 256 in
   add_u8 buf version;
+  add_varint buf corr;
   (match msg with
   | Visit_request { run; round; site; label; call } ->
       add_u8 buf m_request;
@@ -545,11 +556,14 @@ let encode_payload msg =
         (fun (name, v) ->
           add_str buf name;
           add_f64 buf v)
-        pairs);
+        pairs
+  | Run_done { run } ->
+      add_u8 buf m_run_done;
+      add_varint buf run);
   Buffer.contents buf
 
-let encode msg =
-  let payload = encode_payload msg in
+let encode ?corr msg =
+  let payload = encode_payload ?corr msg in
   let n = String.length payload in
   let buf = Buffer.create (n + 4) in
   add_u8 buf (n lsr 24);
@@ -559,55 +573,65 @@ let encode msg =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
-let decode_payload s =
+let decode_payload_corr s =
   match
     let ver, pos = get_u8 s ~pos:0 in
     if ver <> version then Error (Bad_version ver)
     else
-      let tag, pos = get_u8 s ~pos in
-      let finish msg pos =
-        if pos = String.length s then Ok msg else Error (Corrupt "trailing bytes")
-      in
-      if tag = m_ping then finish Ping pos
-      else if tag = m_pong then finish Pong pos
-      else if tag = m_shutdown then finish Shutdown pos
-      else if tag = m_stats_request then finish Stats_request pos
-      else if tag = m_stats_reply then begin
-        let pairs, pos =
-          get_counted s ~pos (fun s ~pos ->
-              let name, pos = get_str s ~pos in
-              let v, pos = get_f64 s ~pos in
-              ((name, v), pos))
+      let corr, pos = get_varint s ~pos in
+      if corr < 0 then Error (Corrupt "negative correlation id")
+      else
+        let tag, pos = get_u8 s ~pos in
+        let finish msg pos =
+          if pos = String.length s then Ok (corr, msg)
+          else Error (Corrupt "trailing bytes")
         in
-        finish (Stats_reply pairs) pos
-      end
-      else if tag = m_request then begin
-        let run, pos = get_varint s ~pos in
-        let round, pos = get_varint s ~pos in
-        let site, pos = get_varint s ~pos in
-        let label, pos = get_str s ~pos in
-        let call, pos = get_call s ~pos in
-        finish (Visit_request { run; round; site; label; call }) pos
-      end
-      else if tag = m_reply then begin
-        let run, pos = get_varint s ~pos in
-        let round, pos = get_varint s ~pos in
-        let status, pos = get_u8 s ~pos in
-        if status = 0 then
-          let reply, pos = get_reply s ~pos in
-          finish (Visit_reply { run; round; reply = Ok reply }) pos
-        else if status = 1 then
-          let e = String.sub s pos (String.length s - pos) in
-          Ok (Visit_reply { run; round; reply = Error e })
-        else Error (Corrupt "bad reply status")
-      end
-      else Error (Corrupt "unknown message tag")
+        if tag = m_ping then finish Ping pos
+        else if tag = m_pong then finish Pong pos
+        else if tag = m_shutdown then finish Shutdown pos
+        else if tag = m_stats_request then finish Stats_request pos
+        else if tag = m_stats_reply then begin
+          let pairs, pos =
+            get_counted s ~pos (fun s ~pos ->
+                let name, pos = get_str s ~pos in
+                let v, pos = get_f64 s ~pos in
+                ((name, v), pos))
+          in
+          finish (Stats_reply pairs) pos
+        end
+        else if tag = m_run_done then begin
+          let run, pos = get_varint s ~pos in
+          finish (Run_done { run }) pos
+        end
+        else if tag = m_request then begin
+          let run, pos = get_varint s ~pos in
+          let round, pos = get_varint s ~pos in
+          let site, pos = get_varint s ~pos in
+          let label, pos = get_str s ~pos in
+          let call, pos = get_call s ~pos in
+          finish (Visit_request { run; round; site; label; call }) pos
+        end
+        else if tag = m_reply then begin
+          let run, pos = get_varint s ~pos in
+          let round, pos = get_varint s ~pos in
+          let status, pos = get_u8 s ~pos in
+          if status = 0 then
+            let reply, pos = get_reply s ~pos in
+            finish (Visit_reply { run; round; reply = Ok reply }) pos
+          else if status = 1 then
+            let e = String.sub s pos (String.length s - pos) in
+            Ok (corr, Visit_reply { run; round; reply = Error e })
+          else Error (Corrupt "bad reply status")
+        end
+        else Error (Corrupt "unknown message tag")
   with
   | result -> result
   | exception Bad m -> Error (Corrupt m)
   | exception Codec.Decode_error m -> Error (Corrupt m)
 
-let decode s =
+let decode_payload s = Result.map snd (decode_payload_corr s)
+
+let decode_frame s =
   if String.length s < 4 then Error Truncated
   else
     let n =
@@ -618,7 +642,10 @@ let decode s =
     in
     if String.length s - 4 < n then Error Truncated
     else if String.length s - 4 > n then Error (Corrupt "bytes beyond frame")
-    else decode_payload (String.sub s 4 n)
+    else Ok (String.sub s 4 n)
+
+let decode s = Result.join (Result.map decode_payload (decode_frame s))
+let decode_corr s = Result.join (Result.map decode_payload_corr (decode_frame s))
 
 (* ------------------------------------------------------------------ *)
 (* accounting                                                         *)
@@ -693,14 +720,19 @@ let tally = function
   | Visit_reply { reply = Ok r; _ } -> tally_reply empty_tally r
   | Visit_reply { reply = Error _; _ }
   | Ping | Pong | Shutdown
+  (* Run_done is session control (server-side state eviction); like
+     stats traffic it carries no sections.  Its frame still crosses the
+     wire, covered by the per-frame overhead allowance. *)
+  | Run_done _
   (* Stats traffic is telemetry, not query evaluation: it carries no
      sections and is excluded from accounted traffic entirely. *)
   | Stats_request | Stats_reply _ -> empty_tally
 
 (* Worst-case structure bytes (docs/NETWORK.md derives these): frame
-   header + version + tags + envelope varints and label; per fragment
-   entry its identifiers, flags and counters; per section one adjacent
-   varint identifier. *)
-let frame_overhead = 96
+   header + version + correlation id + tags + envelope varints and
+   label; per fragment entry its identifiers, flags and counters; per
+   section one adjacent varint identifier.  v2 raised the per-frame
+   constant from 96 by the worst-case 8-byte correlation-id varint. *)
+let frame_overhead = 104
 let frag_overhead = 48
 let section_overhead = 12

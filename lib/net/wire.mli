@@ -2,8 +2,11 @@
     servers (docs/NETWORK.md).
 
     A {e frame} is a big-endian [u32] payload length followed by the
-    payload; a payload is a version byte, a message tag and a
-    tag-specific body.  Inside bodies, every quantity the simulator's
+    payload; a payload is a version byte, a varint {e correlation id},
+    a message tag and a tag-specific body.  The correlation id (new in
+    protocol v2, see docs/SERVING.md) is stamped on requests and echoed
+    on replies so many in-flight runs can share one socket; [0] means
+    uncorrelated.  Inside bodies, every quantity the simulator's
     cost model charges for travels as a {e section}: a kind byte (one
     per {!Pax_dist.Cluster.msg_kind}), a [u24] payload length and the
     payload — exactly [4 + payload] bytes, the same "+4 header" the
@@ -132,6 +135,11 @@ type msg =
           flattens them; values travel as IEEE-754 bits, so counters
           compare byte-exactly across the wire.  Stats frames carry no
           sections and are excluded from accounted traffic. *)
+  | Run_done of { run : int }
+      (** the coordinator is finished with a run: the server may evict
+          every per-run state it kept (stage vectors, reply memos).
+          Best-effort session control — no reply, no sections; losing it
+          only delays eviction until the server's LRU bound kicks in. *)
 
 type error =
   | Truncated
@@ -140,17 +148,24 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** Encode a full frame (length prefix included). *)
-val encode : msg -> string
+(** Encode a full frame (length prefix included).  [corr] defaults to
+    [0] (uncorrelated). *)
+val encode : ?corr:int -> msg -> string
 
 (** Payload only — what travels after the [u32] length prefix. *)
-val encode_payload : msg -> string
+val encode_payload : ?corr:int -> msg -> string
 
 (** Total decoder over a complete frame.  Never raises: short input is
     [Error Truncated], anything malformed [Error (Corrupt _)]. *)
 val decode : string -> (msg, error) result
 
 val decode_payload : string -> (msg, error) result
+
+(** Like {!decode}/{!decode_payload} but also return the envelope
+    correlation id — what the demultiplexing client reads first. *)
+val decode_corr : string -> (int * msg, error) result
+
+val decode_payload_corr : string -> (int * msg, error) result
 
 (** {1 Accounting}
 

@@ -1,0 +1,68 @@
+(* Cross-query stage-result cache: the serving-layer implementation of
+   the Pax_dist.Stage_cache seam.  Entries are keyed by (query key,
+   fragment id) and stamped with the fragment's generation counter;
+   Fragment.Update.apply bumps the counter, so entries for an edited
+   fragment silently stop matching and are swept on the next lookup. *)
+
+module Wire = Pax_wire.Wire
+module Fragment = Pax_frag.Fragment
+
+type entry = { e_gen : int; e_fr : Wire.frag_result }
+
+type t = {
+  ft : Fragment.t;
+  lock : Mutex.t;
+  tbl : (string * int, entry) Hashtbl.t;
+  mutable sink : Pax_obs.Sink.t;
+}
+
+let create ?(sink = Pax_obs.Sink.noop) ft =
+  { ft; lock = Mutex.create (); tbl = Hashtbl.create 256; sink }
+
+let set_sink t s = t.sink <- s
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let gauge t =
+  Pax_obs.Sink.set t.sink "pax_cache_entries"
+    (float_of_int (Hashtbl.length t.tbl))
+
+let lookup t ~qkey ~fid =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl (qkey, fid) with
+      | Some e when e.e_gen = Fragment.generation t.ft fid ->
+          Pax_obs.Sink.count t.sink "pax_cache_hits_total";
+          Some e.e_fr
+      | Some _ ->
+          (* Stored under an older generation: the fragment was edited
+             since.  Sweep the entry and miss. *)
+          Hashtbl.remove t.tbl (qkey, fid);
+          Pax_obs.Sink.count t.sink "pax_cache_invalidated_total";
+          Pax_obs.Sink.count t.sink "pax_cache_misses_total";
+          gauge t;
+          None
+      | None ->
+          Pax_obs.Sink.count t.sink "pax_cache_misses_total";
+          None)
+
+let store t ~qkey ~fid (fr : Wire.frag_result) =
+  locked t (fun () ->
+      Hashtbl.replace t.tbl (qkey, fid)
+        { e_gen = Fragment.generation t.ft fid; e_fr = fr };
+      gauge t)
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      gauge t)
+
+let to_stage_cache t =
+  {
+    Pax_dist.Stage_cache.describe = "serve-cache";
+    lookup = (fun ~qkey ~fid -> lookup t ~qkey ~fid);
+    store = (fun ~qkey ~fid fr -> store t ~qkey ~fid fr);
+  }

@@ -1,0 +1,44 @@
+(** The coordinator's cross-query result cache — the serving-layer
+    implementation of the {!Pax_dist.Stage_cache} seam
+    (docs/SERVING.md).
+
+    Memoizes fully-resolved per-(query, fragment) stage-1 results
+    across runs over one fragment tree.  Every entry is stamped with
+    the fragment's {e generation counter}
+    ({!Pax_frag.Fragment.generation}); {!Pax_frag.Update.apply} bumps
+    the counter, so a lookup after an edit finds a stale stamp, sweeps
+    the entry and reports a miss — no explicit invalidation calls, no
+    way to serve pre-edit results.
+
+    Thread-safe (one mutex; entries are immutable once stored).
+    Exactness caveat: [store] stamps the generation read at store time,
+    so edits must not race in-flight runs — the serving coordinator
+    guarantees this by construction because nothing applies updates
+    while queries are in flight.
+
+    With an enabled sink, counters [pax_cache_hits_total],
+    [pax_cache_misses_total], [pax_cache_invalidated_total] and the
+    gauge [pax_cache_entries] track effectiveness. *)
+
+type t
+
+(** A cache over one fragment tree; entries validate against this
+    tree's generation counters.  [sink] defaults to no-op. *)
+val create : ?sink:Pax_obs.Sink.t -> Pax_frag.Fragment.t -> t
+
+val set_sink : t -> Pax_obs.Sink.t -> unit
+
+(** A stored, generation-fresh result, or [None] (stale entries are
+    swept on the way). *)
+val lookup : t -> qkey:string -> fid:int -> Pax_wire.Wire.frag_result option
+
+val store : t -> qkey:string -> fid:int -> Pax_wire.Wire.frag_result -> unit
+
+(** Live entry count (stale entries linger until looked up). *)
+val size : t -> int
+
+val clear : t -> unit
+
+(** The {!Pax_dist.Stage_cache.t} view, to install with
+    {!Pax_dist.Cluster.set_stage_cache}. *)
+val to_stage_cache : t -> Pax_dist.Stage_cache.t

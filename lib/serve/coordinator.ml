@@ -1,0 +1,79 @@
+(* The serving coordinator: glue between the admission scheduler, the
+   cross-query cache and the per-run engine machinery.  Each admitted
+   query gets its own Cluster (and, over sockets, its own Client
+   handle on the shared multiplexed connections), so concurrent runs
+   share nothing but the cache and the sockets — both designed for
+   concurrent use. *)
+
+module Cluster = Pax_dist.Cluster
+module Query = Pax_xpath.Query
+
+type engine = Pax2 | Pax3
+
+let engine_name = function Pax2 -> "pax2" | Pax3 -> "pax3"
+
+type backend =
+  | In_process of (unit -> Cluster.t)
+  | Sockets of {
+      mux : Pax_net.Client.t;
+      ftree : Pax_frag.Fragment.t;
+      n_sites : int;
+      assign : int -> int;
+    }
+
+type t = {
+  sched : Sched.t;
+  cache : Cache.t option;
+  backend : backend;
+  sink : Pax_obs.Sink.t;
+}
+
+let create ?max_inflight ?max_queue ?cache ?(sink = Pax_obs.Sink.noop) backend
+    =
+  { sched = Sched.create ?max_inflight ?max_queue ~sink (); cache; backend;
+    sink }
+
+let cache t = t.cache
+
+(* One run, on the calling (worker) thread.  Per-run clusters carry the
+   no-op sink: the span/metrics collectors are not built for concurrent
+   writers, and the serving-level sink already observes what the layer
+   promises (queue depth, latency, cache traffic). *)
+let run_one t ~engine ~annotations (q : Query.t) =
+  let cl, cleanup =
+    match t.backend with
+    | In_process mk -> (mk (), Fun.id)
+    | Sockets { mux; ftree; n_sites; assign } ->
+        let handle = Pax_net.Client.handle mux in
+        let tr = Pax_net.Client.handle_transport handle in
+        let cl = Cluster.create ~transport:tr ~ftree ~n_sites ~assign () in
+        (cl, fun () -> tr.Pax_dist.Transport.close ())
+  in
+  Option.iter
+    (fun c -> Cluster.set_stage_cache cl (Cache.to_stage_cache c))
+    t.cache;
+  Fun.protect ~finally:cleanup (fun () ->
+      match engine with
+      | Pax2 -> Pax_core.Pax2.run ~annotations cl q
+      | Pax3 -> Pax_core.Pax3.run ~annotations cl q)
+
+let submit ?(engine = Pax2) ?(annotations = false) ?(source = "default") t
+    (q : Query.t) =
+  Pax_obs.Sink.count t.sink
+    ~labels:[ ("engine", engine_name engine) ]
+    "pax_serve_queries_total";
+  Sched.submit t.sched ~source ~label:q.Query.source (fun () ->
+      run_one t ~engine ~annotations q)
+
+let await = Sched.await
+
+(* Submit + await: only useful from a thread that may block. *)
+let run ?engine ?annotations ?source t q =
+  match submit ?engine ?annotations ?source t q with
+  | Error r -> Error r
+  | Ok tk -> (
+      match await tk with Ok r -> Ok r | Error e -> raise e)
+
+let queue_depth t = Sched.queue_depth t.sched
+let inflight t = Sched.inflight t.sched
+let close t = Sched.close t.sched

@@ -1,0 +1,75 @@
+(** The concurrent serving coordinator (docs/SERVING.md): accepts many
+    simultaneous query submissions, admits them through a bounded
+    {!Sched}, and runs each on its own {!Pax_dist.Cluster} — over the
+    {e shared} multiplexed socket connections of a {!Pax_net.Client}
+    (each run gets its own handle and run id) or over per-run
+    in-process clusters.
+
+    Every run is independent: answers, visit counts and audit verdicts
+    are bit-identical to running the same query alone (asserted by
+    [test/test_serve.ml]'s differential).  An optional {!Cache} is
+    shared across runs; it only changes {e which} visits happen, never
+    answers. *)
+
+type t
+
+type engine = Pax2 | Pax3
+
+val engine_name : engine -> string
+
+type backend =
+  | In_process of (unit -> Pax_dist.Cluster.t)
+      (** a fresh cluster per admitted run (its fault plan and retry
+          policy are the factory's business); runs stay in-process *)
+  | Sockets of {
+      mux : Pax_net.Client.t;
+      ftree : Pax_frag.Fragment.t;
+      n_sites : int;
+      assign : int -> int;
+    }
+      (** per-run clusters over shared multiplexed site connections;
+          the caller owns the mux (and its shutdown) *)
+
+(** [create backend] — see {!Sched.create} for [max_inflight] /
+    [max_queue].  [cache] enables cross-query stage-result caching;
+    [sink] observes the serving layer (scheduler + cache; per-run
+    clusters run with the no-op sink — the collectors are not built
+    for concurrent writers). *)
+val create :
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?cache:Cache.t ->
+  ?sink:Pax_obs.Sink.t ->
+  backend ->
+  t
+
+val cache : t -> Cache.t option
+
+(** Non-blocking admission: a ticket to {!await}, or a typed
+    {!Sched.rejection}.  [engine] defaults to [Pax2], [source] (for
+    fair scheduling) to ["default"]. *)
+val submit :
+  ?engine:engine ->
+  ?annotations:bool ->
+  ?source:string ->
+  t ->
+  Pax_xpath.Query.t ->
+  (Pax_core.Run_result.t Sched.ticket, Sched.rejection) result
+
+val await : 'a Sched.ticket -> ('a, exn) result
+
+(** Submit and block for the result; re-raises the run's exception. *)
+val run :
+  ?engine:engine ->
+  ?annotations:bool ->
+  ?source:string ->
+  t ->
+  Pax_xpath.Query.t ->
+  (Pax_core.Run_result.t, Sched.rejection) result
+
+val queue_depth : t -> int
+val inflight : t -> int
+
+(** Drain admitted runs and stop the workers (see {!Sched.close}).
+    Does not touch the socket mux — its owner shuts the sites down. *)
+val close : t -> unit

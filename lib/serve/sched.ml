@@ -1,0 +1,183 @@
+(* Admission control and fair scheduling for the serving coordinator:
+   a bounded queue of submitted jobs, a fixed pool of worker threads
+   (max in-flight runs), and round-robin rotation over submission
+   sources so one chatty client cannot starve the rest. *)
+
+type rejection =
+  | Overloaded of { queued : int; max_queue : int }
+  | Closed
+
+let pp_rejection ppf = function
+  | Overloaded { queued; max_queue } ->
+      Format.fprintf ppf "overloaded (%d queued, max %d)" queued max_queue
+  | Closed -> Format.fprintf ppf "closed"
+
+type 'a state = Waiting | Finished of ('a, exn) result
+
+type 'a ticket = {
+  tk_lock : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_state : 'a state;
+}
+
+(* j_run never raises: it catches and deposits into its ticket. *)
+type job = { j_run : unit -> unit; j_label : string; j_submitted : float }
+
+type t = {
+  max_inflight : int;
+  max_queue : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  queues : (string, job Queue.t) Hashtbl.t;
+  rr : string Queue.t;
+      (* rotation of sources with pending jobs, each exactly once;
+         a source popped for dispatch re-enters at the back, so
+         dispatch order round-robins across sources while staying FIFO
+         within one *)
+  mutable queued : int;
+  mutable inflight : int;
+  mutable closed : bool;
+  mutable workers : Thread.t list;
+  sink : Pax_obs.Sink.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let depth_gauge t =
+  Pax_obs.Sink.set t.sink "pax_serve_queue_depth" (float_of_int t.queued)
+
+(* Pop the next job fairly: head of the source rotation, head of that
+   source's FIFO.  Caller holds the lock and has checked queued > 0. *)
+let take_locked t =
+  let src = Queue.pop t.rr in
+  let q = Hashtbl.find t.queues src in
+  let job = Queue.pop q in
+  if Queue.is_empty q then Hashtbl.remove t.queues src
+  else Queue.push src t.rr;
+  t.queued <- t.queued - 1;
+  depth_gauge t;
+  job
+
+let worker t =
+  let rec loop () =
+    let job =
+      locked t (fun () ->
+          while (not t.closed) && t.queued = 0 do
+            Condition.wait t.cond t.lock
+          done;
+          if t.queued = 0 then None (* closed and drained *)
+          else begin
+            t.inflight <- t.inflight + 1;
+            Some (take_locked t)
+          end)
+    in
+    match job with
+    | None -> ()
+    | Some job ->
+        Pax_obs.Sink.span t.sink ~track:"scheduler" ~cat:"job" job.j_label
+          job.j_run;
+        Pax_obs.Sink.observe t.sink "pax_serve_latency_seconds"
+          (Unix.gettimeofday () -. job.j_submitted);
+        Pax_obs.Sink.count t.sink "pax_serve_completed_total";
+        locked t (fun () ->
+            t.inflight <- t.inflight - 1;
+            Condition.broadcast t.cond);
+        loop ()
+  in
+  loop ()
+
+let create ?(max_inflight = 4) ?(max_queue = 64) ?(sink = Pax_obs.Sink.noop) ()
+    =
+  if max_inflight < 1 then invalid_arg "Sched.create: need max_inflight >= 1";
+  if max_queue < 1 then invalid_arg "Sched.create: need max_queue >= 1";
+  let t =
+    {
+      max_inflight;
+      max_queue;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queues = Hashtbl.create 16;
+      rr = Queue.create ();
+      queued = 0;
+      inflight = 0;
+      closed = false;
+      workers = [];
+      sink;
+    }
+  in
+  t.workers <- List.init max_inflight (fun _ -> Thread.create worker t);
+  t
+
+let finish tk result =
+  Mutex.lock tk.tk_lock;
+  tk.tk_state <- Finished result;
+  Condition.broadcast tk.tk_cond;
+  Mutex.unlock tk.tk_lock
+
+let submit t ~source ?(label = "query") f =
+  let tk =
+    { tk_lock = Mutex.create (); tk_cond = Condition.create ();
+      tk_state = Waiting }
+  in
+  let job =
+    {
+      j_run =
+        (fun () ->
+          finish tk (match f () with v -> Ok v | exception e -> Error e));
+      j_label = label;
+      j_submitted = Unix.gettimeofday ();
+    }
+  in
+  locked t (fun () ->
+      if t.closed then begin
+        Pax_obs.Sink.count t.sink ~labels:[ ("reason", "closed") ]
+          "pax_serve_rejected_total";
+        Error Closed
+      end
+      else if t.queued >= t.max_queue then begin
+        Pax_obs.Sink.count t.sink ~labels:[ ("reason", "overloaded") ]
+          "pax_serve_rejected_total";
+        Error (Overloaded { queued = t.queued; max_queue = t.max_queue })
+      end
+      else begin
+        let q =
+          match Hashtbl.find_opt t.queues source with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace t.queues source q;
+              Queue.push source t.rr;
+              q
+        in
+        Queue.push job q;
+        t.queued <- t.queued + 1;
+        depth_gauge t;
+        Pax_obs.Sink.count t.sink "pax_serve_admitted_total";
+        Condition.signal t.cond;
+        Ok tk
+      end)
+
+let await tk =
+  Mutex.lock tk.tk_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock tk.tk_lock)
+    (fun () ->
+      let rec wait () =
+        match tk.tk_state with
+        | Waiting ->
+            Condition.wait tk.tk_cond tk.tk_lock;
+            wait ()
+        | Finished r -> r
+      in
+      wait ())
+
+let queue_depth t = locked t (fun () -> t.queued)
+let inflight t = locked t (fun () -> t.inflight)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.cond);
+  List.iter Thread.join t.workers

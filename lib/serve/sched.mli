@@ -1,0 +1,54 @@
+(** Admission control for the serving coordinator: a bounded queue of
+    submitted jobs drained by a fixed pool of worker threads, with fair
+    round-robin rotation across submission {e sources} (one per client
+    connection, say) so a chatty source cannot starve the rest
+    (docs/SERVING.md).
+
+    Contract: {!submit} never blocks — a full queue is a typed
+    {!rejection}, returned immediately.  {!await} never hangs — every
+    admitted job runs to completion (worker threads drain the queue,
+    and {!close} joins them only after it is drained), and a job's
+    exception is deposited in its ticket, not swallowed.
+
+    With an enabled sink: gauge [pax_serve_queue_depth], counters
+    [pax_serve_admitted_total], [pax_serve_rejected_total{reason}],
+    [pax_serve_completed_total], histogram [pax_serve_latency_seconds]
+    (submit-to-completion), and a span per job on the ["scheduler"]
+    track. *)
+
+type t
+
+(** Why a submission was not admitted. *)
+type rejection =
+  | Overloaded of { queued : int; max_queue : int }
+      (** the admission queue is full — retry later *)
+  | Closed  (** {!close} was called *)
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+type 'a ticket
+(** An admitted job's mailbox. *)
+
+(** [create ()] starts [max_inflight] worker threads (default 4:
+    concurrent runs in flight) over a queue of at most [max_queue]
+    waiting jobs (default 64). *)
+val create :
+  ?max_inflight:int -> ?max_queue:int -> ?sink:Pax_obs.Sink.t -> unit -> t
+
+(** [submit t ~source f] enqueues [f] under [source]'s FIFO and
+    returns its ticket, or a {!rejection} without side effects.
+    [label] names the job's span. *)
+val submit :
+  t -> source:string -> ?label:string -> (unit -> 'a) ->
+  ('a ticket, rejection) result
+
+(** Block until the job finishes; its exception, if it raised, is
+    returned (not re-raised). *)
+val await : 'a ticket -> ('a, exn) result
+
+val queue_depth : t -> int
+val inflight : t -> int
+
+(** Stop admitting, drain the queue, join the workers.  Every ticket
+    already admitted completes. *)
+val close : t -> unit

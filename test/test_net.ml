@@ -149,6 +149,9 @@ let sample_msgs =
     Wire.Ping;
     Wire.Pong;
     Wire.Shutdown;
+    Wire.Stats_request;
+    Wire.Stats_reply [ ("pax_visits_total{site=\"1\"}", 4.); ("x", 0.5) ];
+    Wire.Run_done { run = 987654321 };
   ]
 
 let test_roundtrip () =
@@ -158,6 +161,26 @@ let test_roundtrip () =
       | Ok msg' ->
           Alcotest.(check bool) "encode/decode round trip" true (msg = msg')
       | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e)
+    sample_msgs
+
+(* Protocol v2: the correlation id is an envelope field — stamped on a
+   request, echoed on its reply, invisible to the v1-shaped API. *)
+let test_corr_roundtrip () =
+  List.iter
+    (fun msg ->
+      List.iter
+        (fun corr ->
+          match Wire.decode_corr (Wire.encode ~corr msg) with
+          | Ok (corr', msg') ->
+              Alcotest.(check int) "correlation id echoes" corr corr';
+              Alcotest.(check bool) "message round trips" true (msg = msg')
+          | Error e -> Alcotest.failf "decode_corr failed: %a" Wire.pp_error e)
+        [ 0; 1; 255; 123_456; (1 lsl 54) + 3 ];
+      (* The corr-blind decoder still accepts every frame. *)
+      match Wire.decode (Wire.encode ~corr:99 msg) with
+      | Ok msg' ->
+          Alcotest.(check bool) "decode drops the corr" true (msg = msg')
+      | Error e -> Alcotest.failf "corr-blind decode failed: %a" Wire.pp_error e)
     sample_msgs
 
 let test_decode_total () =
@@ -270,7 +293,7 @@ let with_servers ft ~n_sites f =
   let pids =
     Array.to_list
       (Array.mapi
-         (fun site addr -> Server.spawn ~addr ~frags:(site_frags cl ft site))
+         (fun site addr -> Server.spawn ~addr ~frags:(site_frags cl ft site) ())
          addrs)
   in
   let client = Client.create ~timeout:20. ~addrs () in
@@ -477,6 +500,7 @@ let () =
       ( "wire",
         [
           Alcotest.test_case "round trips" `Quick test_roundtrip;
+          Alcotest.test_case "correlation ids" `Quick test_corr_roundtrip;
           Alcotest.test_case "decode is total" `Quick test_decode_total;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
           Alcotest.test_case "sections = Measure" `Quick

@@ -591,7 +591,7 @@ let with_servers ft ~n_sites f =
   let pids =
     Array.to_list
       (Array.mapi
-         (fun site addr -> Server.spawn ~addr ~frags:(site_frags cl ft site))
+         (fun site addr -> Server.spawn ~addr ~frags:(site_frags cl ft site) ())
          addrs)
   in
   let client = Client.create ~timeout:20. ~addrs () in

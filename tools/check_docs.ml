@@ -1,0 +1,216 @@
+(* Documentation checker, run by `dune build @check`:
+
+     - every page under docs/ must be reachable from README.md by
+       following relative markdown links;
+     - every relative markdown link in the root *.md files and docs/
+       must resolve to an existing file or directory;
+     - every inline-code reference that looks like a repo path
+       (`lib/net/wire.ml`, `bench/throughput.ml`, `docs/SERVING.md:12`)
+       must name something that exists — stale paths are how docs rot.
+
+   Fenced code blocks are skipped entirely (they hold shell transcripts
+   and example output, not navigation).  Absolute paths, globs and
+   `_build/...` artifacts are never treated as repo references.  Runs
+   from the repository root; exits 1 listing every problem found. *)
+
+let errors = ref []
+let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+
+let starts s p =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let ends s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Collapse "." and ".." components so links resolve the way a
+   markdown viewer would. *)
+let normalize path =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ("." | "") :: rest -> go acc rest
+    | ".." :: rest -> (
+        match acc with
+        | _ :: tl -> go tl rest
+        | [] -> go [ ".." ] rest)
+    | p :: rest -> go (p :: acc) rest
+  in
+  String.concat "/" (go [] (String.split_on_char '/' path))
+
+(* One pass over a markdown file: [(line, target)] for every
+   [text](target) link and [(line, code)] for every inline `code`
+   span, both outside fenced blocks. *)
+let scan_md text =
+  let links = ref [] and codes = ref [] in
+  let in_fence = ref false in
+  List.iteri
+    (fun lineno line ->
+      let ln = lineno + 1 in
+      if starts (String.trim line) "```" then in_fence := not !in_fence
+      else if not !in_fence then begin
+        let n = String.length line in
+        let i = ref 0 in
+        while !i < n do
+          if line.[!i] = '`' then (
+            match String.index_from_opt line (!i + 1) '`' with
+            | Some j ->
+                codes := (ln, String.sub line (!i + 1) (j - !i - 1)) :: !codes;
+                i := j + 1
+            | None -> i := n)
+          else incr i
+        done;
+        let i = ref 0 in
+        while !i + 1 < n do
+          if line.[!i] = ']' && line.[!i + 1] = '(' then (
+            match String.index_from_opt line (!i + 2) ')' with
+            | Some j ->
+                links := (ln, String.sub line (!i + 2) (j - !i - 2)) :: !links;
+                i := j + 1
+            | None -> i := n)
+          else incr i
+        done
+      end)
+    (String.split_on_char '\n' text);
+  (List.rev !links, List.rev !codes)
+
+let scans : (string, (int * string) list * (int * string) list) Hashtbl.t =
+  Hashtbl.create 16
+
+let scan file =
+  match Hashtbl.find_opt scans file with
+  | Some r -> r
+  | None ->
+      let r = scan_md (read_file file) in
+      Hashtbl.replace scans file r;
+      r
+
+(* "docs/X.md#anchor \"title\"" -> "docs/X.md"; "" for same-page
+   anchors. *)
+let clean_target t =
+  let t = String.trim t in
+  let t =
+    match String.index_opt t ' ' with
+    | Some i -> String.sub t 0 i
+    | None -> t
+  in
+  let t =
+    if String.length t >= 2 && t.[0] = '<' && ends t ">" then
+      String.sub t 1 (String.length t - 2)
+    else t
+  in
+  match String.index_opt t '#' with
+  | Some 0 -> ""
+  | Some i -> String.sub t 0 i
+  | None -> t
+
+let external_target t = contains t "://" || starts t "mailto:"
+
+(* `lib/net/wire.ml:42` -> `lib/net/wire.ml` *)
+let strip_line_suffix tok =
+  match String.rindex_opt tok ':' with
+  | Some i
+    when i + 1 < String.length tok
+         && String.for_all
+              (fun c -> c >= '0' && c <= '9')
+              (String.sub tok (i + 1) (String.length tok - i - 1)) ->
+      String.sub tok 0 i
+  | _ -> tok
+
+(* Conservative: only slash-bearing tokens rooted in a repo directory
+   or carrying a source-file extension count as path references. *)
+let looks_like_path tok =
+  tok <> ""
+  && (not (String.contains tok ' '))
+  && String.contains tok '/'
+  && (not (String.contains tok '*'))
+  && (not (String.contains tok '<'))
+  && (not (String.contains tok '$'))
+  && (not (String.contains tok '('))
+  && (not (String.contains tok '{'))
+  && (not (starts tok "http"))
+  && (not (starts tok "/"))
+  && (not (starts tok "_build"))
+  && (not (contains tok "//"))
+  && (not (ends tok ".exe"))
+  && (List.exists (starts tok)
+        [ "lib/"; "bin/"; "test/"; "bench/"; "docs/"; "tools/" ]
+     || List.exists (ends tok) [ ".ml"; ".mli"; ".md"; ".json" ])
+
+let md_files_in dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> ends f ".md")
+    |> List.map (fun f -> if dir = "." then f else Filename.concat dir f)
+    |> List.sort compare
+  else []
+
+let () =
+  if not (Sys.file_exists "README.md") then (
+    prerr_endline "check_docs: run from the repository root (no README.md)";
+    exit 2);
+  let all_md = md_files_in "." @ md_files_in "docs" in
+  (* Reachability: follow relative .md links from README.md. *)
+  let visited = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Hashtbl.replace visited "README.md" ();
+  Queue.add "README.md" queue;
+  while not (Queue.is_empty queue) do
+    let file = Queue.pop queue in
+    if Sys.file_exists file then
+      let links, _ = scan file in
+      List.iter
+        (fun (_, raw) ->
+          let t = clean_target raw in
+          if t <> "" && not (external_target t) then
+            let resolved = normalize (Filename.concat (Filename.dirname file) t) in
+            if
+              ends resolved ".md"
+              && Sys.file_exists resolved
+              && not (Hashtbl.mem visited resolved)
+            then (
+              Hashtbl.replace visited resolved ();
+              Queue.add resolved queue))
+        links
+  done;
+  (* Link resolution and code-path references, for every page (broken
+     links in an unreachable page are still broken). *)
+  List.iter
+    (fun file ->
+      let links, codes = scan file in
+      List.iter
+        (fun (ln, raw) ->
+          let t = clean_target raw in
+          if t <> "" && not (external_target t) then
+            let resolved = normalize (Filename.concat (Filename.dirname file) t) in
+            if not (Sys.file_exists resolved) then
+              err "%s:%d: broken link (%s)" file ln raw)
+        links;
+      List.iter
+        (fun (ln, code) ->
+          let tok = strip_line_suffix (String.trim code) in
+          if looks_like_path tok && not (Sys.file_exists tok) then
+            err "%s:%d: stale code reference `%s`" file ln code)
+        codes)
+    all_md;
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem visited d) then
+        err "%s: not reachable from README.md" d)
+    (md_files_in "docs");
+  match List.rev !errors with
+  | [] -> Printf.printf "check_docs: %d pages OK\n" (List.length all_md)
+  | es ->
+      List.iter prerr_endline es;
+      Printf.eprintf "check_docs: %d problem(s)\n" (List.length es);
+      exit 1
