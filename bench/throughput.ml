@@ -28,7 +28,6 @@ module Client = Pax_net.Client
 module Coordinator = Pax_serve.Coordinator
 module Cache = Pax_serve.Cache
 module Sched = Pax_serve.Sched
-module Run_result = Pax_core.Run_result
 module J = Bench_json
 
 (* A smaller FT2 than Experiment 2's 104 units: a serving workload is
@@ -46,8 +45,12 @@ let site_delay_ms =
   | Some s -> ( match float_of_string_opt s with Some v -> v | None -> 2.)
   | None -> 2.
 
+(* Query text goes straight to the engine-blind coordinator; parse
+   errors would come back as [Bad_query].  Compile once up front anyway
+   to fail fast on a typo in the workload table. *)
 let queries =
-  List.map (fun (name, q) -> (name, Query.of_string q)) Pax_xmark.Xmark.queries
+  List.iter (fun (_, q) -> ignore (Query.of_string q)) Pax_xmark.Xmark.queries;
+  Pax_xmark.Xmark.queries
 
 (* Nearest-rank percentile over an ascending-sorted array. *)
 let percentile sorted p =
@@ -73,16 +76,16 @@ type combo = {
    offset.  An untimed pass of the full query set first brings the
    coordinator (and, when enabled, the cache) to steady state.  Audits
    run after the clock stops so measurement isn't charged for them. *)
-let run_combo ~mk_coord ~ftree ~concurrency ~cached : combo =
+let run_combo ~mk_coord ~concurrency ~cached : combo =
   let coord = mk_coord ~cached ~max_inflight:concurrency () in
   Fun.protect ~finally:(fun () -> Coordinator.close coord) @@ fun () ->
   let run_one ?source q =
     match Coordinator.run ?source coord q with
-    | Ok r -> r
-    | Error rej ->
+    | Ok o -> o
+    | Error e ->
         failwith
-          (Format.asprintf "throughput: closed-loop client rejected: %a"
-             Sched.pp_rejection rej)
+          (Printf.sprintf "throughput: closed-loop client rejected: %s"
+             (Coordinator.error_message e))
   in
   List.iter (fun (_, q) -> ignore (run_one q)) queries;
   let per_client = total_queries / concurrency in
@@ -109,9 +112,7 @@ let run_combo ~mk_coord ~ftree ~concurrency ~cached : combo =
   let audit_pass =
     Array.for_all
       (function
-        | Some r ->
-            (Pax_core.Guarantee.audit ~engine:"pax2" ~ftree r)
-              .Pax_obs.Audit.pass
+        | Some (o : Coordinator.Pe.outcome) -> o.audit.Pax_obs.Audit.pass
         | None -> false)
       results
   in
@@ -130,10 +131,10 @@ let run_combo ~mk_coord ~ftree ~concurrency ~cached : combo =
 (* Best-of-repeats on qps (closed-loop wall clock is at the mercy of
    whatever else the machine is doing); audits must pass in every
    repeat, not just the reported one. *)
-let measure_combo ~mk_coord ~ftree ~concurrency ~cached : combo =
+let measure_combo ~mk_coord ~concurrency ~cached : combo =
   let best = ref None in
   for _ = 1 to Setup.repeats do
-    let c = run_combo ~mk_coord ~ftree ~concurrency ~cached in
+    let c = run_combo ~mk_coord ~concurrency ~cached in
     let c =
       match !best with
       | Some b when not b.audit_pass -> { c with audit_pass = false }
@@ -198,16 +199,14 @@ let with_servers (proto : Cluster.t) f =
         let cache = if cached then Some (Cache.create ft) else None in
         Coordinator.create ~max_inflight
           ~max_queue:((2 * max_inflight) + 16)
-          ?cache
-          (Coordinator.Sockets
-             {
-               mux;
-               ftree = ft;
-               n_sites;
-               assign = (fun fid -> Cluster.site_of proto fid);
-             })
+          ?cache (Coordinator.Sockets mux)
+          [
+            Coordinator.mount
+              (Pax_core.Engines.pax2 ft ~n_sites
+                 ~assign:(fun fid -> Cluster.site_of proto fid));
+          ]
       in
-      f ~mk_coord ~ftree:ft)
+      f ~mk_coord)
 
 (* ---------------- reporting ---------------------------------------- *)
 
@@ -274,12 +273,12 @@ let main () =
     Setup.quick;
   let proto = Setup.ft2 ~cumulative_mb in
   let combos =
-    with_servers proto (fun ~mk_coord ~ftree ->
+    with_servers proto (fun ~mk_coord ->
         List.concat_map
           (fun cached ->
             List.map
               (fun concurrency ->
-                let c = measure_combo ~mk_coord ~ftree ~concurrency ~cached in
+                let c = measure_combo ~mk_coord ~concurrency ~cached in
                 Printf.printf
                   "  conc=%-2d cache=%-3s  %7.1f qps  p50 %6.2f ms  p99 %6.2f \
                    ms  audit %s\n%!"

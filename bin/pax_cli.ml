@@ -606,10 +606,7 @@ let coordinator_cmd =
       let proto = build_cluster ft ~n_sites ~placement in
       let backend, mux =
         match connect_addrs with
-        | None ->
-            ( Pax_serve.Coordinator.In_process
-                (fun () -> build_cluster ft ~n_sites ~placement),
-              None )
+        | None -> (Pax_serve.Coordinator.In_process, None)
         | Some addrs ->
             if Array.length addrs <> Cluster.n_sites proto then
               invalid_arg
@@ -618,21 +615,32 @@ let coordinator_cmd =
                     sites"
                    (Array.length addrs) (Cluster.n_sites proto));
             let mux = Pax_net.Client.create ~addrs () in
-            ( Pax_serve.Coordinator.Sockets
-                {
-                  mux;
-                  ftree = ft;
-                  n_sites = Cluster.n_sites proto;
-                  assign = (fun fid -> Cluster.site_of proto fid);
-                },
-              Some mux )
-        in
+            (Pax_serve.Coordinator.Sockets mux, Some mux)
+      in
       let cache =
         if no_cache then None else Some (Pax_serve.Cache.create ~sink ft)
       in
+      (* Mount every XPath engine; --annotations just picks which one
+         answers by default (the first mount). *)
+      let mounts =
+        let assign fid = Cluster.site_of proto fid in
+        let order =
+          if annotations then
+            [ "pax2-xa"; "pax3-xa"; "pax2"; "pax3"; "parbox" ]
+          else Pax_core.Engines.names
+        in
+        List.map
+          (fun name ->
+            match Pax_core.Engines.of_name name with
+            | Some ctor ->
+                Pax_serve.Coordinator.mount
+                  (ctor ft ~n_sites:(Cluster.n_sites proto) ~assign)
+            | None -> assert false)
+          order
+      in
       let coord =
         Pax_serve.Coordinator.create ?max_inflight ?max_queue ?cache ~sink
-          backend
+          backend mounts
       in
       let addr =
         match Pax_net.Sockio.addr_of_string listen with
@@ -678,43 +686,35 @@ let coordinator_cmd =
                         (String.sub line (sp + 1)
                            (String.length line - sp - 1))
                     in
-                    match Query.of_string text with
-                    | exception Pax_xpath.Parse.Syntax_error { pos; msg } ->
+                    match Pax_serve.Coordinator.submit ~source coord text with
+                    | Error (Pax_serve.Coordinator.Rejected r) ->
                         reply
-                          (Printf.sprintf "%s ERR query error at %d: %s" id pos
-                             msg);
+                          (Format.asprintf "%s BUSY %a" id
+                             Pax_serve.Sched.pp_rejection r);
                         loop ()
-                    | q -> (
-                        match
-                          Pax_serve.Coordinator.submit ~annotations ~source
-                            coord q
-                        with
-                        | Error r ->
-                            reply
-                              (Format.asprintf "%s BUSY %a" id
-                                 Pax_serve.Sched.pp_rejection r);
-                            loop ()
-                        | Ok tk ->
-                            ignore
-                              (Thread.create
-                                 (fun () ->
-                                   match Pax_serve.Coordinator.await tk with
-                                   | Ok r ->
-                                       reply
-                                         (Printf.sprintf "%s OK %d %s" id
-                                            (List.length
-                                               r.Pax_core.Run_result.answer_ids)
-                                            (String.concat ","
-                                               (List.map string_of_int
-                                                  r
-                                                    .Pax_core.Run_result
-                                                     .answer_ids)))
-                                   | Error e ->
-                                       reply
-                                         (Printf.sprintf "%s ERR %s" id
-                                            (Printexc.to_string e)))
-                                 ());
-                            loop ())))
+                    | Error e ->
+                        reply
+                          (Printf.sprintf "%s ERR %s" id
+                             (Pax_serve.Coordinator.error_message e));
+                        loop ()
+                    | Ok tk ->
+                        ignore
+                          (Thread.create
+                             (fun () ->
+                               match Pax_serve.Coordinator.await tk with
+                               | Ok (o : Pax_serve.Coordinator.Pe.outcome) ->
+                                   reply
+                                     (Printf.sprintf "%s OK %d %s" id
+                                        (List.length o.answer_keys)
+                                        (String.concat ","
+                                           (List.map string_of_int
+                                              o.answer_keys)))
+                               | Error e ->
+                                   reply
+                                     (Printf.sprintf "%s ERR %s" id
+                                        (Printexc.to_string e)))
+                             ());
+                        loop ()))
         in
         loop ();
         (try Unix.close cfd with Unix.Unix_error _ -> ())

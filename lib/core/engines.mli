@@ -1,0 +1,28 @@
+(** The XPath engines packaged behind the engine-agnostic seam
+    (docs/ENGINES.md): each constructor bakes a placement — fragment
+    tree, site count, assignment — into a {!Pax_engine.Pe.packed}
+    value, so callers above the seam (serving layer, CLI coordinator,
+    benches) never touch fragment trees.
+
+    Names are stable identifiers: ["pax2"]/["pax3"] are the plain
+    engines, ["pax2-xa"]/["pax3-xa"] the annotated runs (paper §5 —
+    annotations only remove visits, so the same guarantee caps hold;
+    see {!Guarantee.visit_limit}), ["parbox"] the Boolean special
+    case.  Answer keys are sorted node ids, except ParBoX where they
+    are [[1]] (true) or [[]] (false). *)
+
+type ctor =
+  Pax_frag.Fragment.t -> n_sites:int -> assign:(int -> int) ->
+  Pax_engine.Pe.packed
+
+val pax2 : ctor
+val pax2_xa : ctor
+val pax3 : ctor
+val pax3_xa : ctor
+val parbox : ctor
+
+(** Constructor by stable name, [None] for unknown names. *)
+val of_name : string -> ctor option
+
+(** All stable names, in mounting order. *)
+val names : string list

@@ -7,8 +7,8 @@
 module Audit = Pax_obs.Audit
 
 let visit_limit = function
-  | "pax2" -> Some 2
-  | "pax3" -> Some 3
+  | "pax2" | "pax2-xa" -> Some 2
+  | "pax3" | "pax3-xa" -> Some 3
   | "parbox" -> Some 1
   | _ -> None
 

@@ -8,9 +8,12 @@
     count.  Constants default to the calibrated values in
     {!Pax_obs.Audit} (see docs/OBSERVABILITY.md). *)
 
-(** The per-site visit cap an engine promises: [Some 2] for ["pax2"],
-    [Some 3] for ["pax3"], [Some 1] for ["parbox"], [None] otherwise
-    (no visits bound is emitted — e.g. the shipping baselines). *)
+(** The per-site visit cap an engine promises: [Some 2] for ["pax2"]
+    and ["pax2-xa"], [Some 3] for ["pax3"] and ["pax3-xa"], [Some 1]
+    for ["parbox"], [None] otherwise (no visits bound is emitted —
+    e.g. the shipping baselines).  The [-xa] variants are the
+    annotated runs as named by {!Engines}; annotations only remove
+    visits, so the same caps hold. *)
 val visit_limit : string -> int option
 
 val input :

@@ -20,7 +20,12 @@ exception Site_unreachable of { site : int; stage : string; attempts : int }
 type round = { r_label : string; seconds : float array; ops : int array }
 
 type t = {
-  ft : Pax_frag.Fragment.t;
+  (* [None] for abstract clusters ([create_abstract]): engines over
+     non-tree datasets (e.g. graph fragment stores) reuse the visit /
+     message / retry machinery; only the XPath engines need the
+     fragment tree itself. *)
+  ft : Pax_frag.Fragment.t option;
+  n_frags : int;
   n_sites : int;
   frag_site : int array;
   site_frags : int list array;
@@ -42,6 +47,13 @@ type t = {
   mutable net_base : Transport.stats;
   mutable forced_sequential : bool;
   mutable sink : Pax_obs.Sink.t;
+  (* Simulated per-visit service latency (seconds), the in-process
+     mirror of [Pax_net.Server]'s [service_delay]: charged into the
+     visited site's round seconds once per *physical* visit execution
+     (replays under a fault plan pay again), never slept.  Affects only
+     the simulated-time fields of the report — answers, visit counts,
+     traces and accounted traffic are bit-identical. *)
+  mutable service_delay : float;
 }
 
 let site_track site = Printf.sprintf "site %d" site
@@ -80,13 +92,13 @@ let default_domains () =
       match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
   | None -> 1
 
-let create ?domains ?transport ~ftree ~n_sites ~assign () =
+let create_gen ?domains ?transport ~ft ~n_frags ~n_sites ~assign () =
   let domains =
     match domains with Some d -> d | None -> default_domains ()
   in
   if domains < 1 then invalid_arg "Cluster.create: need domains >= 1";
   if n_sites < 1 then invalid_arg "Cluster.create: need at least one site";
-  let n_frag = Pax_frag.Fragment.n_fragments ftree in
+  let n_frag = n_frags in
   let frag_site = Array.init n_frag assign in
   Array.iter
     (fun s ->
@@ -97,7 +109,8 @@ let create ?domains ?transport ~ftree ~n_sites ~assign () =
     site_frags.(frag_site.(fid)) <- fid :: site_frags.(frag_site.(fid))
   done;
   {
-    ft = ftree;
+    ft;
+    n_frags;
     n_sites;
     frag_site;
     site_frags;
@@ -119,13 +132,30 @@ let create ?domains ?transport ~ftree ~n_sites ~assign () =
     net_base = Transport.zero_stats;
     forced_sequential = false;
     sink = Pax_obs.Sink.noop;
+    service_delay = 0.;
   }
+
+let create ?domains ?transport ~ftree ~n_sites ~assign () =
+  create_gen ?domains ?transport ~ft:(Some ftree)
+    ~n_frags:(Pax_frag.Fragment.n_fragments ftree)
+    ~n_sites ~assign ()
+
+let create_abstract ?domains ?transport ~n_frags ~n_sites ~assign () =
+  if n_frags < 1 then
+    invalid_arg "Cluster.create_abstract: need at least one fragment";
+  create_gen ?domains ?transport ~ft:None ~n_frags ~n_sites ~assign ()
 
 let one_site_per_fragment ?domains ftree =
   let n = Pax_frag.Fragment.n_fragments ftree in
   create ?domains ~ftree ~n_sites:n ~assign:Fun.id ()
 
-let ftree t = t.ft
+let ftree t =
+  match t.ft with
+  | Some ft -> ft
+  | None ->
+      invalid_arg "Cluster.ftree: abstract cluster holds no fragment tree"
+
+let n_frags t = t.n_frags
 let n_sites t = t.n_sites
 let domains t = t.domains
 
@@ -148,6 +178,12 @@ let set_transport t tr = t.transport <- tr
 let transport_active t = Option.is_some t.transport
 let set_stage_cache t c = t.stage_cache <- c
 let stage_cache t = t.stage_cache
+
+let set_service_delay t d =
+  if d < 0. then invalid_arg "Cluster.set_service_delay: negative delay";
+  t.service_delay <- d
+
+let service_delay t = t.service_delay
 let cur_net_stats t = Option.map (fun tr -> tr.Transport.stats ()) t.transport
 
 let net_stats t =
@@ -198,7 +234,9 @@ let visit_site t r ~round ~label ~site f =
         let t0 = Pax_obs.Clock.now () in
         let result = f site in
         let t1 = Pax_obs.Clock.now () in
-        r.seconds.(site) <- r.seconds.(site) +. (t1 -. t0);
+        (* Each physical execution pays the simulated service latency:
+           a replay forced by a lost reply is served again. *)
+        r.seconds.(site) <- r.seconds.(site) +. (t1 -. t0) +. t.service_delay;
         if enabled t then
           Pax_obs.Sink.record t.sink ~cat:"visit" ~track:(site_track site)
             ~args:
@@ -263,7 +301,7 @@ let run_round_parallel t r ~round ~label ~sites f =
       (fun m -> t.messages_rev <- m :: t.messages_rev)
       (List.rev log.vl_msgs_rev);
     t.coord_ops <- t.coord_ops + log.vl_coord_ops;
-    r.seconds.(site) <- r.seconds.(site) +. log.vl_seconds;
+    r.seconds.(site) <- r.seconds.(site) +. log.vl_seconds +. t.service_delay;
     (match outcomes.(!i) with
     | Some (Ok v) -> results := (site, v) :: !results
     | Some (Error (e, bt)) -> failure := Some (e, bt)

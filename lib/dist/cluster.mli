@@ -92,10 +92,27 @@ val create :
   ?transport:Transport.t ->
   ftree:Pax_frag.Fragment.t -> n_sites:int -> assign:(int -> int) -> unit -> t
 
+(** An {e abstract} cluster: [n_frags] fragments of some non-tree
+    dataset (e.g. a graph fragment store, [lib/graph/]) placed on
+    [n_sites] sites.  All visit/message/retry/trace machinery works
+    identically; only {!ftree} is unavailable (it raises
+    [Invalid_argument] — the XPath engines are the only callers that
+    need the fragment tree itself). *)
+val create_abstract :
+  ?domains:int ->
+  ?transport:Transport.t ->
+  n_frags:int -> n_sites:int -> assign:(int -> int) -> unit -> t
+
 (** One site per fragment. *)
 val one_site_per_fragment : ?domains:int -> Pax_frag.Fragment.t -> t
 
+(** The fragment tree.  @raise Invalid_argument on an abstract cluster
+    (see {!create_abstract}). *)
 val ftree : t -> Pax_frag.Fragment.t
+
+(** Number of fragments placed, whatever the dataset. *)
+val n_frags : t -> int
+
 val n_sites : t -> int
 
 (** Concurrency degree for rounds: 1 = sequential. *)
@@ -159,6 +176,21 @@ val transport_active : t -> bool
 
 val set_stage_cache : t -> Stage_cache.t -> unit
 val stage_cache : t -> Stage_cache.t
+
+(** {1 Simulated service latency}
+
+    The in-process mirror of [Pax_net.Server]'s [service_delay]: every
+    {e physical} execution of a visit charges this many simulated
+    seconds into the visited site's round time (a replay forced by a
+    lost reply pays again), composing with fault plans and retry
+    budgets.  Nothing is slept, and answers, visit counts, traces and
+    accounted traffic are bit-identical with or without it — only the
+    report's simulated-time fields grow.  Survives {!reset} like the
+    fault plan.  Ignored on the socket transport, where the real
+    server applies its own delay. *)
+
+val set_service_delay : t -> float -> unit
+val service_delay : t -> float
 
 (** Transport byte counters accumulated since the last {!reset} (i.e.
     for the current run), or [None] without a transport. *)

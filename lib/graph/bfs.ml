@@ -1,0 +1,22 @@
+let reach ~n ~edges ~src ~dst =
+  if src = dst then true
+  else begin
+    let succs = Array.make n [] in
+    List.iter (fun (u, v) -> succs.(u) <- v :: succs.(u)) edges;
+    let visited = Array.make n false in
+    let q = Queue.create () in
+    visited.(src) <- true;
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if v = dst then found := true
+          else if not visited.(v) then (
+            visited.(v) <- true;
+            Queue.add v q))
+        succs.(u)
+    done;
+    !found
+  end

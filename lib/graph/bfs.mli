@@ -1,0 +1,8 @@
+(** Centralized breadth-first reachability — the reference oracle the
+    distributed engine is differentially tested against
+    (test/test_reach_differential.ml), playing the role
+    {!Pax_core.Central} plays for the XPath engines. *)
+
+(** [reach ~n ~edges ~src ~dst] over nodes [0..n-1]; reflexive
+    ([src = dst] is reachable). *)
+val reach : n:int -> edges:(int * int) list -> src:int -> dst:int -> bool

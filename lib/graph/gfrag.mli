@@ -1,0 +1,94 @@
+(** Fragmented directed graphs — the reachability engine's analogue of
+    {!Pax_frag.Fragment}.
+
+    A graph over nodes [0..n-1] is partitioned by an ownership map:
+    every node lives in exactly one fragment, and a {e cross edge} is
+    an edge whose endpoints live in different fragments.  Following
+    Fan/Wang/Wu, the target of a cross edge is an {e in-node} (here:
+    {e entry}) of its owning fragment — the only nodes through which
+    computation can enter a fragment, and therefore the only nodes that
+    get Boolean variables.  A cross edge [u → v] is known to {e both}
+    sides: the source fragment stores it in its adjacency (so local
+    evaluation can emit the variable of [v]) and carries the
+    [(owner, slot)] coordinates of [v] in {!type-fragment.gf_ext}; this
+    mirrors the virtual-boundary-node convention of the XML fragment
+    store, where a subtree link appears as a placeholder in the parent
+    fragment.
+
+    Everything here is deterministic — sorted arrays, no hash-order
+    dependence — because residual vectors must be bit-identical across
+    transports and schedules. *)
+
+module Formula = Pax_bool.Formula
+
+(** One fragment, self-contained: a site server holding only this
+    value (plus the query text) can run {!local_eval}. *)
+type fragment = {
+  gf_id : int;
+  gf_nodes : int array;  (** owned nodes, ascending *)
+  gf_adj : (int * int array) array;
+      (** owned node → successors (global ids, ascending); only nodes
+          with at least one successor appear; node-ascending *)
+  gf_entries : int array;
+      (** entry (in-)nodes, ascending; a variable's slot is its index
+          here *)
+  gf_ext : (int * (int * int)) array;
+      (** foreign successor → (owner fragment, entry slot there);
+          node-ascending.  Covers every foreign node reachable in one
+          step from this fragment. *)
+}
+
+type partition = {
+  n_nodes : int;
+  n_edges : int;  (** after deduplication *)
+  owner : int array;  (** node → fragment id *)
+  frags : fragment array;
+  n_entries : int;  (** |Vf|: total entry nodes across fragments *)
+}
+
+(** [partition ~n ~edges ~owner] — build the fragment store.  Edges
+    are deduplicated; self-loops are kept (they are harmless).
+    Fragment ids are [0..max owner]; a fragment may own no nodes.
+    @raise Invalid_argument on out-of-range nodes or an [owner] array
+    whose length is not [n], or [n < 1]. *)
+val partition : n:int -> edges:(int * int) list -> owner:int array -> partition
+
+val n_fragments : partition -> int
+val fragment : partition -> int -> fragment
+val owner_of : partition -> int -> int
+
+(** {1 Queries}
+
+    Reachability queries travel as text — ["reach SRC DST"] — so the
+    wire protocol's query sections and byte accounting apply
+    unchanged. *)
+
+val query_string : src:int -> dst:int -> string
+
+(** Lenient parse of ["reach SRC DST"]; no range check (site servers
+    do not know [n] — the coordinator-side {!Reach.parse} does). *)
+val parse_query : string -> (int * int) option
+
+(** {1 Local partial evaluation} *)
+
+val owns : fragment -> int -> bool
+
+(** Number of {e starts} — the length of the fragment's residual
+    vector: one slot per entry, plus a trailing slot for [src] when
+    this fragment owns it and it is not already an entry.  Both the
+    coordinator and the remote site derive this layout independently
+    from [(fragment, src)]; it must stay a pure function of those. *)
+val n_starts : fragment -> src:int -> int
+
+(** The slot of [src] in the fragment's vector.
+    @raise Invalid_argument if the fragment does not own [src]. *)
+val src_slot : fragment -> src:int -> int
+
+(** [local_eval frag ~src ~dst] — one BFS per start over the owned
+    subgraph.  A start that reaches an owned [dst] yields
+    {!Formula.true_}; otherwise a disjunction of the variables
+    [Qual (owner, slot)] of every foreign successor seen (sorted,
+    duplicate-free), or {!Formula.false_} if the start escapes
+    nowhere.  Returns the vector and the operation count (edges
+    scanned plus one per start). *)
+val local_eval : fragment -> src:int -> dst:int -> Formula.t array * int

@@ -25,6 +25,11 @@ type run_state = {
 
 type t = {
   frags : (int, Tree.node) Hashtbl.t;
+  (* Graph fragments for the reachability engine (docs/ENGINES.md).  A
+     site may hold tree fragments, graph fragments or both — the
+     mixed-workload serving tests run XPath and reachability through
+     the same servers. *)
+  gfrags : (int, Pax_graph.Gfrag.fragment) Hashtbl.t;
   (* Many runs interleave on one multiplexed connection, so state is a
      table keyed by run id, not a single slot.  Its size is bounded two
      ways: the coordinator announces finished runs ([Run_done] →
@@ -45,6 +50,15 @@ type t = {
      clock without consuming CPU, which is exactly what distinguishes
      them from compute. *)
   service_delay : float;
+  (* Planned flakiness: every [flake]-th visit request is answered by
+     closing the connection instead of replying — the recoverable
+     fault the accept loop already tolerates (EOF → client reconnects
+     and resends; the reply memo keeps the retry idempotent).  At most
+     once per (run, round) so a retried request always makes progress.
+     0 = never. *)
+  flake : int;
+  mutable flake_tick : int;
+  flaked : (int * int, unit) Hashtbl.t;
   mutable clock : int;
   (* Always-on telemetry: a server exists to be queried, so its sink is
      enabled from the start and its counters are served on
@@ -56,17 +70,25 @@ type t = {
 
 let default_max_runs = 64
 
-let create ?(max_runs = default_max_runs) ?(service_delay = 0.) ~frags () =
+let create ?(max_runs = default_max_runs) ?(service_delay = 0.) ?(flake = 0)
+    ?(gfrags = []) ~frags () =
   if max_runs < 1 then invalid_arg "Server.create: need max_runs >= 1";
   if service_delay < 0. then
     invalid_arg "Server.create: negative service_delay";
+  if flake < 0 then invalid_arg "Server.create: negative flake period";
   let tbl = Hashtbl.create 8 in
   List.iter (fun (fid, root) -> Hashtbl.replace tbl fid root) frags;
+  let gtbl = Hashtbl.create 8 in
+  List.iter (fun (fid, frag) -> Hashtbl.replace gtbl fid frag) gfrags;
   {
     frags = tbl;
+    gfrags = gtbl;
     states = Hashtbl.create 16;
     max_runs;
     service_delay;
+    flake;
+    flake_tick = 0;
+    flaked = Hashtbl.create 16;
     clock = 0;
     obs = Pax_obs.Sink.create ();
   }
@@ -117,6 +139,12 @@ let frag_root t fid =
   match Hashtbl.find_opt t.frags fid with
   | Some root -> root
   | None -> failwith (Printf.sprintf "site server holds no fragment %d" fid)
+
+let gfrag_of t fid =
+  match Hashtbl.find_opt t.gfrags fid with
+  | Some frag -> frag
+  | None ->
+      failwith (Printf.sprintf "site server holds no graph fragment %d" fid)
 
 (* All stages of one run evaluate the same query; compile it once. *)
 let query_of st source =
@@ -290,6 +318,27 @@ let handle_call t ~run call =
       in
       Wire.Final_answers
         { answers = List.map Wire.answer_of_node answers; ops = !ops }
+  | Wire.Reach_stage1 { query; fids } -> (
+      match Pax_graph.Gfrag.parse_query query with
+      | None ->
+          failwith
+            (Printf.sprintf "site server: not a reachability query: %S" query)
+      | Some (src, dst) ->
+          Wire.Frag_results
+            (List.map
+               (fun fid ->
+                 let vec, ops =
+                   Pax_graph.Gfrag.local_eval (gfrag_of t fid) ~src ~dst
+                 in
+                 {
+                   Wire.fr_fid = fid;
+                   fr_vec = Some vec;
+                   fr_ctxs = [];
+                   fr_answers = [];
+                   fr_cands = 0;
+                   fr_ops = ops;
+                 })
+               fids))
 
 let handle_request t ~run ~round call =
   let st = state_for t run in
@@ -301,6 +350,20 @@ let handle_request t ~run ~round call =
           Hashtbl.replace st.rs_replies round reply;
           Ok reply
       | exception e -> Error (Printexc.to_string e))
+
+let flake_now t ~run ~round =
+  t.flake > 0
+  && begin
+       t.flake_tick <- t.flake_tick + 1;
+       t.flake_tick mod t.flake = 0
+       && (not (Hashtbl.mem t.flaked (run, round)))
+       && begin
+            if Hashtbl.length t.flaked > 4096 then Hashtbl.reset t.flaked;
+            Hashtbl.replace t.flaked (run, round) ();
+            Pax_obs.Sink.count t.obs "pax_srv_flakes_total";
+            true
+          end
+     end
 
 let count_visit_frame t ~dir ~frame_len =
   let labels = [ ("dir", dir) ] in
@@ -317,6 +380,14 @@ let serve t fd =
     | None -> `Eof
     | Some payload -> (
         match Wire.decode_payload_corr payload with
+        | Ok (_, Wire.Visit_request { run; round; site = _; label = _; call = _ })
+          when flake_now t ~run ~round ->
+            (* Planned fault: swallow the request and drop the
+               connection.  The client sees EOF, reconnects and
+               resends; the memo answers the retry. *)
+            count_visit_frame t ~dir:"recv"
+              ~frame_len:(4 + String.length payload);
+            `Eof
         | Ok (corr, Wire.Visit_request { run; round; site = _; label; call }) ->
             count_visit_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
@@ -368,7 +439,7 @@ let serve t fd =
   in
   accept_loop ()
 
-let spawn ?max_runs ?service_delay ~addr ~frags () =
+let spawn ?max_runs ?service_delay ?flake ?gfrags ~addr ~frags () =
   (* Bind before forking so the parent can connect without racing the
      child's startup. *)
   let fd = Sockio.listen addr in
@@ -376,7 +447,9 @@ let spawn ?max_runs ?service_delay ~addr ~frags () =
   flush stderr;
   match Unix.fork () with
   | 0 ->
-      (try serve (create ?max_runs ?service_delay ~frags ()) fd with _ -> ());
+      (try
+         serve (create ?max_runs ?service_delay ?flake ?gfrags ~frags ()) fd
+       with _ -> ());
       (try Unix.close fd with _ -> ());
       Unix._exit 0
   | pid ->

@@ -46,6 +46,7 @@ type call =
   | Pax3_stage1 of { query : string; fids : int list }
   | Pax3_stage2 of { query : string; frags : (frag_eval * sub_resolution) list }
   | Pax3_stage3 of { frags : (int * bool array) list }
+  | Reach_stage1 of { query : string; fids : int list }
 
 type frag_result = {
   fr_fid : int;
@@ -305,6 +306,7 @@ let c_pax2_stage2 = 2
 let c_pax3_stage1 = 3
 let c_pax3_stage2 = 4
 let c_pax3_stage3 = 5
+let c_reach_stage1 = 6
 
 let add_counted buf xs add =
   add_varint buf (List.length xs);
@@ -376,6 +378,10 @@ let add_call buf = function
       add_counted buf frags (fun buf (fid, ctx) ->
           add_varint buf fid;
           add_section buf (Resolution ctx))
+  | Reach_stage1 { query; fids } ->
+      add_u8 buf c_reach_stage1;
+      add_section buf (Query query);
+      add_counted buf fids (fun buf fid -> add_varint buf fid)
 
 let get_call s ~pos =
   let tag, pos = get_u8 s ~pos in
@@ -413,6 +419,10 @@ let get_call s ~pos =
           ((fid, ctx), pos))
     in
     (Pax3_stage3 { frags }, pos)
+  else if tag = c_reach_stage1 then
+    let query, pos = expect_query s ~pos in
+    let fids, pos = get_counted s ~pos (fun s ~pos -> get_varint s ~pos) in
+    (Reach_stage1 { query; fids }, pos)
   else fail "unknown call tag"
 
 (* ------------------------------------------------------------------ *)
@@ -682,7 +692,7 @@ let tally_call t = function
         (fun t (_, ctx, subs) ->
           tally_subs (t_add (t_frag t) (Resolution ctx)) subs)
         t frags
-  | Pax3_stage1 { query; fids } ->
+  | Pax3_stage1 { query; fids } | Reach_stage1 { query; fids } ->
       List.fold_left (fun t _ -> t_frag t) (t_add t (Query query)) fids
   | Pax3_stage2 { query; frags } ->
       List.fold_left

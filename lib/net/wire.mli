@@ -97,6 +97,12 @@ type call =
   | Pax3_stage1 of { query : string; fids : int list }
   | Pax3_stage2 of { query : string; frags : (frag_eval * sub_resolution) list }
   | Pax3_stage3 of { frags : (int * bool array) list }
+  | Reach_stage1 of { query : string; fids : int list }
+      (** distributed graph reachability ([lib/graph/]): one local
+          partial evaluation per listed graph fragment; the reply is
+          [Frag_results] with one residual-formula vector per fragment
+          (one formula per boundary in-node, plus one for the source
+          when the fragment owns it) *)
 
 (** Per-fragment stage result.  [fr_vec] is the root qualifier (or
     selection) vector when the stage ships one; [fr_cands] the number

@@ -58,6 +58,12 @@ let mk_bound name formula ~actual ~limit =
     b_margin = (if limit > 0. then (limit -. actual) /. limit else neg_infinity);
   }
 
+(* Engine-specific bound sets: a non-XPath engine (e.g. distributed
+   graph reachability) states its bounds in its own paper's terms and
+   only shares the report/rendering machinery. *)
+let bound ~name ~formula ~actual ~limit = mk_bound name formula ~actual ~limit
+let of_bounds bounds = { bounds; pass = List.for_all (fun b -> b.b_pass) bounds }
+
 let evaluate ?(c_comm = default_c_comm) ?(c_comp = default_c_comp) (i : input) :
     report =
   let fi = float_of_int in

@@ -37,6 +37,22 @@ val default_c_comp : float
 
 val evaluate : ?c_comm:float -> ?c_comp:float -> input -> report
 
+(** {1 Engine-specific bound sets}
+
+    {!evaluate} hard-codes the XPath paper's three bounds.  An engine
+    whose guarantees are stated in different terms (e.g. the
+    reachability engine of [lib/graph/], whose communication bound is
+    [O(|Vf|²)] over boundary nodes) builds its bounds directly and
+    shares only the pass/margin/report machinery. *)
+
+(** [bound ~name ~formula ~actual ~limit] — one checked bound;
+    [b_pass] and [b_margin] are derived. *)
+val bound :
+  name:string -> formula:string -> actual:float -> limit:float -> bound
+
+(** Assemble a report; [pass] is the conjunction. *)
+val of_bounds : bound list -> report
+
 val pp_bound : Format.formatter -> bound -> unit
 val pp : Format.formatter -> report -> unit
 val to_json : report -> Json.t

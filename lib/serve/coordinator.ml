@@ -1,78 +1,110 @@
 (* The serving coordinator: glue between the admission scheduler, the
-   cross-query cache and the per-run engine machinery.  Each admitted
-   query gets its own Cluster (and, over sockets, its own Client
-   handle on the shared multiplexed connections), so concurrent runs
-   share nothing but the cache and the sockets — both designed for
-   concurrent use. *)
+   cross-query cache and the per-run engine machinery, speaking only
+   the Pe seam.  Each admitted query gets its own Cluster (and, over
+   sockets, its own Client handle on the shared multiplexed
+   connections), so concurrent runs share nothing but the cache and
+   the sockets — both designed for concurrent use. *)
 
 module Cluster = Pax_dist.Cluster
-module Query = Pax_xpath.Query
+module Pe = Pax_engine.Pe
 
-type engine = Pax2 | Pax3
+type backend = In_process | Sockets of Pax_net.Client.t
+type mount = { m_pe : Pe.packed; m_tune : Cluster.t -> unit }
 
-let engine_name = function Pax2 -> "pax2" | Pax3 -> "pax3"
+let mount ?(tune = ignore) pe = { m_pe = pe; m_tune = tune }
 
-type backend =
-  | In_process of (unit -> Cluster.t)
-  | Sockets of {
-      mux : Pax_net.Client.t;
-      ftree : Pax_frag.Fragment.t;
-      n_sites : int;
-      assign : int -> int;
-    }
+type error =
+  | Rejected of Sched.rejection
+  | Unknown_engine of string
+  | Bad_query of string
+
+let error_message = function
+  | Rejected r -> Format.asprintf "%a" Sched.pp_rejection r
+  | Unknown_engine name -> Printf.sprintf "unknown engine %S" name
+  | Bad_query msg -> msg
 
 type t = {
   sched : Sched.t;
   cache : Cache.t option;
   backend : backend;
+  mounts : (string * mount) list;  (* first = default *)
   sink : Pax_obs.Sink.t;
 }
 
 let create ?max_inflight ?max_queue ?cache ?(sink = Pax_obs.Sink.noop) backend
-    =
-  { sched = Sched.create ?max_inflight ?max_queue ~sink (); cache; backend;
-    sink }
+    mounts =
+  if mounts = [] then invalid_arg "Coordinator.create: no engines mounted";
+  let named = List.map (fun m -> (Pe.name m.m_pe, m)) mounts in
+  let names = List.map fst named in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Coordinator.create: duplicate engine names";
+  {
+    sched = Sched.create ?max_inflight ?max_queue ~sink ();
+    cache;
+    backend;
+    mounts = named;
+    sink;
+  }
 
 let cache t = t.cache
+let engines t = List.map fst t.mounts
 
 (* One run, on the calling (worker) thread.  Per-run clusters carry the
    no-op sink: the span/metrics collectors are not built for concurrent
    writers, and the serving-level sink already observes what the layer
    promises (queue depth, latency, cache traffic). *)
-let run_one t ~engine ~annotations (q : Query.t) =
-  let cl, cleanup =
+let run_one t m text =
+  let transport, cleanup =
     match t.backend with
-    | In_process mk -> (mk (), Fun.id)
-    | Sockets { mux; ftree; n_sites; assign } ->
+    | In_process -> (None, Fun.id)
+    | Sockets mux ->
         let handle = Pax_net.Client.handle mux in
         let tr = Pax_net.Client.handle_transport handle in
-        let cl = Cluster.create ~transport:tr ~ftree ~n_sites ~assign () in
-        (cl, fun () -> tr.Pax_dist.Transport.close ())
+        (Some tr, fun () -> tr.Pax_dist.Transport.close ())
   in
-  Option.iter
-    (fun c -> Cluster.set_stage_cache cl (Cache.to_stage_cache c))
-    t.cache;
+  let tune cl =
+    Option.iter
+      (fun c -> Cluster.set_stage_cache cl (Cache.to_stage_cache c))
+      t.cache;
+    m.m_tune cl
+  in
   Fun.protect ~finally:cleanup (fun () ->
-      match engine with
-      | Pax2 -> Pax_core.Pax2.run ~annotations cl q
-      | Pax3 -> Pax_core.Pax3.run ~annotations cl q)
+      Pe.run_text m.m_pe ?transport ~tune text)
 
-let submit ?(engine = Pax2) ?(annotations = false) ?(source = "default") t
-    (q : Query.t) =
-  Pax_obs.Sink.count t.sink
-    ~labels:[ ("engine", engine_name engine) ]
-    "pax_serve_queries_total";
-  Sched.submit t.sched ~source ~label:q.Query.source (fun () ->
-      run_one t ~engine ~annotations q)
+let submit ?engine ?(source = "default") t text =
+  let m =
+    match engine with
+    | None -> Ok (snd (List.hd t.mounts))
+    | Some name -> (
+        match List.assoc_opt name t.mounts with
+        | Some m -> Ok m
+        | None -> Error (Unknown_engine name))
+  in
+  match m with
+  | Error e -> Error e
+  | Ok m -> (
+      (* Parse-check before burning a scheduler slot: a malformed query
+         must not count against admission or reach a worker. *)
+      match Pe.validate m.m_pe text with
+      | Error msg -> Error (Bad_query msg)
+      | Ok () -> (
+          Pax_obs.Sink.count t.sink
+            ~labels:[ ("engine", Pe.name m.m_pe) ]
+            "pax_serve_queries_total";
+          match
+            Sched.submit t.sched ~source ~label:text (fun () ->
+                run_one t m text)
+          with
+          | Ok tk -> Ok tk
+          | Error r -> Error (Rejected r)))
 
 let await = Sched.await
 
 (* Submit + await: only useful from a thread that may block. *)
-let run ?engine ?annotations ?source t q =
-  match submit ?engine ?annotations ?source t q with
-  | Error r -> Error r
-  | Ok tk -> (
-      match await tk with Ok r -> Ok r | Error e -> raise e)
+let run ?engine ?source t text =
+  match submit ?engine ?source t text with
+  | Error e -> Error e
+  | Ok tk -> ( match await tk with Ok r -> Ok r | Error e -> raise e)
 
 let queue_depth t = Sched.queue_depth t.sched
 let inflight t = Sched.inflight t.sched

@@ -2,70 +2,87 @@
     simultaneous query submissions, admits them through a bounded
     {!Sched}, and runs each on its own {!Pax_dist.Cluster} — over the
     {e shared} multiplexed socket connections of a {!Pax_net.Client}
-    (each run gets its own handle and run id) or over per-run
-    in-process clusters.
+    (each run gets its own handle and run id) or in-process.
+
+    The coordinator is {e engine-blind}: it speaks only the
+    {!Pax_engine.Pe} seam (docs/ENGINES.md).  Engines are {e mounted}
+    by name — any mix of XPath engines ({!Pax_core.Engines}) and the
+    graph reachability engine ({!Pax_graph.Reach}) — and queries are
+    routed to a mount by its stable name.  Placement is baked into
+    each mounted engine, so this layer never sees fragment trees or
+    graph partitions.
 
     Every run is independent: answers, visit counts and audit verdicts
     are bit-identical to running the same query alone (asserted by
-    [test/test_serve.ml]'s differential).  An optional {!Cache} is
-    shared across runs; it only changes {e which} visits happen, never
-    answers. *)
+    [test/test_serve.ml]'s differential, for both query families).  An
+    optional {!Cache} is shared across runs; it only changes {e which}
+    visits happen, never answers. *)
+
+module Pe = Pax_engine.Pe
 
 type t
 
-type engine = Pax2 | Pax3
-
-val engine_name : engine -> string
-
 type backend =
-  | In_process of (unit -> Pax_dist.Cluster.t)
-      (** a fresh cluster per admitted run (its fault plan and retry
-          policy are the factory's business); runs stay in-process *)
-  | Sockets of {
-      mux : Pax_net.Client.t;
-      ftree : Pax_frag.Fragment.t;
-      n_sites : int;
-      assign : int -> int;
-    }
+  | In_process
+      (** each admitted run gets a fresh in-process cluster from its
+          engine's [make_cluster] *)
+  | Sockets of Pax_net.Client.t
       (** per-run clusters over shared multiplexed site connections;
           the caller owns the mux (and its shutdown) *)
 
-(** [create backend] — see {!Sched.create} for [max_inflight] /
-    [max_queue].  [cache] enables cross-query stage-result caching;
-    [sink] observes the serving layer (scheduler + cache; per-run
-    clusters run with the no-op sink — the collectors are not built
-    for concurrent writers). *)
+(** A mounted engine.  [tune] runs on each fresh per-run cluster
+    before evaluation (fault plans, gates for tests, service delay);
+    the coordinator's cache, when present, is installed first. *)
+type mount
+
+val mount : ?tune:(Pax_dist.Cluster.t -> unit) -> Pe.packed -> mount
+
+type error =
+  | Rejected of Sched.rejection  (** admission control said no *)
+  | Unknown_engine of string  (** no mount with that name *)
+  | Bad_query of string  (** the mount's parser said no; not scheduled *)
+
+val error_message : error -> string
+
+(** [create backend mounts] — see {!Sched.create} for [max_inflight] /
+    [max_queue].  The first mount is the default engine.  [cache]
+    enables cross-query stage-result caching (consulted only by
+    engines that use stage caches); [sink] observes the serving layer
+    (scheduler + cache; per-run clusters run with the no-op sink — the
+    collectors are not built for concurrent writers).
+    @raise Invalid_argument on an empty or duplicate-name mount
+    list. *)
 val create :
   ?max_inflight:int ->
   ?max_queue:int ->
   ?cache:Cache.t ->
   ?sink:Pax_obs.Sink.t ->
   backend ->
+  mount list ->
   t
 
 val cache : t -> Cache.t option
 
-(** Non-blocking admission: a ticket to {!await}, or a typed
-    {!Sched.rejection}.  [engine] defaults to [Pax2], [source] (for
-    fair scheduling) to ["default"]. *)
+(** Mounted engine names, default first. *)
+val engines : t -> string list
+
+(** Non-blocking admission of query text: a ticket to {!await}, or a
+    typed {!error}.  Malformed queries are rejected here — before
+    scheduling — via the mount's parser.  [engine] defaults to the
+    first mount's name, [source] (for fair scheduling) to
+    ["default"]. *)
 val submit :
-  ?engine:engine ->
-  ?annotations:bool ->
+  ?engine:string ->
   ?source:string ->
   t ->
-  Pax_xpath.Query.t ->
-  (Pax_core.Run_result.t Sched.ticket, Sched.rejection) result
+  string ->
+  (Pe.outcome Sched.ticket, error) result
 
 val await : 'a Sched.ticket -> ('a, exn) result
 
-(** Submit and block for the result; re-raises the run's exception. *)
+(** Submit and block for the outcome; re-raises the run's exception. *)
 val run :
-  ?engine:engine ->
-  ?annotations:bool ->
-  ?source:string ->
-  t ->
-  Pax_xpath.Query.t ->
-  (Pax_core.Run_result.t, Sched.rejection) result
+  ?engine:string -> ?source:string -> t -> string -> (Pe.outcome, error) result
 
 val queue_depth : t -> int
 val inflight : t -> int

@@ -131,3 +131,55 @@ let print_scenario (s : scenario) =
     (Pax_dist.Cluster.ftree s.s_cluster)
 
 let arbitrary_scenario = QCheck.make ~print:print_scenario scenario
+
+(* ---------------- graph reachability scenarios --------------------- *)
+
+(* A random fragmented digraph plus a reachability question and a
+   placement, as plain data so the generator does not depend on the
+   graph library itself (the tests build Gfrag.partition / clusters
+   from these fields). *)
+type gscenario = {
+  g_n : int;  (* nodes, numbered 0..g_n-1 *)
+  g_edges : (int * int) list;
+  g_owner : int array;  (* node -> fragment, fragments 0..g_n_frags-1 *)
+  g_n_frags : int;
+  g_src : int;
+  g_dst : int;
+  g_n_sites : int;
+  g_assign : int array;  (* fragment -> site *)
+}
+
+let gscenario : gscenario G.t =
+ fun st ->
+  let g_n = G.int_range 1 40 st in
+  (* Sparse-ish: on average ~2.5 out-edges per node, self-loops and
+     duplicates allowed (the partitioner dedups). *)
+  let n_edges = G.int_range 0 (5 * g_n / 2) st in
+  let g_edges =
+    List.init n_edges (fun _ ->
+        (G.int_range 0 (g_n - 1) st, G.int_range 0 (g_n - 1) st))
+  in
+  let g_n_frags = G.int_range 1 (min 6 g_n) st in
+  let g_owner = Array.init g_n (fun _ -> G.int_range 0 (g_n_frags - 1) st) in
+  (* Every fragment id must own at least one node or the partitioner's
+     fragment count drops; pin node i to fragment i for the first
+     [g_n_frags] nodes. *)
+  Array.iteri (fun i _ -> if i < g_n_frags then g_owner.(i) <- i) g_owner;
+  let g_src = G.int_range 0 (g_n - 1) st in
+  let g_dst = G.int_range 0 (g_n - 1) st in
+  let g_n_sites = G.int_range 1 g_n_frags st in
+  let g_assign =
+    Array.init g_n_frags (fun _ -> G.int_range 0 (g_n_sites - 1) st)
+  in
+  { g_n; g_edges; g_owner; g_n_frags; g_src; g_dst; g_n_sites; g_assign }
+
+let print_gscenario (g : gscenario) =
+  Format.asprintf
+    "n=%d frags=%d sites=%d src=%d dst=%d@.owner=[%s]@.assign=[%s]@.edges=[%s]@."
+    g.g_n g.g_n_frags g.g_n_sites g.g_src g.g_dst
+    (String.concat ";" (Array.to_list (Array.map string_of_int g.g_owner)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int g.g_assign)))
+    (String.concat ";"
+       (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) g.g_edges))
+
+let arbitrary_gscenario = QCheck.make ~print:print_gscenario gscenario

@@ -43,11 +43,20 @@ let engines =
   ]
 
 (* The engine result must match the centralized ids exactly; under a
-   fault plan the typed failure is also legal, anything else is not. *)
-let check_engine ~fault ~expected name run bound cl q =
+   fault plan the typed failure is also legal, anything else is not.
+   When a service delay is installed it must show up in the timing
+   accounting — at least [delay] per logical visit — without touching
+   the answer. *)
+let check_engine ~fault ~delay ~expected name run bound cl q =
   match (run cl q : Run_result.t) with
   | r ->
-      if r.Run_result.answer_ids <> expected then
+      let report = r.Run_result.report in
+      let visits = Array.fold_left ( + ) 0 report.Cluster.visits in
+      if report.Cluster.total_seconds < delay *. float_of_int visits then
+        QCheck.Test.fail_reportf
+          "%s: service delay unaccounted: %d visits x %.3fs but total %.6fs"
+          name visits delay report.Cluster.total_seconds
+      else if r.Run_result.answer_ids <> expected then
         QCheck.Test.fail_reportf "%s: expected [%s], got [%s]" name
           (String.concat ";" (List.map string_of_int expected))
           (String.concat ";"
@@ -89,10 +98,16 @@ let differential ~fault (s, seed) =
        Fault.seeded ~drop:0.12 ~dup:0.08 ~delay:0.05 ~lose:0.1 ~crash:0.15
          ~seed ()
      else Fault.none);
+  (* Half the faulted schedules also charge a per-visit service delay:
+     the axes must compose (the delay changes timing accounting only,
+     never answers or visit counts). *)
+  let delay = if fault && seed mod 2 = 0 then 0.001 else 0. in
+  Cluster.set_service_delay cl delay;
   let q = Query.of_ast s.H.Gen.s_query in
   let expected = Pax_core.Centralized.eval_ids q s.H.Gen.s_doc.Tree.root in
   List.for_all
-    (fun (name, run, bound) -> check_engine ~fault ~expected name run bound cl q)
+    (fun (name, run, bound) ->
+      check_engine ~fault ~delay ~expected name run bound cl q)
     engines
   && check_parbox ~fault s
 

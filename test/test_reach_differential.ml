@@ -1,0 +1,198 @@
+(* The second differential oracle (docs/ENGINES.md): on random
+   fragmented digraphs, random src/dst and random placements, the
+   distributed reachability engine agrees with the centralized BFS
+   reference —
+
+   - in-process on a clean network,
+   - in-process under seeded fault plans crossed with a per-visit
+     service delay (an axis the XPath oracle also covers), where the
+     engine must either return the BFS answer or fail with the typed
+     [Cluster.Site_unreachable],
+   - and over real forked socket servers, with planned connection
+     flakes ([Server.spawn ~flake]) and sometimes a real service
+     delay, where the reply memo must make retries bit-identical.
+
+   Every successful run's guarantee audit (one visit per site,
+   O(|Vf|²) communication) must pass.  Default counts keep `dune
+   runtest` fast; `dune build @slow` reruns at PAX_QCHECK_COUNT=2000,
+   which drives >=500 random socket schedules. *)
+
+module Gfrag = Pax_graph.Gfrag
+module Bfs = Pax_graph.Bfs
+module Reach = Pax_graph.Reach
+module Cluster = Pax_dist.Cluster
+module Fault = Pax_dist.Fault
+module Sockio = Pax_net.Sockio
+module Server = Pax_net.Server
+module Client = Pax_net.Client
+module H = Test_helpers
+module G = QCheck.Gen
+
+let count n =
+  match Sys.getenv_opt "PAX_QCHECK_COUNT" with
+  | Some s -> (try int_of_string s with _ -> n)
+  | None -> n
+
+(* Socket scenarios fork one server per site; a quarter of the sweep
+   count keeps @slow within budget while still exceeding 500 schedules
+   at PAX_QCHECK_COUNT=2000. *)
+let socket_count n =
+  match Sys.getenv_opt "PAX_QCHECK_COUNT" with
+  | Some s -> (try max 1 (int_of_string s / 4) with _ -> n)
+  | None -> n
+
+let arbitrary_faulty =
+  QCheck.make
+    ~print:(fun (g, seed) ->
+      Printf.sprintf "seed %d\n%s" seed (H.Gen.print_gscenario g))
+    G.(pair H.Gen.gscenario (int_bound 1_000_000))
+
+let partition_of (gs : H.Gen.gscenario) =
+  Gfrag.partition ~n:gs.H.Gen.g_n ~edges:gs.H.Gen.g_edges
+    ~owner:gs.H.Gen.g_owner
+
+let expected (gs : H.Gen.gscenario) =
+  Bfs.reach ~n:gs.H.Gen.g_n ~edges:gs.H.Gen.g_edges ~src:gs.H.Gen.g_src
+    ~dst:gs.H.Gen.g_dst
+
+let query_of g (gs : H.Gen.gscenario) =
+  match
+    Reach.parse g
+      (Gfrag.query_string ~src:gs.H.Gen.g_src ~dst:gs.H.Gen.g_dst)
+  with
+  | Ok q -> q
+  | Error e -> QCheck.Test.fail_reportf "parse: %s" e
+
+let check_run ~what ~gs ~g ~cl ~got ~report =
+  let want = expected gs in
+  if got <> want then
+    QCheck.Test.fail_reportf "%s: reach %d %d: distributed %b, BFS %b" what
+      gs.H.Gen.g_src gs.H.Gen.g_dst got want
+  else begin
+    let a = Reach.audit g cl report in
+    a.Pax_obs.Audit.pass
+    || QCheck.Test.fail_reportf "%s: audit failed on a correct answer" what
+  end
+
+(* ---------------- in-process, faults x service delay ---------------- *)
+
+let faulted ((gs : H.Gen.gscenario), seed) =
+  let g = partition_of gs in
+  let cl =
+    Cluster.create_abstract ~n_frags:gs.H.Gen.g_n_frags
+      ~n_sites:gs.H.Gen.g_n_sites
+      ~assign:(fun fid -> gs.H.Gen.g_assign.(fid))
+      ()
+  in
+  Cluster.set_fault cl
+    (Fault.seeded ~drop:0.12 ~dup:0.08 ~delay:0.05 ~lose:0.1 ~crash:0.15 ~seed
+       ());
+  (* Half the schedules also charge a per-visit service delay — the
+     axis must compose with fault plans (it changes timing accounting,
+     never answers). *)
+  let delay = if seed mod 2 = 0 then 0.001 else 0. in
+  Cluster.set_service_delay cl delay;
+  let q = query_of g gs in
+  Cluster.reset cl;
+  match Reach.eval g cl q with
+  | got, report ->
+      check_run ~what:"faulted" ~gs ~g ~cl ~got ~report
+      &&
+      let visits = Array.fold_left ( + ) 0 report.Cluster.visits in
+      report.Cluster.total_seconds >= (delay *. float_of_int visits)
+      || QCheck.Test.fail_reportf
+           "service delay unaccounted: %d visits x %.3fs but total %.6fs"
+           visits delay report.Cluster.total_seconds
+  | exception Cluster.Site_unreachable _ -> true
+
+(* ---------------- sockets, flakes x service delay ------------------- *)
+
+(* Fork one server per site holding that site's graph fragments, run
+   the engine over the socket transport, tear everything down. *)
+let with_graph_servers (gs : H.Gen.gscenario) g ~flake ~service_delay f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pax_reach_test_%d_%d" (Unix.getpid ())
+         (Random.int 100000))
+  in
+  Sys.mkdir dir 0o755;
+  let addrs =
+    Array.init gs.H.Gen.g_n_sites (fun site ->
+        Sockio.Unix_path (Filename.concat dir (Printf.sprintf "s%d.sock" site)))
+  in
+  let gfrags site =
+    List.filter_map
+      (fun fid ->
+        if gs.H.Gen.g_assign.(fid) = site then Some (fid, Gfrag.fragment g fid)
+        else None)
+      (List.init gs.H.Gen.g_n_frags Fun.id)
+  in
+  let pids =
+    Array.to_list
+      (Array.mapi
+         (fun site addr ->
+           Server.spawn ~flake ~service_delay ~addr ~frags:[]
+             ~gfrags:(gfrags site) ())
+         addrs)
+  in
+  let mux = Client.create ~timeout:20. ~addrs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.shutdown_sites mux;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        pids;
+      Array.iter
+        (fun a ->
+          match a with
+          | Sockio.Unix_path p -> ( try Sys.remove p with _ -> ())
+          | Sockio.Tcp _ -> ())
+        addrs;
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f mux)
+
+let sockets ((gs : H.Gen.gscenario), seed) =
+  let g = partition_of gs in
+  (* Every third visit request flakes; half the schedules also sleep a
+     real millisecond per visit on the server side. *)
+  let flake = if seed mod 3 = 0 then 0 else 3 in
+  let service_delay = if seed mod 2 = 0 then 0.001 else 0. in
+  with_graph_servers gs g ~flake ~service_delay @@ fun mux ->
+  let handle = Client.handle mux in
+  let tr = Client.handle_transport handle in
+  Fun.protect ~finally:(fun () -> tr.Pax_dist.Transport.close ())
+  @@ fun () ->
+  let cl =
+    Cluster.create_abstract ~transport:tr ~n_frags:gs.H.Gen.g_n_frags
+      ~n_sites:gs.H.Gen.g_n_sites
+      ~assign:(fun fid -> gs.H.Gen.g_assign.(fid))
+      ()
+  in
+  let q = query_of g gs in
+  Cluster.reset cl;
+  let got, report = Reach.eval g cl q in
+  (* Proof the wire was really used: a transport run measures actual
+     socket bytes, and visiting any site at all moves some. *)
+  (match report.Cluster.measured_bytes with
+  | Some b when b > 0 -> ()
+  | Some _ | None ->
+      QCheck.Test.fail_reportf "sockets: no socket traffic measured");
+  check_run ~what:"sockets" ~gs ~g ~cl ~got ~report
+
+let qtest name ~count:n prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:n arbitrary_faulty prop)
+
+let () =
+  Alcotest.run "reach_differential"
+    [
+      ( "oracle",
+        [
+          qtest "reach = BFS or typed failure (faults x delay)"
+            ~count:(count 150) faulted;
+          qtest "reach = BFS over sockets (flakes x delay)"
+            ~count:(socket_count 15) sockets;
+        ] );
+    ]

@@ -7,10 +7,11 @@
    - the tentpole differential: N queries submitted concurrently — over
      real sockets (clean) and over in-process clusters under qcheck'd
      fault plans — return bit-identical answers, visit counts and audit
-     verdicts to the same queries run sequentially, cache on or off. *)
+     verdicts to the same queries run sequentially, cache on or off;
+   - the mixed-workload differential: XPath and graph-reachability runs
+     interleaved through the same scheduler and socket mux, both
+     families bit-identical to sequential and passing their audits. *)
 
-module Tree = Pax_xml.Tree
-module Query = Pax_xpath.Query
 module Fragment = Pax_frag.Fragment
 module Update = Pax_frag.Update
 module Cluster = Pax_dist.Cluster
@@ -21,7 +22,9 @@ module Client = Pax_net.Client
 module Sched = Pax_serve.Sched
 module Cache = Pax_serve.Cache
 module Coordinator = Pax_serve.Coordinator
-module Run_result = Pax_core.Run_result
+module Pe = Pax_engine.Pe
+module Engines = Pax_core.Engines
+module Gfrag = Pax_graph.Gfrag
 module H = Test_helpers
 
 exception Timed_out
@@ -335,18 +338,19 @@ let make_setup () =
   Fragment.fragmentize doc ~cuts:(Fragment.cuts_by_tag doc ~tag:"site")
 
 (* What "bit-identical" means here: answers, per-site visit counts and
-   the guarantee auditor's verdict. *)
+   the guarantee auditor's verdict — in engine-neutral Pe terms, so the
+   same check covers XPath and reachability runs. *)
 type obs = {
   o_answers : int list;
   o_visits : int array;
   o_audit_pass : bool;
 }
 
-let observe ~engine ~ftree (r : Run_result.t) =
+let observe (o : Pe.outcome) =
   {
-    o_answers = r.Run_result.answer_ids;
-    o_visits = r.Run_result.report.Cluster.visits;
-    o_audit_pass = (Pax_core.Guarantee.audit ~engine ~ftree r).Pax_obs.Audit.pass;
+    o_answers = o.Pe.answer_keys;
+    o_visits = o.Pe.report.Cluster.visits;
+    o_audit_pass = o.Pe.audit.Pax_obs.Audit.pass;
   }
 
 let check_obs name a b =
@@ -355,7 +359,9 @@ let check_obs name a b =
   Alcotest.(check bool) (name ^ ": audit verdict") a.o_audit_pass b.o_audit_pass;
   Alcotest.(check bool) (name ^ ": auditor passes") true b.o_audit_pass
 
-let with_servers ft ~n_sites f =
+(* [gsite_frags site] adds graph fragments for the reachability engine
+   to each site server (the mixed-workload suite); default none. *)
+let with_servers ?(gsite_frags = fun _ -> []) ft ~n_sites f =
   let cl = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -375,7 +381,9 @@ let with_servers ft ~n_sites f =
   let pids =
     Array.to_list
       (Array.mapi
-         (fun site addr -> Server.spawn ~addr ~frags:(site_frags site) ())
+         (fun site addr ->
+           Server.spawn ~addr ~frags:(site_frags site)
+             ~gfrags:(gsite_frags site) ())
          addrs)
   in
   let mux = Client.create ~timeout:20. ~addrs () in
@@ -394,69 +402,76 @@ let with_servers ft ~n_sites f =
           | Sockio.Tcp _ -> ())
         addrs;
       try Sys.rmdir dir with _ -> ())
-    (fun () ->
-      f
-        (fun ?cache ~max_inflight () ->
-          Coordinator.create ~max_inflight ?cache
-            (Coordinator.Sockets
-               {
-                 mux;
-                 ftree = ft;
-                 n_sites;
-                 assign = (fun fid -> Cluster.site_of cl fid);
-               }))
-        ())
+    (fun () -> f ~mux ~proto:cl ())
 
-(* Sequential baseline: one at a time, awaiting each before submitting
-   the next. *)
-let run_sequential coord ~engine qs =
+(* The standard XPath mounts over a placement prototype. *)
+let xpath_mounts ft proto =
+  let n_sites = Cluster.n_sites proto in
+  let assign fid = Cluster.site_of proto fid in
+  [
+    Coordinator.mount (Engines.pax2 ft ~n_sites ~assign);
+    Coordinator.mount (Engines.pax3 ft ~n_sites ~assign);
+  ]
+
+(* Queries as (engine, text) pairs: the engine-blind coordinator routes
+   by mount name.  Sequential baseline awaits each run before
+   submitting the next. *)
+let run_sequential coord eqs =
   List.map
-    (fun q ->
-      match Coordinator.run ~engine coord (Query.of_string q) with
-      | Ok r -> r
-      | Error rej ->
-          Alcotest.failf "sequential %s rejected: %a" q Sched.pp_rejection rej)
-    qs
+    (fun (engine, q) ->
+      match Coordinator.run ~engine coord q with
+      | Ok o -> o
+      | Error e ->
+          Alcotest.failf "sequential %s rejected: %s" q
+            (Coordinator.error_message e))
+    eqs
 
 (* Concurrent: submit everything, then collect.  Sources rotate so the
    fair scheduler actually interleaves. *)
-let run_concurrent coord ~engine qs =
+let run_concurrent coord eqs =
   let tickets =
     List.mapi
-      (fun i q ->
+      (fun i (engine, q) ->
         let source = Printf.sprintf "client-%d" (i mod 4) in
-        match Coordinator.submit ~engine ~source coord (Query.of_string q) with
+        match Coordinator.submit ~engine ~source coord q with
         | Ok tk -> (q, tk)
-        | Error rej ->
-            Alcotest.failf "concurrent %s rejected: %a" q Sched.pp_rejection rej)
-      qs
+        | Error e ->
+            Alcotest.failf "concurrent %s rejected: %s" q
+              (Coordinator.error_message e))
+      eqs
   in
   List.map
     (fun (q, tk) ->
       match Coordinator.await tk with
-      | Ok r -> r
+      | Ok o -> o
       | Error e -> Alcotest.failf "concurrent %s raised: %s" q (Printexc.to_string e))
     tickets
+
+let with_engine engine qs = List.map (fun q -> (engine, q)) qs
 
 let test_sockets_differential () =
   with_timeout 300 (fun () ->
       let ft = make_setup () in
-      with_servers ft ~n_sites:3 (fun mk_coord () ->
+      with_servers ft ~n_sites:3 (fun ~mux ~proto () ->
+          let mk_coord ~max_inflight () =
+            Coordinator.create ~max_inflight (Coordinator.Sockets mux)
+              (xpath_mounts ft proto)
+          in
           let seq = mk_coord ~max_inflight:1 () in
           let conc = mk_coord ~max_inflight:8 () in
           List.iter
-            (fun (engine, ename) ->
-              let rs = run_sequential seq ~engine queries16 in
-              let rc = run_concurrent conc ~engine queries16 in
+            (fun ename ->
+              let eqs = with_engine ename queries16 in
+              let rs = run_sequential seq eqs in
+              let rc = run_concurrent conc eqs in
               List.iter2
                 (fun (q, a) b ->
                   check_obs
                     (Printf.sprintf "%s %s" ename q)
-                    (observe ~engine:ename ~ftree:ft a)
-                    (observe ~engine:ename ~ftree:ft b))
+                    (observe a) (observe b))
                 (List.combine queries16 rs)
                 rc)
-            [ (Coordinator.Pax2, "pax2"); (Coordinator.Pax3, "pax3") ];
+            [ "pax2"; "pax3" ];
           Coordinator.close seq;
           Coordinator.close conc))
 
@@ -472,31 +487,31 @@ let counter_value sink name =
 let test_sockets_differential_cached () =
   with_timeout 300 (fun () ->
       let ft = make_setup () in
-      with_servers ft ~n_sites:3 (fun mk_coord () ->
+      with_servers ft ~n_sites:3 (fun ~mux ~proto () ->
           let sink_s = Pax_obs.Sink.create () in
           let sink_c = Pax_obs.Sink.create () in
+          let mk_coord ~cache ~max_inflight () =
+            Coordinator.create ~max_inflight ~cache (Coordinator.Sockets mux)
+              (xpath_mounts ft proto)
+          in
           let seq = mk_coord ~cache:(Cache.create ~sink:sink_s ft) ~max_inflight:1 () in
           let conc = mk_coord ~cache:(Cache.create ~sink:sink_c ft) ~max_inflight:8 () in
-          let engine = Coordinator.Pax2 in
+          let eqs = with_engine "pax2" queries16 in
           (* Pass 1 warms each coordinator's own cache (16 distinct
              queries: entries never cross queries, so concurrent
              warm-up is race-free); pass 2 runs hot. *)
-          let s1 = run_sequential seq ~engine queries16 in
-          let s2 = run_sequential seq ~engine queries16 in
-          let c1 = run_concurrent conc ~engine queries16 in
-          let c2 = run_concurrent conc ~engine queries16 in
+          let s1 = run_sequential seq eqs in
+          let s2 = run_sequential seq eqs in
+          let c1 = run_concurrent conc eqs in
+          let c2 = run_concurrent conc eqs in
           List.iter2
             (fun (q, (a, a')) (b, b') ->
-              check_obs ("cached cold " ^ q)
-                (observe ~engine:"pax2" ~ftree:ft a)
-                (observe ~engine:"pax2" ~ftree:ft b);
-              check_obs ("cached hot " ^ q)
-                (observe ~engine:"pax2" ~ftree:ft a')
-                (observe ~engine:"pax2" ~ftree:ft b');
+              check_obs ("cached cold " ^ q) (observe a) (observe b);
+              check_obs ("cached hot " ^ q) (observe a') (observe b');
               (* The cache changes visits, never answers. *)
               Alcotest.(check (list int))
                 ("hot answers = cold answers " ^ q)
-                a.Run_result.answer_ids a'.Run_result.answer_ids)
+                a.Pe.answer_keys a'.Pe.answer_keys)
             (List.combine queries16 (List.combine s1 s2))
             (List.combine c1 c2);
           List.iter
@@ -509,36 +524,60 @@ let test_sockets_differential_cached () =
           Coordinator.close seq;
           Coordinator.close conc))
 
+(* Round-robin placement over [n_sites], as the proto-cluster helpers
+   build it, but usable for in-process mounts without a prototype. *)
+let rr_mounts ft ~n_sites ?tune () =
+  let proto = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
+  let assign fid = Cluster.site_of proto fid in
+  [
+    Coordinator.mount ?tune (Engines.pax2 ft ~n_sites ~assign);
+    Coordinator.mount ?tune (Engines.pax3 ft ~n_sites ~assign);
+  ]
+
 (* Coordinator-level admission control: typed rejection under a full
    queue, all admitted runs complete. *)
 let test_coordinator_overloaded () =
   with_timeout 60 (fun () ->
       let ft = make_setup () in
       let g = gate () in
-      let backend =
-        Coordinator.In_process
-          (fun () ->
-            (* Stall inside cluster construction so the worker stays
-               busy while the test floods the queue. *)
-            wait_gate g;
-            Pax_dist.Placement.cluster_round_robin ft ~n_sites:3)
+      (* Stall inside per-run cluster tuning so the worker stays busy
+         while the test floods the queue. *)
+      let tune _ = wait_gate g in
+      let coord =
+        Coordinator.create ~max_inflight:1 ~max_queue:1
+          Coordinator.In_process
+          (rr_mounts ft ~n_sites:3 ~tune ())
       in
-      let coord = Coordinator.create ~max_inflight:1 ~max_queue:1 backend in
-      let q = Query.of_string "//person/name" in
+      let q = "//person/name" in
       let t1 = Result.get_ok (Coordinator.submit coord q) in
       spin_until (fun () -> Coordinator.inflight coord = 1);
       let t2 = Result.get_ok (Coordinator.submit coord q) in
       (match Coordinator.submit coord q with
-      | Error (Sched.Overloaded { queued = 1; max_queue = 1 }) -> ()
-      | Error r -> Alcotest.failf "wrong rejection: %a" Sched.pp_rejection r
+      | Error (Coordinator.Rejected (Sched.Overloaded { queued = 1; max_queue = 1 })) -> ()
+      | Error e -> Alcotest.failf "wrong rejection: %s" (Coordinator.error_message e)
       | Ok _ -> Alcotest.fail "full queue must reject");
+      (* Malformed queries are rejected before scheduling — even with a
+         stalled worker and a full queue this answers immediately, and
+         with a typed error, not an Overloaded. *)
+      (match Coordinator.submit coord "//person[" with
+      | Error (Coordinator.Bad_query _) -> ()
+      | Error e ->
+          Alcotest.failf "malformed query: wrong error: %s"
+            (Coordinator.error_message e)
+      | Ok _ -> Alcotest.fail "malformed query must be rejected");
+      (match Coordinator.submit ~engine:"no-such-engine" coord q with
+      | Error (Coordinator.Unknown_engine _) -> ()
+      | Error e ->
+          Alcotest.failf "unknown engine: wrong error: %s"
+            (Coordinator.error_message e)
+      | Ok _ -> Alcotest.fail "unknown engine must be rejected");
       open_gate g;
       List.iter
         (fun tk ->
           match Coordinator.await tk with
-          | Ok r ->
+          | Ok (o : Pe.outcome) ->
               Alcotest.(check bool) "admitted run answered" true
-                (r.Run_result.answer_ids <> [])
+                (o.Pe.answer_keys <> [])
           | Error e -> Alcotest.failf "admitted run failed: %s" (Printexc.to_string e))
         [ t1; t2 ];
       Coordinator.close coord)
@@ -549,10 +588,10 @@ let test_coordinator_overloaded () =
 
 (* Per-run outcome under faults: success (with its observables) or the
    typed unreachability error.  Anything else fails the property. *)
-let faulty_outcome ~ftree tk =
+let faulty_outcome tk =
   match Coordinator.await tk with
-  | Ok r ->
-      let o = observe ~engine:"pax2" ~ftree r in
+  | Ok o ->
+      let o = observe o in
       `Ok (o.o_answers, Array.to_list o.o_visits, o.o_audit_pass)
   | Error (Cluster.Site_unreachable { site; stage; attempts }) ->
       `Unreachable (site, stage, attempts)
@@ -560,31 +599,36 @@ let faulty_outcome ~ftree tk =
 
 let faulted_differential seed =
   let ft = make_setup () in
-  let mk_cluster () =
-    let cl = Pax_dist.Placement.cluster_round_robin ft ~n_sites:3 in
+  let tune cl =
     Cluster.set_fault cl
       (Pax_dist.Fault.seeded ~drop:0.12 ~dup:0.05 ~lose:0.05 ~crash:0.01
          ~seed ());
     Cluster.set_retry cl
       { Pax_dist.Retry.max_attempts = 4; base_delay = 0.; multiplier = 1.;
-        max_delay = 0. };
-    cl
+        max_delay = 0. }
   in
   let outcomes coord qs =
     (* Submit everything up front, then collect. *)
     let tks =
       List.map
         (fun q ->
-          match Coordinator.submit coord (Query.of_string q) with
+          match Coordinator.submit coord q with
           | Ok tk -> tk
-          | Error r ->
-              QCheck.Test.fail_reportf "rejected: %a" Sched.pp_rejection r)
+          | Error e ->
+              QCheck.Test.fail_reportf "rejected: %s"
+                (Coordinator.error_message e))
         qs
     in
-    List.map (faulty_outcome ~ftree:ft) tks
+    List.map faulty_outcome tks
   in
-  let seq = Coordinator.create ~max_inflight:1 (Coordinator.In_process mk_cluster) in
-  let conc = Coordinator.create ~max_inflight:8 (Coordinator.In_process mk_cluster) in
+  let seq =
+    Coordinator.create ~max_inflight:1 Coordinator.In_process
+      (rr_mounts ft ~n_sites:3 ~tune ())
+  in
+  let conc =
+    Coordinator.create ~max_inflight:8 Coordinator.In_process
+      (rr_mounts ft ~n_sites:3 ~tune ())
+  in
   let os = outcomes seq queries16 in
   let oc = outcomes conc queries16 in
   Coordinator.close seq;
@@ -602,6 +646,85 @@ let qcheck_faulted =
        ~count:(qcount 5)
        QCheck.(int_bound 1_000_000)
        (fun seed -> with_timeout 120 (fun () -> faulted_differential seed)))
+
+(* ------------------------------------------------------------------ *)
+(* Mixed workload: XPath and reachability through one scheduler/mux   *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic 48-node graph in 4 fragments. *)
+let mixed_graph () =
+  let n = 48 in
+  let st = Random.State.make [| 0x5eed; 6 |] in
+  let edges =
+    List.init 140 (fun _ -> (Random.State.int st n, Random.State.int st n))
+  in
+  let owner = Array.init n (fun v -> v mod 4) in
+  (n, edges, Gfrag.partition ~n ~edges ~owner)
+
+let test_mixed_workload () =
+  with_timeout 300 (fun () ->
+      let ft = make_setup () in
+      let n, edges, g = mixed_graph () in
+      let n_sites = 3 in
+      let gassign fid = fid mod n_sites in
+      let gsite_frags site =
+        List.filter_map
+          (fun fid ->
+            if gassign fid = site then Some (fid, Gfrag.fragment g fid)
+            else None)
+          (List.init (Gfrag.n_fragments g) Fun.id)
+      in
+      (* The same servers hold tree AND graph fragments; the same mux
+         and scheduler carry both query families. *)
+      with_servers ~gsite_frags ft ~n_sites (fun ~mux ~proto () ->
+          let mounts =
+            xpath_mounts ft proto
+            @ [
+                Coordinator.mount
+                  (Pax_graph.Reach.engine g ~n_sites ~assign:gassign);
+              ]
+          in
+          let mk ~max_inflight =
+            Coordinator.create ~max_inflight (Coordinator.Sockets mux) mounts
+          in
+          let seq = mk ~max_inflight:1 in
+          let conc = mk ~max_inflight:8 in
+          (* 16 interleaved runs: XPath and reachability alternate so
+             both families share workers, mux and scheduler slots. *)
+          let reach_qs =
+            List.map
+              (fun (s, d) -> Gfrag.query_string ~src:s ~dst:d)
+              [ (0, 47); (1, 2); (5, 5); (7, 30);
+                (12, 3); (46, 0); (9, 44); (23, 23) ]
+          in
+          let xpath_qs = List.filteri (fun i _ -> i < 8) queries16 in
+          let eqs =
+            List.concat
+              (List.map2
+                 (fun x r -> [ ("pax2", x); ("reach", r) ])
+                 xpath_qs reach_qs)
+          in
+          let rs = run_sequential seq eqs in
+          let rc = run_concurrent conc eqs in
+          List.iter2
+            (fun (ename, q) (a, b) ->
+              check_obs
+                (Printf.sprintf "mixed %s %s" ename q)
+                (observe a) (observe b);
+              (* Reachability answers against the centralized BFS. *)
+              if ename = "reach" then
+                match Gfrag.parse_query q with
+                | Some (src, dst) ->
+                    let expect = Pax_graph.Bfs.reach ~n ~edges ~src ~dst in
+                    Alcotest.(check (list int))
+                      (Printf.sprintf "mixed %s = BFS" q)
+                      (if expect then [ 1 ] else [])
+                      a.Pe.answer_keys
+                | None -> Alcotest.fail "unparseable reach query")
+            eqs
+            (List.combine rs rc);
+          Coordinator.close seq;
+          Coordinator.close conc))
 
 let () =
   Random.self_init ();
@@ -634,5 +757,7 @@ let () =
           Alcotest.test_case "coordinator overload is typed" `Quick
             test_coordinator_overloaded;
           qcheck_faulted;
+          Alcotest.test_case "mixed XPath + reachability workload" `Quick
+            test_mixed_workload;
         ] );
     ]
