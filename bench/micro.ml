@@ -24,6 +24,15 @@ let ground_sat =
 let q1 = Query.of_string Pax_xmark.Xmark.q1
 let sj_index = Pax_core.Struct_join.build doc.Tree.root
 
+(* The flat image and plan, built once as a store does at load; the
+   flat sel/combined rows run with [is_root:true], which for the
+   absolute Q3 adds the one-node #document wrapper — noise at 8k
+   nodes, same shape as the engines' fragment-0 stage. *)
+let ft = Pax_frag.Fragment.trivial doc
+let fl = Pax_frag.Fragment.flat ft 0
+let fplan = Pax_core.Flat_pass.make_plan compiled (Pax_frag.Fragment.intern ft)
+let fq = Pax_core.Flat_pass.qual_run fplan fl ~is_root:false
+
 let residual =
   Formula.or_
     (List.init 8 (fun i ->
@@ -36,16 +45,29 @@ let tests =
     [
       Test.make ~name:"qualifier-pass (8k nodes)"
         (Staged.stage (fun () -> Pax_core.Qual_pass.run compiled doc.Tree.root));
+      Test.make ~name:"qualifier-pass flat (8k nodes)"
+        (Staged.stage (fun () ->
+             Pax_core.Flat_pass.qual_run fplan fl ~is_root:false));
       Test.make ~name:"selection-pass (8k nodes)"
         (Staged.stage (fun () ->
              Pax_core.Sel_pass.run compiled
                ~init:(Pax_core.Sel_pass.blank_init compiled)
                ~root_is_context:true ~sat:ground_sat doc.Tree.root));
+      Test.make ~name:"selection-pass flat (8k nodes)"
+        (Staged.stage (fun () ->
+             Pax_core.Flat_pass.sel_run fplan fl
+               ~init:(Pax_core.Sel_pass.blank_init compiled)
+               ~is_root:true ~qual:(Some fq)));
       Test.make ~name:"combined-pass (8k nodes)"
         (Staged.stage (fun () ->
              Pax_core.Pax2.Combined.run compiled
                ~init:(Pax_core.Sel_pass.blank_init compiled)
                ~root_is_context:true doc.Tree.root));
+      Test.make ~name:"combined-pass flat (8k nodes)"
+        (Staged.stage (fun () ->
+             Pax_core.Flat_pass.combined_run fplan fl
+               ~init:(Pax_core.Sel_pass.blank_init compiled)
+               ~is_root:true));
       Test.make ~name:"centralized Q3 (8k nodes)"
         (Staged.stage (fun () -> Pax_core.Centralized.run q3 doc.Tree.root));
       (let xml = Pax_xml.Printer.to_string doc.Tree.root in

@@ -3,8 +3,9 @@
      validate_bench.exe FILE...
 
    Dispatches on the top-level "bench" field: "scaling" (the multicore
-   scaling runs of BENCH_PR2-style files) or "throughput" (the serving
-   benchmark of bench/throughput.ml).  Exits 0 when every file is
+   scaling runs of BENCH_PR2-style files), "throughput" (the serving
+   benchmark of bench/throughput.ml) or "flat" (the pointer-vs-flat
+   stage kernels of bench/flat_main.ml).  Exits 0 when every file is
    well-formed and carries the fields later PRs' perf tracking relies
    on; prints what is wrong and exits 1 otherwise.  Used by the
    @bench-smoke and @check dune aliases so a perf-harness regression
@@ -249,6 +250,86 @@ let check_throughput (v : J.t) =
   | Some [] -> err "top: empty \"results\""
   | None -> err "top: missing \"results\""
 
+(* ---------------- the pointer-vs-flat kernel schema ---------------- *)
+
+(* One (query, kernel) row of bench/flat_main.ml. *)
+let check_flat_row i r =
+  let ctx = Printf.sprintf "results[%d]" i in
+  ignore (need_str r ctx "query");
+  (match need_str r ctx "kernel" with
+  | Some ("qual" | "sel" | "combined") | None -> ()
+  | Some k -> err "%s: unknown kernel %S" ctx k);
+  List.iter
+    (fun k ->
+      match need_num r ctx k with
+      | Some v when v <= 0. -> err "%s: non-positive %S" ctx k
+      | _ -> ())
+    [ "pointer_s"; "flat_s"; "speedup" ];
+  (* Bit-identity is not a timing claim: the cross-check must hold in
+     quick runs too. *)
+  (match Option.bind (J.member "agree" r) J.as_bool with
+  | Some true -> ()
+  | Some false -> err "%s: flat and pointer outcomes disagree" ctx
+  | None -> err "%s: missing or non-bool \"agree\"" ctx);
+  match
+    (need_str r ctx "kernel", Option.bind (J.member "speedup" r) J.as_num)
+  with
+  | Some k, Some s -> Some (k, s)
+  | _ -> None
+
+let check_flat (v : J.t) =
+  (match J.member "pr" v with
+  | Some _ -> ()
+  | None -> err "top: missing \"pr\"");
+  let quick =
+    match Option.bind (J.member "quick" v) J.as_bool with
+    | Some q -> q
+    | None ->
+        err "top: missing or non-bool \"quick\"";
+        false
+  in
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k v) J.as_num with
+      | Some f when f >= 1. -> ()
+      | _ -> err "top: missing or bad %S" k)
+    [ "cores"; "nodes"; "repeats" ];
+  (match Option.bind (J.member "flat_build_s" v) J.as_num with
+  | Some b when b >= 0. -> ()
+  | _ -> err "top: missing or bad \"flat_build_s\"");
+  (match Option.bind (J.member "queries" v) J.as_list with
+  | Some (_ :: _) -> ()
+  | _ -> err "top: missing or empty \"queries\"");
+  match Option.bind (J.member "results" v) J.as_list with
+  | Some (_ :: _ as results) ->
+      let rows =
+        List.mapi (fun i r -> check_flat_row i r) results
+        |> List.filter_map Fun.id
+      in
+      (* The hot-path claim itself (quick smoke runs are too short to
+         hold to a perf bound): no stage loop may lose to the pointer
+         kernels, and the columnar win must show on the qualifier pass
+         — otherwise the flat representation isn't buying anything and
+         the artifact documents a regression. *)
+      if not quick then begin
+        List.iter
+          (fun (k, s) ->
+            if s < 1. then
+              err "top: kernel %S slower flat than pointer (x%.2f)" k s)
+          rows;
+        match List.filter (fun (k, _) -> k = "qual") rows with
+        | [] -> err "top: no \"qual\" kernel rows"
+        | quals ->
+            let best =
+              List.fold_left (fun acc (_, s) -> Float.max acc s) 0. quals
+            in
+            if best < 2. then
+              err "top: best qual speedup x%.2f < x2 — flat hot path lost"
+                best
+      end
+  | Some [] -> err "top: empty \"results\""
+  | None -> err "top: missing \"results\""
+
 let check (v : J.t) =
   match Option.bind (J.member "bench" v) J.as_str with
   | Some "scaling" ->
@@ -257,6 +338,9 @@ let check (v : J.t) =
   | Some "throughput" ->
       check_throughput v;
       "throughput"
+  | Some "flat" ->
+      check_flat v;
+      "flat"
   | Some other ->
       err "top: unknown bench kind %S" other;
       "?"

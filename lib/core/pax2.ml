@@ -11,7 +11,9 @@ module Wire = Pax_wire.Wire
 let spf = Printf.sprintf
 
 module Combined = struct
-  type outcome = {
+  (* One type with the flat pass, so the wire server and the tests can
+     hold outcomes from either representation. *)
+  type outcome = Flat_pass.combined_outcome = {
     root_qvec : Formula.t array;
     answers : Tree.node list;
     candidates : (Tree.node * Formula.t) list;
@@ -149,11 +151,18 @@ module Combined = struct
     }
 end
 
-let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
+let run ?(annotations = false) ?flat (cl : Cluster.t) (q : Query.t) :
+    Run_result.t =
   Cluster.reset cl;
   let ft = Cluster.ftree cl in
   let n_frag = Fragment.n_fragments ft in
   let compiled = q.Query.compiled in
+  let use_flat =
+    match flat with Some b -> b | None -> Flat_pass.enabled ()
+  in
+  let fplan =
+    lazy (Flat_pass.make_plan compiled (Fragment.intern ft))
+  in
   let analysis = if annotations then Some (Annot.analyze compiled ft) else None in
   let relevant fid =
     match analysis with None -> true | Some a -> a.Annot.relevant.(fid)
@@ -232,8 +241,13 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
       (fun fid ->
         if relevant fid && not s1_seen.(fid) then begin
           let oc =
-            Combined.run compiled ~init:(init_for fid)
-              ~root_is_context:(fid = 0) eval_roots.(fid)
+            if use_flat then
+              Flat_pass.combined_run (Lazy.force fplan)
+                (Fragment.flat ft fid) ~init:(init_for fid)
+                ~is_root:(fid = 0)
+            else
+              Combined.run compiled ~init:(init_for fid)
+                ~root_is_context:(fid = 0) eval_roots.(fid)
           in
           s1_qvec.(fid) <- oc.Combined.root_qvec;
           s1_ctxs.(fid) <- oc.Combined.contexts;

@@ -15,11 +15,18 @@ let active_sites cl fids = Cluster.sites_holding cl fids
 
 let all_fids ft = Fragment.top_down ft
 
-let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
+let run ?(annotations = false) ?flat (cl : Cluster.t) (q : Query.t) :
+    Run_result.t =
   Cluster.reset cl;
   let ft = Cluster.ftree cl in
   let n_frag = Fragment.n_fragments ft in
   let compiled = q.Query.compiled in
+  let use_flat =
+    match flat with Some b -> b | None -> Flat_pass.enabled ()
+  in
+  let fplan =
+    lazy (Flat_pass.make_plan compiled (Fragment.intern ft))
+  in
   let analysis = if annotations then Some (Annot.analyze compiled ft) else None in
   let relevant_sel fid =
     match analysis with None -> true | Some a -> a.Annot.relevant_sel.(fid)
@@ -39,6 +46,7 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
       | None -> Sel_pass.symbolic_init compiled ~fid
   in
   let qp_store : Qual_pass.t option array = Array.make n_frag None in
+  let fq_store : Flat_pass.qual option array = Array.make n_frag None in
   let remote_if_net rm =
     if Cluster.transport_active cl then Some rm else None
   in
@@ -63,11 +71,22 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
         List.iter
           (fun fid ->
             if not q1_seen.(fid) then begin
-              let qp = Qual_pass.run compiled eval_roots.(fid) in
-              qp_store.(fid) <- Some qp;
-              q1_vec.(fid) <- qp.Qual_pass.root_vec;
-              q1_seen.(fid) <- true;
-              Cluster.add_ops cl ~site qp.Qual_pass.ops
+              (if use_flat then begin
+                 let fq =
+                   Flat_pass.qual_run (Lazy.force fplan)
+                     (Fragment.flat ft fid) ~is_root:(fid = 0)
+                 in
+                 fq_store.(fid) <- Some fq;
+                 q1_vec.(fid) <- fq.Flat_pass.q_root_vec;
+                 Cluster.add_ops cl ~site fq.Flat_pass.q_ops
+               end
+               else begin
+                 let qp = Qual_pass.run compiled eval_roots.(fid) in
+                 qp_store.(fid) <- Some qp;
+                 q1_vec.(fid) <- qp.Qual_pass.root_vec;
+                 Cluster.add_ops cl ~site qp.Qual_pass.ops
+               end);
+              q1_seen.(fid) <- true
             end)
           (Cluster.fragments_on cl site)
       in
@@ -146,21 +165,39 @@ let run ?(annotations = false) (cl : Cluster.t) (q : Query.t) : Run_result.t =
     List.iter
       (fun fid ->
         if relevant_sel fid && not s2_seen.(fid) then begin
-          (match qp_store.(fid) with
-          | Some qp ->
-              Cluster.add_ops cl ~site (Qual_pass.resolve qp qual_lookup)
-          | None -> ());
-          let sat v filter =
-            match qp_store.(fid) with
-            | Some qp ->
-                Qual_pass.sat compiled
-                  (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
-                  v filter
-            | None -> Qual_pass.sat compiled [||] v filter
-          in
           let oc =
-            Sel_pass.run compiled ~init:(init_for fid)
-              ~root_is_context:(fid = 0) ~sat eval_roots.(fid)
+            if use_flat then begin
+              (match fq_store.(fid) with
+              | Some fq ->
+                  Cluster.add_ops cl ~site
+                    (Flat_pass.qual_resolve fq qual_lookup)
+              | None -> ());
+              (* The same image stage 1 ran on: its slots index the
+                 resolved qualifier vectors. *)
+              let fl =
+                match fq_store.(fid) with
+                | Some fq -> fq.Flat_pass.q_flat
+                | None -> Fragment.flat ft fid
+              in
+              Flat_pass.sel_run (Lazy.force fplan) fl ~init:(init_for fid)
+                ~is_root:(fid = 0) ~qual:fq_store.(fid)
+            end
+            else begin
+              (match qp_store.(fid) with
+              | Some qp ->
+                  Cluster.add_ops cl ~site (Qual_pass.resolve qp qual_lookup)
+              | None -> ());
+              let sat v filter =
+                match qp_store.(fid) with
+                | Some qp ->
+                    Qual_pass.sat compiled
+                      (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
+                      v filter
+                | None -> Qual_pass.sat compiled [||] v filter
+              in
+              Sel_pass.run compiled ~init:(init_for fid)
+                ~root_is_context:(fid = 0) ~sat eval_roots.(fid)
+            end
           in
           s2_ctxs.(fid) <- oc.Sel_pass.contexts;
           s2_certain.(fid) <- Sel_pass.real_answers oc.Sel_pass.answers;

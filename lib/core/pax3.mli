@@ -25,5 +25,13 @@
     context is fully ground produce no candidates, removing their
     Stage 3 visit. *)
 
+(** [?flat] selects the hot path for in-process fragment evaluation:
+    flat images ({!Flat_pass}, the default per {!Flat_pass.enabled}) or
+    the original pointer traversal.  Both are bit-identical through
+    every observable. *)
 val run :
-  ?annotations:bool -> Pax_dist.Cluster.t -> Pax_xpath.Query.t -> Run_result.t
+  ?annotations:bool ->
+  ?flat:bool ->
+  Pax_dist.Cluster.t ->
+  Pax_xpath.Query.t ->
+  Run_result.t

@@ -318,11 +318,15 @@ type 'a remote = {
 }
 
 (* The socket path: requests are built up front, the transport moves
-   them (pipelined across sites), replies are parsed in input-site
-   order.  Delivery failures come back through [retry], which shares
-   the budget/trace machinery with the simulated fault path — except
-   that here the backoff is physically slept, since a restarting
-   server needs the wall-clock time. *)
+   them (pipelined across sites), and replies are parsed over the
+   domain pool when one is configured — parse callbacks only touch
+   their own site's state (per-fragment view cells, per-site op
+   counters, mutexed caches), so the only synchronization needed is
+   the input-site-order merge of seconds and spans afterwards.
+   Delivery failures come back through [retry], which shares the
+   budget/trace machinery with the simulated fault path — except that
+   here the backoff is physically slept, since a restarting server
+   needs the wall-clock time. *)
 let run_round_net t tr r ~round ~label ~sites (rm : 'a remote) =
   if not (Fault.is_none t.fault) then
     invalid_arg
@@ -337,9 +341,20 @@ let run_round_net t tr r ~round ~label ~sites (rm : 'a remote) =
     retry_or_give_up t ~site ~round ~stage:label ~attempt ~reason;
     Unix.sleepf (Retry.delay_before t.retry ~attempt:(attempt + 1))
   in
-  let replies = tr.Transport.visit_round ~round ~label ~retry reqs in
-  List.map
-    (fun (site, reply, secs) ->
+  let replies = Array.of_list (tr.Transport.visit_round ~round ~label ~retry reqs) in
+  let parsed =
+    (* [Pool.map] re-raises the smallest failing index's exception
+       after the barrier, so a decode failure is observed at the same
+       reply as on the sequential path. *)
+    if t.domains > 1 && Array.length replies > 1 then
+      Pool.map
+        (Pool.shared ~domains:t.domains)
+        (fun (site, reply, _) -> rm.parse site reply)
+        replies
+    else Array.map (fun (site, reply, _) -> rm.parse site reply) replies
+  in
+  List.mapi
+    (fun i (site, _, secs) ->
       r.seconds.(site) <- r.seconds.(site) +. secs;
       (* Remote visits run pipelined inside the transport, so spans are
          synthesized at merge time from the server-side duration: the
@@ -350,8 +365,8 @@ let run_round_net t tr r ~round ~label ~sites (rm : 'a remote) =
           ~args:[ ("round", string_of_int round); ("remote", "true") ]
           label ~t0:(t1 -. secs) ~t1
       end;
-      (site, rm.parse site reply))
-    replies
+      (site, parsed.(i)))
+    (Array.to_list replies)
 
 let run_round ?remote t ~label ~sites f =
   let round = t.round_no in

@@ -8,12 +8,54 @@ type fragment = {
   ann : string list;
 }
 
+(* Per-fragment flat image, stamped with the generation it was built
+   at.  The pair travels in one [Atomic] cell so a concurrent reader
+   (serve-layer scheduler threads, worker domains) sees either the old
+   or the new (stamp, image) — never a torn mix. *)
+type flat_cache = (int * Pax_xml.Flat.t) option Atomic.t array
+
 type t = {
   fragments : fragment array;
   children : int list array;
   doc_node_count : int;
   generations : int array;
+  intern : Pax_xml.Intern.t;
+  flat_images : flat_cache;
 }
+
+(* All construction funnels through [make]: one shared intern table
+   per store, and every fragment's flat image prewarmed at load time
+   (generation 0) so the first query never pays the build. *)
+let make ~fragments ~children ~doc_node_count : t =
+  let n = Array.length fragments in
+  let intern = Pax_xml.Intern.create () in
+  let flat_images =
+    Array.init n (fun fid ->
+        Atomic.make
+          (Some (0, Pax_xml.Flat.of_tree ~intern fragments.(fid).root)))
+  in
+  {
+    fragments;
+    children;
+    doc_node_count;
+    generations = Array.make n 0;
+    intern;
+    flat_images;
+  }
+
+let intern t = t.intern
+
+(* The flat image of a fragment at its current generation, rebuilding
+   lazily after an update bumped the generation.  Two racing rebuilds
+   both produce equivalent images; last write wins. *)
+let flat t fid =
+  let gen = t.generations.(fid) in
+  match Atomic.get t.flat_images.(fid) with
+  | Some (g, f) when g = gen -> f
+  | _ ->
+      let f = Pax_xml.Flat.of_tree ~intern:t.intern t.fragments.(fid).root in
+      Atomic.set t.flat_images.(fid) (Some (gen, f));
+      f
 
 type pending = {
   p_fid : int;
@@ -66,12 +108,7 @@ let fragmentize (doc : Tree.doc) ~cuts : t =
       | None -> ())
     fragments;
   Array.iteri (fun i l -> children.(i) <- List.rev l) children;
-  {
-    fragments;
-    children;
-    doc_node_count = doc.node_count;
-    generations = Array.make !next_fid 0;
-  }
+  make ~fragments ~children ~doc_node_count:doc.node_count
 
 let trivial doc = fragmentize doc ~cuts:[]
 

@@ -24,6 +24,10 @@ type fragment = {
           inclusive; [[]] for the root fragment *)
 }
 
+(** Per-fragment generation-stamped {!Pax_xml.Flat} images; opaque —
+    read through {!flat}. *)
+type flat_cache
+
 type t = {
   fragments : fragment array;  (** indexed by fid; parents precede children *)
   children : int list array;  (** fragment-tree adjacency *)
@@ -34,9 +38,22 @@ type t = {
           from a fragment's content must embed its generation so an
           update invalidates exactly the touched fragment's entries
           (docs/SERVING.md) *)
+  intern : Pax_xml.Intern.t;
+      (** the store-wide tag/attribute-key symbol table shared by all
+          flat images (docs/FLATTREE.md) *)
+  flat_images : flat_cache;
 }
 
 (** {1 Construction} *)
+
+(** [make ~fragments ~children ~doc_node_count] assembles a store,
+    creating its intern table and prewarming every fragment's flat
+    image.  {!fragmentize} and {!Store.load} go through this. *)
+val make :
+  fragments:fragment array ->
+  children:int list array ->
+  doc_node_count:int ->
+  t
 
 (** [fragmentize doc ~cuts] splits [doc] at the nodes whose ids are in
     [cuts] (each becomes the root of its own fragment).  The document
@@ -69,6 +86,14 @@ val generation : t -> int -> int
 (** Advance a fragment's generation; {!Update.apply} calls this on every
     successful operation, so callers normally never need to. *)
 val bump_generation : t -> int -> unit
+
+(** The store's shared symbol table. *)
+val intern : t -> Pax_xml.Intern.t
+
+(** [flat t fid] — the fragment's flat image at its current
+    generation, rebuilt lazily after an update.  Safe from any domain
+    (the stamped image is published atomically). *)
+val flat : t -> int -> Pax_xml.Flat.t
 
 (** [spine t fid] is the tag path from the document's root element
     (inclusive) down to [root(fid)] (inclusive) — the concatenation of

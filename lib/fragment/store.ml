@@ -112,15 +112,11 @@ let load ~dir : Fragment.t =
     fragments;
   Array.iteri (fun i l -> children.(i) <- List.rev l) children;
   let ft =
-    {
-      Fragment.fragments;
-      children;
-      doc_node_count =
-        Array.fold_left
-          (fun acc f -> acc + Fragment.fragment_node_count f)
-          0 fragments;
-      generations = Array.make n_fragments 0;
-    }
+    Fragment.make ~fragments ~children
+      ~doc_node_count:
+        (Array.fold_left
+           (fun acc f -> acc + Fragment.fragment_node_count f)
+           0 fragments)
   in
   (match Fragment.check ft with
   | Ok () -> ()

@@ -19,19 +19,24 @@ let error_to_string = function
       Printf.sprintf "node %d is a fragment root (or the document root)" id
   | Duplicate_ids id -> Printf.sprintf "inserted subtree reuses node id %d" id
 
+(* Routing an update to its fragment is an id-table probe per
+   fragment, not a tree scan: each fragment's flat image carries a
+   lazily built id index ({!Pax_xml.Flat.find_index}).  Virtual-node
+   ids are allocated past the document range, so a hit on a virtual
+   slot means the id names a placeholder, which [locate] never
+   returns. *)
 let locate (ft : Fragment.t) node_id =
-  let exception Found of int * Tree.node in
-  try
-    Array.iter
-      (fun (f : Fragment.fragment) ->
-        Tree.iter
-          (fun n ->
-            if n.Tree.id = node_id && not (Tree.is_virtual n) then
-              raise (Found (f.Fragment.fid, n)))
-          f.Fragment.root)
-      ft.Fragment.fragments;
-    None
-  with Found (fid, n) -> Some (fid, n)
+  let n = Array.length ft.Fragment.fragments in
+  let rec go fid =
+    if fid >= n then None
+    else
+      let fl = Fragment.flat ft fid in
+      match Pax_xml.Flat.find_index fl node_id with
+      | Some i when not (Pax_xml.Flat.is_virtual fl i) ->
+          Some (fid, Pax_xml.Flat.orig fl i)
+      | _ -> go (fid + 1)
+  in
+  go 0
 
 let is_fragment_root (ft : Fragment.t) node_id =
   Array.exists
@@ -86,25 +91,21 @@ let apply_op (ft : Fragment.t) (op : op) : (int, error) result =
         | Some (fid, n) ->
             if spans_fragments n then Error (Would_detach_fragments node_id)
             else begin
-              (* Find the parent within the fragment and drop the child. *)
-              let f = ft.Fragment.fragments.(fid) in
-              let found = ref false in
-              Tree.iter
-                (fun m ->
-                  if
-                    (not !found)
-                    && List.exists
-                         (fun (c : Tree.node) -> c.Tree.id = node_id)
-                         m.Tree.children
-                  then begin
-                    m.Tree.children <-
+              (* The flat image gives the parent in O(1). *)
+              let fl = Fragment.flat ft fid in
+              match Pax_xml.Flat.find_index fl node_id with
+              | None -> Error (Node_not_found node_id)
+              | Some slot ->
+                  let p = Pax_xml.Flat.parent fl slot in
+                  if p < 0 then Error (Is_fragment_root node_id)
+                  else begin
+                    let parent = Pax_xml.Flat.orig fl p in
+                    parent.Tree.children <-
                       List.filter
                         (fun (c : Tree.node) -> c.Tree.id <> node_id)
-                        m.Tree.children;
-                    found := true
-                  end)
-                f.Fragment.root;
-              if !found then Ok fid else Error (Node_not_found node_id)
+                        parent.Tree.children;
+                    Ok fid
+                  end
             end)
 
 (* Every successful mutation advances the touched fragment's update
@@ -114,6 +115,8 @@ let apply (ft : Fragment.t) (op : op) : (int, error) result =
   match apply_op ft op with
   | Ok fid ->
       Fragment.bump_generation ft fid;
+      (* In-place mutation: drop the Tree.find_by_id memo too. *)
+      Tree.invalidate_id_index ();
       Ok fid
   | Error _ as e -> e
 

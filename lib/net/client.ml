@@ -66,7 +66,7 @@ type pending = {
   mutable p_result : (Wire.msg * int, exn) result option;
 }
 
-type conn = { c_fd : Unix.file_descr; c_gen : int }
+type conn = { c_fd : Unix.file_descr; c_rd : Sockio.reader; c_gen : int }
 
 type t = {
   addrs : Sockio.addr array;
@@ -205,7 +205,7 @@ let receiver t site (c : conn) =
           expire_due t site;
           loop ()
       | true -> (
-          match Sockio.read_frame ~timeout:t.timeout c.c_fd with
+          match Sockio.read_frame_r ~timeout:t.timeout c.c_rd with
           | None -> fail (Failure "connection closed by site server")
           | Some payload -> (
               match deposit t site payload with
@@ -228,7 +228,7 @@ let ensure_conn t site =
             | Some c -> `Existing c
             | None ->
                 t.gen <- t.gen + 1;
-                let c = { c_fd = fd; c_gen = t.gen } in
+                let c = { c_fd = fd; c_rd = Sockio.reader fd; c_gen = t.gen } in
                 t.conns.(site) <- Some c;
                 `Fresh c)
       with

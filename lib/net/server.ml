@@ -6,6 +6,7 @@ module Formula = Pax_bool.Formula
 module Var = Pax_bool.Var
 module Qual_pass = Pax_core.Qual_pass
 module Sel_pass = Pax_core.Sel_pass
+module Flat_pass = Pax_core.Flat_pass
 module Combined = Pax_core.Pax2.Combined
 
 (* Per-run visit state.  Stage-1 results feed the later stages of the
@@ -18,6 +19,7 @@ type run_state = {
   mutable rs_query : (string * Query.t) option;
   rs_pax2 : (int, Combined.outcome) Hashtbl.t;
   rs_qp : (int, Qual_pass.t) Hashtbl.t;
+  rs_fq : (int, Flat_pass.qual) Hashtbl.t;  (* flat twin of rs_qp *)
   rs_sel : (int, Sel_pass.outcome) Hashtbl.t;
   rs_replies : (int, Wire.reply) Hashtbl.t;  (* round -> reply *)
   mutable rs_touch : int;  (* recency stamp for LRU eviction *)
@@ -25,6 +27,13 @@ type run_state = {
 
 type t = {
   frags : (int, Tree.node) Hashtbl.t;
+  (* The flat hot path (docs/FLATTREE.md): one site-wide intern table
+     and one flat image per held fragment, both built at server
+     creation.  Servers never mutate their fragments, so the images
+     stay valid for the server's lifetime. *)
+  flat : bool;
+  intern : Pax_xml.Intern.t;
+  flat_imgs : (int, Pax_xml.Flat.t) Hashtbl.t;
   (* Graph fragments for the reachability engine (docs/ENGINES.md).  A
      site may hold tree fragments, graph fragments or both — the
      mixed-workload serving tests run XPath and reachability through
@@ -71,17 +80,28 @@ type t = {
 let default_max_runs = 64
 
 let create ?(max_runs = default_max_runs) ?(service_delay = 0.) ?(flake = 0)
-    ?(gfrags = []) ~frags () =
+    ?(gfrags = []) ?flat ~frags () =
   if max_runs < 1 then invalid_arg "Server.create: need max_runs >= 1";
   if service_delay < 0. then
     invalid_arg "Server.create: negative service_delay";
   if flake < 0 then invalid_arg "Server.create: negative flake period";
+  let flat = match flat with Some b -> b | None -> Flat_pass.enabled () in
   let tbl = Hashtbl.create 8 in
   List.iter (fun (fid, root) -> Hashtbl.replace tbl fid root) frags;
   let gtbl = Hashtbl.create 8 in
   List.iter (fun (fid, frag) -> Hashtbl.replace gtbl fid frag) gfrags;
+  let intern = Pax_xml.Intern.create () in
+  let flat_imgs = Hashtbl.create 8 in
+  if flat then
+    List.iter
+      (fun (fid, root) ->
+        Hashtbl.replace flat_imgs fid (Pax_xml.Flat.of_tree ~intern root))
+      frags;
   {
     frags = tbl;
+    flat;
+    intern;
+    flat_imgs;
     gfrags = gtbl;
     states = Hashtbl.create 16;
     max_runs;
@@ -99,6 +119,7 @@ let fresh_state run =
     rs_query = None;
     rs_pax2 = Hashtbl.create 8;
     rs_qp = Hashtbl.create 8;
+    rs_fq = Hashtbl.create 8;
     rs_sel = Hashtbl.create 8;
     rs_replies = Hashtbl.create 8;
     rs_touch = 0;
@@ -138,6 +159,11 @@ let state_for t run =
 let frag_root t fid =
   match Hashtbl.find_opt t.frags fid with
   | Some root -> root
+  | None -> failwith (Printf.sprintf "site server holds no fragment %d" fid)
+
+let frag_flat t fid =
+  match Hashtbl.find_opt t.flat_imgs fid with
+  | Some fl -> fl
   | None -> failwith (Printf.sprintf "site server holds no fragment %d" fid)
 
 let gfrag_of t fid =
@@ -198,11 +224,15 @@ let handle_call t ~run call =
            (fun (fe : Wire.frag_eval) ->
              let fid = fe.Wire.fe_fid in
              let is_root = fe.Wire.fe_is_root in
+             let init = init_of compiled ~fid ~is_root fe.Wire.fe_init in
              let oc =
-               Combined.run compiled
-                 ~init:(init_of compiled ~fid ~is_root fe.Wire.fe_init)
-                 ~root_is_context:is_root
-                 (eval_root compiled ~is_root (frag_root t fid))
+               if t.flat then
+                 Flat_pass.combined_run
+                   (Flat_pass.make_plan compiled t.intern)
+                   (frag_flat t fid) ~init ~is_root
+               else
+                 Combined.run compiled ~init ~root_is_context:is_root
+                   (eval_root compiled ~is_root (frag_root t fid))
              in
              Hashtbl.replace st.rs_pax2 fid oc;
              {
@@ -245,18 +275,32 @@ let handle_call t ~run call =
         (List.map
            (fun fid ->
              let is_root = fid = 0 in
-             let qp =
-               Qual_pass.run compiled
-                 (eval_root compiled ~is_root (frag_root t fid))
+             let vec, ops =
+               if t.flat then begin
+                 let fq =
+                   Flat_pass.qual_run
+                     (Flat_pass.make_plan compiled t.intern)
+                     (frag_flat t fid) ~is_root
+                 in
+                 Hashtbl.replace st.rs_fq fid fq;
+                 (fq.Flat_pass.q_root_vec, fq.Flat_pass.q_ops)
+               end
+               else begin
+                 let qp =
+                   Qual_pass.run compiled
+                     (eval_root compiled ~is_root (frag_root t fid))
+                 in
+                 Hashtbl.replace st.rs_qp fid qp;
+                 (qp.Qual_pass.root_vec, qp.Qual_pass.ops)
+               end
              in
-             Hashtbl.replace st.rs_qp fid qp;
              {
                Wire.fr_fid = fid;
-               fr_vec = Some qp.Qual_pass.root_vec;
+               fr_vec = Some vec;
                fr_ctxs = [];
                fr_answers = [];
                fr_cands = 0;
-               fr_ops = qp.Qual_pass.ops;
+               fr_ops = ops;
              })
            fids)
   | Wire.Pax3_stage2 { query; frags } ->
@@ -270,24 +314,38 @@ let handle_call t ~run call =
              let quals = Hashtbl.create 4 in
              List.iter (fun (sub, vec) -> Hashtbl.replace quals sub vec) subs;
              let lookup = lookup_of ~ctxs:(Hashtbl.create 1) ~quals in
-             let resolve_ops =
-               match Hashtbl.find_opt st.rs_qp fid with
-               | Some qp -> Qual_pass.resolve qp lookup
-               | None -> 0
-             in
-             let sat v filter =
-               match Hashtbl.find_opt st.rs_qp fid with
-               | Some qp ->
-                   Qual_pass.sat compiled
-                     (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
-                     v filter
-               | None -> Qual_pass.sat compiled [||] v filter
-             in
-             let oc =
-               Sel_pass.run compiled
-                 ~init:(init_of compiled ~fid ~is_root fe.Wire.fe_init)
-                 ~root_is_context:is_root ~sat
-                 (eval_root compiled ~is_root (frag_root t fid))
+             let init = init_of compiled ~fid ~is_root fe.Wire.fe_init in
+             let resolve_ops, oc =
+               if t.flat then begin
+                 let plan = Flat_pass.make_plan compiled t.intern in
+                 let fq = Hashtbl.find_opt st.rs_fq fid in
+                 let resolve_ops =
+                   match fq with
+                   | Some fq -> Flat_pass.qual_resolve fq lookup
+                   | None -> 0
+                 in
+                 ( resolve_ops,
+                   Flat_pass.sel_run plan (frag_flat t fid) ~init ~is_root
+                     ~qual:fq )
+               end
+               else begin
+                 let resolve_ops =
+                   match Hashtbl.find_opt st.rs_qp fid with
+                   | Some qp -> Qual_pass.resolve qp lookup
+                   | None -> 0
+                 in
+                 let sat v filter =
+                   match Hashtbl.find_opt st.rs_qp fid with
+                   | Some qp ->
+                       Qual_pass.sat compiled
+                         (Hashtbl.find qp.Qual_pass.vectors v.Tree.id)
+                         v filter
+                   | None -> Qual_pass.sat compiled [||] v filter
+                 in
+                 ( resolve_ops,
+                   Sel_pass.run compiled ~init ~root_is_context:is_root ~sat
+                     (eval_root compiled ~is_root (frag_root t fid)) )
+               end
              in
              Hashtbl.replace st.rs_sel fid oc;
              {
@@ -375,8 +433,8 @@ let count_visit_frame t ~dir ~frame_len =
    client can route them to the right in-flight run without inspecting
    bodies. *)
 let serve t fd =
-  let rec conn_loop conn =
-    match Sockio.read_frame conn with
+  let rec conn_loop ((conn, rd) as c) =
+    match Sockio.read_frame_r rd with
     | None -> `Eof
     | Some payload -> (
         match Wire.decode_payload_corr payload with
@@ -405,26 +463,26 @@ let serve t fd =
             Pax_obs.Sink.span t.obs ~cat:"wire" "send frame" (fun () ->
                 Sockio.write_frame conn out);
             count_visit_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
-            conn_loop conn
+            conn_loop c
         | Ok (corr, Wire.Ping) ->
             Sockio.write_frame conn (Wire.encode_payload ~corr Wire.Pong);
-            conn_loop conn
+            conn_loop c
         | Ok (corr, Wire.Stats_request) ->
             Sockio.write_frame conn
               (Wire.encode_payload ~corr
                  (Wire.Stats_reply
                     (Pax_obs.Metrics.pairs t.obs.Pax_obs.Sink.metrics)));
-            conn_loop conn
+            conn_loop c
         | Ok (_, Wire.Run_done { run }) ->
             (* The coordinator is done with this run: shed its stage
                state and reply memos (the bounded-memory contract of
                docs/SERVING.md).  No reply. *)
             evict_run t run;
-            conn_loop conn
+            conn_loop c
         | Ok (_, Wire.Shutdown) -> `Shutdown
         | Ok (_, (Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _)) ->
             (* Not ours to receive; ignore. *)
-            conn_loop conn
+            conn_loop c
         | Error err ->
             Format.eprintf "site server: bad frame: %a@." Wire.pp_error err;
             `Eof)
@@ -432,14 +490,14 @@ let serve t fd =
   let rec accept_loop () =
     match Unix.accept fd with
     | conn, _ ->
-        let outcome = try conn_loop conn with _ -> `Eof in
+        let outcome = try conn_loop (conn, Sockio.reader conn) with _ -> `Eof in
         (try Unix.close conn with _ -> ());
         if outcome = `Eof then accept_loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
   in
   accept_loop ()
 
-let spawn ?max_runs ?service_delay ?flake ?gfrags ~addr ~frags () =
+let spawn ?max_runs ?service_delay ?flake ?gfrags ?flat ~addr ~frags () =
   (* Bind before forking so the parent can connect without racing the
      child's startup. *)
   let fd = Sockio.listen addr in
@@ -448,7 +506,7 @@ let spawn ?max_runs ?service_delay ?flake ?gfrags ~addr ~frags () =
   match Unix.fork () with
   | 0 ->
       (try
-         serve (create ?max_runs ?service_delay ?flake ?gfrags ~frags ()) fd
+         serve (create ?max_runs ?service_delay ?flake ?gfrags ?flat ~frags ()) fd
        with _ -> ());
       (try Unix.close fd with _ -> ());
       Unix._exit 0

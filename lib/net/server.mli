@@ -47,12 +47,18 @@ val default_max_runs : int
     [gfrags] (default none) are graph fragments for the reachability
     engine ([lib/graph/], docs/ENGINES.md); a server may hold tree
     fragments, graph fragments or both under the same fragment-id
-    space. *)
+    space.
+
+    [flat] (default {!Pax_core.Flat_pass.enabled}) selects the flat hot
+    path: fragments are flattened once at creation (one site-wide
+    intern table, docs/FLATTREE.md) and visits evaluate through
+    {!Pax_core.Flat_pass}; replies are bit-identical either way. *)
 val create :
   ?max_runs:int ->
   ?service_delay:float ->
   ?flake:int ->
   ?gfrags:(int * Pax_graph.Gfrag.fragment) list ->
+  ?flat:bool ->
   frags:(int * Pax_xml.Tree.node) list ->
   unit ->
   t
@@ -87,6 +93,7 @@ val spawn :
   ?service_delay:float ->
   ?flake:int ->
   ?gfrags:(int * Pax_graph.Gfrag.fragment) list ->
+  ?flat:bool ->
   addr:Sockio.addr ->
   frags:(int * Pax_xml.Tree.node) list ->
   unit ->

@@ -88,17 +88,18 @@ let poll_readable fd timeout =
   | _ -> true
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
 
-(* EINTR-safe exact read; [None] iff EOF at offset 0 and [eof_ok]. *)
-let read_exact ?timeout fd n ~eof_ok =
-  let deadline = Option.map (fun t -> Pax_obs.Clock.now () +. t) timeout in
-  let b = Bytes.create n in
+(* EINTR-safe exact read into [b.[0..n-1]]; [false] iff EOF at offset 0
+   and [eof_ok].  Writing into a caller-owned buffer lets a connection
+   reuse its header buffer across frames instead of allocating one per
+   read. *)
+let read_into ~deadline fd b n ~eof_ok =
   let rec go off =
-    if off = n then Some (Bytes.unsafe_to_string b)
+    if off = n then true
     else begin
       wait_readable fd deadline;
       match Unix.read fd b off (n - off) with
       | 0 ->
-          if off = 0 && eof_ok then None
+          if off = 0 && eof_ok then false
           else failwith "Sockio: connection closed mid-frame"
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
@@ -106,30 +107,65 @@ let read_exact ?timeout fd n ~eof_ok =
   in
   go 0
 
-let read_frame ?timeout fd =
-  match read_exact ?timeout fd 4 ~eof_ok:true with
-  | None -> None
-  | Some hdr ->
-      let n =
-        (Char.code hdr.[0] lsl 24)
-        lor (Char.code hdr.[1] lsl 16)
-        lor (Char.code hdr.[2] lsl 8)
-        lor Char.code hdr.[3]
-      in
-      if n > max_frame then failwith "Sockio: oversized frame"
-      else read_exact ?timeout fd n ~eof_ok:false
+(* Per-connection read state: the 4-byte length-header buffer, reused
+   for every frame on the connection.  The payload buffer is still
+   allocated per frame at exactly the payload size and frozen with
+   [unsafe_to_string] (single allocation, no copy): the {!Wire} decoders
+   bound everything by [String.length], so handing them a slice of a
+   larger reused buffer is not an option. *)
+type reader = { rd_fd : Unix.file_descr; rd_hdr : Bytes.t }
+
+let reader fd = { rd_fd = fd; rd_hdr = Bytes.create 4 }
+
+let read_frame_r ?timeout r =
+  let deadline = Option.map (fun t -> Pax_obs.Clock.now () +. t) timeout in
+  let fd = r.rd_fd in
+  if not (read_into ~deadline fd r.rd_hdr 4 ~eof_ok:true) then None
+  else begin
+    let hdr = r.rd_hdr in
+    let n =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if n > max_frame then failwith "Sockio: oversized frame"
+    else begin
+      let b = Bytes.create n in
+      ignore (read_into ~deadline fd b n ~eof_ok:false : bool);
+      Some (Bytes.unsafe_to_string b)
+    end
+  end
+
+let read_frame ?timeout fd = read_frame_r ?timeout (reader fd)
+
+(* Zero-copy frame write: the 4-byte header from a small scratch
+   buffer, then the payload written straight from the string — no
+   [n + 4] assembly copy.  Two writes on a stream socket are safe here
+   because every writer of a shared connection already serializes whole
+   frames (the client's per-site send lock, the server's per-connection
+   loop). *)
+let write_all fd b off len =
+  let stop = off + len in
+  let rec go off =
+    if off < stop then
+      match Unix.write fd b off (stop - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
 
 let write_frame fd payload =
   let n = String.length payload in
-  let b = Bytes.create (n + 4) in
-  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
-  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
-  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
-  Bytes.set b 3 (Char.chr (n land 0xFF));
-  Bytes.blit_string payload 0 b 4 n;
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set hdr 3 (Char.chr (n land 0xFF));
+  write_all fd hdr 0 4;
   let rec go off =
-    if off < n + 4 then
-      match Unix.write fd b off (n + 4 - off) with
+    if off < n then
+      match Unix.write_substring fd payload off (n - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in

@@ -28,14 +28,29 @@ exception Timeout
     this before committing to a frame read. *)
 val poll_readable : Unix.file_descr -> float -> bool
 
-(** [read_frame ?timeout fd] reads one length-prefixed frame payload;
+(** Per-connection read state: reuses the 4-byte length-header buffer
+    across frames (the payload is still one exact-size allocation,
+    frozen in place — never copied). *)
+type reader
+
+val reader : Unix.file_descr -> reader
+
+(** [read_frame_r ?timeout r] reads one length-prefixed frame payload;
     [None] on orderly EOF before a frame starts.
     @raise Unix.Unix_error on connection errors
     @raise Timeout after [timeout] seconds (default: none)
     @raise Failure on an over-long or short frame *)
+val read_frame_r : ?timeout:float -> reader -> string option
+
+(** One-shot {!read_frame_r} with a transient {!reader}; long-lived
+    connections (the server's accept loop, the client's receiver) hold
+    a [reader] instead. *)
 val read_frame : ?timeout:float -> Unix.file_descr -> string option
 
-(** [write_frame fd payload] writes the length prefix and payload.
+(** [write_frame fd payload] writes the length prefix and then the
+    payload directly from the string — no frame-assembly copy.  Callers
+    sharing a connection must serialize whole frames (they do: the
+    client's per-site send lock, the server's per-connection loop).
     @raise Unix.Unix_error on connection errors (EPIPE included;
     [SIGPIPE] is disabled process-wide on first use of this module) *)
 val write_frame : Unix.file_descr -> string -> unit

@@ -31,6 +31,7 @@ type section =
   | Resolution of bool array
   | Answers of answer list
   | Tree_data of string
+  | Frag_flat of Pax_xml.Flat.t
 
 type frag_eval = {
   fe_fid : int;
@@ -121,6 +122,7 @@ let k_vectors = 2
 let k_resolution = 3
 let k_answers = 4
 let k_tree = 5
+let k_flat = 6
 
 let answer_payload_bytes a =
   Codec.varint_bytes a.a_id
@@ -192,6 +194,7 @@ let section_payload = function
       List.iter (add_answer buf) answers;
       Buffer.contents buf
   | Tree_data xml -> xml
+  | Frag_flat fl -> Pax_xml.Flat.encode fl
 
 let section_kind = function
   | Query _ -> k_query
@@ -199,6 +202,7 @@ let section_kind = function
   | Resolution _ -> k_resolution
   | Answers _ -> k_answers
   | Tree_data _ -> k_tree
+  | Frag_flat _ -> k_flat
 
 (* A section costs exactly 4 + payload bytes: kind byte + u24 length,
    matching the "+4 header" of the Measure model. *)
@@ -245,6 +249,10 @@ let get_section s ~pos =
       Answers (go n p [])
     end
     else if kind = k_tree then Tree_data payload
+    else if kind = k_flat then
+      match Pax_xml.Flat.decode payload with
+      | Some fl -> Frag_flat fl
+      | None -> fail "bad flat-fragment payload"
     else fail "unknown section kind"
   in
   (sec, pos)

@@ -52,6 +52,11 @@ type section =
   | Resolution of bool array  (** unified ground vectors *)
   | Answers of answer list  (** shipped answer elements *)
   | Tree_data of string  (** a printed XML (sub)document *)
+  | Frag_flat of Pax_xml.Flat.t
+      (** a flat fragment image ({!Pax_xml.Flat.encode}): the columnar
+          buffers blitted as-is, for shipping prebuilt fragments
+          between processes.  No engine stage ships one — visit traffic
+          and its byte accounting are unchanged by the flat hot path. *)
 
 (** Serialized size of a section including its 4-byte header — the
     byte count {!Pax_dist.Measure} charges. *)

@@ -1,0 +1,101 @@
+(** The flat, succinct fragment image: one fragment's {!Tree.node}
+    tree re-encoded as preorder-indexed structure-of-arrays — int
+    vectors for structure ([parent], [first_child], [next_sibling],
+    [subtree_size]), interned tags and attribute keys ({!Intern}),
+    character data and attribute values as offsets into one shared
+    byte buffer, and virtual-node slots carrying their fragment id.
+
+    Built once from the pointer tree, immutable afterwards, and
+    therefore shareable across OCaml 5 domains without copying; stage
+    passes traverse it as tight loops over int reads.  Layout,
+    invariants and sharing rules: docs/FLATTREE.md. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_tree ?intern root] builds the image, interning every tag and
+    attribute key into [intern] (fresh by default; a fragment store
+    passes its shared table). *)
+val of_tree : ?intern:Intern.t -> Tree.node -> t
+
+(** Reconstruct fresh pointer nodes — same ids, tags, text,
+    attributes, children order and virtual fragment ids.  Inverse of
+    {!of_tree} up to physical identity. *)
+val to_tree : t -> Tree.node
+
+(** {1 Structure}
+
+    Slots are preorder positions: slot [0] is the root, a node's
+    subtree occupies slots [i .. i + subtree_size i - 1]. *)
+
+val length : t -> int
+
+val intern : t -> Intern.t
+
+val node_id : t -> int -> int
+val parent : t -> int -> int  (** [-1] at the root *)
+
+val first_child : t -> int -> int  (** [-1] for a leaf *)
+
+val next_sibling : t -> int -> int  (** [-1] for a last child *)
+
+val subtree_size : t -> int -> int
+val n_children : t -> int -> int
+val tag_code : t -> int -> int
+val tag_name : t -> int -> string
+val virtual_fid : t -> int -> int  (** [-1] for elements *)
+
+val is_virtual : t -> int -> bool
+
+(** The pointer node slot [i] was built from (or a materialized
+    equivalent after {!decode}) — answers ship physical nodes. *)
+val orig : t -> int -> Tree.node
+
+(** [orig t 0]. *)
+val root : t -> Tree.node
+
+(** {1 Content}
+
+    The comparison accessors are allocation-free: they compare against
+    the shared byte buffer in place. *)
+
+(** [text_equals t i s] — does slot [i]'s character data (missing text
+    reads as [""], matching the qualifier view) equal [s]? *)
+val text_equals : t -> int -> string -> bool
+
+val text : t -> int -> string option
+
+(** Numeric value of the character data, exactly {!Tree.float_of}
+    (precomputed at build time). *)
+val num : t -> int -> float option
+
+(** [attr_test t i ~key ~expected] — slot [i] has an attribute whose
+    key has intern code [key] (first occurrence wins, as
+    [List.assoc_opt]); with [expected = Some v] its value must equal
+    [v].  A [key] of [-1] (never interned) matches nothing. *)
+val attr_test : t -> int -> key:int -> expected:string option -> bool
+
+val attr_value : t -> int -> key:int -> string option
+
+(** {1 Id lookup}
+
+    Backed by a lazily built id→slot table (satellite of ISSUE 7: no
+    more linear scans).  Thread-safe: the table is built once under a
+    lock and published atomically. *)
+
+val find_index : t -> int -> int option
+
+val find_by_id : t -> int -> Tree.node option
+
+(** {1 Wire image}
+
+    Columns, not nodes: a fixed header, the intern dictionary slice
+    this fragment uses, the int columns as little-endian [u32] rows
+    and one blit of the byte buffer.  {!decode} remaps codes through
+    the receiver's intern table and validates every slot reference and
+    buffer offset; [None] on corrupt input. *)
+
+val encode : t -> string
+
+val decode : ?intern:Intern.t -> string -> t option

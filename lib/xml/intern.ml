@@ -1,0 +1,50 @@
+(* A mutex-guarded string <-> small-int symbol table.
+
+   One table per fragment store: every tag (and attribute key) that
+   appears in any fragment is interned once, so the flat representation
+   ({!Flat}) stores int codes and stage passes compare tags with [=] on
+   ints.  The lock makes every operation safe to call from any domain —
+   OCaml 5 [Hashtbl] is not safe under concurrent read + resize, and
+   the serving layer rebuilds flat images from scheduler threads.  The
+   hot loops never touch this module: they carry pre-resolved codes. *)
+
+type t = {
+  mutable names : string array;  (* code -> string; replaced on grow *)
+  mutable n : int;
+  codes : (string, int) Hashtbl.t;  (* string -> code *)
+  lock : Mutex.t;
+}
+
+let create () =
+  { names = Array.make 16 ""; n = 0; codes = Hashtbl.create 64; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let intern t s =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.codes s with
+      | Some c -> c
+      | None ->
+          let c = t.n in
+          if c = Array.length t.names then begin
+            let grown = Array.make (2 * c) "" in
+            Array.blit t.names 0 grown 0 c;
+            t.names <- grown
+          end;
+          t.names.(c) <- s;
+          t.n <- c + 1;
+          Hashtbl.add t.codes s c;
+          c)
+
+let find t s =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.codes s with Some c -> c | None -> -1)
+
+let name t c =
+  locked t (fun () ->
+      if c < 0 || c >= t.n then invalid_arg "Intern.name: unknown code";
+      t.names.(c))
+
+let size t = locked t (fun () -> t.n)

@@ -116,6 +116,129 @@ let make_test name ~count:n ~fault =
     (QCheck.Test.make ~name ~count:(count n) arbitrary_faulty
        (differential ~fault))
 
+(* ------------------------------------------------------------------ *)
+(* Sockets x domains                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* With a socket transport installed, a domain pool parallelizes the
+   parsing of visit replies (Cluster.run_round_net).  That must be
+   invisible: a run with domains > 1 is bit-identical to the
+   sequential run in every deterministic observable — answers,
+   per-site visits, rounds, trace events, logical messages, ops and
+   accounted bytes.  Forked servers over loopback Unix sockets, under
+   an alarm so a hang kills the test, not the suite. *)
+
+module Fragment = Pax_frag.Fragment
+module Sockio = Pax_net.Sockio
+module Server = Pax_net.Server
+module Client = Pax_net.Client
+
+exception Timed_out
+
+let with_timeout secs f =
+  let old =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
+  in
+  ignore (Unix.alarm secs);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm old)
+    f
+
+let net_queries =
+  [
+    "//person[profile/education]";
+    "//regions/*/item/name";
+    "/site/open_auctions/open_auction[bidder]";
+  ]
+
+let with_net_cluster ~domains f =
+  let doc = Pax_xmark.Xmark.doc ~seed:4 ~total_nodes:2500 ~n_sites:4 in
+  let ft =
+    Fragment.fragmentize doc ~cuts:(Fragment.cuts_by_tag doc ~tag:"site")
+  in
+  let n_sites = 4 in
+  let cl = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
+  Cluster.set_domains cl domains;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pax_diff_net_%d_%d" (Unix.getpid ())
+         (Random.int 100000))
+  in
+  Sys.mkdir dir 0o755;
+  let addrs =
+    Array.init n_sites (fun site ->
+        Sockio.Unix_path (Filename.concat dir (Printf.sprintf "s%d.sock" site)))
+  in
+  let site_frags site =
+    List.map
+      (fun fid -> (fid, (Fragment.fragment ft fid).Fragment.root))
+      (Cluster.fragments_on cl site)
+  in
+  let pids =
+    Array.to_list
+      (Array.mapi
+         (fun site addr -> Server.spawn ~addr ~frags:(site_frags site) ())
+         addrs)
+  in
+  let client = Client.create ~timeout:20. ~addrs () in
+  Cluster.set_transport cl (Some (Client.transport client));
+  Fun.protect
+    ~finally:(fun () ->
+      Client.shutdown_sites client;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        pids;
+      Array.iter
+        (fun a ->
+          match a with
+          | Sockio.Unix_path p -> ( try Sys.remove p with _ -> ())
+          | Sockio.Tcp _ -> ())
+        addrs;
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f cl)
+
+(* Everything deterministic a run exposes; seconds excluded (and
+   measured socket bytes only asserted present — run ids baked into
+   frames vary across runs, so byte streams need not repeat). *)
+let net_obs cl (r : Run_result.t) =
+  let report = r.Run_result.report in
+  if report.Cluster.measured_bytes = None then
+    Alcotest.fail "run did not go over the socket transport";
+  ( r.Run_result.answer_ids,
+    Array.to_list report.Cluster.visits,
+    report.Cluster.rounds,
+    report.Cluster.total_ops,
+    report.Cluster.control_bytes + report.Cluster.answer_bytes
+    + report.Cluster.tree_bytes,
+    Option.map Trace.events r.Run_result.trace,
+    Cluster.messages cl )
+
+let test_socket_domains () =
+  with_timeout 120 (fun () ->
+      let collect ~domains =
+        with_net_cluster ~domains (fun cl ->
+            List.concat_map
+              (fun qs ->
+                let q = Query.of_string qs in
+                List.map
+                  (fun (name, run, _) ->
+                    ((name, qs), net_obs cl (run cl q)))
+                  engines)
+              net_queries)
+      in
+      let seq = collect ~domains:1 in
+      let par = collect ~domains:4 in
+      List.iter2
+        (fun ((name, qs), o_seq) ((_, _), o_par) ->
+          if o_seq <> o_par then
+            Alcotest.failf "%s on %s: domains=4 diverges from sequential" name
+              qs)
+        seq par)
+
 let () =
   Alcotest.run "differential"
     [
@@ -125,5 +248,7 @@ let () =
             ~fault:false;
           make_test "all engines = centralized or typed failure (faults)"
             ~count:250 ~fault:true;
+          Alcotest.test_case "sockets: domains=4 = sequential, bit for bit"
+            `Quick test_socket_domains;
         ] );
     ]

@@ -95,10 +95,10 @@ let test_distributed_q1_to_q4 () =
             (Printf.sprintf "%s via %s" name algo)
             expected r.Pax_core.Run_result.answer_ids)
         [
-          ("PaX3", Pax_core.Pax3.run ?annotations:None);
-          ("PaX3-XA", Pax_core.Pax3.run ~annotations:true);
-          ("PaX2", Pax_core.Pax2.run ?annotations:None);
-          ("PaX2-XA", Pax_core.Pax2.run ~annotations:true);
+          ("PaX3", fun cl q -> Pax_core.Pax3.run cl q);
+          ("PaX3-XA", fun cl q -> Pax_core.Pax3.run ~annotations:true cl q);
+          ("PaX2", fun cl q -> Pax_core.Pax2.run cl q);
+          ("PaX2-XA", fun cl q -> Pax_core.Pax2.run ~annotations:true cl q);
         ])
     Xmark.queries
 
