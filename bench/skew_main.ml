@@ -1,0 +1,1 @@
+let () = Skew.main ()

@@ -4,8 +4,9 @@
 
    Dispatches on the top-level "bench" field: "scaling" (the multicore
    scaling runs of BENCH_PR2-style files), "throughput" (the serving
-   benchmark of bench/throughput.ml) or "flat" (the pointer-vs-flat
-   stage kernels of bench/flat_main.ml).  Exits 0 when every file is
+   benchmark of bench/throughput.ml), "flat" (the pointer-vs-flat
+   stage kernels of bench/flat_main.ml) or "skew" (the hot-shard
+   rebalance runs of bench/skew.ml).  Exits 0 when every file is
    well-formed and carries the fields later PRs' perf tracking relies
    on; prints what is wrong and exits 1 otherwise.  Used by the
    @bench-smoke and @check dune aliases so a perf-harness regression
@@ -330,6 +331,108 @@ let check_flat (v : J.t) =
   | Some [] -> err "top: empty \"results\""
   | None -> err "top: missing \"results\""
 
+(* ---------------- the hot-shard rebalance schema ------------------- *)
+
+(* One closed-loop phase ("pre" / "post") of bench/skew.ml.  Audits are
+   not a timing claim: they must pass in quick runs too. *)
+let check_skew_phase v ctx =
+  match Option.bind (J.member ctx v) (fun p -> Some p) with
+  | None ->
+      err "top: missing %S" ctx;
+      None
+  | Some p ->
+      List.iter
+        (fun k ->
+          match need_num p ctx k with
+          | Some x when x <= 0. -> err "%s: non-positive %S" ctx k
+          | _ -> ())
+        [ "queries"; "wall_s"; "qps" ];
+      (match (need_num p ctx "p50_ms", need_num p ctx "p99_ms") with
+      | Some p50, Some p99 ->
+          if p50 < 0. || p99 < 0. then err "%s: negative latency" ctx;
+          if p50 > p99 then err "%s: p50 > p99" ctx
+      | _ -> ());
+      (match Option.bind (J.member "audit_pass" p) J.as_bool with
+      | Some true -> ()
+      | Some false -> err "%s: audit failed (audit_pass=false)" ctx
+      | None -> err "%s: missing or non-bool \"audit_pass\"" ctx);
+      Option.bind (J.member "p99_ms" p) J.as_num
+
+let check_skew (v : J.t) =
+  (match J.member "pr" v with
+  | Some _ -> ()
+  | None -> err "top: missing \"pr\"");
+  let quick =
+    match Option.bind (J.member "quick" v) J.as_bool with
+    | Some q -> q
+    | None ->
+        err "top: missing or non-bool \"quick\"";
+        false
+  in
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k v) J.as_num with
+      | Some f when f >= 1. -> ()
+      | _ -> err "top: missing or bad %S" k)
+    [
+      "cores"; "size_mb"; "repeats"; "total_queries"; "concurrency";
+      "n_frags"; "n_sites";
+    ];
+  (match Option.bind (J.member "site_delay_ms" v) J.as_num with
+  | Some d when d >= 0. -> ()
+  | _ -> err "top: missing or bad \"site_delay_ms\"");
+  (match Option.bind (J.member "queries" v) J.as_list with
+  | Some (_ :: _) -> ()
+  | _ -> err "top: missing or empty \"queries\"");
+  let moves =
+    match Option.bind (J.member "moves" v) J.as_num with
+    | Some m when m >= 0. && Float.is_integer m -> m
+    | _ ->
+        err "top: missing or bad \"moves\"";
+        0.
+  in
+  (match Option.bind (J.member "move_list" v) J.as_list with
+  | Some ms ->
+      if List.length ms <> int_of_float moves then
+        err "top: \"move_list\" length disagrees with \"moves\"";
+      List.iteri
+        (fun i m ->
+          let ctx = Printf.sprintf "move_list[%d]" i in
+          List.iter (fun k -> ignore (need_num m ctx k))
+            [ "fid"; "from"; "to"; "epoch" ])
+        ms
+  | None -> err "top: missing \"move_list\"");
+  let loads =
+    match
+      ( Option.bind (J.member "max_site_load_pre" v) J.as_num,
+        Option.bind (J.member "max_site_load_post" v) J.as_num )
+    with
+    | Some a, Some b when a >= 0. && b >= 0. -> Some (a, b)
+    | _ ->
+        err "top: missing or bad \"max_site_load_pre\"/\"max_site_load_post\"";
+        None
+  in
+  let pre = check_skew_phase v "pre" in
+  let post = check_skew_phase v "post" in
+  (* The rebalancing claim itself (quick smoke runs are too short to
+     hold the latency to a perf bound): the committed artifact must
+     show the hot shard actually dissolving — at least one executed
+     move, a strictly lower max per-site visit load, and no p99
+     regression. *)
+  if not quick then begin
+    if moves < 1. then err "top: rebalance executed no moves";
+    (match loads with
+    | Some (a, b) when b >= a ->
+        err "top: max site load %.0f post >= %.0f pre — hot shard survived"
+          b a
+    | _ -> ());
+    match (pre, post) with
+    | Some p_pre, Some p_post ->
+        if p_post > p_pre then
+          err "top: post-rebalance p99 %.2f ms > pre %.2f ms" p_post p_pre
+    | _ -> ()
+  end
+
 let check (v : J.t) =
   match Option.bind (J.member "bench" v) J.as_str with
   | Some "scaling" ->
@@ -341,6 +444,9 @@ let check (v : J.t) =
   | Some "flat" ->
       check_flat v;
       "flat"
+  | Some "skew" ->
+      check_skew v;
+      "skew"
   | Some other ->
       err "top: unknown bench kind %S" other;
       "?"

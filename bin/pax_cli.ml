@@ -591,7 +591,8 @@ let serve_cmd =
    docs/SERVING.md).  Each connection is one fair-scheduling source. *)
 let coordinator_cmd =
   let run file listen connect annotations fragment_tag fragment_budget n_sites
-      placement max_inflight max_queue no_cache stats =
+      placement max_inflight max_queue no_cache stats placement_in
+      placement_out =
     match
       let ft = load_ftree file ~fragment_tag ~fragment_budget in
       let sink = if stats then Pax_obs.Sink.create () else Pax_obs.Sink.noop in
@@ -601,9 +602,40 @@ let coordinator_cmd =
         | Some addrs, None -> Some (Array.length addrs)
         | _ -> n_sites
       in
-      (* One prototype cluster fixes the placement; per-run clusters
-         (in-process backend) are cut from the same cloth. *)
+      (* One prototype cluster fixes the *initial* placement; the live
+         placement is the epoch-versioned table built from it (or
+         loaded from a snapshot), which admin moves and the rebalancer
+         mutate while runs are in flight (docs/SHARDING.md). *)
       let proto = build_cluster ft ~n_sites ~placement in
+      let table =
+        match placement_in with
+        | None ->
+            Pax_shard.Ptable.create
+              ~n_frags:(Fragment.n_fragments ft)
+              ~n_sites:(Cluster.n_sites proto)
+              ~assign:(fun fid -> Cluster.site_of proto fid)
+              ()
+        | Some path -> (
+            match Pax_shard.Ptable.load path with
+            | Error e -> invalid_arg e
+            | Ok t ->
+                if
+                  Pax_shard.Ptable.n_frags t <> Fragment.n_fragments ft
+                  || Pax_shard.Ptable.n_sites t <> Cluster.n_sites proto
+                then
+                  invalid_arg
+                    (Printf.sprintf
+                       "placement snapshot %s: %d fragment(s) on %d site(s), \
+                        but this document fragments into %d on %d"
+                       path (Pax_shard.Ptable.n_frags t)
+                       (Pax_shard.Ptable.n_sites t)
+                       (Fragment.n_fragments ft) (Cluster.n_sites proto));
+                t)
+      in
+      let save_table () =
+        Option.iter (Pax_shard.Ptable.save table) placement_out
+      in
+      save_table ();
       let backend, mux =
         match connect_addrs with
         | None -> (Pax_serve.Coordinator.In_process, None)
@@ -617,13 +649,23 @@ let coordinator_cmd =
             let mux = Pax_net.Client.create ~addrs () in
             (Pax_serve.Coordinator.Sockets mux, Some mux)
       in
+      (* A loaded snapshot replays its moves against the live servers:
+         installs are idempotent, so a restarted coordinator converges
+         the sites to its recorded placement before serving. *)
+      (match (placement_in, mux) with
+      | Some _, Some mux -> (
+          match Pax_shard.Migrate.replay ~mux ~table () with
+          | Ok () -> ()
+          | Error e -> invalid_arg (Printf.sprintf "placement replay: %s" e))
+      | _ -> ());
       let cache =
         if no_cache then None else Some (Pax_serve.Cache.create ~sink ft)
       in
-      (* Mount every XPath engine; --annotations just picks which one
-         answers by default (the first mount). *)
+      (* Mount every XPath engine over the *live* table assignment;
+         --annotations just picks which one answers by default (the
+         first mount). *)
       let mounts =
-        let assign fid = Cluster.site_of proto fid in
+        let assign = Pax_shard.Ptable.assign table in
         let order =
           if annotations then
             [ "pax2-xa"; "pax3-xa"; "pax2"; "pax3"; "parbox" ]
@@ -633,10 +675,61 @@ let coordinator_cmd =
           (fun name ->
             match Pax_core.Engines.of_name name with
             | Some ctor ->
-                Pax_serve.Coordinator.mount
+                Pax_serve.Coordinator.mount ~table
                   (ctor ft ~n_sites:(Cluster.n_sites proto) ~assign)
             | None -> assert false)
           order
+      in
+      let rebalancer = Pax_serve.Rebalance.create ~sink table in
+      (* Admin operations (placement dump, manual move, rebalance) are
+         serialized: one migration in flight at a time, snapshots
+         written after each placement change. *)
+      let admin_lock = Mutex.create () in
+      let admin verb =
+        Mutex.lock admin_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock admin_lock)
+          (fun () ->
+            match verb with
+            | [ "PLACEMENT" ] ->
+                Ok
+                  (String.concat ","
+                     (List.map
+                        (fun (fid, site, epoch, visits) ->
+                          Printf.sprintf "%d:%d:%d:%d:%d" fid site epoch
+                            (Fragment.generation ft fid)
+                            visits)
+                        (Pax_shard.Ptable.to_list table)))
+            | [ "MOVE"; fid; site ] -> (
+                match (int_of_string_opt fid, int_of_string_opt site) with
+                | Some fid, Some site -> (
+                    match
+                      Pax_shard.Migrate.move ?mux ~ft ~table ~fid ~dst:site ()
+                    with
+                    | Ok o ->
+                        save_table ();
+                        Ok
+                          (Printf.sprintf "moved %d %d->%d epoch %d" o.mv_fid
+                             o.mv_from o.mv_to o.mv_epoch)
+                    | Error e -> Error e)
+                | _ -> Error "expected: ADMIN MOVE FID SITE")
+            | [ "REBALANCE" ] -> (
+                match
+                  Pax_serve.Rebalance.run ?mux ~ft rebalancer
+                    ~now:(Unix.gettimeofday ())
+                with
+                | Ok moves ->
+                    save_table ();
+                    Ok
+                      (Printf.sprintf "moves %d%s" (List.length moves)
+                         (String.concat ""
+                            (List.map
+                               (fun (o : Pax_shard.Migrate.outcome) ->
+                                 Printf.sprintf " %d:%d->%d" o.mv_fid o.mv_from
+                                   o.mv_to)
+                               moves)))
+                | Error e -> Error e)
+            | _ -> Error "unknown admin verb")
       in
       let coord =
         Pax_serve.Coordinator.create ?max_inflight ?max_queue ?cache ~sink
@@ -686,6 +779,13 @@ let coordinator_cmd =
                         (String.sub line (sp + 1)
                            (String.length line - sp - 1))
                     in
+                    match String.split_on_char ' ' text with
+                    | "ADMIN" :: verb ->
+                        (match admin (List.filter (fun s -> s <> "") verb) with
+                        | Ok detail -> reply (id ^ " OK " ^ detail)
+                        | Error e -> reply (id ^ " ERR " ^ e));
+                        loop ()
+                    | _ -> (
                     match Pax_serve.Coordinator.submit ~source coord text with
                     | Error (Pax_serve.Coordinator.Rejected r) ->
                         reply
@@ -714,7 +814,7 @@ let coordinator_cmd =
                                      (Printf.sprintf "%s ERR %s" id
                                         (Printexc.to_string e)))
                              ());
-                        loop ()))
+                        loop ())))
         in
         loop ();
         (try Unix.close cfd with Unix.Unix_error _ -> ())
@@ -800,16 +900,114 @@ let coordinator_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Collect serving telemetry.")
   in
+  let placement_in =
+    Arg.(value & opt (some string) None
+         & info [ "placement-in" ] ~docv:"PATH"
+             ~doc:"Load the placement table from a snapshot (pax admin \
+                   placement state survives a coordinator restart; with \
+                   $(b,--connect), recorded moves are replayed against the \
+                   live servers before serving).")
+  in
+  let placement_out =
+    Arg.(value & opt (some string) None
+         & info [ "placement-out" ] ~docv:"PATH"
+             ~doc:"Write the placement table here at startup and after \
+                   every move (atomic snapshot, docs/SHARDING.md).")
+  in
   Cmd.v
     (Cmd.info "coordinator"
        ~doc:"Serve queries concurrently over a fragmented document: a \
              bounded admission queue, fair scheduling across client \
-             connections, and an optional cross-query cache \
-             (docs/SERVING.md).  Runs until killed.")
+             connections, an optional cross-query cache (docs/SERVING.md) \
+             and an epoch-versioned placement table with live fragment \
+             migration (docs/SHARDING.md).  Runs until killed.")
     Term.(
       const run $ file $ listen $ connect $ annotations $ fragment_tag
       $ fragment_budget $ n_sites $ placement $ max_inflight $ max_queue
-      $ no_cache $ stats)
+      $ no_cache $ stats $ placement_in $ placement_out)
+
+(* ------------------------------------------------------------------ *)
+(* admin                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Thin client for the coordinator's ADMIN verbs: connect to its line
+   protocol, issue one verb, print the reply. *)
+let admin_cmd =
+  let issue coordinator verb =
+    match
+      let addr =
+        match Pax_net.Sockio.addr_of_string coordinator with
+        | Ok a -> a
+        | Error e -> invalid_arg e
+      in
+      let fd = Pax_net.Sockio.connect addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let line = "0 ADMIN " ^ verb ^ "\n" in
+          ignore (Unix.write_substring fd line 0 (String.length line));
+          let inb = Unix.in_channel_of_descr fd in
+          match input_line inb with
+          | exception End_of_file -> failwith "coordinator closed the connection"
+          | reply -> (
+              match String.split_on_char ' ' reply with
+              | "0" :: "OK" :: rest ->
+                  print_endline (String.concat " " rest);
+                  `Ok
+              | "0" :: "ERR" :: rest ->
+                  Printf.eprintf "error: %s\n" (String.concat " " rest);
+                  `Err
+              | _ -> failwith ("unexpected reply: " ^ reply)))
+    with
+    | `Ok -> 0
+    | `Err -> 1
+    | exception Invalid_argument e | exception Failure e ->
+        Printf.eprintf "%s\n" e;
+        1
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "network error: %s %s: %s\n" fn arg
+          (Unix.error_message err);
+        2
+  in
+  let coordinator =
+    Arg.(required & opt (some string) None
+         & info [ "coordinator" ] ~docv:"ADDR"
+             ~doc:"The coordinator's $(b,--listen) address ($(b,unix:PATH) \
+                   or $(b,HOST:PORT)).")
+  in
+  let placement =
+    let run coordinator = issue coordinator "PLACEMENT" in
+    Cmd.v
+      (Cmd.info "placement"
+         ~doc:"Dump the live placement table as \
+               fid:site:epoch:generation:visits, comma-separated.")
+      Term.(const run $ coordinator)
+  in
+  let move =
+    let run coordinator fid site =
+      issue coordinator (Printf.sprintf "MOVE %d %d" fid site)
+    in
+    let fid = Arg.(required & pos 0 (some int) None & info [] ~docv:"FID") in
+    let site = Arg.(required & pos 1 (some int) None & info [] ~docv:"SITE") in
+    Cmd.v
+      (Cmd.info "move"
+         ~doc:"Live-migrate one fragment to a site (fetch, install, fence; \
+               docs/SHARDING.md).  In-flight queries are unaffected.")
+      Term.(const run $ coordinator $ fid $ site)
+  in
+  let rebalance =
+    let run coordinator = issue coordinator "REBALANCE" in
+    Cmd.v
+      (Cmd.info "rebalance"
+         ~doc:"Run the greedy hot-shard rebalancer over the accumulated \
+               per-fragment visit counters.")
+      Term.(const run $ coordinator)
+  in
+  Cmd.group
+    (Cmd.info "admin"
+       ~doc:"Placement administration against a running coordinator \
+             (docs/SHARDING.md).")
+    [ placement; move; rebalance ]
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)
@@ -1004,4 +1202,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ gen_cmd; query_cmd; count_cmd; fragment_cmd; assemble_cmd; inspect_cmd;
-         explain_cmd; serve_cmd; coordinator_cmd ]))
+         explain_cmd; serve_cmd; coordinator_cmd; admin_cmd ]))

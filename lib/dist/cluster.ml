@@ -31,6 +31,16 @@ type t = {
   site_frags : int list array;
   mutable messages_rev : message list;
   visits : int array;
+  (* Per-fragment hotness: how many round-participations listed each
+     fragment (counted in [sites_holding], the single chokepoint every
+     engine routes fragment→site lookups through).  The serving layer
+     harvests this into its placement table after each run; the
+     rebalancer's move policy is driven by it (docs/SHARDING.md). *)
+  frag_touches : int array;
+  (* Placement epoch of the table this cluster's [assign] was
+     snapshotted from (0 = no placement table).  Reporting only — the
+     transport handle carries the epoch that servers check. *)
+  mutable epoch : int;
   mutable rounds_rev : round list;
   mutable current : round option;
   mutable coord_seconds : float;
@@ -116,6 +126,8 @@ let create_gen ?domains ?transport ~ft ~n_frags ~n_sites ~assign () =
     site_frags;
     messages_rev = [];
     visits = Array.make n_sites 0;
+    frag_touches = Array.make n_frag 0;
+    epoch = 0;
     rounds_rev = [];
     current = None;
     coord_seconds = 0.;
@@ -166,7 +178,19 @@ let site_of t fid = t.frag_site.(fid)
 let fragments_on t site = t.site_frags.(site)
 
 let sites_holding t fids =
+  List.iter
+    (fun fid ->
+      t.frag_touches.(fid) <- t.frag_touches.(fid) + 1;
+      if enabled t then
+        Pax_obs.Sink.count t.sink
+          ~labels:[ ("fid", string_of_int fid) ]
+          "pax_site_fragment_visits_total")
+    fids;
   List.sort_uniq compare (List.map (fun fid -> t.frag_site.(fid)) fids)
+
+let frag_touches t = Array.copy t.frag_touches
+let epoch t = t.epoch
+let set_epoch t e = t.epoch <- e
 
 let trace t = t.trace
 let sink t = t.sink
@@ -548,6 +572,7 @@ let add_ops t ~site n =
 let reset t =
   t.messages_rev <- [];
   Array.fill t.visits 0 t.n_sites 0;
+  Array.fill t.frag_touches 0 t.n_frags 0;
   t.rounds_rev <- [];
   t.current <- None;
   t.coord_seconds <- 0.;

@@ -134,8 +134,22 @@ val fragments_on : t -> int -> int list
 
 (** Sites holding at least one of the given fragments, ascending and
     duplicate-free — each site is charged at most one visit per round
-    no matter how many of the fragments it holds. *)
+    no matter how many of the fragments it holds.  Every fragment
+    listed is counted as one {e touch} (see {!frag_touches}) and, with
+    an enabled sink, as [pax_site_fragment_visits_total{fid}]. *)
 val sites_holding : t -> int list -> int list
+
+(** Per-fragment touch counts accumulated since the last {!reset} — the
+    hotness signal the serving layer harvests into its placement table
+    and the rebalancer acts on (docs/SHARDING.md).  Returns a copy. *)
+val frag_touches : t -> int array
+
+(** Placement epoch the cluster's [assign] was snapshotted from
+    (default 0 = no placement table; reporting only — the transport
+    handle carries the epoch servers check). *)
+val epoch : t -> int
+
+val set_epoch : t -> int -> unit
 
 (** {1 Faults, retries, tracing} *)
 

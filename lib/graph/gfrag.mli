@@ -69,6 +69,19 @@ val query_string : src:int -> dst:int -> string
     do not know [n] — the coordinator-side {!Reach.parse} does). *)
 val parse_query : string -> (int * int) option
 
+(** {1 Wire image}
+
+    Elastic sharding ships a whole graph fragment between sites inside
+    a [Wire.frag_image] whose payload this codec produces.  The image
+    is self-contained (exactly the {!type-fragment} record) and the
+    decoder is {e total}: any byte string either decodes to a fragment
+    that satisfies every sortedness invariant above, or yields
+    [None] — never an exception, never a malformed fragment. *)
+
+val encode : fragment -> string
+
+val decode : string -> fragment option
+
 (** {1 Local partial evaluation} *)
 
 val owns : fragment -> int -> bool

@@ -40,10 +40,25 @@ let run_id_base =
         unforced still diverge. *)
      base lxor (Unix.getpid () * 0x9E3779B9))
 
+(* Lazy.force is not thread-safe and the thunk blocks on /dev/urandom —
+   a concurrent scheduler worker forcing mid-read would see
+   CamlinternalLazy.Undefined — so the first force is serialized.  The
+   cell stays lazy (not eager at module load) so a forked child that
+   never forced it still derives its own pid-mixed base. *)
+let run_id_base_lock = Mutex.create ()
+
 let fresh_run_id () =
   let c = Atomic.fetch_and_add run_id_counter 1 in
-  (Lazy.force run_id_base land lnot 0xFFFFFFFF lor (c land 0xFFFFFFFF))
-  land ((1 lsl 55) - 1)
+  let base =
+    if Lazy.is_val run_id_base then Lazy.force run_id_base
+    else begin
+      Mutex.lock run_id_base_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock run_id_base_lock)
+        (fun () -> Lazy.force run_id_base)
+    end
+  in
+  (base land lnot 0xFFFFFFFF lor (c land 0xFFFFFFFF)) land ((1 lsl 55) - 1)
 
 (* Correlation ids are process-global too: a corr in flight is unique
    across every run sharing the process's connections, so a late reply
@@ -88,6 +103,14 @@ type t = {
 and handle = {
   h_mux : t;
   mutable h_run : int;
+  (* Placement epoch stamped on every visit request of this handle's
+     runs (docs/SHARDING.md): the coordinator sets it from its
+     placement table at admission, so a site that retired a fragment
+     can tell stale routing (refuse, typed error, client retries) from
+     an older in-flight run it must keep serving.  0 = no placement
+     table in play — before the first migration every epoch check
+     passes trivially. *)
+  mutable h_epoch : int;
   h_touched : bool array;  (** sites contacted during the current run *)
   mutable h_sink : Pax_obs.Sink.t option;  (** [None]: inherit the mux's *)
   mutable sent_bytes : int;
@@ -320,6 +343,32 @@ let fetch_stats t site =
   | Ok _ -> failwith "unexpected reply to a stats request"
   | Error e -> raise e
 
+(* Migration RPCs (docs/SHARDING.md).  Control plane like stats: they
+   flow through the multiplexer (the receiver owns each socket, admin
+   frames interleave freely with visit traffic — the drain-free
+   window) but touch no per-run byte counters; servers ledger their
+   volume under [pax_net_admin_*] instead. *)
+let frag_fetch t ~site ~fid ~kind =
+  let corr, p, _ = post t site (Wire.Frag_fetch { fid; kind }) in
+  match await t corr p with
+  | Ok (Wire.Frag_image { fid = f; image }, _) when f = fid -> image
+  | Ok _ -> failwith "unexpected reply to a fragment fetch"
+  | Error e -> raise e
+
+let frag_install t ~site ~fid ~epoch ~image =
+  let corr, p, _ = post t site (Wire.Frag_install { fid; epoch; image }) in
+  match await t corr p with
+  | Ok (Wire.Admin_reply { reply }, _) -> reply
+  | Ok _ -> failwith "unexpected reply to a fragment install"
+  | Error e -> raise e
+
+let frag_retire t ~site ~fid ~epoch ~kind =
+  let corr, p, _ = post t site (Wire.Frag_retire { fid; epoch; kind }) in
+  match await t corr p with
+  | Ok (Wire.Admin_reply { reply }, _) -> reply
+  | Ok _ -> failwith "unexpected reply to a fragment retire"
+  | Error e -> raise e
+
 (* ------------------------------------------------------------------ *)
 (* Handles: one run's transport view                                  *)
 (* ------------------------------------------------------------------ *)
@@ -328,6 +377,7 @@ let handle ?sink t =
   {
     h_mux = t;
     h_run = fresh_run_id ();
+    h_epoch = 0;
     h_touched = Array.make (Array.length t.addrs) false;
     h_sink = sink;
     sent_bytes = 0;
@@ -340,6 +390,7 @@ let handle ?sink t =
 
 let sink_of h = match h.h_sink with Some s -> s | None -> h.h_mux.sink
 let set_handle_sink h s = h.h_sink <- Some s
+let set_epoch h epoch = h.h_epoch <- epoch
 
 let stats h =
   {
@@ -404,12 +455,16 @@ let visit_round h ~round ~label ~retry reqs =
     Hashtbl.replace attempts site (a + 1);
     a
   in
-  let failed site e =
-    drop t site;
+  let charge site e =
     retry ~site ~attempt:(next_attempt site) ~reason:(Printexc.to_string e)
   in
+  let failed site e =
+    drop t site;
+    charge site e
+  in
   let request site call =
-    Wire.Visit_request { run = h.h_run; round; site; label; call }
+    Wire.Visit_request
+      { run = h.h_run; round; site; epoch = h.h_epoch; label; call }
   in
   let rec send site call =
     let msg = request site call in
@@ -452,6 +507,16 @@ let visit_round h ~round ~label ~retry reqs =
         tally_msg h msg;
         match reply with
         | Ok rep -> rep
+        | Error message when Wire.is_stale_epoch message ->
+            (* The site fenced a fragment we routed to it: placement
+               metadata is converging (a migration just landed).  The
+               connection is healthy, so charge the retry budget
+               without dropping it and resend — if routing is truly
+               stale the budget runs out as the typed
+               [Site_unreachable]. *)
+            charge site (Failure message);
+            waiter := send site call;
+            recv site call waiter
         | Error message -> raise (Transport.Remote_failure { site; message }))
     | Ok _ ->
         (* The server echoed our correlation id on the wrong body:

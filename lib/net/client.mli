@@ -52,6 +52,43 @@ val set_sink : t -> Pax_obs.Sink.t -> unit
     or a malformed reply. *)
 val fetch_stats : t -> int -> (string * float) list
 
+(** {1 Migration RPCs (docs/SHARDING.md)}
+
+    Control plane like stats traffic: they flow through the
+    multiplexer and interleave freely with in-flight visit rounds (the
+    drain-free migration window), touch no per-run byte counters, and
+    the servers ledger their volume under [pax_net_admin_*].  Each
+    raises on connection loss or a malformed reply; application-level
+    refusals come back as [Error _]. *)
+
+(** Ask [site] for fragment [fid]'s wire image. *)
+val frag_fetch :
+  t ->
+  site:int ->
+  fid:int ->
+  kind:Pax_wire.Wire.frag_kind ->
+  (Pax_wire.Wire.frag_image, string) result
+
+(** Install an image at [site], effective at placement [epoch];
+    idempotent, clears the site's retirement fence for the fragment. *)
+val frag_install :
+  t ->
+  site:int ->
+  fid:int ->
+  epoch:int ->
+  image:Pax_wire.Wire.frag_image ->
+  (string, string) result
+
+(** Fence fragment [fid] at [site]: visits stamped [>= epoch] get the
+    typed stale-epoch error; retained data keeps serving older runs. *)
+val frag_retire :
+  t ->
+  site:int ->
+  fid:int ->
+  epoch:int ->
+  kind:Pax_wire.Wire.frag_kind ->
+  (string, string) result
+
 (** The {!Pax_dist.Transport.t} view of the client's {e default handle}
     — the v1-compatible single-run-at-a-time interface, to install with
     [Cluster.set_transport] (or pass to [Cluster.create]). *)
@@ -64,6 +101,15 @@ val transport : t -> Pax_dist.Transport.t
 val handle : ?sink:Pax_obs.Sink.t -> t -> handle
 
 val set_handle_sink : handle -> Pax_obs.Sink.t -> unit
+
+(** Stamp the placement epoch carried on every subsequent visit request
+    of this handle (default 0 = trivially fresh).  The serving layer
+    sets it from its placement table at admission; a site that retired
+    a fragment at epoch [e] refuses visits stamped [>= e] with the
+    typed stale-epoch error, which is charged to the retry budget
+    (placement may still be converging) rather than raised as a
+    permanent remote failure. *)
+val set_epoch : handle -> int -> unit
 
 (** The {!Pax_dist.Transport.t} view of one handle.  Its [reset_run]
     sends best-effort [Run_done] for the finished run (servers evict

@@ -39,6 +39,14 @@ type t = {
      mixed-workload serving tests run XPath and reachability through
      the same servers. *)
   gfrags : (int, Pax_graph.Gfrag.fragment) Hashtbl.t;
+  (* Elastic sharding (docs/SHARDING.md): a migrated-away fragment is
+     fenced, not deleted — [(kind, fid) → epoch] records the placement
+     epoch at which it was retired.  Visits stamped with that epoch or
+     later are refused with the typed stale-epoch error; older
+     in-flight runs keep being served from the retained data, which is
+     immutable, so the migration window is drain-free.  [Frag_install]
+     clears the fence. *)
+  retired : (Wire.frag_kind * int, int) Hashtbl.t;
   (* Many runs interleave on one multiplexed connection, so state is a
      table keyed by run id, not a single slot.  Its size is bounded two
      ways: the coordinator announces finished runs ([Run_done] →
@@ -103,6 +111,7 @@ let create ?(max_runs = default_max_runs) ?(service_delay = 0.) ?(flake = 0)
     intern;
     flat_imgs;
     gfrags = gtbl;
+    retired = Hashtbl.create 8;
     states = Hashtbl.create 16;
     max_runs;
     service_delay;
@@ -398,16 +407,112 @@ let handle_call t ~run call =
                  })
                fids))
 
-let handle_request t ~run ~round call =
+(* The fragments a call touches, with the store they live in — what the
+   retirement fence is keyed on and what the per-fragment hotness
+   counters count. *)
+let call_frags = function
+  | Wire.Pax2_stage1 { frags; _ } ->
+      List.map (fun (fe : Wire.frag_eval) -> (Wire.Tree_frag, fe.Wire.fe_fid)) frags
+  | Wire.Pax2_stage2 { frags } ->
+      List.map (fun (fid, _, _) -> (Wire.Tree_frag, fid)) frags
+  | Wire.Pax3_stage1 { fids; _ } ->
+      List.map (fun fid -> (Wire.Tree_frag, fid)) fids
+  | Wire.Pax3_stage2 { frags; _ } ->
+      List.map
+        (fun ((fe : Wire.frag_eval), _) -> (Wire.Tree_frag, fe.Wire.fe_fid))
+        frags
+  | Wire.Pax3_stage3 { frags } ->
+      List.map (fun (fid, _) -> (Wire.Tree_frag, fid)) frags
+  | Wire.Reach_stage1 { fids; _ } ->
+      List.map (fun fid -> (Wire.Graph_frag, fid)) fids
+
+let stale_frag t ~epoch call =
+  List.find_map
+    (fun ((_, fid) as key) ->
+      match Hashtbl.find_opt t.retired key with
+      | Some retired when epoch >= retired -> Some (fid, retired)
+      | _ -> None)
+    (call_frags call)
+
+let handle_request t ~run ~round ~epoch call =
   let st = state_for t run in
   match Hashtbl.find_opt st.rs_replies round with
   | Some reply -> Ok reply
   | None -> (
-      match handle_call t ~run call with
-      | reply ->
-          Hashtbl.replace st.rs_replies round reply;
-          Ok reply
-      | exception e -> Error (Printexc.to_string e))
+      (* The fence check sits behind the memo: a reply computed before
+         retirement stays replayable (the data is retained), while new
+         work routed here under stale placement is refused with a typed
+         error — never memoized, so the retried request re-checks. *)
+      match stale_frag t ~epoch call with
+      | Some (fid, retired) ->
+          Pax_obs.Sink.count t.obs "pax_srv_stale_epoch_total";
+          Error (Wire.stale_epoch_error ~fid ~retired ~epoch)
+      | None -> (
+          match handle_call t ~run call with
+          | reply ->
+              Hashtbl.replace st.rs_replies round reply;
+              List.iter
+                (fun (_, fid) ->
+                  Pax_obs.Sink.count t.obs
+                    ~labels:[ ("fid", string_of_int fid) ]
+                    "pax_site_fragment_visits_total")
+                (call_frags call);
+              Ok reply
+          | exception e -> Error (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Migration (docs/SHARDING.md)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_image t ~fid ~kind =
+  match kind with
+  | Wire.Tree_frag -> (
+      match Hashtbl.find_opt t.frags fid with
+      | None -> Error (Printf.sprintf "site server holds no fragment %d" fid)
+      | Some root ->
+          let fl =
+            match Hashtbl.find_opt t.flat_imgs fid with
+            | Some fl -> fl
+            | None -> Pax_xml.Flat.of_tree ~intern:t.intern root
+          in
+          Ok { Wire.fi_kind = kind; fi_bytes = Pax_xml.Flat.encode fl })
+  | Wire.Graph_frag -> (
+      match Hashtbl.find_opt t.gfrags fid with
+      | None ->
+          Error (Printf.sprintf "site server holds no graph fragment %d" fid)
+      | Some frag ->
+          Ok { Wire.fi_kind = kind; fi_bytes = Pax_graph.Gfrag.encode frag })
+
+(* Install validates the image against the receiving server's own
+   intern table (tree) or the codec's invariants (graph) before
+   swapping it in; a corrupt image is refused without touching held
+   state.  Replaying an install is idempotent: same image, same
+   effect. *)
+let install_image t ~fid ~epoch (image : Wire.frag_image) =
+  match image.Wire.fi_kind with
+  | Wire.Tree_frag -> (
+      match Pax_xml.Flat.decode ~intern:t.intern image.Wire.fi_bytes with
+      | None -> Error (Printf.sprintf "corrupt flat image for fragment %d" fid)
+      | Some fl ->
+          Hashtbl.replace t.frags fid (Pax_xml.Flat.to_tree fl);
+          if t.flat then Hashtbl.replace t.flat_imgs fid fl;
+          Hashtbl.remove t.retired (Wire.Tree_frag, fid);
+          Ok (Printf.sprintf "installed fragment %d at epoch %d" fid epoch))
+  | Wire.Graph_frag -> (
+      match Pax_graph.Gfrag.decode image.Wire.fi_bytes with
+      | None -> Error (Printf.sprintf "corrupt graph image for fragment %d" fid)
+      | Some frag ->
+          Hashtbl.replace t.gfrags fid frag;
+          Hashtbl.remove t.retired (Wire.Graph_frag, fid);
+          Ok
+            (Printf.sprintf "installed graph fragment %d at epoch %d" fid epoch))
+
+let retire_frag t ~fid ~epoch ~kind =
+  let key = (kind, fid) in
+  (match Hashtbl.find_opt t.retired key with
+  | Some e when e > epoch -> ()  (* keep the newer fence *)
+  | _ -> Hashtbl.replace t.retired key epoch);
+  Ok (Printf.sprintf "retired fragment %d at epoch %d" fid epoch)
 
 let flake_now t ~run ~round =
   t.flake > 0
@@ -429,6 +534,16 @@ let count_visit_frame t ~dir ~frame_len =
   Pax_obs.Sink.count t.obs ~labels ~by:(float_of_int frame_len)
     "pax_net_visit_bytes_total"
 
+(* Migration traffic is excluded from per-query accounting
+   ([Wire.tally] returns the empty tally), so its byte volume is
+   surfaced here instead — the "byte-accounted like every other
+   message" ledger for the control plane. *)
+let count_admin_frame t ~dir ~frame_len =
+  let labels = [ ("dir", dir) ] in
+  Pax_obs.Sink.count t.obs ~labels "pax_net_admin_frames_total";
+  Pax_obs.Sink.count t.obs ~labels ~by:(float_of_int frame_len)
+    "pax_net_admin_bytes_total"
+
 (* Replies echo the request's correlation id, so a demultiplexing
    client can route them to the right in-flight run without inspecting
    bodies. *)
@@ -438,7 +553,10 @@ let serve t fd =
     | None -> `Eof
     | Some payload -> (
         match Wire.decode_payload_corr payload with
-        | Ok (_, Wire.Visit_request { run; round; site = _; label = _; call = _ })
+        | Ok
+            ( _,
+              Wire.Visit_request
+                { run; round; site = _; epoch = _; label = _; call = _ } )
           when flake_now t ~run ~round ->
             (* Planned fault: swallow the request and drop the
                connection.  The client sees EOF, reconnects and
@@ -446,7 +564,10 @@ let serve t fd =
             count_visit_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
             `Eof
-        | Ok (corr, Wire.Visit_request { run; round; site = _; label; call }) ->
+        | Ok
+            ( corr,
+              Wire.Visit_request { run; round; site = _; epoch; label; call } )
+          ->
             count_visit_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
             if t.service_delay > 0. then Thread.delay t.service_delay;
@@ -455,7 +576,7 @@ let serve t fd =
                 ~args:(fun () ->
                   [ ("run", string_of_int run); ("round", string_of_int round) ])
                 label
-                (fun () -> handle_request t ~run ~round call)
+                (fun () -> handle_request t ~run ~round ~epoch call)
             in
             let out =
               Wire.encode_payload ~corr (Wire.Visit_reply { run; round; reply })
@@ -479,8 +600,37 @@ let serve t fd =
                docs/SERVING.md).  No reply. *)
             evict_run t run;
             conn_loop c
+        | Ok (corr, Wire.Frag_fetch { fid; kind }) ->
+            count_admin_frame t ~dir:"recv"
+              ~frame_len:(4 + String.length payload);
+            let image = fetch_image t ~fid ~kind in
+            let out =
+              Wire.encode_payload ~corr (Wire.Frag_image { fid; image })
+            in
+            Sockio.write_frame conn out;
+            count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
+            conn_loop c
+        | Ok (corr, Wire.Frag_install { fid; epoch; image }) ->
+            count_admin_frame t ~dir:"recv"
+              ~frame_len:(4 + String.length payload);
+            let reply = install_image t ~fid ~epoch image in
+            let out = Wire.encode_payload ~corr (Wire.Admin_reply { reply }) in
+            Sockio.write_frame conn out;
+            count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
+            conn_loop c
+        | Ok (corr, Wire.Frag_retire { fid; epoch; kind }) ->
+            count_admin_frame t ~dir:"recv"
+              ~frame_len:(4 + String.length payload);
+            let reply = retire_frag t ~fid ~epoch ~kind in
+            let out = Wire.encode_payload ~corr (Wire.Admin_reply { reply }) in
+            Sockio.write_frame conn out;
+            count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
+            conn_loop c
         | Ok (_, Wire.Shutdown) -> `Shutdown
-        | Ok (_, (Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _)) ->
+        | Ok
+            ( _,
+              ( Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _
+              | Wire.Frag_image _ | Wire.Admin_reply _ ) ) ->
             (* Not ours to receive; ignore. *)
             conn_loop c
         | Error err ->

@@ -76,6 +76,41 @@ val evict_run : t -> int -> unit
     exception into an [Error] reply. *)
 val handle_call : t -> run:int -> Pax_wire.Wire.call -> Pax_wire.Wire.reply
 
+(** {1 Elastic sharding hooks (docs/SHARDING.md)}
+
+    Exposed for tests; [serve] drives them from the
+    [Frag_fetch]/[Frag_install]/[Frag_retire] frames. *)
+
+(** The fragment's wire image: tree fragments as their
+    {!Pax_xml.Flat.encode} image, graph fragments via [Gfrag.encode]. *)
+val fetch_image :
+  t ->
+  fid:int ->
+  kind:Pax_wire.Wire.frag_kind ->
+  (Pax_wire.Wire.frag_image, string) result
+
+(** Validate and swap in an image (tree images decode against the
+    server's own intern table); clears any retirement fence for the
+    fragment.  Idempotent.  A corrupt image is refused without touching
+    held state. *)
+val install_image :
+  t ->
+  fid:int ->
+  epoch:int ->
+  Pax_wire.Wire.frag_image ->
+  (string, string) result
+
+(** Fence the fragment at [epoch]: later visits stamped with an epoch
+    [>= epoch] get the typed stale-epoch error, while the retained data
+    keeps serving older in-flight runs (drain-free migration).
+    Idempotent; an existing newer fence wins. *)
+val retire_frag :
+  t ->
+  fid:int ->
+  epoch:int ->
+  kind:Pax_wire.Wire.frag_kind ->
+  (string, string) result
+
 (** [serve t fd] — accept loop on a listening socket.  One connection
     at a time; on EOF the client may reconnect.  [Ping] is answered
     with [Pong]; [Shutdown] makes [serve] return (the listening socket

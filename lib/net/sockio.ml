@@ -21,9 +21,14 @@ let addr_to_string = function
   | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
 
 (* A peer closing mid-write must surface as EPIPE (mapped to a retry),
-   not kill the process. *)
-let ignore_sigpipe =
-  lazy (if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+   not kill the process.  An atomic flag rather than a lazy cell:
+   Lazy.force from concurrent threads can raise Undefined, and sockets
+   are opened from scheduler workers. *)
+let sigpipe_ignored = Atomic.make false
+
+let ignore_sigpipe () =
+  if not (Atomic.exchange sigpipe_ignored true) then
+    if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
 let sockaddr_of = function
   | Unix_path p -> Unix.ADDR_UNIX p
@@ -39,7 +44,7 @@ let domain_of = function
   | Tcp _ -> Unix.PF_INET
 
 let listen ?(backlog = 16) addr =
-  Lazy.force ignore_sigpipe;
+  ignore_sigpipe ();
   (match addr with
   | Unix_path p when Sys.file_exists p -> ( try Unix.unlink p with _ -> ())
   | _ -> ());
@@ -52,7 +57,7 @@ let listen ?(backlog = 16) addr =
   fd
 
 let connect addr =
-  Lazy.force ignore_sigpipe;
+  ignore_sigpipe ();
   let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (sockaddr_of addr)
    with e ->

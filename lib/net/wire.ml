@@ -62,11 +62,30 @@ type reply =
   | Frag_results of frag_result list
   | Final_answers of { answers : answer list; ops : int }
 
+type frag_kind = Tree_frag | Graph_frag
+
+type frag_image = { fi_kind : frag_kind; fi_bytes : string }
+
+(* The stale-epoch rejection is a *typed* error carried in the reply's
+   error string: both ends recognize it by this prefix, so the client
+   can route it through the retry budget instead of treating it as a
+   permanent remote failure. *)
+let stale_epoch_prefix = "stale-epoch:"
+
+let stale_epoch_error ~fid ~retired ~epoch =
+  Printf.sprintf "%s fragment %d retired at epoch %d (request epoch %d)"
+    stale_epoch_prefix fid retired epoch
+
+let is_stale_epoch m =
+  String.length m >= String.length stale_epoch_prefix
+  && String.sub m 0 (String.length stale_epoch_prefix) = stale_epoch_prefix
+
 type msg =
   | Visit_request of {
       run : int;
       round : int;
       site : int;
+      epoch : int;
       label : string;
       call : call;
     }
@@ -77,6 +96,11 @@ type msg =
   | Stats_request
   | Stats_reply of (string * float) list
   | Run_done of { run : int }
+  | Frag_fetch of { fid : int; kind : frag_kind }
+  | Frag_image of { fid : int; image : (frag_image, string) result }
+  | Frag_install of { fid : int; epoch : int; image : frag_image }
+  | Frag_retire of { fid : int; epoch : int; kind : frag_kind }
+  | Admin_reply of { reply : (string, string) result }
 
 type error = Truncated | Bad_version of int | Corrupt of string
 
@@ -513,6 +537,34 @@ let m_shutdown = 5
 let m_stats_request = 6
 let m_stats_reply = 7
 let m_run_done = 8
+let m_frag_fetch = 9
+let m_frag_image = 10
+let m_frag_install = 11
+let m_frag_retire = 12
+let m_admin_reply = 13
+
+(* Fragment images are opaque byte strings at this layer: tree images
+   are {!Pax_xml.Flat.encode} output (total-decoding, intern-remapping
+   at the receiver), graph images are [Gfrag.encode] output.  pax_wire
+   cannot depend on pax_graph, so validation happens at install time,
+   not decode time. *)
+let kind_code = function Tree_frag -> 1 | Graph_frag -> 2
+
+let get_kind s ~pos =
+  let k, pos = get_u8 s ~pos in
+  match k with
+  | 1 -> (Tree_frag, pos)
+  | 2 -> (Graph_frag, pos)
+  | _ -> fail "unknown fragment kind"
+
+let add_image buf { fi_kind; fi_bytes } =
+  add_u8 buf (kind_code fi_kind);
+  add_str buf fi_bytes
+
+let get_image s ~pos =
+  let fi_kind, pos = get_kind s ~pos in
+  let fi_bytes, pos = get_str s ~pos in
+  ({ fi_kind; fi_bytes }, pos)
 
 (* Metric values travel as IEEE-754 bits, big-endian, so the reply is
    byte-exact (counters compare with [=] across the wire). *)
@@ -545,11 +597,12 @@ let encode_payload ?(corr = 0) msg =
   add_u8 buf version;
   add_varint buf corr;
   (match msg with
-  | Visit_request { run; round; site; label; call } ->
+  | Visit_request { run; round; site; epoch; label; call } ->
       add_u8 buf m_request;
       add_varint buf run;
       add_varint buf round;
       add_varint buf site;
+      add_varint buf epoch;
       add_str buf label;
       add_call buf call
   | Visit_reply { run; round; reply } ->
@@ -577,7 +630,40 @@ let encode_payload ?(corr = 0) msg =
         pairs
   | Run_done { run } ->
       add_u8 buf m_run_done;
-      add_varint buf run);
+      add_varint buf run
+  | Frag_fetch { fid; kind } ->
+      add_u8 buf m_frag_fetch;
+      add_varint buf fid;
+      add_u8 buf (kind_code kind)
+  | Frag_image { fid; image } ->
+      add_u8 buf m_frag_image;
+      add_varint buf fid;
+      (match image with
+      | Ok img ->
+          add_u8 buf 0;
+          add_image buf img
+      | Error e ->
+          add_u8 buf 1;
+          Buffer.add_string buf e)
+  | Frag_install { fid; epoch; image } ->
+      add_u8 buf m_frag_install;
+      add_varint buf fid;
+      add_varint buf epoch;
+      add_image buf image
+  | Frag_retire { fid; epoch; kind } ->
+      add_u8 buf m_frag_retire;
+      add_varint buf fid;
+      add_varint buf epoch;
+      add_u8 buf (kind_code kind)
+  | Admin_reply { reply } -> (
+      add_u8 buf m_admin_reply;
+      match reply with
+      | Ok detail ->
+          add_u8 buf 0;
+          Buffer.add_string buf detail
+      | Error e ->
+          add_u8 buf 1;
+          Buffer.add_string buf e));
   Buffer.contents buf
 
 let encode ?corr msg =
@@ -625,9 +711,45 @@ let decode_payload_corr s =
           let run, pos = get_varint s ~pos in
           let round, pos = get_varint s ~pos in
           let site, pos = get_varint s ~pos in
+          let epoch, pos = get_varint s ~pos in
           let label, pos = get_str s ~pos in
           let call, pos = get_call s ~pos in
-          finish (Visit_request { run; round; site; label; call }) pos
+          finish (Visit_request { run; round; site; epoch; label; call }) pos
+        end
+        else if tag = m_frag_fetch then begin
+          let fid, pos = get_varint s ~pos in
+          let kind, pos = get_kind s ~pos in
+          finish (Frag_fetch { fid; kind }) pos
+        end
+        else if tag = m_frag_image then begin
+          let fid, pos = get_varint s ~pos in
+          let status, pos = get_u8 s ~pos in
+          if status = 0 then
+            let image, pos = get_image s ~pos in
+            finish (Frag_image { fid; image = Ok image }) pos
+          else if status = 1 then
+            let e = String.sub s pos (String.length s - pos) in
+            Ok (corr, Frag_image { fid; image = Error e })
+          else Error (Corrupt "bad fragment-image status")
+        end
+        else if tag = m_frag_install then begin
+          let fid, pos = get_varint s ~pos in
+          let epoch, pos = get_varint s ~pos in
+          let image, pos = get_image s ~pos in
+          finish (Frag_install { fid; epoch; image }) pos
+        end
+        else if tag = m_frag_retire then begin
+          let fid, pos = get_varint s ~pos in
+          let epoch, pos = get_varint s ~pos in
+          let kind, pos = get_kind s ~pos in
+          finish (Frag_retire { fid; epoch; kind }) pos
+        end
+        else if tag = m_admin_reply then begin
+          let status, pos = get_u8 s ~pos in
+          let rest = String.sub s pos (String.length s - pos) in
+          if status = 0 then Ok (corr, Admin_reply { reply = Ok rest })
+          else if status = 1 then Ok (corr, Admin_reply { reply = Error rest })
+          else Error (Corrupt "bad admin-reply status")
         end
         else if tag = m_reply then begin
           let run, pos = get_varint s ~pos in
@@ -745,12 +867,20 @@ let tally = function
   (* Stats traffic is telemetry, not query evaluation: it carries no
      sections and is excluded from accounted traffic entirely. *)
   | Stats_request | Stats_reply _ -> empty_tally
+  (* Migration traffic is control plane, not query evaluation: a
+     fragment image crossing the wire belongs to no run, so it never
+     enters per-query guarantee accounting.  The admin byte volume is
+     surfaced through pax_obs counters instead (docs/SHARDING.md). *)
+  | Frag_fetch _ | Frag_image _ | Frag_install _ | Frag_retire _
+  | Admin_reply _ -> empty_tally
 
 (* Worst-case structure bytes (docs/NETWORK.md derives these): frame
    header + version + correlation id + tags + envelope varints and
    label; per fragment entry its identifiers, flags and counters; per
    section one adjacent varint identifier.  v2 raised the per-frame
-   constant from 96 by the worst-case 8-byte correlation-id varint. *)
-let frame_overhead = 104
+   constant from 96 by the worst-case 8-byte correlation-id varint;
+   elastic sharding adds a worst-case 10-byte placement-epoch varint
+   to every visit request. *)
+let frame_overhead = 114
 let frag_overhead = 48
 let section_overhead = 12

@@ -125,6 +125,30 @@ type reply =
   | Frag_results of frag_result list
   | Final_answers of { answers : answer list; ops : int }
 
+(** {1 Fragment images}
+
+    Elastic sharding ships whole fragments between sites as opaque,
+    kind-tagged byte strings: tree fragments as their
+    {!Pax_xml.Flat.encode} image (total-decoding, intern-remapping at
+    the receiver), graph fragments as their [Gfrag.encode] image.
+    pax_wire cannot depend on pax_graph, so image payloads are
+    validated at install time by the receiving server, not here. *)
+
+type frag_kind = Tree_frag | Graph_frag
+
+type frag_image = { fi_kind : frag_kind; fi_bytes : string }
+
+(** Prefix of the typed stale-epoch rejection carried in a
+    [Visit_reply] error string: a visit stamped with a placement epoch
+    at or past the fragment's retirement is refused with this marker,
+    and the client routes it through the retry budget (the placement
+    table may still be converging) instead of raising a permanent
+    remote failure. *)
+val stale_epoch_prefix : string
+
+val stale_epoch_error : fid:int -> retired:int -> epoch:int -> string
+val is_stale_epoch : string -> bool
+
 (** {1 Messages} *)
 
 type msg =
@@ -132,6 +156,12 @@ type msg =
       run : int;
       round : int;
       site : int;
+      epoch : int;
+          (** coordinator's placement epoch when the run was admitted;
+              lets a site that retired a fragment refuse visits routed
+              under metadata the sender should already have seen
+              ({!stale_epoch_prefix}) while still serving older
+              in-flight runs from kept data *)
       label : string;
       call : call;
     }
@@ -151,6 +181,26 @@ type msg =
           every per-run state it kept (stage vectors, reply memos).
           Best-effort session control — no reply, no sections; losing it
           only delays eviction until the server's LRU bound kicks in. *)
+  | Frag_fetch of { fid : int; kind : frag_kind }
+      (** ask the site holding [fid] for its wire image; answered by
+          [Frag_image] *)
+  | Frag_image of { fid : int; image : (frag_image, string) result }
+  | Frag_install of { fid : int; epoch : int; image : frag_image }
+      (** install [image] as fragment [fid] at the receiving site,
+          effective at placement epoch [epoch]; idempotent (replaying
+          an install is a no-op in effect), clears any retirement fence
+          for [fid]; answered by [Admin_reply] *)
+  | Frag_retire of { fid : int; epoch : int; kind : frag_kind }
+      (** fence fragment [fid] at the source site: visits stamped with
+          an epoch [>= epoch] are refused with the typed stale-epoch
+          error, while older in-flight runs keep being served from the
+          retained data (drain-free migration); answered by
+          [Admin_reply] *)
+  | Admin_reply of { reply : (string, string) result }
+      (** acknowledgment for [Frag_install]/[Frag_retire].  Migration
+          frames are control plane: like stats traffic they carry no
+          sections and are excluded from per-query accounted traffic
+          (the admin byte volume is surfaced via pax_obs counters). *)
 
 type error =
   | Truncated

@@ -9,9 +9,20 @@ module Cluster = Pax_dist.Cluster
 module Pe = Pax_engine.Pe
 
 type backend = In_process | Sockets of Pax_net.Client.t
-type mount = { m_pe : Pe.packed; m_tune : Cluster.t -> unit }
 
-let mount ?(tune = ignore) pe = { m_pe = pe; m_tune = tune }
+type mount = {
+  m_pe : Pe.packed;
+  m_tune : Cluster.t -> unit;
+  (* Elastic sharding (docs/SHARDING.md): when a placement table backs
+     this mount, every admitted run is stamped with the table's epoch
+     (so servers can fence stale routing) and the run's per-fragment
+     touch counts are harvested back into the table (the rebalancer's
+     hotness signal).  The mount's engine should be built over
+     [Ptable.assign table] so new runs snapshot the live placement. *)
+  m_table : Pax_shard.Ptable.t option;
+}
+
+let mount ?(tune = ignore) ?table pe = { m_pe = pe; m_tune = tune; m_table = table }
 
 type error =
   | Rejected of Sched.rejection
@@ -54,22 +65,37 @@ let engines t = List.map fst t.mounts
    writers, and the serving-level sink already observes what the layer
    promises (queue depth, latency, cache traffic). *)
 let run_one t m text =
+  let admitted_epoch =
+    Option.map Pax_shard.Ptable.epoch m.m_table
+  in
   let transport, cleanup =
     match t.backend with
     | In_process -> (None, Fun.id)
     | Sockets mux ->
         let handle = Pax_net.Client.handle mux in
+        Option.iter (Pax_net.Client.set_epoch handle) admitted_epoch;
         let tr = Pax_net.Client.handle_transport handle in
         (Some tr, fun () -> tr.Pax_dist.Transport.close ())
   in
+  let run_cluster = ref None in
   let tune cl =
+    run_cluster := Some cl;
+    Option.iter (Cluster.set_epoch cl) admitted_epoch;
     Option.iter
       (fun c -> Cluster.set_stage_cache cl (Cache.to_stage_cache c))
       t.cache;
     m.m_tune cl
   in
   Fun.protect ~finally:cleanup (fun () ->
-      Pe.run_text m.m_pe ?transport ~tune text)
+      let r = Pe.run_text m.m_pe ?transport ~tune text in
+      (* Harvest the run's per-fragment touches into the placement
+         table — the hotness counters the rebalancer and the
+         [pax admin placement] dump read. *)
+      (match (m.m_table, !run_cluster) with
+      | Some table, Some cl ->
+          Pax_shard.Ptable.record_touches table (Cluster.frag_touches cl)
+      | _ -> ());
+      r)
 
 let submit ?engine ?(source = "default") t text =
   let m =

@@ -32,10 +32,24 @@ type backend =
 
 (** A mounted engine.  [tune] runs on each fresh per-run cluster
     before evaluation (fault plans, gates for tests, service delay);
-    the coordinator's cache, when present, is installed first. *)
+    the coordinator's cache, when present, is installed first.
+
+    [table] attaches a placement table (docs/SHARDING.md): each
+    admitted run is stamped with the table's epoch — over sockets the
+    run's client handle carries it, so servers fence stale routing —
+    and after the run its per-fragment touch counts are harvested into
+    the table, feeding the rebalancer and the [pax admin placement]
+    dump.  Build the mounted engine over [Ptable.assign table] so new
+    runs snapshot the live placement; admission stays rejection-free
+    during moves because a run simply snapshots whichever placement is
+    current when its cluster is created. *)
 type mount
 
-val mount : ?tune:(Pax_dist.Cluster.t -> unit) -> Pe.packed -> mount
+val mount :
+  ?tune:(Pax_dist.Cluster.t -> unit) ->
+  ?table:Pax_shard.Ptable.t ->
+  Pe.packed ->
+  mount
 
 type error =
   | Rejected of Sched.rejection  (** admission control said no *)

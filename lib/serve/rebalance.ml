@@ -1,0 +1,98 @@
+module Ptable = Pax_shard.Ptable
+module Migrate = Pax_shard.Migrate
+
+type policy = {
+  min_gain : int;
+  cooldown : float;
+  max_moves : int;
+}
+
+let default = { min_gain = 1; cooldown = 30.; max_moves = 8 }
+
+type move = { rb_fid : int; rb_from : int; rb_to : int }
+
+type t = {
+  table : Ptable.t;
+  policy : policy;
+  last_move : float array;  (* per-fid time of last move; -inf = never *)
+  sink : Pax_obs.Sink.t;
+}
+
+let create ?(policy = default) ?(sink = Pax_obs.Sink.noop) table =
+  {
+    table;
+    policy;
+    last_move = Array.make (Ptable.n_frags table) neg_infinity;
+    sink;
+  }
+
+let argmax a =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > a.(!best) then best := i) a;
+  !best
+
+let argmin a =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < a.(!best) then best := i) a;
+  !best
+
+(* Greedy move-or-split: take the hottest site and the lightest, and
+   move the hottest cooled-down fragment whose transfer actually
+   lowers the pair's max load.  When the hottest fragment alone
+   carries so much load that moving it would just relocate the hotspot
+   (the "this shard needs a split" case — fragments are indivisible
+   here, their boundaries are the paper's fixed fragmentation), fall
+   through to the next-hottest: moving the site's {e other} fragments
+   off is the split, approximated one move at a time. *)
+let plan_one t ~now =
+  let loads = Ptable.site_loads t.table in
+  if Array.length loads < 2 then None
+  else
+    let hot = argmax loads and cold = argmin loads in
+    if loads.(hot) - loads.(cold) <= t.policy.min_gain then None
+    else
+      let candidates =
+        List.filter
+          (fun (fid, site, _, visits) ->
+            site = hot && visits > 0
+            && now -. t.last_move.(fid) >= t.policy.cooldown)
+          (Ptable.to_list t.table)
+      in
+      let by_heat =
+        List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) candidates
+      in
+      (* A move helps iff the pair's max load drops by at least
+         [min_gain]: the hot site sheds [visits], and the recipient
+         must stay below the old hot load by that margin. *)
+      List.find_map
+        (fun (fid, _, _, visits) ->
+          if
+            visits >= t.policy.min_gain
+            && loads.(cold) + visits <= loads.(hot) - t.policy.min_gain
+          then Some { rb_fid = fid; rb_from = hot; rb_to = cold }
+          else None)
+        by_heat
+
+let step ?mux ?ft t ~now =
+  match plan_one t ~now with
+  | None -> Ok None
+  | Some mv -> (
+      match
+        Migrate.move ?mux ?ft ~table:t.table ~fid:mv.rb_fid ~dst:mv.rb_to ()
+      with
+      | Error e -> Error e
+      | Ok outcome ->
+          t.last_move.(mv.rb_fid) <- now;
+          Pax_obs.Sink.count t.sink "pax_rebalance_moves_total";
+          Ok (Some outcome))
+
+let run ?mux ?ft t ~now =
+  let rec loop acc n =
+    if n >= t.policy.max_moves then Ok (List.rev acc)
+    else
+      match step ?mux ?ft t ~now with
+      | Error e -> Error e
+      | Ok None -> Ok (List.rev acc)
+      | Ok (Some outcome) -> loop (outcome :: acc) (n + 1)
+  in
+  loop [] 0

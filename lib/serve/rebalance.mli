@@ -1,0 +1,57 @@
+(** The hot-shard rebalancer (docs/SHARDING.md): a greedy
+    move-or-split policy over one placement table's per-fragment visit
+    counters, executing moves through {!Pax_shard.Migrate}.
+
+    Each step pairs the hottest site (by summed fragment visits) with
+    the lightest and moves the hottest cooled-down fragment whose
+    transfer lowers the pair's max load by at least [min_gain].  A
+    fragment so hot that moving it would merely relocate the hotspot
+    is skipped in favor of the site's next-hottest — fragments are
+    indivisible (their boundaries are the paper's fixed
+    fragmentation), so "split" is approximated by moving the other
+    fragments off the site one at a time.  A per-fragment [cooldown]
+    stops a fragment from ping-ponging between sites on noisy
+    counters.
+
+    One rebalancer per table; run it for the tree table and the graph
+    table separately when serving both families. *)
+
+type policy = {
+  min_gain : int;
+      (** minimum drop in the hot/cold pair's max load for a move to
+          be worth it (and the minimum hot/cold imbalance to act at
+          all) *)
+  cooldown : float;  (** seconds a fragment rests after a move *)
+  max_moves : int;  (** per-{!run} cap *)
+}
+
+(** [{ min_gain = 1; cooldown = 30.; max_moves = 8 }] *)
+val default : policy
+
+type move = { rb_fid : int; rb_from : int; rb_to : int }
+
+type t
+
+(** [sink] counts executed moves as [pax_rebalance_moves_total]. *)
+val create : ?policy:policy -> ?sink:Pax_obs.Sink.t -> Pax_shard.Ptable.t -> t
+
+(** The next move the policy would make at time [now], if any.  Pure —
+    no migration is executed, no cooldown stamped. *)
+val plan_one : t -> now:float -> move option
+
+(** Plan and execute one move ([mux]/[ft] as {!Pax_shard.Migrate.move}).
+    [Ok None] = balanced (or everything hot is cooling down). *)
+val step :
+  ?mux:Pax_net.Client.t ->
+  ?ft:Pax_frag.Fragment.t ->
+  t ->
+  now:float ->
+  (Pax_shard.Migrate.outcome option, string) result
+
+(** Step until balanced or [max_moves] reached. *)
+val run :
+  ?mux:Pax_net.Client.t ->
+  ?ft:Pax_frag.Fragment.t ->
+  t ->
+  now:float ->
+  (Pax_shard.Migrate.outcome list, string) result

@@ -1,0 +1,109 @@
+module Wire = Pax_wire.Wire
+module Client = Pax_net.Client
+module Fragment = Pax_frag.Fragment
+
+type outcome = { mv_fid : int; mv_from : int; mv_to : int; mv_epoch : int }
+
+(* One live migration: fetch the fragment's wire image from the source
+   site, install it at the target under a freshly reserved epoch,
+   commit the placement change, then fence the source.  The order
+   matters:
+
+   - the epoch is reserved *before* the install so the fence the
+     source eventually gets names an epoch no admitted run carried yet;
+   - the table commits only after a successful install, so a failed
+     transfer leaves placement untouched (the reserved epoch is merely
+     skipped — monotonicity is all replay needs);
+   - the source is fenced *after* the commit, so a run admitted under
+     the new table can never race into an unfenced source and compute
+     against data the coordinator no longer routes to.  Runs admitted
+     earlier carry older epochs and pass the fence — drain-free.
+
+   The retire is best-effort: the move is already committed, and a
+   lost fence only means the source would serve (identical, immutable)
+   data to a client with stale metadata.  The generation bump
+   invalidates coordinator-side stage-cache entries keyed to the
+   fragment. *)
+let move ?mux ?ft ~table ~fid ~dst () =
+  if fid < 0 || fid >= Ptable.n_frags table then Error "fragment out of range"
+  else if dst < 0 || dst >= Ptable.n_sites table then Error "site out of range"
+  else
+    let src = Ptable.site_of table fid in
+    if src = dst then
+      Ok { mv_fid = fid; mv_from = src; mv_to = dst; mv_epoch = Ptable.epoch table }
+    else
+      let kind = Ptable.kind table in
+      let finish epoch =
+        Ptable.commit_move table ~fid ~site:dst ~epoch;
+        Option.iter
+          (fun ft -> if kind = Wire.Tree_frag then Fragment.bump_generation ft fid)
+          ft;
+        Ok { mv_fid = fid; mv_from = src; mv_to = dst; mv_epoch = epoch }
+      in
+      match mux with
+      | None ->
+          (* In-process cluster: no site server holds data, placement
+             is the table itself. *)
+          finish (Ptable.reserve_epoch table)
+      | Some mux -> (
+          match Client.frag_fetch mux ~site:src ~fid ~kind with
+          | Error e -> Error (Printf.sprintf "fetch from site %d: %s" src e)
+          | exception e ->
+              Error
+                (Printf.sprintf "fetch from site %d: %s" src
+                   (Printexc.to_string e))
+          | Ok image -> (
+              let epoch = Ptable.reserve_epoch table in
+              match Client.frag_install mux ~site:dst ~fid ~epoch ~image with
+              | Error e -> Error (Printf.sprintf "install at site %d: %s" dst e)
+              | exception e ->
+                  Error
+                    (Printf.sprintf "install at site %d: %s" dst
+                       (Printexc.to_string e))
+              | Ok _ ->
+                  let r = finish epoch in
+                  (try
+                     ignore (Client.frag_retire mux ~site:src ~fid ~epoch ~kind)
+                   with _ -> ());
+                  r))
+
+(* Replay a loaded snapshot against live servers: for every fragment
+   the snapshot places somewhere, re-issue the install at the recorded
+   site under the recorded epoch.  Installs are idempotent, so
+   replaying moves that already happened is a no-op in effect; moves
+   the dying coordinator committed but whose installs were lost are
+   re-driven from whichever site still holds the data — the fetch
+   falls back across all sites because the snapshot's source knowledge
+   is gone. *)
+let replay ~mux ~table () =
+  let errors = ref [] in
+  List.iter
+    (fun (fid, site, fepoch, _) ->
+      if fepoch > 0 then begin
+        let kind = Ptable.kind table in
+        let fetched = ref None in
+        let try_site s =
+          if !fetched = None then
+            match Client.frag_fetch mux ~site:s ~fid ~kind with
+            | Ok image -> fetched := Some image
+            | Error _ | (exception _) -> ()
+        in
+        try_site site;
+        for s = 0 to Ptable.n_sites table - 1 do
+          if s <> site then try_site s
+        done;
+        match !fetched with
+        | None ->
+            errors := Printf.sprintf "fragment %d: no site has it" fid :: !errors
+        | Some image -> (
+            match Client.frag_install mux ~site ~fid ~epoch:fepoch ~image with
+            | Ok _ -> ()
+            | Error e ->
+                errors := Printf.sprintf "fragment %d: %s" fid e :: !errors
+            | exception e ->
+                errors :=
+                  Printf.sprintf "fragment %d: %s" fid (Printexc.to_string e)
+                  :: !errors)
+      end)
+    (Ptable.to_list table);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

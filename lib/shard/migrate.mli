@@ -1,0 +1,40 @@
+(** The live migration driver (docs/SHARDING.md): moves one fragment
+    between site servers over the
+    [Frag_fetch] → [Frag_install] → [Frag_retire] frames while queries
+    stay in flight. *)
+
+type outcome = { mv_fid : int; mv_from : int; mv_to : int; mv_epoch : int }
+
+(** [move ~table ~fid ~dst ()] — migrate [fid] to [dst].
+
+    Over sockets ([mux] given): fetch the wire image from the current
+    holder, reserve a fresh epoch, install at [dst], commit the table,
+    then fence the source (best-effort).  A failed fetch/install
+    leaves placement untouched; the reserved epoch is skipped, which
+    preserves monotonicity.  Without [mux] the move is pure metadata
+    (in-process clusters read the table directly).
+
+    [ft] given and the table governs tree fragments: the fragment's
+    generation is bumped so stage-cache entries keyed to it invalidate
+    (the coordinator's cache stamps entries with the generation).
+
+    Moving a fragment onto the site already holding it is a no-op
+    [Ok]. *)
+val move :
+  ?mux:Pax_net.Client.t ->
+  ?ft:Pax_frag.Fragment.t ->
+  table:Ptable.t ->
+  fid:int ->
+  dst:int ->
+  unit ->
+  (outcome, string) result
+
+(** [replay ~mux ~table ()] — after a coordinator restart with a
+    loaded snapshot: re-issue the install for every fragment the
+    snapshot records as moved (epoch > 0), fetching the image from the
+    recorded site or, failing that, any site still holding it.
+    Installs are idempotent, so replaying completed moves is
+    harmless; this re-drives moves whose installs the dying
+    coordinator lost. *)
+val replay :
+  mux:Pax_net.Client.t -> table:Ptable.t -> unit -> (unit, string) result

@@ -239,6 +239,219 @@ let test_socket_domains () =
               qs)
         seq par)
 
+(* ------------------------------------------------------------------ *)
+(* Mid-run migration axis                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A concurrent 16-query workload over forked socket servers, run as
+   two 8-query waves with one fragment live-migrated between them
+   (docs/SHARDING.md).  Against a no-migration control run on fresh
+   identical servers:
+   - the pre-move wave is bit-identical in every observable;
+   - the post-move wave keeps answers and audit verdicts bit-identical
+     — migration must never change what a query returns or whether the
+     guarantee auditor passes;
+   - the post-move wave's visit vectors match an in-process control
+     run under the post-move placement: placement legitimately
+     redistributes visits, the migration machinery itself must not. *)
+
+module Coordinator = Pax_serve.Coordinator
+module Engines = Pax_core.Engines
+module Pe = Pax_engine.Pe
+module Ptable = Pax_shard.Ptable
+module Migrate = Pax_shard.Migrate
+
+let migration_queries =
+  [
+    "//person[profile/education]";
+    "//person/profile/age";
+    "//regions/*/item/name";
+    "//person[profile/interest/@category]/name";
+    "/site/open_auctions/open_auction[bidder]";
+    "//person/name";
+    "//open_auction/bidder";
+    "//person[profile/age]/name";
+  ]
+
+(* Half pax2, half pax3: both engine families cross the migration. *)
+let migration_eqs =
+  List.concat_map
+    (fun q -> [ ("pax2", q); ("pax3", q) ])
+    migration_queries
+
+let mig_obs (o : Pe.outcome) =
+  ( o.Pe.answer_keys,
+    Array.to_list o.Pe.report.Cluster.visits,
+    o.Pe.audit.Pax_obs.Audit.pass )
+
+(* Submit a whole wave, then collect — the waves are concurrent. *)
+let mig_wave coord eqs =
+  let tickets =
+    List.mapi
+      (fun i (engine, q) ->
+        let source = Printf.sprintf "client-%d" (i mod 4) in
+        match Coordinator.submit ~engine ~source coord q with
+        | Ok tk -> (q, tk)
+        | Error e ->
+            Alcotest.failf "%s rejected: %s" q (Coordinator.error_message e))
+      eqs
+  in
+  List.map
+    (fun (q, tk) ->
+      match Coordinator.await tk with
+      | Ok o -> mig_obs o
+      | Error e -> Alcotest.failf "%s raised: %s" q (Printexc.to_string e))
+    tickets
+
+let mig_ft () =
+  let doc = Pax_xmark.Xmark.doc ~seed:4 ~total_nodes:2500 ~n_sites:4 in
+  Fragment.fragmentize doc ~cuts:(Fragment.cuts_by_tag doc ~tag:"site")
+
+let mig_n_sites = 4
+
+let with_mig_servers ft ~assign f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pax_mig_net_%d_%d" (Unix.getpid ())
+         (Random.int 100000))
+  in
+  Sys.mkdir dir 0o755;
+  let addrs =
+    Array.init mig_n_sites (fun site ->
+        Sockio.Unix_path (Filename.concat dir (Printf.sprintf "s%d.sock" site)))
+  in
+  let site_frags site =
+    List.filter_map
+      (fun fid ->
+        if assign fid = site then
+          Some (fid, (Fragment.fragment ft fid).Fragment.root)
+        else None)
+      (List.init (Fragment.n_fragments ft) Fun.id)
+  in
+  let pids =
+    Array.to_list
+      (Array.mapi
+         (fun site addr -> Server.spawn ~addr ~frags:(site_frags site) ())
+         addrs)
+  in
+  let mux = Client.create ~timeout:20. ~addrs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.shutdown_sites mux;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        pids;
+      Array.iter
+        (fun a ->
+          match a with
+          | Sockio.Unix_path p -> ( try Sys.remove p with _ -> ())
+          | Sockio.Tcp _ -> ())
+        addrs;
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f mux)
+
+let mig_mounts ft table =
+  [
+    Coordinator.mount ~table
+      (Engines.pax2 ft ~n_sites:mig_n_sites ~assign:(Ptable.assign table));
+    Coordinator.mount ~table
+      (Engines.pax3 ft ~n_sites:mig_n_sites ~assign:(Ptable.assign table));
+  ]
+
+(* Two waves over fresh servers; [migrate] moves one fragment between
+   them.  Returns both waves and the post-workload placement. *)
+let mig_workload ~migrate =
+  let ft = mig_ft () in
+  let n_frags = Fragment.n_fragments ft in
+  let table =
+    Ptable.create ~n_frags ~n_sites:mig_n_sites
+      ~assign:(fun fid -> fid mod mig_n_sites)
+      ()
+  in
+  with_mig_servers ft ~assign:(Ptable.assign table) (fun mux ->
+      let coord =
+        Coordinator.create ~max_inflight:8 (Coordinator.Sockets mux)
+          (mig_mounts ft table)
+      in
+      let w1 = mig_wave coord migration_eqs in
+      if migrate then begin
+        let fid = n_frags / 2 in
+        let dst = (Ptable.site_of table fid + 1) mod mig_n_sites in
+        match Migrate.move ~mux ~ft ~table ~fid ~dst () with
+        | Ok o ->
+            Alcotest.(check int) "move bumped the epoch" 1 o.Migrate.mv_epoch
+        | Error e -> Alcotest.failf "migration failed: %s" e
+      end;
+      let w2 = mig_wave coord migration_eqs in
+      Coordinator.close coord;
+      (w1, w2, Array.init n_frags (Ptable.site_of table)))
+
+let test_migration_axis () =
+  with_timeout 300 (fun () ->
+      let c1, c2, _ = mig_workload ~migrate:false in
+      let m1, m2, post = mig_workload ~migrate:true in
+      List.iteri
+        (fun i ((a_ans, a_vis, a_pass), (b_ans, b_vis, b_pass)) ->
+          let _, q = List.nth migration_eqs i in
+          Alcotest.(check (list int))
+            (Printf.sprintf "pre-move %s: answers" q)
+            a_ans b_ans;
+          Alcotest.(check (list int))
+            (Printf.sprintf "pre-move %s: visits" q)
+            a_vis b_vis;
+          Alcotest.(check bool)
+            (Printf.sprintf "pre-move %s: audit" q)
+            a_pass b_pass)
+        (List.combine c1 m1);
+      List.iteri
+        (fun i ((a_ans, _, a_pass), (b_ans, _, b_pass)) ->
+          let _, q = List.nth migration_eqs i in
+          Alcotest.(check (list int))
+            (Printf.sprintf "post-move %s: answers" q)
+            a_ans b_ans;
+          Alcotest.(check bool)
+            (Printf.sprintf "post-move %s: audit" q)
+            a_pass b_pass;
+          Alcotest.(check bool)
+            (Printf.sprintf "post-move %s: auditor passes" q)
+            true b_pass)
+        (List.combine c2 m2);
+      (* The post-move visit vectors are exactly what the post-move
+         placement dictates: an in-process run under that placement is
+         bit-identical in every observable (transport invariance). *)
+      let ft = mig_ft () in
+      let table =
+        Ptable.create ~n_frags:(Array.length post) ~n_sites:mig_n_sites
+          ~assign:(fun fid -> post.(fid))
+          ()
+      in
+      let ctrl =
+        Coordinator.create ~max_inflight:1 Coordinator.In_process
+          (mig_mounts ft table)
+      in
+      List.iteri
+        (fun i (engine, q) ->
+          match Coordinator.run ~engine ctrl q with
+          | Ok o ->
+              let c_ans, c_vis, c_pass = mig_obs o in
+              let m_ans, m_vis, m_pass = List.nth m2 i in
+              Alcotest.(check (list int))
+                (Printf.sprintf "control %s: answers" q)
+                c_ans m_ans;
+              Alcotest.(check (list int))
+                (Printf.sprintf "control %s: visits" q)
+                c_vis m_vis;
+              Alcotest.(check bool)
+                (Printf.sprintf "control %s: audit" q)
+                c_pass m_pass
+          | Error e ->
+              Alcotest.failf "control %s rejected: %s" q
+                (Coordinator.error_message e))
+        migration_eqs;
+      Coordinator.close ctrl)
+
 let () =
   Alcotest.run "differential"
     [
@@ -248,6 +461,11 @@ let () =
             ~fault:false;
           make_test "all engines = centralized or typed failure (faults)"
             ~count:250 ~fault:true;
+          (* Forks servers, so it must precede the domains=4 case:
+             OCaml 5 forbids Unix.fork once domains have been created. *)
+          Alcotest.test_case
+            "sockets: live migration between waves is invisible" `Quick
+            test_migration_axis;
           Alcotest.test_case "sockets: domains=4 = sequential, bit for bit"
             `Quick test_socket_domains;
         ] );

@@ -57,6 +57,7 @@ let sample_msgs =
         run = 123456;
         round = 0;
         site = 2;
+        epoch = 0;
         label = "stage1";
         call =
           Wire.Pax2_stage1
@@ -78,6 +79,7 @@ let sample_msgs =
         run = 1;
         round = 1;
         site = 0;
+        epoch = 3;
         label = "stage2";
         call =
           Wire.Pax2_stage2
@@ -91,6 +93,7 @@ let sample_msgs =
         run = 9;
         round = 0;
         site = 1;
+        epoch = 1;
         label = "stage1";
         call = Wire.Pax3_stage1 { query = "a[b]//c"; fids = [ 0; 2; 5 ] };
       };
@@ -99,6 +102,7 @@ let sample_msgs =
         run = 9;
         round = 1;
         site = 1;
+        epoch = 4096;
         label = "stage2";
         call =
           Wire.Pax3_stage2
@@ -116,6 +120,7 @@ let sample_msgs =
         run = 9;
         round = 2;
         site = 1;
+        epoch = 7;
         label = "stage3";
         call = Wire.Pax3_stage3 { frags = [ (2, [| false; true |]) ] };
       };
@@ -152,6 +157,26 @@ let sample_msgs =
     Wire.Stats_request;
     Wire.Stats_reply [ ("pax_visits_total{site=\"1\"}", 4.); ("x", 0.5) ];
     Wire.Run_done { run = 987654321 };
+    (* Elastic-sharding control plane (docs/SHARDING.md).  Image bytes
+       are opaque at the wire layer, so arbitrary strings round-trip. *)
+    Wire.Frag_fetch { fid = 3; kind = Wire.Tree_frag };
+    Wire.Frag_fetch { fid = 0; kind = Wire.Graph_frag };
+    Wire.Frag_image
+      {
+        fid = 3;
+        image =
+          Ok { Wire.fi_kind = Wire.Tree_frag; fi_bytes = "\x00flat\xffimage" };
+      };
+    Wire.Frag_image { fid = 9; image = Error "site server holds no fragment 9" };
+    Wire.Frag_install
+      {
+        fid = 3;
+        epoch = 2;
+        image = { Wire.fi_kind = Wire.Graph_frag; fi_bytes = "pgf1\x01" };
+      };
+    Wire.Frag_retire { fid = 3; epoch = 2; kind = Wire.Tree_frag };
+    Wire.Admin_reply { reply = Ok "installed fragment 3 at epoch 2" };
+    Wire.Admin_reply { reply = Error "corrupt flat image for fragment 3" };
   ]
 
 let test_roundtrip () =

@@ -185,6 +185,224 @@ let qtest name ~count:n prop =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name ~count:n arbitrary_faulty prop)
 
+(* ---------------- mid-run migration axis ---------------------------- *)
+
+(* The graph family's half of the elastic-sharding differential
+   (docs/SHARDING.md): a concurrent 16-query reachability workload
+   over forked socket servers, run as two 8-query waves with one graph
+   fragment live-migrated between them.  Answers and audit verdicts
+   must be bit-identical to a no-migration control (and to the
+   centralized BFS); the post-move visit vectors must match an
+   in-process control under the post-move placement. *)
+
+module Coordinator = Pax_serve.Coordinator
+module Pe = Pax_engine.Pe
+module Ptable = Pax_shard.Ptable
+module Migrate = Pax_shard.Migrate
+module Wire = Pax_wire.Wire
+
+exception Timed_out
+
+let with_timeout secs f =
+  let old =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
+  in
+  ignore (Unix.alarm secs);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm old)
+    f
+
+let mig_n = 60
+let mig_n_frags = 6
+let mig_n_sites = 3
+
+let mig_edges =
+  let st = Random.State.make [| 0x5eed; 9 |] in
+  List.init 180 (fun _ -> (Random.State.int st mig_n, Random.State.int st mig_n))
+
+let mig_partition () =
+  Gfrag.partition ~n:mig_n ~edges:mig_edges
+    ~owner:(Array.init mig_n (fun v -> v mod mig_n_frags))
+
+let mig_queries =
+  List.map
+    (fun (s, d) -> Gfrag.query_string ~src:s ~dst:d)
+    [ (0, 59); (1, 2); (5, 5); (7, 30); (12, 3); (58, 0); (9, 44); (23, 23) ]
+
+let mig_obs (o : Pe.outcome) =
+  ( o.Pe.answer_keys,
+    Array.to_list o.Pe.report.Cluster.visits,
+    o.Pe.audit.Pax_obs.Audit.pass )
+
+let mig_wave coord qs =
+  let tickets =
+    List.mapi
+      (fun i q ->
+        let source = Printf.sprintf "client-%d" (i mod 4) in
+        match Coordinator.submit ~source coord q with
+        | Ok tk -> (q, tk)
+        | Error e ->
+            Alcotest.failf "%s rejected: %s" q (Coordinator.error_message e))
+      qs
+  in
+  List.map
+    (fun (q, tk) ->
+      match Coordinator.await tk with
+      | Ok o -> mig_obs o
+      | Error e -> Alcotest.failf "%s raised: %s" q (Printexc.to_string e))
+    tickets
+
+let with_mig_servers g ~assign f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pax_reach_mig_%d_%d" (Unix.getpid ())
+         (Random.int 100000))
+  in
+  Sys.mkdir dir 0o755;
+  let addrs =
+    Array.init mig_n_sites (fun site ->
+        Sockio.Unix_path (Filename.concat dir (Printf.sprintf "s%d.sock" site)))
+  in
+  let gfrags site =
+    List.filter_map
+      (fun fid ->
+        if assign fid = site then Some (fid, Gfrag.fragment g fid) else None)
+      (List.init mig_n_frags Fun.id)
+  in
+  let pids =
+    Array.to_list
+      (Array.mapi
+         (fun site addr ->
+           Server.spawn ~addr ~frags:[] ~gfrags:(gfrags site) ())
+         addrs)
+  in
+  let mux = Client.create ~timeout:20. ~addrs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.shutdown_sites mux;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        pids;
+      Array.iter
+        (fun a ->
+          match a with
+          | Sockio.Unix_path p -> ( try Sys.remove p with _ -> ())
+          | Sockio.Tcp _ -> ())
+        addrs;
+      try Sys.rmdir dir with _ -> ())
+    (fun () -> f mux)
+
+let mig_workload ~migrate =
+  let g = mig_partition () in
+  let table =
+    Ptable.create ~kind:Wire.Graph_frag ~n_frags:mig_n_frags
+      ~n_sites:mig_n_sites
+      ~assign:(fun fid -> fid mod mig_n_sites)
+      ()
+  in
+  with_mig_servers g ~assign:(Ptable.assign table) (fun mux ->
+      let coord =
+        Coordinator.create ~max_inflight:8 (Coordinator.Sockets mux)
+          [
+            Coordinator.mount ~table
+              (Reach.engine g ~n_sites:mig_n_sites
+                 ~assign:(Ptable.assign table));
+          ]
+      in
+      let w1 = mig_wave coord mig_queries in
+      if migrate then begin
+        let fid = 2 in
+        let dst = (Ptable.site_of table fid + 1) mod mig_n_sites in
+        match Migrate.move ~mux ~table ~fid ~dst () with
+        | Ok o ->
+            Alcotest.(check int) "move bumped the epoch" 1 o.Migrate.mv_epoch
+        | Error e -> Alcotest.failf "graph migration failed: %s" e
+      end;
+      let w2 = mig_wave coord mig_queries in
+      Coordinator.close coord;
+      (w1, w2, Array.init mig_n_frags (Ptable.site_of table)))
+
+let test_migration_axis () =
+  with_timeout 300 (fun () ->
+      let c1, c2, _ = mig_workload ~migrate:false in
+      let m1, m2, post = mig_workload ~migrate:true in
+      List.iteri
+        (fun i ((a_ans, a_vis, a_pass), (b_ans, b_vis, b_pass)) ->
+          let q = List.nth mig_queries i in
+          Alcotest.(check (list int))
+            (Printf.sprintf "pre-move %s: answers" q)
+            a_ans b_ans;
+          Alcotest.(check (list int))
+            (Printf.sprintf "pre-move %s: visits" q)
+            a_vis b_vis;
+          Alcotest.(check bool)
+            (Printf.sprintf "pre-move %s: audit" q)
+            a_pass b_pass)
+        (List.combine c1 m1);
+      List.iteri
+        (fun i ((a_ans, _, a_pass), (b_ans, _, b_pass)) ->
+          let q = List.nth mig_queries i in
+          Alcotest.(check (list int))
+            (Printf.sprintf "post-move %s: answers" q)
+            a_ans b_ans;
+          Alcotest.(check bool)
+            (Printf.sprintf "post-move %s: audit" q)
+            a_pass b_pass;
+          Alcotest.(check bool)
+            (Printf.sprintf "post-move %s: auditor passes" q)
+            true b_pass;
+          (* The distributed answer across the migration still equals
+             the centralized BFS. *)
+          match Gfrag.parse_query q with
+          | Some (src, dst) ->
+              let expect = Bfs.reach ~n:mig_n ~edges:mig_edges ~src ~dst in
+              Alcotest.(check (list int))
+                (Printf.sprintf "post-move %s = BFS" q)
+                (if expect then [ 1 ] else [])
+                b_ans
+          | None -> Alcotest.fail "unparseable reach query")
+        (List.combine c2 m2);
+      (* Post-move visits = what the post-move placement dictates,
+         transport-invariantly. *)
+      let g = mig_partition () in
+      let table =
+        Ptable.create ~kind:Wire.Graph_frag ~n_frags:mig_n_frags
+          ~n_sites:mig_n_sites
+          ~assign:(fun fid -> post.(fid))
+          ()
+      in
+      let ctrl =
+        Coordinator.create ~max_inflight:1 Coordinator.In_process
+          [
+            Coordinator.mount ~table
+              (Reach.engine g ~n_sites:mig_n_sites ~assign:(Ptable.assign table));
+          ]
+      in
+      List.iteri
+        (fun i q ->
+          match Coordinator.run ctrl q with
+          | Ok o ->
+              let c_ans, c_vis, c_pass = mig_obs o in
+              let m_ans, m_vis, m_pass = List.nth m2 i in
+              Alcotest.(check (list int))
+                (Printf.sprintf "control %s: answers" q)
+                c_ans m_ans;
+              Alcotest.(check (list int))
+                (Printf.sprintf "control %s: visits" q)
+                c_vis m_vis;
+              Alcotest.(check bool)
+                (Printf.sprintf "control %s: audit" q)
+                c_pass m_pass
+          | Error e ->
+              Alcotest.failf "control %s rejected: %s" q
+                (Coordinator.error_message e))
+        mig_queries;
+      Coordinator.close ctrl)
+
 let () =
   Alcotest.run "reach_differential"
     [
@@ -194,5 +412,8 @@ let () =
             ~count:(count 150) faulted;
           qtest "reach = BFS over sockets (flakes x delay)"
             ~count:(socket_count 15) sockets;
+          Alcotest.test_case
+            "sockets: live graph-fragment migration is invisible" `Quick
+            test_migration_axis;
         ] );
     ]

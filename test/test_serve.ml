@@ -278,7 +278,9 @@ let test_server_memo_bound () =
                 }
             in
             match
-              rpc (Wire.Visit_request { run; round = 0; site = 0; label = "s1"; call })
+              rpc
+                (Wire.Visit_request
+                   { run; round = 0; site = 0; epoch = 0; label = "s1"; call })
             with
             | Wire.Visit_reply { reply = Ok _; _ } -> ()
             | _ -> Alcotest.fail "unexpected reply to a visit request"
