@@ -192,7 +192,7 @@ let query_cmd =
               | Pax3 -> "pax3"
               | Naive | Centralized | Stream -> "naive"
             in
-            let r, server_stats =
+            let r, server_stats, server_spans =
               Fun.protect
                 ~finally:(fun () -> Option.iter Pax_net.Client.close client)
                 (fun () ->
@@ -215,9 +215,21 @@ let query_cmd =
                             | exception _ -> (site, []))
                     | _ -> []
                   in
-                  (r, server_stats))
+                  (* Harvest each site's span ring together with its
+                     estimated clock offset, for the merged multi-
+                     process Perfetto export (docs/OBSERVABILITY.md). *)
+                  let server_spans =
+                    match client with
+                    | Some c when trace_out <> None ->
+                        List.init (Cluster.n_sites cluster) (fun site ->
+                            match Pax_net.Client.fetch_spans c site with
+                            | offset, spans -> (site, offset, spans)
+                            | exception _ -> (site, 0., []))
+                    | _ -> []
+                  in
+                  (r, server_stats, server_spans))
             in
-            `Distributed (r, engine, server_stats)
+            `Distributed (r, engine, server_stats, server_spans)
       in
       (match result with
       | `Stream r ->
@@ -260,12 +272,18 @@ let query_cmd =
                        J.int (List.length r.Pax_core.Centralized.answers) );
                    ]))
             report_out
-      | `Distributed (r, engine, server_stats) ->
+      | `Distributed (r, engine, server_stats, _) ->
           Printf.printf "%d answer(s)\n" (List.length r.Pax_core.Run_result.answers);
           if not quiet then
             List.iter
               (fun n -> print_string (Printer.to_string n))
               r.Pax_core.Run_result.answers;
+          (* Audit once, then ledger the predicted-vs-actual ratios
+             into the sink *before* any metrics dump, so the printed
+             telemetry and the JSON report both carry the
+             pax_cost_* series for this run. *)
+          let audit = Pax_core.Guarantee.audit ~engine ~ftree:ft r in
+          Pax_obs.Audit.ledger sink ~engine audit;
           if stats then begin
             Format.printf "%a@."
               Cluster.pp_report r.Pax_core.Run_result.report;
@@ -281,8 +299,7 @@ let query_cmd =
                   (fun (name, v) -> Printf.printf "%s %g\n" name v)
                   (Pax_obs.Metrics.of_pairs pairs))
               server_stats;
-            Format.printf "%a@." Pax_obs.Audit.pp
-              (Pax_core.Guarantee.audit ~engine ~ftree:ft r)
+            Format.printf "%a@." Pax_obs.Audit.pp audit
           end;
           (match report_out with
           | Some path ->
@@ -339,9 +356,34 @@ let query_cmd =
                                   ("metrics", metrics_json pairs);
                                 ])
                             server_stats) );
-                     ( "audit",
-                       Pax_obs.Audit.to_json
-                         (Pax_core.Guarantee.audit ~engine ~ftree:ft r) );
+                     ("audit", Pax_obs.Audit.to_json audit);
+                     (* The cost ledger: the auditor's predicted bound
+                        next to the actual it governs, per bound, plus
+                        the run's wall-clock latency. *)
+                     ( "cost",
+                       J.Obj
+                         [
+                           ( "latency_seconds",
+                             J.Num report.Cluster.total_seconds );
+                           ( "bounds",
+                             J.List
+                               (List.map
+                                  (fun (b : Pax_obs.Audit.bound) ->
+                                    J.Obj
+                                      [
+                                        ("name", J.Str b.b_name);
+                                        ("formula", J.Str b.b_formula);
+                                        ("predicted_limit", J.Num b.b_limit);
+                                        ("actual", J.Num b.b_actual);
+                                        ( "ratio",
+                                          if b.b_limit > 0. then
+                                            J.Num (b.b_actual /. b.b_limit)
+                                          else J.Null );
+                                        ("margin", J.Num b.b_margin);
+                                        ("pass", J.Bool b.b_pass);
+                                      ])
+                                  audit.Pax_obs.Audit.bounds) );
+                         ] );
                    ])
           | None -> ());
           if show_trace then
@@ -366,10 +408,40 @@ let query_cmd =
                 Format.printf "# trace: %s@.%a@." mode Pax_dist.Trace.pp tr
             | None -> ());
       match trace_out with
-      | Some path ->
+      | Some path -> (
           let spans = Pax_obs.Span.spans sink.Pax_obs.Sink.spans in
-          Pax_obs.Chrome.write_file path spans;
-          Printf.printf "wrote %s: %d span(s)\n" path (List.length spans)
+          match result with
+          | `Distributed (_, _, _, ((_ :: _) as server_spans)) ->
+              (* Distributed run over sockets: one Perfetto file with
+                 the coordinator track plus every site server's,
+                 aligned onto the coordinator's clock via the offsets
+                 estimated at harvest (docs/OBSERVABILITY.md). *)
+              let procs =
+                {
+                  Pax_obs.Chrome.pr_name = "coordinator";
+                  pr_offset = 0.;
+                  pr_spans = spans;
+                }
+                :: List.map
+                     (fun (site, offset, sp) ->
+                       {
+                         Pax_obs.Chrome.pr_name =
+                           Printf.sprintf "site S%d" site;
+                         pr_offset = offset;
+                         pr_spans = sp;
+                       })
+                     server_spans
+              in
+              Pax_obs.Chrome.write_file_processes path procs;
+              Printf.printf "wrote %s: %d span(s) across %d process(es)\n"
+                path
+                (List.fold_left
+                   (fun n p -> n + List.length p.Pax_obs.Chrome.pr_spans)
+                   0 procs)
+                (List.length procs)
+          | _ ->
+              Pax_obs.Chrome.write_file path spans;
+              Printf.printf "wrote %s: %d span(s)\n" path (List.length spans))
       | None -> ()
     with
     | () -> 0
@@ -713,6 +785,35 @@ let coordinator_cmd =
                              o.mv_from o.mv_to o.mv_epoch)
                     | Error e -> Error e)
                 | _ -> Error "expected: ADMIN MOVE FID SITE")
+            | [ "STATS" ] ->
+                (* One reply line (the protocol is line-oriented):
+                   space-separated series=value pairs, the coordinator
+                   section first, then one per reachable site server
+                   — empty without --stats, since the serving sink is
+                   then the no-op one. *)
+                let dump_pairs pairs =
+                  String.concat " "
+                    (List.map
+                       (fun (k, v) -> Printf.sprintf "%s=%g" k v)
+                       pairs)
+                in
+                let coord_section =
+                  "coordinator "
+                  ^ dump_pairs (Pax_obs.Metrics.pairs sink.Pax_obs.Sink.metrics)
+                in
+                let site_sections =
+                  match mux with
+                  | None -> []
+                  | Some mux ->
+                      List.init (Cluster.n_sites proto) (fun site ->
+                          match Pax_net.Client.fetch_stats mux site with
+                          | pairs ->
+                              Printf.sprintf "site%d %s" site
+                                (dump_pairs pairs)
+                          | exception _ ->
+                              Printf.sprintf "site%d unreachable" site)
+                in
+                Ok (String.concat " ; " (coord_section :: site_sections))
             | [ "REBALANCE" ] -> (
                 match
                   Pax_serve.Rebalance.run ?mux ~ft rebalancer
@@ -1003,11 +1104,22 @@ let admin_cmd =
                per-fragment visit counters.")
       Term.(const run $ coordinator)
   in
+  let stats =
+    let run coordinator = issue coordinator "STATS" in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Dump the coordinator's telemetry (space-separated \
+               series=value pairs, including the per-run cost ledger's \
+               pax_cost_* series) and, when it runs over sockets, each \
+               site server's counters.  Empty unless the coordinator \
+               was started with $(b,--stats).")
+      Term.(const run $ coordinator)
+  in
   Cmd.group
     (Cmd.info "admin"
-       ~doc:"Placement administration against a running coordinator \
-             (docs/SHARDING.md).")
-    [ placement; move; rebalance ]
+       ~doc:"Administration against a running coordinator: placement \
+             (docs/SHARDING.md) and telemetry (docs/OBSERVABILITY.md).")
+    [ placement; move; rebalance; stats ]
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)

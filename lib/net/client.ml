@@ -343,31 +343,70 @@ let fetch_stats t site =
   | Ok _ -> failwith "unexpected reply to a stats request"
   | Error e -> raise e
 
+(* Clock alignment (docs/OBSERVABILITY.md): the server read its clock
+   somewhere between our send ([t0]) and our receipt of the reply
+   ([t1]); assuming symmetric transit, the midpoint of the exchange is
+   the coordinator-clock instant of that reading, so the difference is
+   how far the server's clock runs ahead of ours.  The error is
+   bounded by half the round trip.  Pure, so the estimator is testable
+   under [Clock.Fake] with known skew. *)
+let estimate_offset ~t0 ~t1 ~server_now = server_now -. ((t0 +. t1) /. 2.)
+
+(* Drain one site server's span ring.  Raw telemetry IO like
+   [fetch_stats] — skips every byte counter — but additionally pairs
+   its own clock readings around the exchange with the server's
+   [server_now] stamp to estimate that site's clock offset, which the
+   multi-process Perfetto merge subtracts from the site's track. *)
+let fetch_spans t site =
+  let t0 = Pax_obs.Clock.now () in
+  let corr, p, _ = post t site Wire.Spans_fetch in
+  match await t corr p with
+  | Ok (Wire.Spans_reply { server_now; spans }, _) ->
+      let t1 = Pax_obs.Clock.now () in
+      (estimate_offset ~t0 ~t1 ~server_now, spans)
+  | Ok _ -> failwith "unexpected reply to a spans fetch"
+  | Error e -> raise e
+
 (* Migration RPCs (docs/SHARDING.md).  Control plane like stats: they
    flow through the multiplexer (the receiver owns each socket, admin
    frames interleave freely with visit traffic — the drain-free
    window) but touch no per-run byte counters; servers ledger their
    volume under [pax_net_admin_*] instead. *)
+(* Each carries the optional trace-context extension: when the mux has
+   an enabled sink, the admin rpc is recorded as a coordinator span and
+   its id stamped on the frame so the server's admin span parent-links
+   to it (one flow arrow per migration step in the merged trace). *)
+let admin_rpc t name ~site msg collect =
+  let parent = Pax_obs.Sink.alloc t.sink in
+  let corr, p, _ = post t site (msg ~parent) in
+  Pax_obs.Sink.span t.sink ~cat:"admin" ?id:parent
+    ~args:(fun () -> [ ("site", string_of_int site) ])
+    name
+    (fun () ->
+      match await t corr p with
+      | Ok (reply, _) -> collect reply
+      | Error e -> raise e)
+
 let frag_fetch t ~site ~fid ~kind =
-  let corr, p, _ = post t site (Wire.Frag_fetch { fid; kind }) in
-  match await t corr p with
-  | Ok (Wire.Frag_image { fid = f; image }, _) when f = fid -> image
-  | Ok _ -> failwith "unexpected reply to a fragment fetch"
-  | Error e -> raise e
+  admin_rpc t "frag fetch" ~site
+    (fun ~parent -> Wire.Frag_fetch { fid; kind; parent })
+    (function
+      | Wire.Frag_image { fid = f; image } when f = fid -> image
+      | _ -> failwith "unexpected reply to a fragment fetch")
 
 let frag_install t ~site ~fid ~epoch ~image =
-  let corr, p, _ = post t site (Wire.Frag_install { fid; epoch; image }) in
-  match await t corr p with
-  | Ok (Wire.Admin_reply { reply }, _) -> reply
-  | Ok _ -> failwith "unexpected reply to a fragment install"
-  | Error e -> raise e
+  admin_rpc t "frag install" ~site
+    (fun ~parent -> Wire.Frag_install { fid; epoch; image; parent })
+    (function
+      | Wire.Admin_reply { reply } -> reply
+      | _ -> failwith "unexpected reply to a fragment install")
 
 let frag_retire t ~site ~fid ~epoch ~kind =
-  let corr, p, _ = post t site (Wire.Frag_retire { fid; epoch; kind }) in
-  match await t corr p with
-  | Ok (Wire.Admin_reply { reply }, _) -> reply
-  | Ok _ -> failwith "unexpected reply to a fragment retire"
-  | Error e -> raise e
+  admin_rpc t "frag retire" ~site
+    (fun ~parent -> Wire.Frag_retire { fid; epoch; kind; parent })
+    (function
+      | Wire.Admin_reply { reply } -> reply
+      | _ -> failwith "unexpected reply to a fragment retire")
 
 (* ------------------------------------------------------------------ *)
 (* Handles: one run's transport view                                  *)
@@ -462,14 +501,20 @@ let visit_round h ~round ~label ~retry reqs =
     drop t site;
     charge site e
   in
-  let request site call =
+  let request site call ~parent =
     Wire.Visit_request
-      { run = h.h_run; round; site; epoch = h.h_epoch; label; call }
+      { run = h.h_run; round; site; epoch = h.h_epoch; label; call; parent }
   in
+  (* Each send allocates a fresh rpc-span id (None on the noop sink, so
+     untraced frames carry no extension and stay byte-identical to
+     pre-tracing builds), stamps it on the frame as trace context, and
+     the collector below records the rpc span under that id once the
+     reply lands — the site's visit span parent-links to it. *)
   let rec send site call =
-    let msg = request site call in
+    let rpc_id = Pax_obs.Sink.alloc (sink_of h) in
+    let msg = request site call ~parent:rpc_id in
     match
-      Pax_obs.Sink.span (sink_of h) ~cat:"wire"
+      Pax_obs.Sink.span (sink_of h) ~cat:"wire" ?parent:rpc_id
         ~args:(fun () -> [ ("site", string_of_int site) ])
         "send frame"
         (fun () -> post t site msg)
@@ -479,7 +524,7 @@ let visit_round h ~round ~label ~retry reqs =
         h.h_touched.(site) <- true;
         frame_obs h ~dir:"sent" msg ~frame_len;
         tally_msg h msg;
-        (corr, p)
+        (corr, p, rpc_id)
     | exception ((Unix.Unix_error _ | Failure _) as e) ->
         failed site e;
         send site call
@@ -493,9 +538,9 @@ let visit_round h ~round ~label ~retry reqs =
       reqs
   in
   let rec recv site call waiter =
-    let corr, p = !waiter in
+    let corr, p, rpc_id = !waiter in
     match
-      Pax_obs.Sink.span (sink_of h) ~cat:"wire"
+      Pax_obs.Sink.span (sink_of h) ~cat:"wire" ?parent:rpc_id
         ~args:(fun () -> [ ("site", string_of_int site) ])
         "recv frame"
         (fun () -> await t corr p)
@@ -533,11 +578,18 @@ let visit_round h ~round ~label ~retry reqs =
   List.map
     (fun (site, call, waiter) ->
       let reply = recv site call waiter in
-      let t0 =
-        Option.value (Hashtbl.find_opt started site)
-          ~default:(Pax_obs.Clock.now ())
-      in
-      (site, reply, Pax_obs.Clock.now () -. t0))
+      let t1 = Pax_obs.Clock.now () in
+      let t0 = Option.value (Hashtbl.find_opt started site) ~default:t1 in
+      (* The rpc span of the attempt that got the reply: the remote
+         parent of the site's visit span in the merged trace. *)
+      (match !waiter with
+      | _, _, Some id ->
+          Pax_obs.Sink.record (sink_of h) ~cat:"rpc" ~id
+            ~args:
+              [ ("site", string_of_int site); ("round", string_of_int round) ]
+            label ~t0 ~t1
+      | _ -> ());
+      (site, reply, t1 -. t0))
     posted
 
 let handle_transport h =

@@ -52,6 +52,23 @@ val set_sink : t -> Pax_obs.Sink.t -> unit
     or a malformed reply. *)
 val fetch_stats : t -> int -> (string * float) list
 
+(** [estimate_offset ~t0 ~t1 ~server_now] — how far a server clock
+    that read [server_now] during an exchange sent at [t0] and
+    answered by [t1] (both local readings) runs {e ahead} of the local
+    clock, assuming symmetric transit: [server_now - (t0 + t1) / 2].
+    The error is bounded by half the round trip.  Pure; deterministic
+    under {!Pax_obs.Clock.Fake} (tested with known skews). *)
+val estimate_offset : t0:float -> t1:float -> server_now:float -> float
+
+(** [fetch_spans t site] drains the site server's span ring
+    ([Spans_fetch]/[Spans_reply]) and estimates the site's clock
+    offset from its own readings around the exchange ({!
+    estimate_offset}).  Returns [(offset, spans)] ready to become a
+    {!Pax_obs.Chrome.process} track in the merged Perfetto export.
+    Raw telemetry IO like {!fetch_stats}: touches no byte counter.
+    Raises on connection loss or a malformed reply. *)
+val fetch_spans : t -> int -> float * Pax_obs.Span.span list
+
 (** {1 Migration RPCs (docs/SHARDING.md)}
 
     Control plane like stats traffic: they flow through the

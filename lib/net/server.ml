@@ -434,10 +434,14 @@ let stale_frag t ~epoch call =
       | _ -> None)
     (call_frags call)
 
-let handle_request t ~run ~round ~epoch call =
+let handle_request t ~run ~round ~epoch ?parent call =
   let st = state_for t run in
   match Hashtbl.find_opt st.rs_replies round with
-  | Some reply -> Ok reply
+  | Some reply ->
+      (* Memo hits are worth seeing in a trace: a resent request that
+         cost no kernel time renders as a sliver under its visit. *)
+      Pax_obs.Sink.span t.obs ~cat:"memo" ?parent "memo hit" (fun () -> ());
+      Ok reply
   | None -> (
       (* The fence check sits behind the memo: a reply computed before
          retirement stays replayable (the data is retained), while new
@@ -448,7 +452,10 @@ let handle_request t ~run ~round ~epoch call =
           Pax_obs.Sink.count t.obs "pax_srv_stale_epoch_total";
           Error (Wire.stale_epoch_error ~fid ~retired ~epoch)
       | None -> (
-          match handle_call t ~run call with
+          match
+            Pax_obs.Sink.span t.obs ~cat:"stage" ?parent "stage kernel"
+              (fun () -> handle_call t ~run call)
+          with
           | reply ->
               Hashtbl.replace st.rs_replies round reply;
               List.iter
@@ -552,11 +559,14 @@ let serve t fd =
     match Sockio.read_frame_r rd with
     | None -> `Eof
     | Some payload -> (
-        match Wire.decode_payload_corr payload with
+        let td0 = Pax_obs.Clock.now () in
+        let decoded = Wire.decode_payload_corr payload in
+        let td1 = Pax_obs.Clock.now () in
+        match decoded with
         | Ok
             ( _,
               Wire.Visit_request
-                { run; round; site = _; epoch = _; label = _; call = _ } )
+                { run; round; site = _; epoch = _; label = _; call = _; _ } )
           when flake_now t ~run ~round ->
             (* Planned fault: swallow the request and drop the
                connection.  The client sees EOF, reconnects and
@@ -566,23 +576,32 @@ let serve t fd =
             `Eof
         | Ok
             ( corr,
-              Wire.Visit_request { run; round; site = _; epoch; label; call } )
-          ->
+              Wire.Visit_request
+                { run; round; site = _; epoch; label; call; parent } ) ->
             count_visit_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
             if t.service_delay > 0. then Thread.delay t.service_delay;
+            (* The visit span carries the coordinator's rpc-span id as
+               its parent (the cross-process flow arrow); decode, memo,
+               kernel and reply-encode spans nest under the visit. *)
+            let vid = Pax_obs.Span.alloc () in
+            Pax_obs.Sink.record t.obs ~cat:"wire" ~parent:vid "decode request"
+              ~t0:td0 ~t1:td1;
             let reply =
-              Pax_obs.Sink.span t.obs ~cat:"visit"
+              Pax_obs.Sink.span t.obs ~cat:"visit" ~id:vid ?parent
                 ~args:(fun () ->
                   [ ("run", string_of_int run); ("round", string_of_int round) ])
                 label
-                (fun () -> handle_request t ~run ~round ~epoch call)
+                (fun () -> handle_request t ~run ~round ~epoch ~parent:vid call)
             in
             let out =
-              Wire.encode_payload ~corr (Wire.Visit_reply { run; round; reply })
+              Pax_obs.Sink.span t.obs ~cat:"wire" ~parent:vid "encode reply"
+                (fun () ->
+                  Wire.encode_payload ~corr
+                    (Wire.Visit_reply { run; round; reply }))
             in
-            Pax_obs.Sink.span t.obs ~cat:"wire" "send frame" (fun () ->
-                Sockio.write_frame conn out);
+            Pax_obs.Sink.span t.obs ~cat:"wire" ~parent:vid "send frame"
+              (fun () -> Sockio.write_frame conn out);
             count_visit_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
             conn_loop c
         | Ok (corr, Wire.Ping) ->
@@ -594,34 +613,61 @@ let serve t fd =
                  (Wire.Stats_reply
                     (Pax_obs.Metrics.pairs t.obs.Pax_obs.Sink.metrics)));
             conn_loop c
+        | Ok (corr, Wire.Spans_fetch) ->
+            (* Drain the ring (atomically — concurrent visits keep
+               recording) and stamp our clock while building the
+               reply: the coordinator pairs the stamp with its own
+               readings around this exchange to estimate this site's
+               clock offset.  Telemetry like stats: no counters. *)
+            let spans = Pax_obs.Span.drain t.obs.Pax_obs.Sink.spans in
+            Sockio.write_frame conn
+              (Wire.encode_payload ~corr
+                 (Wire.Spans_reply
+                    { server_now = Pax_obs.Clock.now (); spans }));
+            conn_loop c
         | Ok (_, Wire.Run_done { run }) ->
             (* The coordinator is done with this run: shed its stage
                state and reply memos (the bounded-memory contract of
                docs/SERVING.md).  No reply. *)
             evict_run t run;
             conn_loop c
-        | Ok (corr, Wire.Frag_fetch { fid; kind }) ->
+        | Ok (corr, Wire.Frag_fetch { fid; kind; parent }) ->
             count_admin_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
-            let image = fetch_image t ~fid ~kind in
+            let image =
+              Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
+                ~args:(fun () -> [ ("fid", string_of_int fid) ])
+                "frag fetch"
+                (fun () -> fetch_image t ~fid ~kind)
+            in
             let out =
               Wire.encode_payload ~corr (Wire.Frag_image { fid; image })
             in
             Sockio.write_frame conn out;
             count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
             conn_loop c
-        | Ok (corr, Wire.Frag_install { fid; epoch; image }) ->
+        | Ok (corr, Wire.Frag_install { fid; epoch; image; parent }) ->
             count_admin_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
-            let reply = install_image t ~fid ~epoch image in
+            let reply =
+              Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
+                ~args:(fun () -> [ ("fid", string_of_int fid) ])
+                "frag install"
+                (fun () -> install_image t ~fid ~epoch image)
+            in
             let out = Wire.encode_payload ~corr (Wire.Admin_reply { reply }) in
             Sockio.write_frame conn out;
             count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
             conn_loop c
-        | Ok (corr, Wire.Frag_retire { fid; epoch; kind }) ->
+        | Ok (corr, Wire.Frag_retire { fid; epoch; kind; parent }) ->
             count_admin_frame t ~dir:"recv"
               ~frame_len:(4 + String.length payload);
-            let reply = retire_frag t ~fid ~epoch ~kind in
+            let reply =
+              Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
+                ~args:(fun () -> [ ("fid", string_of_int fid) ])
+                "frag retire"
+                (fun () -> retire_frag t ~fid ~epoch ~kind)
+            in
             let out = Wire.encode_payload ~corr (Wire.Admin_reply { reply }) in
             Sockio.write_frame conn out;
             count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
@@ -630,7 +676,8 @@ let serve t fd =
         | Ok
             ( _,
               ( Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _
-              | Wire.Frag_image _ | Wire.Admin_reply _ ) ) ->
+              | Wire.Frag_image _ | Wire.Admin_reply _ | Wire.Spans_reply _ ) )
+          ->
             (* Not ours to receive; ignore. *)
             conn_loop c
         | Error err ->

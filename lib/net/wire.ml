@@ -88,6 +88,7 @@ type msg =
       epoch : int;
       label : string;
       call : call;
+      parent : int option;
     }
   | Visit_reply of { run : int; round : int; reply : (reply, string) result }
   | Ping
@@ -96,11 +97,13 @@ type msg =
   | Stats_request
   | Stats_reply of (string * float) list
   | Run_done of { run : int }
-  | Frag_fetch of { fid : int; kind : frag_kind }
+  | Frag_fetch of { fid : int; kind : frag_kind; parent : int option }
   | Frag_image of { fid : int; image : (frag_image, string) result }
-  | Frag_install of { fid : int; epoch : int; image : frag_image }
-  | Frag_retire of { fid : int; epoch : int; kind : frag_kind }
+  | Frag_install of { fid : int; epoch : int; image : frag_image; parent : int option }
+  | Frag_retire of { fid : int; epoch : int; kind : frag_kind; parent : int option }
   | Admin_reply of { reply : (string, string) result }
+  | Spans_fetch
+  | Spans_reply of { server_now : float; spans : Pax_obs.Span.span list }
 
 type error = Truncated | Bad_version of int | Corrupt of string
 
@@ -542,6 +545,8 @@ let m_frag_image = 10
 let m_frag_install = 11
 let m_frag_retire = 12
 let m_admin_reply = 13
+let m_spans_request = 14
+let m_spans_reply = 15
 
 (* Fragment images are opaque byte strings at this layer: tree images
    are {!Pax_xml.Flat.encode} output (total-decoding, intern-remapping
@@ -584,6 +589,86 @@ let get_f64 s ~pos =
   done;
   (Int64.float_of_bits !bits, pos + 8)
 
+(* Harvested spans (Spans_reply).  Pure telemetry like stats traffic —
+   no sections, excluded from accounted traffic — but the clock
+   readings must survive byte-exactly for offset alignment, hence
+   IEEE-754 bits like metric values. *)
+let add_span buf (sp : Pax_obs.Span.span) =
+  add_str buf sp.Pax_obs.Span.sp_name;
+  add_str buf sp.Pax_obs.Span.sp_cat;
+  add_str buf sp.Pax_obs.Span.sp_track;
+  add_f64 buf sp.Pax_obs.Span.sp_begin;
+  add_f64 buf sp.Pax_obs.Span.sp_dur;
+  add_varint buf sp.Pax_obs.Span.sp_seq;
+  add_varint buf sp.Pax_obs.Span.sp_id;
+  (match sp.Pax_obs.Span.sp_parent with
+  | None -> add_u8 buf 0
+  | Some p ->
+      add_u8 buf 1;
+      add_varint buf p);
+  add_varint buf (List.length sp.Pax_obs.Span.sp_args);
+  List.iter
+    (fun (k, v) ->
+      add_str buf k;
+      add_str buf v)
+    sp.Pax_obs.Span.sp_args
+
+let get_span s ~pos =
+  let sp_name, pos = get_str s ~pos in
+  let sp_cat, pos = get_str s ~pos in
+  let sp_track, pos = get_str s ~pos in
+  let sp_begin, pos = get_f64 s ~pos in
+  let sp_dur, pos = get_f64 s ~pos in
+  if Float.is_nan sp_begin then fail "bad span begin";
+  if not (sp_dur >= 0.) then fail "bad span duration";
+  let sp_seq, pos = get_varint s ~pos in
+  let sp_id, pos = get_varint s ~pos in
+  let flag, pos = get_u8 s ~pos in
+  let sp_parent, pos =
+    if flag = 0 then (None, pos)
+    else if flag = 1 then
+      let p, pos = get_varint s ~pos in
+      (Some p, pos)
+    else fail "bad span parent flag"
+  in
+  let n, pos = get_varint s ~pos in
+  if n > String.length s - pos then fail "bad span arg count";
+  let rec args k pos acc =
+    if k = 0 then (List.rev acc, pos)
+    else
+      let key, pos = get_str s ~pos in
+      let v, pos = get_str s ~pos in
+      args (k - 1) pos ((key, v) :: acc)
+  in
+  let sp_args, pos = args n pos [] in
+  ( {
+      Pax_obs.Span.sp_name;
+      sp_cat;
+      sp_track;
+      sp_begin;
+      sp_dur;
+      sp_args;
+      sp_seq;
+      sp_id;
+      sp_parent;
+    },
+    pos )
+
+(* The optional trace-context extension: a single trailing varint
+   (the coordinator-side parent span id) appended to the body of visit
+   and migration requests when the sender is tracing.  Absent when
+   tracing is off — those frames are byte-identical to pre-extension
+   builds — and decoders accept both forms, so the extension is a
+   pure control-plane add-on: it never enters [tally], only the
+   per-frame overhead allowance. *)
+let add_parent buf = function None -> () | Some p -> add_varint buf p
+
+let get_parent s ~pos =
+  if pos < String.length s then
+    let p, pos = get_varint s ~pos in
+    (Some p, pos)
+  else (None, pos)
+
 (* The v2 envelope carries a correlation id right after the version
    byte, on every message: the coordinator stamps each request with a
    fresh id and the server echoes it back, so many in-flight runs can
@@ -597,14 +682,15 @@ let encode_payload ?(corr = 0) msg =
   add_u8 buf version;
   add_varint buf corr;
   (match msg with
-  | Visit_request { run; round; site; epoch; label; call } ->
+  | Visit_request { run; round; site; epoch; label; call; parent } ->
       add_u8 buf m_request;
       add_varint buf run;
       add_varint buf round;
       add_varint buf site;
       add_varint buf epoch;
       add_str buf label;
-      add_call buf call
+      add_call buf call;
+      add_parent buf parent
   | Visit_reply { run; round; reply } ->
       add_u8 buf m_reply;
       add_varint buf run;
@@ -631,10 +717,11 @@ let encode_payload ?(corr = 0) msg =
   | Run_done { run } ->
       add_u8 buf m_run_done;
       add_varint buf run
-  | Frag_fetch { fid; kind } ->
+  | Frag_fetch { fid; kind; parent } ->
       add_u8 buf m_frag_fetch;
       add_varint buf fid;
-      add_u8 buf (kind_code kind)
+      add_u8 buf (kind_code kind);
+      add_parent buf parent
   | Frag_image { fid; image } ->
       add_u8 buf m_frag_image;
       add_varint buf fid;
@@ -645,25 +732,33 @@ let encode_payload ?(corr = 0) msg =
       | Error e ->
           add_u8 buf 1;
           Buffer.add_string buf e)
-  | Frag_install { fid; epoch; image } ->
+  | Frag_install { fid; epoch; image; parent } ->
       add_u8 buf m_frag_install;
       add_varint buf fid;
       add_varint buf epoch;
-      add_image buf image
-  | Frag_retire { fid; epoch; kind } ->
+      add_image buf image;
+      add_parent buf parent
+  | Frag_retire { fid; epoch; kind; parent } ->
       add_u8 buf m_frag_retire;
       add_varint buf fid;
       add_varint buf epoch;
-      add_u8 buf (kind_code kind)
-  | Admin_reply { reply } -> (
-      add_u8 buf m_admin_reply;
-      match reply with
-      | Ok detail ->
-          add_u8 buf 0;
-          Buffer.add_string buf detail
-      | Error e ->
-          add_u8 buf 1;
-          Buffer.add_string buf e));
+      add_u8 buf (kind_code kind);
+      add_parent buf parent
+  | Admin_reply { reply } ->
+      (add_u8 buf m_admin_reply;
+       match reply with
+       | Ok detail ->
+           add_u8 buf 0;
+           Buffer.add_string buf detail
+       | Error e ->
+           add_u8 buf 1;
+           Buffer.add_string buf e)
+  | Spans_fetch -> add_u8 buf m_spans_request
+  | Spans_reply { server_now; spans } ->
+      add_u8 buf m_spans_reply;
+      add_f64 buf server_now;
+      add_varint buf (List.length spans);
+      List.iter (add_span buf) spans);
   Buffer.contents buf
 
 let encode ?corr msg =
@@ -714,12 +809,16 @@ let decode_payload_corr s =
           let epoch, pos = get_varint s ~pos in
           let label, pos = get_str s ~pos in
           let call, pos = get_call s ~pos in
-          finish (Visit_request { run; round; site; epoch; label; call }) pos
+          let parent, pos = get_parent s ~pos in
+          finish
+            (Visit_request { run; round; site; epoch; label; call; parent })
+            pos
         end
         else if tag = m_frag_fetch then begin
           let fid, pos = get_varint s ~pos in
           let kind, pos = get_kind s ~pos in
-          finish (Frag_fetch { fid; kind }) pos
+          let parent, pos = get_parent s ~pos in
+          finish (Frag_fetch { fid; kind; parent }) pos
         end
         else if tag = m_frag_image then begin
           let fid, pos = get_varint s ~pos in
@@ -736,13 +835,15 @@ let decode_payload_corr s =
           let fid, pos = get_varint s ~pos in
           let epoch, pos = get_varint s ~pos in
           let image, pos = get_image s ~pos in
-          finish (Frag_install { fid; epoch; image }) pos
+          let parent, pos = get_parent s ~pos in
+          finish (Frag_install { fid; epoch; image; parent }) pos
         end
         else if tag = m_frag_retire then begin
           let fid, pos = get_varint s ~pos in
           let epoch, pos = get_varint s ~pos in
           let kind, pos = get_kind s ~pos in
-          finish (Frag_retire { fid; epoch; kind }) pos
+          let parent, pos = get_parent s ~pos in
+          finish (Frag_retire { fid; epoch; kind; parent }) pos
         end
         else if tag = m_admin_reply then begin
           let status, pos = get_u8 s ~pos in
@@ -750,6 +851,12 @@ let decode_payload_corr s =
           if status = 0 then Ok (corr, Admin_reply { reply = Ok rest })
           else if status = 1 then Ok (corr, Admin_reply { reply = Error rest })
           else Error (Corrupt "bad admin-reply status")
+        end
+        else if tag = m_spans_request then finish Spans_fetch pos
+        else if tag = m_spans_reply then begin
+          let server_now, pos = get_f64 s ~pos in
+          let spans, pos = get_counted s ~pos get_span in
+          finish (Spans_reply { server_now; spans }) pos
         end
         else if tag = m_reply then begin
           let run, pos = get_varint s ~pos in
@@ -864,9 +971,10 @@ let tally = function
      stats traffic it carries no sections.  Its frame still crosses the
      wire, covered by the per-frame overhead allowance. *)
   | Run_done _
-  (* Stats traffic is telemetry, not query evaluation: it carries no
-     sections and is excluded from accounted traffic entirely. *)
-  | Stats_request | Stats_reply _ -> empty_tally
+  (* Stats and span-harvest traffic is telemetry, not query
+     evaluation: it carries no sections and is excluded from accounted
+     traffic entirely. *)
+  | Stats_request | Stats_reply _ | Spans_fetch | Spans_reply _ -> empty_tally
   (* Migration traffic is control plane, not query evaluation: a
      fragment image crossing the wire belongs to no run, so it never
      enters per-query guarantee accounting.  The admin byte volume is
@@ -880,7 +988,9 @@ let tally = function
    section one adjacent varint identifier.  v2 raised the per-frame
    constant from 96 by the worst-case 8-byte correlation-id varint;
    elastic sharding adds a worst-case 10-byte placement-epoch varint
-   to every visit request. *)
-let frame_overhead = 114
+   to every visit request; distributed tracing adds a worst-case
+   10-byte parent-span-id varint (the trace-context extension,
+   present only when the coordinator traces). *)
+let frame_overhead = 124
 let frag_overhead = 48
 let section_overhead = 12

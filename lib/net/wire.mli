@@ -164,6 +164,13 @@ type msg =
               in-flight runs from kept data *)
       label : string;
       call : call;
+      parent : int option;
+          (** trace context: the coordinator's rpc-span id, appended
+              as a single trailing varint when (and only when) the
+              sender traces — the site parent-links its own spans to
+              it.  Control plane: never tallied, absent frames are
+              byte-identical to pre-extension builds, and decoders
+              accept both forms (back-compat). *)
     }
   | Visit_reply of { run : int; round : int; reply : (reply, string) result }
   | Ping
@@ -181,16 +188,27 @@ type msg =
           every per-run state it kept (stage vectors, reply memos).
           Best-effort session control — no reply, no sections; losing it
           only delays eviction until the server's LRU bound kicks in. *)
-  | Frag_fetch of { fid : int; kind : frag_kind }
+  | Frag_fetch of { fid : int; kind : frag_kind; parent : int option }
       (** ask the site holding [fid] for its wire image; answered by
-          [Frag_image] *)
+          [Frag_image].  [parent] is the trace-context extension, as
+          on [Visit_request]. *)
   | Frag_image of { fid : int; image : (frag_image, string) result }
-  | Frag_install of { fid : int; epoch : int; image : frag_image }
+  | Frag_install of {
+      fid : int;
+      epoch : int;
+      image : frag_image;
+      parent : int option;
+    }
       (** install [image] as fragment [fid] at the receiving site,
           effective at placement epoch [epoch]; idempotent (replaying
           an install is a no-op in effect), clears any retirement fence
           for [fid]; answered by [Admin_reply] *)
-  | Frag_retire of { fid : int; epoch : int; kind : frag_kind }
+  | Frag_retire of {
+      fid : int;
+      epoch : int;
+      kind : frag_kind;
+      parent : int option;
+    }
       (** fence fragment [fid] at the source site: visits stamped with
           an epoch [>= epoch] are refused with the typed stale-epoch
           error, while older in-flight runs keep being served from the
@@ -201,6 +219,18 @@ type msg =
           frames are control plane: like stats traffic they carry no
           sections and are excluded from per-query accounted traffic
           (the admin byte volume is surfaced via pax_obs counters). *)
+  | Spans_fetch
+      (** drain a site server's span ring (answered by [Spans_reply]);
+          raw telemetry IO like [Stats_request] — never counted, never
+          tallied *)
+  | Spans_reply of { server_now : float; spans : Pax_obs.Span.span list }
+      (** the drained spans plus the server's {!Pax_obs.Clock.now}
+          reading taken while building the reply: paired with the
+          client's send/receive readings it yields the per-site clock
+          offset used to align tracks in the merged Perfetto export
+          (docs/OBSERVABILITY.md).  Clock readings travel as IEEE-754
+          bits so alignment is byte-exact and deterministic under
+          [Clock.Fake]. *)
 
 type error =
   | Truncated

@@ -97,6 +97,33 @@ let evaluate ?(c_comm = default_c_comm) ?(c_comp = default_c_comp) (i : input) :
   let bounds = visits @ [ comm; comp ] in
   { bounds; pass = List.for_all (fun b -> b.b_pass) bounds }
 
+(* ---------------- cost ledger ------------------------------------- *)
+
+(* Ratio of actual cost to predicted bound: the calibration signal.
+   Buckets resolve the interesting region — how far under its paper
+   bound a run lands (most land a few percent in); >= 1 means the
+   bound was violated (b_pass false), which the counter also tracks. *)
+let ratio_buckets =
+  [| 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 0.75; 1.; 2. |]
+
+(* Raw actuals (visits, bytes, ops) span many decades across query and
+   document sizes. *)
+let actual_buckets = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 |]
+
+let ledger sink ~engine r =
+  List.iter
+    (fun b ->
+      let labels = [ ("engine", engine); ("bound", b.b_name) ] in
+      Sink.observe sink ~labels ~buckets:actual_buckets "pax_cost_actual"
+        b.b_actual;
+      Sink.set sink ~labels "pax_cost_predicted_limit" b.b_limit;
+      if b.b_limit > 0. then
+        Sink.observe sink ~labels ~buckets:ratio_buckets
+          "pax_cost_predicted_ratio" (b.b_actual /. b.b_limit);
+      if not b.b_pass then
+        Sink.count sink ~labels "pax_cost_violations_total")
+    r.bounds
+
 (* ---------------- rendering --------------------------------------- *)
 
 let pp_bound ppf b =

@@ -53,6 +53,20 @@ val bound :
 (** Assemble a report; [pass] is the conjunction. *)
 val of_bounds : bound list -> report
 
+(** {1 Cost ledger}
+
+    Predicted-vs-actual accounting for every evaluated run
+    (docs/OBSERVABILITY.md): each bound's actual cost lands in
+    [pax_cost_actual{engine,bound}], its paper-predicted limit in the
+    gauge [pax_cost_predicted_limit{engine,bound}], and their ratio in
+    the calibration histogram [pax_cost_predicted_ratio{engine,bound}]
+    (a ratio [>= 1] means the bound was violated, also counted into
+    [pax_cost_violations_total]).  The serving coordinator records
+    every admitted run here; the CLI records its one run. *)
+
+val ratio_buckets : float array
+val ledger : Sink.t -> engine:string -> report -> unit
+
 val pp_bound : Format.formatter -> bound -> unit
 val pp : Format.formatter -> report -> unit
 val to_json : report -> Json.t

@@ -7,7 +7,17 @@
    one complete ("ph":"X") event per span.  Timestamps are
    microseconds relative to the earliest span so files from different
    runs line up at t=0.  Spec:
-   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU *)
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+   [to_json] is the single-process form (pid 1, tids distinguish
+   tracks).  [to_json_processes] merges span sets harvested from
+   several processes — the coordinator plus each site server — into
+   one file: each process gets its own pid + process_name metadata,
+   its timestamps are shifted by its estimated clock offset before the
+   common origin is subtracted, and every span whose [sp_parent]
+   resolves (in any process) gets a flow arrow ("ph":"s" at the parent
+   slice, "ph":"f" at the child) so Perfetto draws the cross-process
+   causality of each visit. *)
 
 let pid = 1 (* single-process trace; tids distinguish tracks *)
 
@@ -27,6 +37,29 @@ let track_ids (spans : Span.span list) : (string * int) list =
 
 let us_of rel = Float.round (rel *. 1e6)
 
+let thread_meta ~pid (name, tid) =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.int pid);
+      ("tid", Json.int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let x_event ~pid ~tid ~ts (s : Span.span) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Span.sp_name);
+      ("cat", Json.Str (if s.Span.sp_cat = "" then "pax" else s.Span.sp_cat));
+      ("ph", Json.Str "X");
+      ("ts", Json.Num ts);
+      ("dur", Json.Num (Float.max 1. (us_of s.Span.sp_dur)));
+      ("pid", Json.int pid);
+      ("tid", Json.int tid);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Span.sp_args));
+    ]
+
 let to_json (spans : Span.span list) : Json.t =
   let t_origin =
     List.fold_left
@@ -36,35 +69,14 @@ let to_json (spans : Span.span list) : Json.t =
   let t_origin = if t_origin = infinity then 0. else t_origin in
   let tracks = track_ids spans in
   let tid_of track = List.assoc track tracks in
-  let meta =
-    List.map
-      (fun (name, tid) ->
-        Json.Obj
-          [
-            ("name", Json.Str "thread_name");
-            ("ph", Json.Str "M");
-            ("pid", Json.int pid);
-            ("tid", Json.int tid);
-            ("args", Json.Obj [ ("name", Json.Str name) ]);
-          ])
-      tracks
-  in
+  let meta = List.map (thread_meta ~pid) tracks in
   let events =
     List.map
       (fun (s : Span.span) ->
-        Json.Obj
-          [
-            ("name", Json.Str s.Span.sp_name);
-            ("cat", Json.Str (if s.Span.sp_cat = "" then "pax" else s.Span.sp_cat));
-            ("ph", Json.Str "X");
-            ("ts", Json.Num (us_of (s.Span.sp_begin -. t_origin)));
-            ("dur", Json.Num (Float.max 1. (us_of s.Span.sp_dur)));
-            ("pid", Json.int pid);
-            ("tid", Json.int (tid_of s.Span.sp_track));
-            ( "args",
-              Json.Obj
-                (List.map (fun (k, v) -> (k, Json.Str v)) s.Span.sp_args) );
-          ])
+        x_event ~pid
+          ~tid:(tid_of s.Span.sp_track)
+          ~ts:(us_of (s.Span.sp_begin -. t_origin))
+          s)
       spans
   in
   Json.Obj
@@ -73,12 +85,124 @@ let to_json (spans : Span.span list) : Json.t =
       ("displayTimeUnit", Json.Str "ms");
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Multi-process merge                                                *)
+(* ------------------------------------------------------------------ *)
+
+type process = {
+  pr_name : string;
+  pr_offset : float;
+      (* seconds this process's clock reads *ahead of* the reference
+         (coordinator) clock; subtracted from its timestamps on export
+         (see Client.estimate_offset) *)
+  pr_spans : Span.span list;
+}
+
+let to_json_processes (procs : process list) : Json.t =
+  (* pids are 1-based in list order; the coordinator conventionally
+     comes first so it renders on top. *)
+  let procs =
+    List.mapi (fun i p -> (i + 1, p, track_ids p.pr_spans)) procs
+  in
+  let aligned p (s : Span.span) = s.Span.sp_begin -. p.pr_offset in
+  let t_origin =
+    List.fold_left
+      (fun acc (_, p, _) ->
+        List.fold_left
+          (fun acc s -> Float.min acc (aligned p s))
+          acc p.pr_spans)
+      infinity procs
+  in
+  let t_origin = if t_origin = infinity then 0. else t_origin in
+  (* Where each span id landed: pid, tid, export-time start ts. *)
+  let placed = Hashtbl.create 256 in
+  let groups =
+    List.map
+      (fun (pid, p, tracks) ->
+        let tid_of track = List.assoc track tracks in
+        let proc_meta =
+          Json.Obj
+            [
+              ("name", Json.Str "process_name");
+              ("ph", Json.Str "M");
+              ("pid", Json.int pid);
+              ("args", Json.Obj [ ("name", Json.Str p.pr_name) ]);
+            ]
+        in
+        let meta = List.map (thread_meta ~pid) tracks in
+        let events =
+          List.map
+            (fun (s : Span.span) ->
+              let tid = tid_of s.Span.sp_track in
+              let ts = us_of (aligned p s -. t_origin) in
+              Hashtbl.replace placed s.Span.sp_id (pid, tid, ts);
+              x_event ~pid ~tid ~ts s)
+            p.pr_spans
+        in
+        (proc_meta :: meta) @ events)
+      procs
+  in
+  (* Flow arrows: one s/f pair per span whose parent resolved.  The
+     flow id is the child's span id (unique); the "s" end binds to the
+     slice enclosing the parent's start ts on the parent's thread. *)
+  let flows =
+    List.concat_map
+      (fun (pid, p, tracks) ->
+        List.concat_map
+          (fun (s : Span.span) ->
+            match s.Span.sp_parent with
+            | None -> []
+            | Some parent_id -> (
+                match Hashtbl.find_opt placed parent_id with
+                | None -> []
+                | Some (ppid, ptid, pts) ->
+                    let tid = List.assoc s.Span.sp_track tracks
+                    and ts = us_of (aligned p s -. t_origin) in
+                    [
+                      Json.Obj
+                        [
+                          ("name", Json.Str "parent");
+                          ("cat", Json.Str "flow");
+                          ("ph", Json.Str "s");
+                          ("id", Json.int s.Span.sp_id);
+                          ("pid", Json.int ppid);
+                          ("tid", Json.int ptid);
+                          ("ts", Json.Num pts);
+                        ];
+                      Json.Obj
+                        [
+                          ("name", Json.Str "parent");
+                          ("cat", Json.Str "flow");
+                          ("ph", Json.Str "f");
+                          ("bp", Json.Str "e");
+                          ("id", Json.int s.Span.sp_id);
+                          ("pid", Json.int pid);
+                          ("tid", Json.int tid);
+                          ("ts", Json.Num ts);
+                        ];
+                    ]))
+          p.pr_spans)
+      procs
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.concat groups @ flows));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
 let to_string spans = Json.to_string (to_json spans)
 
-let write_file path spans =
+let to_string_processes procs = Json.to_string (to_json_processes procs)
+
+let write ~serialized path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string spans);
+      output_string oc serialized;
       output_char oc '\n')
+
+let write_file path spans = write ~serialized:(to_string spans) path
+
+let write_file_processes path procs =
+  write ~serialized:(to_string_processes procs) path

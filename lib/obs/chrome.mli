@@ -9,3 +9,24 @@
 val to_json : Span.span list -> Json.t
 val to_string : Span.span list -> string
 val write_file : string -> Span.span list -> unit
+
+(** {1 Multi-process merge}
+
+    One Perfetto file for a distributed run: the coordinator process
+    plus every harvested site server, each on its own pid with
+    process_name metadata, timestamps aligned onto the coordinator's
+    clock, and flow arrows drawn for every span whose [sp_parent]
+    resolves to a span in any process (see docs/OBSERVABILITY.md for
+    the offset estimate). *)
+
+type process = {
+  pr_name : string;  (** e.g. ["coordinator"], ["site 1"] *)
+  pr_offset : float;
+      (** seconds this process's clock reads ahead of the reference
+          (coordinator) clock; subtracted from its timestamps *)
+  pr_spans : Span.span list;
+}
+
+val to_json_processes : process list -> Json.t
+val to_string_processes : process list -> string
+val write_file_processes : string -> process list -> unit

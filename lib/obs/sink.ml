@@ -13,22 +13,29 @@ type t = {
   metrics : Metrics.t;
 }
 
+let dropped_total = "pax_obs_spans_dropped_total"
+
 (* One shared disabled sink: collectors exist (so the record type has
    no options to match on) but are never touched because every
    instrumentation helper checks [enabled] first. *)
 let noop =
   { enabled = false; spans = Span.create (); metrics = Metrics.create () }
 
-let create () =
-  { enabled = true; spans = Span.create (); metrics = Metrics.create () }
+let create ?capacity () =
+  { enabled = true; spans = Span.create ?capacity (); metrics = Metrics.create () }
 
-let span t ?cat ?track ?(args = fun () -> []) name f =
+let alloc t = if t.enabled then Some (Span.alloc ()) else None
+
+let add t ?cat ?track ?args ?id ?parent name ~t0 ~t1 =
+  if Span.add t.spans ?cat ?track ?args ?id ?parent name ~t0 ~t1 then
+    Metrics.incr t.metrics dropped_total
+
+let span t ?cat ?track ?(args = fun () -> []) ?id ?parent name f =
   if not t.enabled then f ()
   else begin
     let t0 = Clock.now () in
     let finish () =
-      Span.record t.spans ?cat ?track ~args:(args ()) name ~t0
-        ~t1:(Clock.now ())
+      add t ?cat ?track ~args:(args ()) ?id ?parent name ~t0 ~t1:(Clock.now ())
     in
     match f () with
     | v ->
@@ -41,8 +48,8 @@ let span t ?cat ?track ?(args = fun () -> []) name f =
 
 (* For call sites that already hold t0/t1 readings for semantic timing:
    reuse them so enabled runs take zero extra clock reads on that path. *)
-let record t ?cat ?track ?(args = []) name ~t0 ~t1 =
-  if t.enabled then Span.record t.spans ?cat ?track ~args name ~t0 ~t1
+let record t ?cat ?track ?(args = []) ?id ?parent name ~t0 ~t1 =
+  if t.enabled then add t ?cat ?track ~args ?id ?parent name ~t0 ~t1
 
 let count t ?labels ?by name =
   if t.enabled then Metrics.incr t.metrics ?labels ?by name

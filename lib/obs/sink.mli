@@ -17,14 +17,27 @@ type t = private {
 val noop : t
 (** The shared disabled sink (the default everywhere). *)
 
-val create : unit -> t
-(** A fresh enabled sink with empty collectors. *)
+val create : ?capacity:int -> unit -> t
+(** A fresh enabled sink with empty collectors.  [capacity] bounds the
+    span ring (see {!Span.create}); evictions are counted into the
+    [pax_obs_spans_dropped_total] metric by every recording helper. *)
+
+val dropped_total : string
+(** The metric name under which span-ring evictions are counted. *)
+
+val alloc : t -> int option
+(** Pre-allocate a span id to propagate (e.g. stamp into a wire frame
+    as trace context) before the span is recorded.  [None] on the noop
+    sink — so disabled runs put no trace context on the wire and their
+    frames stay byte-identical to pre-tracing builds. *)
 
 val span :
   t ->
   ?cat:string ->
   ?track:string ->
   ?args:(unit -> (string * string) list) ->
+  ?id:int ->
+  ?parent:int ->
   string ->
   (unit -> 'a) ->
   'a
@@ -37,6 +50,8 @@ val record :
   ?cat:string ->
   ?track:string ->
   ?args:(string * string) list ->
+  ?id:int ->
+  ?parent:int ->
   string ->
   t0:float ->
   t1:float ->

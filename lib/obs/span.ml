@@ -2,13 +2,20 @@
 
    A span is a closed interval on a named track ("coordinator",
    "site 3", "pool worker 1", ...) with a category, free-form string
-   attributes, and a process-global sequence number.  Collection is a
-   mutex-protected list: spans may be recorded concurrently from pool
-   domains, and [spans] returns them sorted by (begin time, seq) so
-   export order is stable.  Note this differs from the PR-2 visit-log
-   pattern (DLS buffers merged at barriers): spans are non-semantic —
-   nothing downstream branches on them — so the differential test pins
-   the *observables* (answers, visits, ops, traffic) instead of span
+   attributes, a process-global sequence number, and an id usable as a
+   parent link from other spans — possibly recorded in *another*
+   process (site servers parent-link their request spans to the
+   coordinator's rpc span whose id travels in the wire frame).
+
+   Collection is a mutex-protected bounded ring: spans may be recorded
+   concurrently from pool domains, a long-running process cannot grow
+   the collector without limit (the oldest span is evicted once
+   [capacity] is reached, and evictions are counted), and [spans]
+   returns the retained spans sorted by (begin time, seq) so export
+   order is stable.  Note this differs from the PR-2 visit-log pattern
+   (DLS buffers merged at barriers): spans are non-semantic — nothing
+   downstream branches on them — so the differential test pins the
+   *observables* (answers, visits, ops, traffic) instead of span
    order, and a simple lock keeps the collector reusable from code
    that has no barrier to merge at (sockets, CLI). *)
 
@@ -20,15 +27,52 @@ type span = {
   sp_dur : float; (* seconds, >= 0 *)
   sp_args : (string * string) list;
   sp_seq : int;
+  sp_id : int;
+  sp_parent : int option;
 }
 
-type t = { mu : Mutex.t; mutable acc : span list; mutable n : int }
+type t = {
+  mu : Mutex.t;
+  buf : span option array; (* circular; [head] is the next write slot *)
+  cap : int;
+  mutable head : int;
+  mutable len : int;
+  mutable dropped : int;
+}
 
 let seq = Atomic.make 0
 
-let create () = { mu = Mutex.create (); acc = []; n = 0 }
+(* Span ids must stay unique across the coordinator and every forked
+   site server (parent links cross the process boundary), without any
+   coordination.  Tag the process-local sequence number with the pid in
+   the low bits: Linux pids fit 22 bits (kernel.pid_max <= 4194304),
+   and 55 bits total keeps the id a single-allocation OCaml int that
+   round-trips through the wire varint encoder. *)
+let pid_bits = 22
+let id_mask = (1 lsl 55) - 1
 
-let record t ?(cat = "") ?(track = "coordinator") ?(args = []) name ~t0 ~t1 =
+let alloc () =
+  let s = Atomic.fetch_and_add seq 1 in
+  (((s + 1) lsl pid_bits) lor (Unix.getpid () land ((1 lsl pid_bits) - 1)))
+  land id_mask
+
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  {
+    mu = Mutex.create ();
+    buf = Array.make cap None;
+    cap;
+    head = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+(* Returns [true] iff recording evicted a retained span (ring full). *)
+let add t ?(cat = "") ?(track = "coordinator") ?(args = []) ?id ?parent name
+    ~t0 ~t1 =
+  let sq = Atomic.fetch_and_add seq 1 in
   let sp =
     {
       sp_name = name;
@@ -37,18 +81,23 @@ let record t ?(cat = "") ?(track = "coordinator") ?(args = []) name ~t0 ~t1 =
       sp_begin = t0;
       sp_dur = Float.max 0. (t1 -. t0);
       sp_args = args;
-      sp_seq = Atomic.fetch_and_add seq 1;
+      sp_seq = sq;
+      sp_id = (match id with Some i -> i | None -> alloc ());
+      sp_parent = parent;
     }
   in
   Mutex.lock t.mu;
-  t.acc <- sp :: t.acc;
-  t.n <- t.n + 1;
-  Mutex.unlock t.mu
-
-let spans t =
-  Mutex.lock t.mu;
-  let xs = t.acc in
+  let evicted = t.len = t.cap in
+  t.buf.(t.head) <- Some sp;
+  t.head <- (t.head + 1) mod t.cap;
+  if evicted then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
   Mutex.unlock t.mu;
+  evicted
+
+let record t ?cat ?track ?args ?id ?parent name ~t0 ~t1 =
+  ignore (add t ?cat ?track ?args ?id ?parent name ~t0 ~t1)
+
+let sort_spans xs =
   List.sort
     (fun a b ->
       match compare a.sp_begin b.sp_begin with
@@ -56,14 +105,46 @@ let spans t =
       | c -> c)
     xs
 
+let snapshot_locked t =
+  let xs = ref [] in
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.head - 1 - i + (2 * t.cap)) mod t.cap) with
+    | Some sp -> xs := sp :: !xs
+    | None -> ()
+  done;
+  !xs
+
+let spans t =
+  Mutex.lock t.mu;
+  let xs = snapshot_locked t in
+  Mutex.unlock t.mu;
+  sort_spans xs
+
+let drain t =
+  Mutex.lock t.mu;
+  let xs = snapshot_locked t in
+  Array.fill t.buf 0 t.cap None;
+  t.head <- 0;
+  t.len <- 0;
+  Mutex.unlock t.mu;
+  sort_spans xs
+
 let length t =
   Mutex.lock t.mu;
-  let n = t.n in
+  let n = t.len in
+  Mutex.unlock t.mu;
+  n
+
+let drops t =
+  Mutex.lock t.mu;
+  let n = t.dropped in
   Mutex.unlock t.mu;
   n
 
 let clear t =
   Mutex.lock t.mu;
-  t.acc <- [];
-  t.n <- 0;
+  Array.fill t.buf 0 t.cap None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
   Mutex.unlock t.mu

@@ -3,7 +3,14 @@
     Spans are pure telemetry: nothing in the engines or the cluster
     branches on them, so they can be collected under a simple lock
     from any domain without perturbing the deterministic observables
-    (which the differential test in [test_obs.ml] pins). *)
+    (which the differential test in [test_obs.ml] pins).
+
+    Every span carries an id unique across processes (pid-tagged
+    sequence number), and an optional parent id: site servers record
+    their request-handling spans parent-linked to the coordinator's
+    rpc span whose id arrived in the wire frame, so the merged
+    Perfetto export ({!Chrome.to_json_processes}) can draw flow
+    arrows across the process boundary. *)
 
 type span = {
   sp_name : string;
@@ -15,17 +22,43 @@ type span = {
   sp_dur : float;  (** seconds, clamped >= 0 *)
   sp_args : (string * string) list;
   sp_seq : int;  (** process-global record order *)
+  sp_id : int;  (** cross-process-unique id, varint-encodable (< 2^55) *)
+  sp_parent : int option;  (** id of the parent span, possibly remote *)
 }
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** A bounded collector: once [capacity] spans (default 65536) are
+    retained, each new span evicts the oldest and the eviction is
+    counted (see {!drops}) — a long-running coordinator cannot grow
+    the collector without limit. *)
+
+val alloc : unit -> int
+(** Pre-allocate a span id, e.g. to stamp into a wire frame before the
+    span itself is recorded.  Ids are unique across processes. *)
+
+val add :
+  t ->
+  ?cat:string ->
+  ?track:string ->
+  ?args:(string * string) list ->
+  ?id:int ->
+  ?parent:int ->
+  string ->
+  t0:float ->
+  t1:float ->
+  bool
+(** Like {!record}, returning [true] iff a retained span was evicted
+    to make room (the caller can count drops into a metric). *)
 
 val record :
   t ->
   ?cat:string ->
   ?track:string ->
   ?args:(string * string) list ->
+  ?id:int ->
+  ?parent:int ->
   string ->
   t0:float ->
   t1:float ->
@@ -33,10 +66,22 @@ val record :
 (** Record a closed span [t0, t1] (callers take both readings from
     {!Clock.now}; reusing readings they already made for semantic
     accounting keeps the enabled/disabled paths identical).  [track]
-    defaults to ["coordinator"]. *)
+    defaults to ["coordinator"]; [id] defaults to a fresh {!alloc}. *)
 
 val spans : t -> span list
-(** Snapshot, sorted by (begin time, seq) — stable export order. *)
+(** Snapshot of the retained spans, sorted by (begin time, seq) —
+    stable export order. *)
+
+val drain : t -> span list
+(** Atomically snapshot {e and} empty the retained spans (the drop
+    count is kept) — what a site server does to answer a span
+    harvest ([Spans_fetch]) without losing concurrently recorded
+    spans between a snapshot and a clear. *)
 
 val length : t -> int
+(** Number of retained spans (evicted spans excluded). *)
+
+val drops : t -> int
+(** Number of spans evicted since creation (or the last {!clear}). *)
+
 val clear : t -> unit

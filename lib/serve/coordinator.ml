@@ -95,6 +95,11 @@ let run_one t m text =
       | Some table, Some cl ->
           Pax_shard.Ptable.record_touches table (Cluster.frag_touches cl)
       | _ -> ());
+      (* Cost ledger: every admitted run records the auditor's
+         predicted bounds next to its actuals (the queue-inclusive
+         latency lands in [pax_serve_latency_seconds] from the
+         scheduler). *)
+      Pax_obs.Audit.ledger t.sink ~engine:r.Pe.engine r.Pe.audit;
       r)
 
 let submit ?engine ?(source = "default") t text =

@@ -78,8 +78,11 @@ let worker t =
     | Some job ->
         Pax_obs.Sink.span t.sink ~track:"scheduler" ~cat:"job" job.j_label
           job.j_run;
+        (* End-to-end latency including queue wait (submit → finish),
+           through the injectable clock so the cost ledger is
+           deterministic under [Clock.Fake]. *)
         Pax_obs.Sink.observe t.sink "pax_serve_latency_seconds"
-          (Unix.gettimeofday () -. job.j_submitted);
+          (Pax_obs.Clock.now () -. job.j_submitted);
         Pax_obs.Sink.count t.sink "pax_serve_completed_total";
         locked t (fun () ->
             t.inflight <- t.inflight - 1;
@@ -127,7 +130,7 @@ let submit t ~source ?(label = "query") f =
         (fun () ->
           finish tk (match f () with v -> Ok v | exception e -> Error e));
       j_label = label;
-      j_submitted = Unix.gettimeofday ();
+      j_submitted = Pax_obs.Clock.now ();
     }
   in
   locked t (fun () ->

@@ -59,6 +59,7 @@ let sample_msgs =
         site = 2;
         epoch = 0;
         label = "stage1";
+        parent = None;
         call =
           Wire.Pax2_stage1
             {
@@ -81,6 +82,8 @@ let sample_msgs =
         site = 0;
         epoch = 3;
         label = "stage2";
+        (* Trace context rides as a trailing varint; exercise a large id. *)
+        parent = Some ((1 lsl 54) + 77);
         call =
           Wire.Pax2_stage2
             {
@@ -95,6 +98,7 @@ let sample_msgs =
         site = 1;
         epoch = 1;
         label = "stage1";
+        parent = Some 1;
         call = Wire.Pax3_stage1 { query = "a[b]//c"; fids = [ 0; 2; 5 ] };
       };
     Wire.Visit_request
@@ -104,6 +108,7 @@ let sample_msgs =
         site = 1;
         epoch = 4096;
         label = "stage2";
+        parent = None;
         call =
           Wire.Pax3_stage2
             {
@@ -122,6 +127,7 @@ let sample_msgs =
         site = 1;
         epoch = 7;
         label = "stage3";
+        parent = Some 4194304;
         call = Wire.Pax3_stage3 { frags = [ (2, [| false; true |]) ] };
       };
     Wire.Visit_reply
@@ -159,8 +165,8 @@ let sample_msgs =
     Wire.Run_done { run = 987654321 };
     (* Elastic-sharding control plane (docs/SHARDING.md).  Image bytes
        are opaque at the wire layer, so arbitrary strings round-trip. *)
-    Wire.Frag_fetch { fid = 3; kind = Wire.Tree_frag };
-    Wire.Frag_fetch { fid = 0; kind = Wire.Graph_frag };
+    Wire.Frag_fetch { fid = 3; kind = Wire.Tree_frag; parent = None };
+    Wire.Frag_fetch { fid = 0; kind = Wire.Graph_frag; parent = Some 42 };
     Wire.Frag_image
       {
         fid = 3;
@@ -173,10 +179,45 @@ let sample_msgs =
         fid = 3;
         epoch = 2;
         image = { Wire.fi_kind = Wire.Graph_frag; fi_bytes = "pgf1\x01" };
+        parent = Some 7;
       };
-    Wire.Frag_retire { fid = 3; epoch = 2; kind = Wire.Tree_frag };
+    Wire.Frag_retire { fid = 3; epoch = 2; kind = Wire.Tree_frag; parent = None };
     Wire.Admin_reply { reply = Ok "installed fragment 3 at epoch 2" };
     Wire.Admin_reply { reply = Error "corrupt flat image for fragment 3" };
+    (* Span harvest (docs/OBSERVABILITY.md): telemetry control plane,
+       never tallied.  Floats round-trip bit-exactly (IEEE-754 bits on
+       the wire), so structural equality holds. *)
+    Wire.Spans_fetch;
+    Wire.Spans_reply { server_now = 12.5; spans = [] };
+    Wire.Spans_reply
+      {
+        server_now = 1754700000.125;
+        spans =
+          [
+            {
+              Pax_obs.Span.sp_name = "stage kernel";
+              sp_cat = "stage";
+              sp_track = "site 2";
+              sp_begin = 3.0625;
+              sp_dur = 0.5;
+              sp_args = [ ("run", "9"); ("round", "0") ];
+              sp_seq = 4;
+              sp_id = (17 lsl 22) lor 1023;
+              sp_parent = Some ((3 lsl 22) lor 77);
+            };
+            {
+              Pax_obs.Span.sp_name = "decode request";
+              sp_cat = "wire";
+              sp_track = "site 2";
+              sp_begin = 0.;
+              sp_dur = 0.;
+              sp_args = [];
+              sp_seq = 5;
+              sp_id = (18 lsl 22) lor 1023;
+              sp_parent = None;
+            };
+          ];
+      };
   ]
 
 let test_roundtrip () =

@@ -719,6 +719,329 @@ let test_run_id_uniqueness () =
     Hashtbl.add seen id ()
   done
 
+(* ------------------------------------------------------------------ *)
+(* Span ring bounds                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_ring_capacity () =
+  let t = Span.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Span.record t ~cat:"c"
+      (Printf.sprintf "s%d" i)
+      ~t0:(float_of_int i)
+      ~t1:(float_of_int i +. 0.5)
+  done;
+  Alcotest.(check int) "length capped" 4 (Span.length t);
+  Alcotest.(check int) "drops counted" 2 (Span.drops t);
+  Alcotest.(check (list string)) "oldest evicted first"
+    [ "s3"; "s4"; "s5"; "s6" ]
+    (List.map (fun (sp : Span.span) -> sp.Span.sp_name) (Span.spans t));
+  let drained = Span.drain t in
+  Alcotest.(check int) "drain returns the retained spans" 4
+    (List.length drained);
+  Alcotest.(check int) "empty after drain" 0 (Span.length t);
+  Alcotest.(check int) "drops survive the drain" 2 (Span.drops t);
+  (* The sink counts evictions into the exported metric. *)
+  let s = Sink.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Sink.record s (Printf.sprintf "m%d" i) ~t0:0. ~t1:1.
+  done;
+  Alcotest.(check (option (float 0.))) "pax_obs_spans_dropped_total" (Some 3.)
+    (Metrics.value s.Sink.metrics Sink.dropped_total)
+
+(* ------------------------------------------------------------------ *)
+(* Clock-offset estimation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_estimate_offset () =
+  (* Symmetric transit: the skew is recovered exactly, whatever its
+     sign or magnitude — simulated on a hand-cranked clock, so the
+     whole estimate is deterministic. *)
+  List.iter
+    (fun skew ->
+      List.iter
+        (fun transit ->
+          let f = Clock.Fake.create ~at:100. () in
+          Clock.with_source (Clock.Fake.source f) (fun () ->
+              let t0 = Clock.now () in
+              Clock.Fake.advance f transit;
+              let server_now = Clock.now () +. skew in
+              Clock.Fake.advance f transit;
+              let t1 = Clock.now () in
+              Alcotest.(check (float 1e-9))
+                (Printf.sprintf "skew %g recovered (transit %g)" skew transit)
+                skew
+                (Client.estimate_offset ~t0 ~t1 ~server_now)))
+        [ 0.; 0.001; 0.5 ])
+    [ 0.; 37.25; -12.5; 3600. ];
+  (* Asymmetric transit: the error is bounded by half the round trip. *)
+  let f = Clock.Fake.create ~at:0. () in
+  Clock.with_source (Clock.Fake.source f) (fun () ->
+      let skew = 5. in
+      let t0 = Clock.now () in
+      Clock.Fake.advance f 0.9;
+      let server_now = Clock.now () +. skew in
+      Clock.Fake.advance f 0.1;
+      let t1 = Clock.now () in
+      let est = Client.estimate_offset ~t0 ~t1 ~server_now in
+      Alcotest.(check bool) "error bounded by rtt/2" true
+        (Float.abs (est -. skew) <= ((t1 -. t0) /. 2.) +. 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Merged multi-process Chrome export                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema-check a merged export: one process_name per process (pids
+   1..n in list order), one X event per span across all processes, no
+   negative timestamps, and flow arrows in matched s/f pairs.  Returns
+   (flow starts, X events) for further assertions. *)
+let check_chrome_processes_schema procs =
+  let serialized = Chrome.to_string_processes procs in
+  let j =
+    match Json.parse serialized with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "merged trace does not parse: %s" e
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" j) Json.as_list with
+    | Some l -> l
+    | None -> Alcotest.fail "missing traceEvents array"
+  in
+  let proc_metas =
+    List.filter
+      (fun e ->
+        json_str "ph" e = Some "M" && json_str "name" e = Some "process_name")
+      events
+  in
+  Alcotest.(check int) "one process_name per process" (List.length procs)
+    (List.length proc_metas);
+  List.iteri
+    (fun i p ->
+      match
+        List.find_opt
+          (fun m -> json_num "pid" m = Some (float_of_int (i + 1)))
+          proc_metas
+      with
+      | Some m ->
+          Alcotest.(check (option string))
+            "process named as given"
+            (Some p.Chrome.pr_name)
+            (Option.bind (Json.member "args" m) (json_str "name"))
+      | None -> Alcotest.failf "no process_name for pid %d" (i + 1))
+    procs;
+  let xs = List.filter (fun e -> json_str "ph" e = Some "X") events in
+  Alcotest.(check int) "one X event per span across processes"
+    (List.fold_left (fun n p -> n + List.length p.Chrome.pr_spans) 0 procs)
+    (List.length xs);
+  List.iter
+    (fun x ->
+      (match json_num "ts" x with
+      | Some ts when ts >= 0. -> ()
+      | _ -> Alcotest.fail "X event with negative or missing ts");
+      match json_num "dur" x with
+      | Some d when d >= 0. -> ()
+      | _ -> Alcotest.fail "X event with negative or missing dur")
+    xs;
+  let starts = List.filter (fun e -> json_str "ph" e = Some "s") events in
+  let finishes = List.filter (fun e -> json_str "ph" e = Some "f") events in
+  Alcotest.(check int) "flow starts pair with finishes"
+    (List.length starts) (List.length finishes);
+  let finish_ids = List.filter_map (json_num "id") finishes in
+  List.iter
+    (fun s ->
+      match json_num "id" s with
+      | Some id when List.mem id finish_ids -> ()
+      | _ -> Alcotest.fail "flow start without a matching finish")
+    starts;
+  (starts, xs)
+
+let test_chrome_processes_merge () =
+  let sp ?parent ~id ~t0 ~t1 ~track ~cat name seqn =
+    {
+      Span.sp_name = name;
+      sp_cat = cat;
+      sp_track = track;
+      sp_begin = t0;
+      sp_dur = t1 -. t0;
+      sp_args = [];
+      sp_seq = seqn;
+      sp_id = id;
+      sp_parent = parent;
+    }
+  in
+  (* Coordinator at true time 100 s; the site clock runs 50 s ahead.
+     After alignment the site's visit must land 2 ms after the
+     coordinator's rpc span, and the dangling parent (9999 is nowhere)
+     must draw no flow arrow. *)
+  let coord =
+    [ sp ~id:1 ~t0:100. ~t1:100.01 ~track:"coordinator" ~cat:"rpc" "rpc S0" 0 ]
+  in
+  let site =
+    [
+      sp ~parent:1 ~id:2 ~t0:150.002 ~t1:150.008 ~track:"site 0" ~cat:"visit"
+        "stage1" 1;
+      sp ~parent:9999 ~id:3 ~t0:150.004 ~t1:150.005 ~track:"site 0"
+        ~cat:"wire" "dangling" 2;
+    ]
+  in
+  let procs =
+    [
+      { Chrome.pr_name = "coordinator"; pr_offset = 0.; pr_spans = coord };
+      { Chrome.pr_name = "site S0"; pr_offset = 50.; pr_spans = site };
+    ]
+  in
+  let starts, xs = check_chrome_processes_schema procs in
+  Alcotest.(check int) "exactly one flow arrow (dangling parent skipped)" 1
+    (List.length starts);
+  (match starts with
+  | [ s ] ->
+      Alcotest.(check (option (float 0.))) "flow id is the child span's"
+        (Some 2.) (json_num "id" s)
+  | _ -> ());
+  let ts_of name =
+    match List.find_opt (fun x -> json_str "name" x = Some name) xs with
+    | Some x -> json_num "ts" x
+    | None -> Alcotest.failf "no X event named %s" name
+  in
+  Alcotest.(check (option (float 0.))) "origin at the earliest aligned span"
+    (Some 0.) (ts_of "rpc S0");
+  Alcotest.(check (option (float 0.5))) "site span aligned onto coord clock"
+    (Some 2000.) (ts_of "stage1");
+  Alcotest.(check (option (float 0.5))) "alignment preserves in-site order"
+    (Some 4000.) (ts_of "dangling")
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process parent links over real sockets                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_parent_links_across_wire () =
+  with_timeout 120 (fun () ->
+      let ft = xmark_ft () in
+      with_servers ft ~n_sites:2 (fun cl client ->
+          (* Drain anything recorded before this run so the harvest
+             below holds exactly this run's spans. *)
+          for site = 0 to Cluster.n_sites cl - 1 do
+            ignore (Client.fetch_spans client site)
+          done;
+          let sink = Sink.create () in
+          Cluster.set_sink cl sink;
+          Client.set_sink client sink;
+          let q = Query.of_string "//person[profile/education]" in
+          ignore (Pax_core.Pax2.run cl q : Run_result.t);
+          let harvested =
+            List.init (Cluster.n_sites cl) (Client.fetch_spans client)
+          in
+          let coord_spans = Span.spans sink.Sink.spans in
+          Alcotest.(check bool) "coordinator recorded rpc spans" true
+            (spans_with_cat "rpc" coord_spans <> []);
+          let coord_ids = Hashtbl.create 64 in
+          List.iter
+            (fun (sp : Span.span) -> Hashtbl.replace coord_ids sp.Span.sp_id ())
+            coord_spans;
+          List.iter
+            (fun (_offset, spans) ->
+              Alcotest.(check bool) "site recorded spans" true (spans <> []);
+              let site_ids = Hashtbl.create 64 in
+              List.iter
+                (fun (sp : Span.span) ->
+                  Hashtbl.replace site_ids sp.Span.sp_id ())
+                spans;
+              List.iter
+                (fun (sp : Span.span) ->
+                  match (sp.Span.sp_cat, sp.Span.sp_parent) with
+                  (* Every server visit span parent-links to the
+                     coordinator rpc span whose id crossed the wire. *)
+                  | "visit", Some p when Hashtbl.mem coord_ids p -> ()
+                  | "visit", Some p ->
+                      Alcotest.failf
+                        "visit span parent %d unknown to the coordinator" p
+                  | "visit", None ->
+                      Alcotest.fail "server visit span without a parent"
+                  (* Decode/memo/stage/encode/send spans nest under
+                     their own process's visit span. *)
+                  | _, Some p when Hashtbl.mem site_ids p -> ()
+                  | _, Some p ->
+                      Alcotest.failf "span %S: parent %d not in its process"
+                        sp.Span.sp_name p
+                  | _, None ->
+                      Alcotest.failf "server span %S without a parent"
+                        sp.Span.sp_name)
+                spans)
+            harvested;
+          (* And the whole thing merges into a valid multi-process
+             trace with at least one cross-process flow arrow. *)
+          let procs =
+            {
+              Chrome.pr_name = "coordinator";
+              pr_offset = 0.;
+              pr_spans = coord_spans;
+            }
+            :: List.mapi
+                 (fun site (offset, spans) ->
+                   {
+                     Chrome.pr_name = Printf.sprintf "site S%d" site;
+                     pr_offset = offset;
+                     pr_spans = spans;
+                   })
+                 harvested
+          in
+          let starts, _ = check_chrome_processes_schema procs in
+          Alcotest.(check bool) "cross-process flow arrows drawn" true
+            (starts <> [])))
+
+(* ------------------------------------------------------------------ *)
+(* Cost ledger                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_ledger () =
+  let s = Sink.create () in
+  let report =
+    Audit.evaluate
+      {
+        Audit.engine = "pax2";
+        visit_limit = Some 2;
+        max_visits = 2;
+        q_entries = 4;
+        ft_size = 5;
+        t_size = 100;
+        control_bytes = 10;
+        answer_bytes = 10;
+        total_ops = 50;
+      }
+  in
+  Audit.ledger s ~engine:"pax2" report;
+  let v name bound =
+    Metrics.value s.Sink.metrics
+      ~labels:[ ("engine", "pax2"); ("bound", bound) ]
+      name
+  in
+  List.iter
+    (fun (b : Audit.bound) ->
+      Alcotest.(check bool)
+        (b.Audit.b_name ^ ": ratio histogram populated")
+        true
+        (v "pax_cost_predicted_ratio" b.Audit.b_name <> None);
+      Alcotest.(check (option (float 1e-9)))
+        (b.Audit.b_name ^ ": predicted limit gauge")
+        (Some b.Audit.b_limit)
+        (v "pax_cost_predicted_limit" b.Audit.b_name);
+      (* A histogram's [value] is its sum — one observation here. *)
+      Alcotest.(check (option (float 1e-9)))
+        (b.Audit.b_name ^ ": actual recorded")
+        (Some b.Audit.b_actual)
+        (v "pax_cost_actual" b.Audit.b_name))
+    report.Audit.bounds;
+  Alcotest.(check (option (float 0.))) "no violations counted" None
+    (v "pax_cost_violations_total" "visits");
+  (* A violated bound is counted. *)
+  let bad =
+    Audit.of_bounds
+      [ Audit.bound ~name:"visits" ~formula:"x" ~actual:4. ~limit:2. ]
+  in
+  Audit.ledger s ~engine:"pax2" bad;
+  Alcotest.(check (option (float 0.))) "violation counted" (Some 1.)
+    (v "pax_cost_violations_total" "visits")
+
 let () =
   Random.self_init ();
   Alcotest.run "obs"
@@ -741,6 +1064,15 @@ let () =
         [
           Alcotest.test_case "chrome export schema" `Quick test_chrome_export;
           Alcotest.test_case "stable order" `Quick test_span_order;
+          Alcotest.test_case "bounded ring evicts and counts" `Quick
+            test_span_ring_capacity;
+          Alcotest.test_case "multi-process merge aligns and flows" `Quick
+            test_chrome_processes_merge;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "clock offset under known skews" `Quick
+            test_estimate_offset;
         ] );
       ( "sink",
         [
@@ -754,6 +1086,7 @@ let () =
           Alcotest.test_case "json report" `Quick test_audit_json;
           Alcotest.test_case "example suite passes" `Quick
             test_audit_example_suite;
+          Alcotest.test_case "cost ledger metrics" `Quick test_cost_ledger;
         ] );
       ( "differential",
         [
@@ -768,6 +1101,8 @@ let () =
         [
           Alcotest.test_case "sockets: differential + coverage + stats" `Quick
             test_net_differential_and_stats;
+          Alcotest.test_case "sockets: cross-process parent links" `Quick
+            test_parent_links_across_wire;
           Alcotest.test_case "run ids are unique" `Quick test_run_id_uniqueness;
         ] );
       ( "coverage",

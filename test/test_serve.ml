@@ -280,7 +280,15 @@ let test_server_memo_bound () =
             match
               rpc
                 (Wire.Visit_request
-                   { run; round = 0; site = 0; epoch = 0; label = "s1"; call })
+                   {
+                     run;
+                     round = 0;
+                     site = 0;
+                     epoch = 0;
+                     label = "s1";
+                     parent = None;
+                     call;
+                   })
             with
             | Wire.Visit_reply { reply = Ok _; _ } -> ()
             | _ -> Alcotest.fail "unexpected reply to a visit request"

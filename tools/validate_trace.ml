@@ -1,0 +1,224 @@
+(* Merged-trace validator, run by `dune build @check`:
+
+     - without arguments, produce a real merged Perfetto file first:
+       fork two site servers, run one query over the sockets with
+       tracing enabled, harvest every site's span ring, and write the
+       multi-process export to a temp file — the same path `pax query
+       --connect --trace-out` takes;
+     - then schema-check the file *bytes* (not the in-memory value):
+       the traceEvents object form, a process_name track per process
+       with the coordinator and every site present, well-formed X
+       events (no negative timestamp or duration), and flow arrows in
+       matched s/f pairs whose endpoints land on real slices — i.e.
+       every drawn parent link resolves.
+
+   `validate_trace FILE...` checks existing exports instead of
+   generating one.  Exits 1 listing every problem found. *)
+
+module Fragment = Pax_frag.Fragment
+module Cluster = Pax_dist.Cluster
+module Sockio = Pax_net.Sockio
+module Server = Pax_net.Server
+module Client = Pax_net.Client
+module Span = Pax_obs.Span
+module Sink = Pax_obs.Sink
+module Chrome = Pax_obs.Chrome
+module Json = Pax_obs.Json
+
+let errors = ref []
+let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+
+(* ---------------- generation ------------------------------------- *)
+
+let generate_merged_trace path =
+  let doc = Pax_xmark.Xmark.doc ~seed:7 ~total_nodes:1500 ~n_sites:4 in
+  let ft = Fragment.fragmentize doc ~cuts:(Fragment.cuts_by_tag doc ~tag:"site") in
+  let n_sites = 2 in
+  let cl = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pax_validate_trace_%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let addrs =
+    Array.init n_sites (fun site ->
+        Sockio.Unix_path (Filename.concat dir (Printf.sprintf "s%d.sock" site)))
+  in
+  let pids =
+    Array.to_list
+      (Array.mapi
+         (fun site addr ->
+           let frags =
+             List.map
+               (fun fid -> (fid, (Fragment.fragment ft fid).Fragment.root))
+               (Cluster.fragments_on cl site)
+           in
+           Server.spawn ~addr ~frags ())
+         addrs)
+  in
+  let client = Client.create ~timeout:20. ~addrs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.shutdown_sites client;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        pids;
+      Array.iter
+        (function
+          | Sockio.Unix_path p -> ( try Sys.remove p with _ -> ())
+          | Sockio.Tcp _ -> ())
+        addrs;
+      try Sys.rmdir dir with _ -> ())
+    (fun () ->
+      let sink = Sink.create () in
+      Cluster.set_sink cl sink;
+      Client.set_sink client sink;
+      Cluster.set_transport cl (Some (Client.transport client));
+      let q = Pax_xpath.Query.of_string "//person[profile/education]" in
+      ignore (Pax_core.Pax2.run cl q : Pax_core.Run_result.t);
+      let harvested = List.init n_sites (Client.fetch_spans client) in
+      let procs =
+        {
+          Chrome.pr_name = "coordinator";
+          pr_offset = 0.;
+          pr_spans = Span.spans sink.Sink.spans;
+        }
+        :: List.mapi
+             (fun site (offset, spans) ->
+               {
+                 Chrome.pr_name = Printf.sprintf "site S%d" site;
+                 pr_offset = offset;
+                 pr_spans = spans;
+               })
+             harvested
+      in
+      Chrome.write_file_processes path procs;
+      List.length procs)
+
+(* ---------------- validation ------------------------------------- *)
+
+let jstr k j = Option.bind (Json.member k j) Json.as_str
+let jnum k j = Option.bind (Json.member k j) Json.as_num
+
+let validate ?expect_processes file =
+  let contents =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Json.parse contents with
+  | Error e -> err "%s: does not parse as JSON: %s" file e
+  | Ok j -> (
+      match Option.bind (Json.member "traceEvents" j) Json.as_list with
+      | None -> err "%s: missing traceEvents array" file
+      | Some events ->
+          let phase e = Option.value ~default:"" (jstr "ph" e) in
+          let procs =
+            List.filter_map
+              (fun e ->
+                if phase e = "M" && jstr "name" e = Some "process_name" then
+                  match
+                    ( jnum "pid" e,
+                      Option.bind (Json.member "args" e) (jstr "name") )
+                  with
+                  | Some pid, Some name -> Some (pid, name)
+                  | _ ->
+                      err "%s: process_name metadata without pid or name" file;
+                      None
+                else None)
+              events
+          in
+          (match expect_processes with
+          | Some n when List.length procs <> n ->
+              err "%s: expected %d process tracks, found %d" file n
+                (List.length procs)
+          | _ -> ());
+          if not (List.exists (fun (_, n) -> n = "coordinator") procs) then
+            err "%s: no coordinator track" file;
+          if
+            List.length procs > 1
+            && not
+                 (List.exists
+                    (fun (_, n) ->
+                      String.length n >= 4 && String.sub n 0 4 = "site")
+                    procs)
+          then err "%s: merged trace without a site track" file;
+          let xs = List.filter (fun e -> phase e = "X") events in
+          if xs = [] then err "%s: no slices" file;
+          List.iter
+            (fun x ->
+              let name = Option.value ~default:"?" (jstr "name" x) in
+              (match jnum "ts" x with
+              | Some ts when ts >= 0. -> ()
+              | Some ts -> err "%s: slice %S has negative ts %g" file name ts
+              | None -> err "%s: slice %S without ts" file name);
+              (match jnum "dur" x with
+              | Some d when d >= 0. -> ()
+              | Some d -> err "%s: slice %S has negative dur %g" file name d
+              | None -> err "%s: slice %S without dur" file name);
+              match (jnum "pid" x, jnum "tid" x) with
+              | Some pid, Some _ ->
+                  if procs <> [] && not (List.mem_assoc pid procs) then
+                    err "%s: slice %S on unnamed pid %g" file name pid
+              | _ -> err "%s: slice %S without pid/tid" file name)
+            xs;
+          (* Flow arrows: matched s/f pairs, each endpoint anchored on
+             a real slice — the drawn parent links all resolve. *)
+          let on_slice e =
+            match (jnum "pid" e, jnum "tid" e, jnum "ts" e) with
+            | Some pid, Some tid, Some ts ->
+                List.exists
+                  (fun x ->
+                    jnum "pid" x = Some pid
+                    && jnum "tid" x = Some tid
+                    &&
+                    match (jnum "ts" x, jnum "dur" x) with
+                    | Some t0, Some d -> ts >= t0 -. 1. && ts <= t0 +. d +. 1.
+                    | _ -> false)
+                  xs
+            | _ -> false
+          in
+          let flows p = List.filter (fun e -> phase e = p) events in
+          let starts = flows "s" and finishes = flows "f" in
+          if List.length starts <> List.length finishes then
+            err "%s: %d flow starts but %d finishes" file (List.length starts)
+              (List.length finishes);
+          List.iter
+            (fun e ->
+              let id = jnum "id" e in
+              if id = None then err "%s: flow event without id" file;
+              if
+                phase e = "s"
+                && not
+                     (List.exists (fun f -> jnum "id" f = id) finishes)
+              then
+                err "%s: flow %g has no finish" file
+                  (Option.value ~default:Float.nan id);
+              if not (on_slice e) then
+                err "%s: flow %g endpoint (%s) not anchored on a slice" file
+                  (Option.value ~default:Float.nan id)
+                  (phase e))
+            (starts @ finishes);
+          Printf.printf
+            "%s: %d process(es), %d slice(s), %d flow arrow(s) — ok so far\n"
+            file (List.length procs) (List.length xs) (List.length starts))
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as files) -> List.iter (fun f -> validate f) files
+  | _ ->
+      let path = Filename.temp_file "pax_merged_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let n = generate_merged_trace path in
+          validate ~expect_processes:n path));
+  match !errors with
+  | [] -> ()
+  | es ->
+      List.iter (fun e -> Printf.eprintf "validate_trace: %s\n" e) (List.rev es);
+      exit 1
