@@ -1,0 +1,1 @@
+let () = Overload.main ()

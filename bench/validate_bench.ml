@@ -5,8 +5,9 @@
    Dispatches on the top-level "bench" field: "scaling" (the multicore
    scaling runs of BENCH_PR2-style files), "throughput" (the serving
    benchmark of bench/throughput.ml), "flat" (the pointer-vs-flat
-   stage kernels of bench/flat_main.ml) or "skew" (the hot-shard
-   rebalance runs of bench/skew.ml).  Exits 0 when every file is
+   stage kernels of bench/flat_main.ml), "skew" (the hot-shard
+   rebalance runs of bench/skew.ml) or "overload" (the deadline/QoS
+   shedding storms of bench/overload.ml).  Exits 0 when every file is
    well-formed and carries the fields later PRs' perf tracking relies
    on; prints what is wrong and exits 1 otherwise.  Used by the
    @bench-smoke and @check dune aliases so a perf-harness regression
@@ -433,6 +434,107 @@ let check_skew (v : J.t) =
     | _ -> ()
   end
 
+(* ---------------- the overload / shedding schema ------------------- *)
+
+let check_overload (v : J.t) =
+  (match J.member "pr" v with
+  | Some _ -> ()
+  | None -> err "top: missing \"pr\"");
+  let quick =
+    match Option.bind (J.member "quick" v) J.as_bool with
+    | Some q -> q
+    | None ->
+        err "top: missing or non-bool \"quick\"";
+        false
+  in
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k v) J.as_num with
+      | Some f when f >= 1. -> ()
+      | _ -> err "top: missing or bad %S" k)
+    [ "cores"; "size_mb"; "repeats"; "concurrency"; "max_inflight";
+      "max_queue" ];
+  (match Option.bind (J.member "site_delay_ms" v) J.as_num with
+  | Some d when d >= 0. -> ()
+  | _ -> err "top: missing or bad \"site_delay_ms\"");
+  (match Option.bind (J.member "queries" v) J.as_list with
+  | Some (_ :: _) -> ()
+  | _ -> err "top: missing or empty \"queries\"");
+  let counter k =
+    match Option.bind (J.member k v) J.as_num with
+    | Some c when c >= 0. && Float.is_integer c -> Some c
+    | _ ->
+        err "top: missing or bad %S" k;
+        None
+  in
+  let offered = counter "offered"
+  and admitted = counter "admitted"
+  and shed = counter "shed" in
+  (* The books must balance: every offered query was either admitted
+     (and completed) or shed with a typed rejection — never dropped on
+     the floor. *)
+  (match (offered, admitted, shed) with
+  | Some o, Some a, Some s ->
+      if a +. s <> o then
+        err "top: admitted %.0f + shed %.0f <> offered %.0f" a s o;
+      if a < 1. then err "top: no queries admitted"
+  | _ -> ());
+  (match (counter "shed_overloaded", counter "shed_deadline", shed) with
+  | Some so, Some sd, Some s when so +. sd <> s ->
+      err "top: shed_overloaded %.0f + shed_deadline %.0f <> shed %.0f" so sd
+        s
+  | _ -> ());
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k v) J.as_num with
+      | Some f when f > 0. -> ()
+      | _ -> err "top: missing or non-positive %S" k)
+    [ "sat_qps"; "overload_goodput_qps"; "goodput_ratio" ];
+  (match
+     ( Option.bind (J.member "p50_admitted_ms" v) J.as_num,
+       Option.bind (J.member "p99_admitted_ms" v) J.as_num )
+   with
+  | Some p50, Some p99 ->
+      if p50 < 0. || p99 < 0. then err "top: negative latency";
+      if p50 > p99 then err "top: p50_admitted_ms > p99_admitted_ms"
+  | _ -> err "top: missing \"p50_admitted_ms\"/\"p99_admitted_ms\"");
+  (* Audits and the two-coordinator identity are not timing claims:
+     they must hold in quick runs too. *)
+  (match Option.bind (J.member "audit_pass" v) J.as_bool with
+  | Some true -> ()
+  | Some false -> err "top: audit failed (audit_pass=false)"
+  | None -> err "top: missing or non-bool \"audit_pass\"");
+  List.iter
+    (fun k ->
+      match Option.bind (J.member k v) J.as_bool with
+      | Some true -> ()
+      | Some false -> err "top: %S is false" k
+      | None -> err "top: missing or non-bool %S" k)
+    [ "two_coord_identical"; "restart_recovered" ];
+  (* The shedding claim itself (quick smoke storms are too small to
+     hold to perf bounds): a real overload run must offer >= 64-way
+     concurrency, shed something — with the deadline path exercised,
+     not just queue overflow — and keep admitted goodput within 10% of
+     the saturation ceiling.  Collapse under load is a regression the
+     artifact must not hide. *)
+  if not quick then begin
+    (match Option.bind (J.member "concurrency" v) J.as_num with
+    | Some c when c < 64. ->
+        err "top: full runs need concurrency >= 64 (got %.0f)" c
+    | _ -> ());
+    (match shed with
+    | Some s when s < 1. -> err "top: overload run shed nothing"
+    | _ -> ());
+    (match counter "shed_deadline" with
+    | Some sd when sd < 1. -> err "top: deadline shedding never fired"
+    | _ -> ());
+    match Option.bind (J.member "goodput_ratio" v) J.as_num with
+    | Some r when r < 0.9 ->
+        err "top: goodput ratio %.2f < 0.9 — the tier collapsed instead \
+             of shedding" r
+    | _ -> ()
+  end
+
 let check (v : J.t) =
   match Option.bind (J.member "bench" v) J.as_str with
   | Some "scaling" ->
@@ -447,6 +549,9 @@ let check (v : J.t) =
   | Some "skew" ->
       check_skew v;
       "skew"
+  | Some "overload" ->
+      check_overload v;
+      "overload"
   | Some other ->
       err "top: unknown bench kind %S" other;
       "?"

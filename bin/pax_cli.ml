@@ -657,13 +657,84 @@ let serve_cmd =
 (* coordinator                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* --qos SRC:WEIGHT:PRIO[,SRC:WEIGHT:PRIO...] — per-source scheduling
+   shares (docs/SERVING.md): WEIGHT consecutive dispatches per rotation
+   turn within a priority class, strict priority between classes. *)
+let parse_qos spec =
+  List.map
+    (fun entry ->
+      match String.split_on_char ':' entry with
+      | [ src; w; p ] -> (
+          match (int_of_string_opt w, int_of_string_opt p) with
+          | Some weight, Some priority when src <> "" && weight >= 1 ->
+              (src, weight, priority)
+          | _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "--qos %s: expected SRC:WEIGHT:PRIO with WEIGHT >= 1" entry))
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "--qos %s: expected SRC:WEIGHT:PRIO" entry))
+    (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+
+(* Optional bracketed options between the id and the query:
+   "ID [deadline_ms=50,source=gold] QUERY".  deadline_ms becomes an
+   absolute deadline at parse time — admission sheds the query (BUSY)
+   when predicted cost plus the queue estimate says it cannot finish
+   in time; source overrides the connection's fair-scheduling source. *)
+let parse_line_opts text =
+  if String.length text = 0 || text.[0] <> '[' then Ok (text, None, None)
+  else
+    match String.index_opt text ']' with
+    | None -> Error "unterminated [options]"
+    | Some close ->
+        let body = String.sub text 1 (close - 1) in
+        let rest =
+          String.trim
+            (String.sub text (close + 1) (String.length text - close - 1))
+        in
+        let opts =
+          List.filter
+            (fun s -> s <> "")
+            (List.map String.trim (String.split_on_char ',' body))
+        in
+        List.fold_left
+          (fun acc opt ->
+            match acc with
+            | Error _ -> acc
+            | Ok (rest, deadline, source) -> (
+                match String.index_opt opt '=' with
+                | None -> Error (Printf.sprintf "bad option %S" opt)
+                | Some eq -> (
+                    let k = String.sub opt 0 eq in
+                    let v =
+                      String.sub opt (eq + 1) (String.length opt - eq - 1)
+                    in
+                    match k with
+                    | "deadline_ms" -> (
+                        match float_of_string_opt v with
+                        | Some ms when ms >= 0. ->
+                            Ok
+                              ( rest,
+                                Some (Pax_obs.Clock.now () +. (ms /. 1000.)),
+                                source )
+                        | _ -> Error (Printf.sprintf "bad deadline_ms %S" v))
+                    | "source" ->
+                        if v = "" then Error "empty source"
+                        else Ok (rest, deadline, Some v)
+                    | _ -> Error (Printf.sprintf "unknown option %S" k))))
+          (Ok (rest, None, None))
+          opts
+
 (* A line-oriented front door over Pax_serve.Coordinator: clients
-   connect, send "ID QUERY" lines, and read "ID OK|ERR|BUSY ..." lines
-   back as each run finishes (out of order across in-flight ids; see
-   docs/SERVING.md).  Each connection is one fair-scheduling source. *)
+   connect, send "ID QUERY" lines — optionally
+   "ID [deadline_ms=...,source=...] QUERY" — and read
+   "ID OK|ERR|BUSY ..." lines back as each run finishes (out of order
+   across in-flight ids; see docs/SERVING.md).  Each connection is one
+   fair-scheduling source unless the line overrides it. *)
 let coordinator_cmd =
   let run file listen connect annotations fragment_tag fragment_budget n_sites
-      placement max_inflight max_queue no_cache stats placement_in
+      placement max_inflight max_queue no_cache stats qos placement_in
       placement_out =
     match
       let ft = load_ftree file ~fragment_tag ~fragment_budget in
@@ -730,6 +801,19 @@ let coordinator_cmd =
           | Ok () -> ()
           | Error e -> invalid_arg (Printf.sprintf "placement replay: %s" e))
       | _ -> ());
+      (* Cache coherence (docs/SERVING.md): hook the servers'
+         generation-vector relay into the local tree — other
+         coordinators' updates then invalidate this cache — and pull
+         the sites' current vectors so a coordinator joining after
+         updates starts coherent instead of serving stale entries. *)
+      let feed =
+        Option.map
+          (fun mux ->
+            let feed = Pax_serve.Feed.attach ~sink ~mux ft in
+            Pax_serve.Feed.sync feed;
+            feed)
+          mux
+      in
       let cache =
         if no_cache then None else Some (Pax_serve.Cache.create ~sink ft)
       in
@@ -780,6 +864,10 @@ let coordinator_cmd =
                     with
                     | Ok o ->
                         save_table ();
+                        Option.iter
+                          (fun f ->
+                            Pax_serve.Feed.publish f ~fids:[ o.mv_fid ])
+                          feed;
                         Ok
                           (Printf.sprintf "moved %d %d->%d epoch %d" o.mv_fid
                              o.mv_from o.mv_to o.mv_epoch)
@@ -821,6 +909,7 @@ let coordinator_cmd =
                 with
                 | Ok moves ->
                     save_table ();
+                    Option.iter Pax_serve.Feed.publish_all feed;
                     Ok
                       (Printf.sprintf "moves %d%s" (List.length moves)
                          (String.concat ""
@@ -836,6 +925,14 @@ let coordinator_cmd =
         Pax_serve.Coordinator.create ?max_inflight ?max_queue ?cache ~sink
           backend mounts
       in
+      Option.iter
+        (fun spec ->
+          List.iter
+            (fun (source, weight, priority) ->
+              Pax_serve.Coordinator.configure_source coord ~source ~weight
+                ~priority ())
+            (parse_qos spec))
+        qos;
       let addr =
         match Pax_net.Sockio.addr_of_string listen with
         | Ok a -> a
@@ -887,7 +984,15 @@ let coordinator_cmd =
                         | Error e -> reply (id ^ " ERR " ^ e));
                         loop ()
                     | _ -> (
-                    match Pax_serve.Coordinator.submit ~source coord text with
+                    match parse_line_opts text with
+                    | Error e ->
+                        reply (id ^ " ERR " ^ e);
+                        loop ()
+                    | Ok (text, deadline, src_override) -> (
+                    let source = Option.value ~default:source src_override in
+                    match
+                      Pax_serve.Coordinator.submit ~source ?deadline coord text
+                    with
                     | Error (Pax_serve.Coordinator.Rejected r) ->
                         reply
                           (Format.asprintf "%s BUSY %a" id
@@ -915,7 +1020,7 @@ let coordinator_cmd =
                                      (Printf.sprintf "%s ERR %s" id
                                         (Printexc.to_string e)))
                              ());
-                        loop ())))
+                        loop ()))))
         in
         loop ();
         (try Unix.close cfd with Unix.Unix_error _ -> ())
@@ -1001,6 +1106,14 @@ let coordinator_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Collect serving telemetry.")
   in
+  let qos =
+    Arg.(value & opt (some string) None
+         & info [ "qos" ] ~docv:"SRC:WEIGHT:PRIO,..."
+             ~doc:"Per-source scheduling shares: $(b,WEIGHT) consecutive \
+                   dispatches per rotation turn within a priority class, \
+                   strict $(b,PRIO) between classes (higher first).  \
+                   Unlisted sources get weight 1, priority 0.")
+  in
   let placement_in =
     Arg.(value & opt (some string) None
          & info [ "placement-in" ] ~docv:"PATH"
@@ -1025,7 +1138,7 @@ let coordinator_cmd =
     Term.(
       const run $ file $ listen $ connect $ annotations $ fragment_tag
       $ fragment_budget $ n_sites $ placement $ max_inflight $ max_queue
-      $ no_cache $ stats $ placement_in $ placement_out)
+      $ no_cache $ stats $ qos $ placement_in $ placement_out)
 
 (* ------------------------------------------------------------------ *)
 (* admin                                                              *)

@@ -139,6 +139,9 @@ let root_fragment t = t.fragments.(0)
 let generation t fid = t.generations.(fid)
 let bump_generation t fid = t.generations.(fid) <- t.generations.(fid) + 1
 
+let merge_generation t fid gen =
+  if gen > t.generations.(fid) then t.generations.(fid) <- gen
+
 let spine t fid =
   let rec go fid acc =
     let f = t.fragments.(fid) in

@@ -87,6 +87,14 @@ val generation : t -> int -> int
     successful operation, so callers normally never need to. *)
 val bump_generation : t -> int -> unit
 
+(** [merge_generation t fid gen] raises the fragment's generation to
+    [gen] if it is behind (monotone max; a no-op otherwise).  How a
+    coordinator learns about {e another} coordinator's updates: the
+    coherence feed (docs/SERVING.md) delivers remote generation
+    counters, and merging them here makes the stage cache's generation
+    check treat the affected entries as stale. *)
+val merge_generation : t -> int -> int -> unit
+
 (** The store's shared symbol table. *)
 val intern : t -> Pax_xml.Intern.t
 

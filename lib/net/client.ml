@@ -94,6 +94,12 @@ type t = {
   mutable gen : int;
   mutable sink : Pax_obs.Sink.t;
   mutable default_handle : handle option;
+  (* The cache-coherence hook (docs/SERVING.md): called by receiver
+     threads for every unsolicited [Gen_event] push.  Typically
+     [Feed.attach] installs a max-merge into the coordinator's local
+     fragment tree, which the stage cache's generation check then
+     treats as invalidation. *)
+  mutable on_gen : (Wire.frag_kind -> (int * int) list -> unit) option;
 }
 
 (* One run's view of the shared connections: its own run id, its own
@@ -138,9 +144,11 @@ let create ?(timeout = 30.) ~addrs () =
     gen = 0;
     sink = Pax_obs.Sink.noop;
     default_handle = None;
+    on_gen = None;
   }
 
 let set_sink t s = t.sink <- s
+let n_sites t = Array.length t.addrs
 
 let locked t f =
   Mutex.lock t.lock;
@@ -172,6 +180,16 @@ let drop t site =
 
 let deposit t site payload =
   match Wire.decode_payload_corr payload with
+  | Ok (_, Wire.Gen_event { kind; gens }) ->
+      (* Unsolicited server push (correlation id 0 — never a waiter's
+         id; the counter starts at 1): the streamed cache-invalidation
+         feed.  Read the hook under the lock, run it outside — it
+         merges into a fragment tree, not into mux state. *)
+      let cb = locked t (fun () -> t.on_gen) in
+      (match cb with
+      | Some f -> ( try f kind gens with _ -> ())
+      | None -> ());
+      Ok ()
   | Ok (corr, msg) ->
       locked t (fun () ->
           match Hashtbl.find_opt t.pending corr with
@@ -407,6 +425,26 @@ let frag_retire t ~site ~fid ~epoch ~kind =
     (function
       | Wire.Admin_reply { reply } -> reply
       | _ -> failwith "unexpected reply to a fragment retire")
+
+(* Generation coherence (docs/SERVING.md): same control-plane shape as
+   the migration RPCs.  [on_gen_event] is the receiving side of the
+   feed — the hook runs on receiver threads, once per [Gen_event]
+   pushed by any site. *)
+let on_gen_event t f = locked t (fun () -> t.on_gen <- Some f)
+
+let publish_gens t ~site ~kind gens =
+  admin_rpc t "gen publish" ~site
+    (fun ~parent -> Wire.Gen_publish { kind; gens; parent })
+    (function
+      | Wire.Admin_reply { reply } -> reply
+      | _ -> failwith "unexpected reply to a generation publish")
+
+let fetch_gens t ~site ~kind =
+  admin_rpc t "gen fetch" ~site
+    (fun ~parent -> Wire.Gen_fetch { kind; parent })
+    (function
+      | Wire.Gen_reply { kind = k; gens } when k = kind -> gens
+      | _ -> failwith "unexpected reply to a generation fetch")
 
 (* ------------------------------------------------------------------ *)
 (* Handles: one run's transport view                                  *)

@@ -35,6 +35,9 @@ type handle
     reply frame, enforced by the receiver threads. *)
 val create : ?timeout:float -> addrs:Sockio.addr array -> unit -> t
 
+(** Number of site servers this client multiplexes over. *)
+val n_sites : t -> int
+
 (** Install a telemetry sink (default: no-op) inherited by the default
     handle (and any {!handle} created without its own).  With an
     enabled sink every visit frame records a span (category ["wire"])
@@ -105,6 +108,38 @@ val frag_retire :
   epoch:int ->
   kind:Pax_wire.Wire.frag_kind ->
   (string, string) result
+
+(** {1 Generation coherence (docs/SERVING.md)}
+
+    The streamed cache-invalidation feed: a coordinator that mutates a
+    fragment ({!Pax_fragment.Update.apply}, a migration) publishes the
+    fragment's new generation counter to its sites; each site
+    max-merges and pushes a [Gen_event] to {e every} live connection,
+    so every coordinator's stage cache sees the invalidation.  Same
+    control-plane accounting as the migration RPCs. *)
+
+(** Install the hook run (on receiver threads) for every unsolicited
+    [Gen_event] push — typically [Pax_serve.Feed.attach]'s max-merge
+    into the coordinator's local fragment tree.  At most one hook;
+    installing again replaces it. *)
+val on_gen_event :
+  t -> (Pax_wire.Wire.frag_kind -> (int * int) list -> unit) -> unit
+
+(** Announce [(fid, generation)] pairs to [site]; the site max-merges,
+    acknowledges, and fans the event out to every live connection
+    (publisher included — its own merge is a no-op). *)
+val publish_gens :
+  t ->
+  site:int ->
+  kind:Pax_wire.Wire.frag_kind ->
+  (int * int) list ->
+  (string, string) result
+
+(** Pull [site]'s full generation vector (every fragment it has seen a
+    nonzero generation for) — startup sync for a coordinator joining
+    after updates have happened. *)
+val fetch_gens :
+  t -> site:int -> kind:Pax_wire.Wire.frag_kind -> (int * int) list
 
 (** The {!Pax_dist.Transport.t} view of the client's {e default handle}
     — the v1-compatible single-run-at-a-time interface, to install with

@@ -25,6 +25,11 @@ type run_state = {
   mutable rs_touch : int;  (* recency stamp for LRU eviction *)
 }
 
+(* A live accepted connection: its socket plus the write lock that
+   serializes reply frames with unsolicited [Gen_event] pushes sharing
+   the same socket. *)
+type conn_entry = { c_id : int; c_fd : Unix.file_descr; c_wlock : Mutex.t }
+
 type t = {
   frags : (int, Tree.node) Hashtbl.t;
   (* The flat hot path (docs/FLATTREE.md): one site-wide intern table
@@ -83,6 +88,21 @@ type t = {
      frames), mirroring the client's counters — see
      [Client.fetch_stats]. *)
   obs : Pax_obs.Sink.t;
+  (* N coordinators hold their multiplexed connections open
+     concurrently, so [serve] runs one thread per accepted connection.
+     [lock] guards every piece of shared state above (fragments, run
+     states, fences, the sink — its collectors are single-writer) plus
+     the tables below; the [service_delay] sleep and all socket IO
+     happen outside it. *)
+  lock : Mutex.t;
+  conns : (int, conn_entry) Hashtbl.t;
+  mutable conn_seq : int;
+  (* Fragment generation counters, max-merged from [Gen_publish]
+     frames and fanned back out as [Gen_event] — the relay that makes
+     one coordinator's update invalidate every coordinator's stage
+     cache (docs/SERVING.md). *)
+  gens : (Wire.frag_kind * int, int) Hashtbl.t;
+  mutable stopping : bool;
 }
 
 let default_max_runs = 64
@@ -120,7 +140,16 @@ let create ?(max_runs = default_max_runs) ?(service_delay = 0.) ?(flake = 0)
     flaked = Hashtbl.create 16;
     clock = 0;
     obs = Pax_obs.Sink.create ();
+    lock = Mutex.create ();
+    conns = Hashtbl.create 8;
+    conn_seq = 0;
+    gens = Hashtbl.create 16;
+    stopping = false;
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let fresh_state run =
   {
@@ -551,11 +580,63 @@ let count_admin_frame t ~dir ~frame_len =
   Pax_obs.Sink.count t.obs ~labels ~by:(float_of_int frame_len)
     "pax_net_admin_bytes_total"
 
+(* ------------------------------------------------------------------ *)
+(* Generation coherence (docs/SERVING.md)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Caller holds [t.lock].  Max-merge makes replayed or reordered
+   publishes harmless: generations only move forward. *)
+let merge_gen_locked t kind fid gen =
+  let key = (kind, fid) in
+  let cur = Option.value (Hashtbl.find_opt t.gens key) ~default:0 in
+  if gen > cur then begin
+    Hashtbl.replace t.gens key gen;
+    Pax_obs.Sink.count t.obs "pax_srv_gen_merges_total"
+  end
+
+let gens_locked t kind =
+  List.sort compare
+    (Hashtbl.fold
+       (fun (k, fid) gen acc -> if k = kind then (fid, gen) :: acc else acc)
+       t.gens [])
+
+let write_conn (c : conn_entry) payload =
+  Mutex.lock c.c_wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.c_wlock)
+    (fun () -> Sockio.write_frame c.c_fd payload)
+
+(* Best-effort fan-out of a generation event to every live connection,
+   the publisher included (its own merge is a no-op).  Correlation id
+   0: nobody awaits these — clients route them by tag. *)
+let broadcast_gens t kind gens =
+  let out = Wire.encode_payload ~corr:0 (Wire.Gen_event { kind; gens }) in
+  let targets =
+    locked t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+  in
+  List.iter
+    (fun c ->
+      match write_conn c out with
+      | () ->
+          locked t (fun () ->
+              count_admin_frame t ~dir:"sent"
+                ~frame_len:(4 + String.length out))
+      | exception _ -> () (* a dying connection misses the event;
+                             its owner resyncs with [Gen_fetch] *))
+    targets
+
 (* Replies echo the request's correlation id, so a demultiplexing
    client can route them to the right in-flight run without inspecting
-   bodies. *)
+   bodies.
+
+   One thread per accepted connection: shared state is touched only
+   under [t.lock] (compute is serialized by the OCaml runtime lock
+   anyway), while [service_delay] sleeps and socket writes stay
+   outside it so latency overlaps across connections.  Writes go
+   through the per-connection write lock — [Gen_event] pushes share
+   the socket with replies. *)
 let serve t fd =
-  let rec conn_loop ((conn, rd) as c) =
+  let rec conn_loop (c : conn_entry) rd =
     match Sockio.read_frame_r rd with
     | None -> `Eof
     | Some payload -> (
@@ -567,130 +648,227 @@ let serve t fd =
             ( _,
               Wire.Visit_request
                 { run; round; site = _; epoch = _; label = _; call = _; _ } )
-          when flake_now t ~run ~round ->
+          when locked t (fun () -> flake_now t ~run ~round) ->
             (* Planned fault: swallow the request and drop the
                connection.  The client sees EOF, reconnects and
                resends; the memo answers the retry. *)
-            count_visit_frame t ~dir:"recv"
-              ~frame_len:(4 + String.length payload);
+            locked t (fun () ->
+                count_visit_frame t ~dir:"recv"
+                  ~frame_len:(4 + String.length payload));
             `Eof
         | Ok
             ( corr,
               Wire.Visit_request
                 { run; round; site = _; epoch; label; call; parent } ) ->
-            count_visit_frame t ~dir:"recv"
-              ~frame_len:(4 + String.length payload);
+            locked t (fun () ->
+                count_visit_frame t ~dir:"recv"
+                  ~frame_len:(4 + String.length payload));
             if t.service_delay > 0. then Thread.delay t.service_delay;
             (* The visit span carries the coordinator's rpc-span id as
                its parent (the cross-process flow arrow); decode, memo,
                kernel and reply-encode spans nest under the visit. *)
             let vid = Pax_obs.Span.alloc () in
-            Pax_obs.Sink.record t.obs ~cat:"wire" ~parent:vid "decode request"
-              ~t0:td0 ~t1:td1;
-            let reply =
-              Pax_obs.Sink.span t.obs ~cat:"visit" ~id:vid ?parent
-                ~args:(fun () ->
-                  [ ("run", string_of_int run); ("round", string_of_int round) ])
-                label
-                (fun () -> handle_request t ~run ~round ~epoch ~parent:vid call)
-            in
             let out =
-              Pax_obs.Sink.span t.obs ~cat:"wire" ~parent:vid "encode reply"
-                (fun () ->
-                  Wire.encode_payload ~corr
-                    (Wire.Visit_reply { run; round; reply }))
+              locked t (fun () ->
+                  Pax_obs.Sink.record t.obs ~cat:"wire" ~parent:vid
+                    "decode request" ~t0:td0 ~t1:td1;
+                  let reply =
+                    Pax_obs.Sink.span t.obs ~cat:"visit" ~id:vid ?parent
+                      ~args:(fun () ->
+                        [
+                          ("run", string_of_int run);
+                          ("round", string_of_int round);
+                        ])
+                      label
+                      (fun () ->
+                        handle_request t ~run ~round ~epoch ~parent:vid call)
+                  in
+                  Pax_obs.Sink.span t.obs ~cat:"wire" ~parent:vid
+                    "encode reply" (fun () ->
+                      Wire.encode_payload ~corr
+                        (Wire.Visit_reply { run; round; reply })))
             in
-            Pax_obs.Sink.span t.obs ~cat:"wire" ~parent:vid "send frame"
-              (fun () -> Sockio.write_frame conn out);
-            count_visit_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
-            conn_loop c
+            let ts0 = Pax_obs.Clock.now () in
+            write_conn c out;
+            let ts1 = Pax_obs.Clock.now () in
+            locked t (fun () ->
+                Pax_obs.Sink.record t.obs ~cat:"wire" ~parent:vid "send frame"
+                  ~t0:ts0 ~t1:ts1;
+                count_visit_frame t ~dir:"sent"
+                  ~frame_len:(4 + String.length out));
+            conn_loop c rd
         | Ok (corr, Wire.Ping) ->
-            Sockio.write_frame conn (Wire.encode_payload ~corr Wire.Pong);
-            conn_loop c
+            write_conn c (Wire.encode_payload ~corr Wire.Pong);
+            conn_loop c rd
         | Ok (corr, Wire.Stats_request) ->
-            Sockio.write_frame conn
-              (Wire.encode_payload ~corr
-                 (Wire.Stats_reply
-                    (Pax_obs.Metrics.pairs t.obs.Pax_obs.Sink.metrics)));
-            conn_loop c
+            let out =
+              locked t (fun () ->
+                  Wire.encode_payload ~corr
+                    (Wire.Stats_reply
+                       (Pax_obs.Metrics.pairs t.obs.Pax_obs.Sink.metrics)))
+            in
+            write_conn c out;
+            conn_loop c rd
         | Ok (corr, Wire.Spans_fetch) ->
             (* Drain the ring (atomically — concurrent visits keep
                recording) and stamp our clock while building the
                reply: the coordinator pairs the stamp with its own
                readings around this exchange to estimate this site's
                clock offset.  Telemetry like stats: no counters. *)
-            let spans = Pax_obs.Span.drain t.obs.Pax_obs.Sink.spans in
-            Sockio.write_frame conn
-              (Wire.encode_payload ~corr
-                 (Wire.Spans_reply
-                    { server_now = Pax_obs.Clock.now (); spans }));
-            conn_loop c
+            let out =
+              locked t (fun () ->
+                  let spans = Pax_obs.Span.drain t.obs.Pax_obs.Sink.spans in
+                  Wire.encode_payload ~corr
+                    (Wire.Spans_reply
+                       { server_now = Pax_obs.Clock.now (); spans }))
+            in
+            write_conn c out;
+            conn_loop c rd
         | Ok (_, Wire.Run_done { run }) ->
             (* The coordinator is done with this run: shed its stage
                state and reply memos (the bounded-memory contract of
                docs/SERVING.md).  No reply. *)
-            evict_run t run;
-            conn_loop c
+            locked t (fun () -> evict_run t run);
+            conn_loop c rd
         | Ok (corr, Wire.Frag_fetch { fid; kind; parent }) ->
-            count_admin_frame t ~dir:"recv"
-              ~frame_len:(4 + String.length payload);
-            let image =
-              Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
-                ~args:(fun () -> [ ("fid", string_of_int fid) ])
-                "frag fetch"
-                (fun () -> fetch_image t ~fid ~kind)
-            in
             let out =
-              Wire.encode_payload ~corr (Wire.Frag_image { fid; image })
+              locked t (fun () ->
+                  count_admin_frame t ~dir:"recv"
+                    ~frame_len:(4 + String.length payload);
+                  let image =
+                    Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
+                      ~args:(fun () -> [ ("fid", string_of_int fid) ])
+                      "frag fetch"
+                      (fun () -> fetch_image t ~fid ~kind)
+                  in
+                  Wire.encode_payload ~corr (Wire.Frag_image { fid; image }))
             in
-            Sockio.write_frame conn out;
-            count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
-            conn_loop c
+            write_conn c out;
+            locked t (fun () ->
+                count_admin_frame t ~dir:"sent"
+                  ~frame_len:(4 + String.length out));
+            conn_loop c rd
         | Ok (corr, Wire.Frag_install { fid; epoch; image; parent }) ->
-            count_admin_frame t ~dir:"recv"
-              ~frame_len:(4 + String.length payload);
-            let reply =
-              Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
-                ~args:(fun () -> [ ("fid", string_of_int fid) ])
-                "frag install"
-                (fun () -> install_image t ~fid ~epoch image)
+            let out =
+              locked t (fun () ->
+                  count_admin_frame t ~dir:"recv"
+                    ~frame_len:(4 + String.length payload);
+                  let reply =
+                    Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
+                      ~args:(fun () -> [ ("fid", string_of_int fid) ])
+                      "frag install"
+                      (fun () -> install_image t ~fid ~epoch image)
+                  in
+                  Wire.encode_payload ~corr (Wire.Admin_reply { reply }))
             in
-            let out = Wire.encode_payload ~corr (Wire.Admin_reply { reply }) in
-            Sockio.write_frame conn out;
-            count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
-            conn_loop c
+            write_conn c out;
+            locked t (fun () ->
+                count_admin_frame t ~dir:"sent"
+                  ~frame_len:(4 + String.length out));
+            conn_loop c rd
         | Ok (corr, Wire.Frag_retire { fid; epoch; kind; parent }) ->
-            count_admin_frame t ~dir:"recv"
-              ~frame_len:(4 + String.length payload);
-            let reply =
-              Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
-                ~args:(fun () -> [ ("fid", string_of_int fid) ])
-                "frag retire"
-                (fun () -> retire_frag t ~fid ~epoch ~kind)
+            let out =
+              locked t (fun () ->
+                  count_admin_frame t ~dir:"recv"
+                    ~frame_len:(4 + String.length payload);
+                  let reply =
+                    Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
+                      ~args:(fun () -> [ ("fid", string_of_int fid) ])
+                      "frag retire"
+                      (fun () -> retire_frag t ~fid ~epoch ~kind)
+                  in
+                  Wire.encode_payload ~corr (Wire.Admin_reply { reply }))
             in
-            let out = Wire.encode_payload ~corr (Wire.Admin_reply { reply }) in
-            Sockio.write_frame conn out;
-            count_admin_frame t ~dir:"sent" ~frame_len:(4 + String.length out);
-            conn_loop c
+            write_conn c out;
+            locked t (fun () ->
+                count_admin_frame t ~dir:"sent"
+                  ~frame_len:(4 + String.length out));
+            conn_loop c rd
+        | Ok (corr, Wire.Gen_publish { kind; gens; parent }) ->
+            locked t (fun () ->
+                count_admin_frame t ~dir:"recv"
+                  ~frame_len:(4 + String.length payload);
+                Pax_obs.Sink.span t.obs ~cat:"admin" ?parent
+                  ~args:(fun () -> [ ("n", string_of_int (List.length gens)) ])
+                  "gen publish"
+                  (fun () ->
+                    List.iter
+                      (fun (fid, gen) -> merge_gen_locked t kind fid gen)
+                      gens));
+            let out =
+              Wire.encode_payload ~corr
+                (Wire.Admin_reply
+                   {
+                     reply =
+                       Ok
+                         (Printf.sprintf "merged %d generation(s)"
+                            (List.length gens));
+                   })
+            in
+            write_conn c out;
+            locked t (fun () ->
+                count_admin_frame t ~dir:"sent"
+                  ~frame_len:(4 + String.length out));
+            broadcast_gens t kind gens;
+            conn_loop c rd
+        | Ok (corr, Wire.Gen_fetch { kind; parent }) ->
+            let out =
+              locked t (fun () ->
+                  count_admin_frame t ~dir:"recv"
+                    ~frame_len:(4 + String.length payload);
+                  let gens =
+                    Pax_obs.Sink.span t.obs ~cat:"admin" ?parent "gen fetch"
+                      (fun () -> gens_locked t kind)
+                  in
+                  Wire.encode_payload ~corr (Wire.Gen_reply { kind; gens }))
+            in
+            write_conn c out;
+            locked t (fun () ->
+                count_admin_frame t ~dir:"sent"
+                  ~frame_len:(4 + String.length out));
+            conn_loop c rd
         | Ok (_, Wire.Shutdown) -> `Shutdown
         | Ok
             ( _,
               ( Wire.Visit_reply _ | Wire.Pong | Wire.Stats_reply _
-              | Wire.Frag_image _ | Wire.Admin_reply _ | Wire.Spans_reply _ ) )
-          ->
+              | Wire.Frag_image _ | Wire.Admin_reply _ | Wire.Spans_reply _
+              | Wire.Gen_event _ | Wire.Gen_reply _ ) ) ->
             (* Not ours to receive; ignore. *)
-            conn_loop c
+            conn_loop c rd
         | Error err ->
             Format.eprintf "site server: bad frame: %a@." Wire.pp_error err;
             `Eof)
   in
+  (* Accept loop: poll (so a Shutdown seen by any connection thread can
+     stop us without closing the listening socket — that stays the
+     caller's), accept, hand off to a connection thread.  Connection
+     threads still running when [serve] returns die with their sockets
+     (spawned servers exit; in-process callers close the client side). *)
+  let conn_thread c =
+    let outcome = try conn_loop c (Sockio.reader c.c_fd) with _ -> `Eof in
+    locked t (fun () ->
+        Hashtbl.remove t.conns c.c_id;
+        if outcome = `Shutdown then t.stopping <- true);
+    try Unix.close c.c_fd with _ -> ()
+  in
   let rec accept_loop () =
-    match Unix.accept fd with
-    | conn, _ ->
-        let outcome = try conn_loop (conn, Sockio.reader conn) with _ -> `Eof in
-        (try Unix.close conn with _ -> ());
-        if outcome = `Eof then accept_loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    if locked t (fun () -> t.stopping) then ()
+    else if not (Sockio.poll_readable fd 0.05) then accept_loop ()
+    else
+      match Unix.accept fd with
+      | conn, _ ->
+          let c =
+            locked t (fun () ->
+                t.conn_seq <- t.conn_seq + 1;
+                let c =
+                  { c_id = t.conn_seq; c_fd = conn; c_wlock = Mutex.create () }
+                in
+                Hashtbl.replace t.conns c.c_id c;
+                c)
+          in
+          ignore (Thread.create conn_thread c);
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
   in
   accept_loop ()
 

@@ -111,9 +111,14 @@ val retire_frag :
   kind:Pax_wire.Wire.frag_kind ->
   (string, string) result
 
-(** [serve t fd] — accept loop on a listening socket.  One connection
-    at a time; on EOF the client may reconnect.  [Ping] is answered
-    with [Pong]; [Shutdown] makes [serve] return (the listening socket
+(** [serve t fd] — accept loop on a listening socket, one thread per
+    accepted connection (N coordinators hold their multiplexed
+    connections open concurrently; docs/SERVING.md).  Shared state is
+    guarded by one server lock; [service_delay] sleeps and socket IO
+    overlap across connections.  On EOF the client may reconnect.
+    [Ping] is answered with [Pong]; [Gen_publish] is max-merged,
+    acknowledged, and fanned out to every live connection as a
+    [Gen_event]; [Shutdown] makes [serve] return (the listening socket
     stays open for the caller to close).  Malformed frames close the
     offending connection. *)
 val serve : t -> Unix.file_descr -> unit

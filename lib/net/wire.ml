@@ -104,6 +104,14 @@ type msg =
   | Admin_reply of { reply : (string, string) result }
   | Spans_fetch
   | Spans_reply of { server_now : float; spans : Pax_obs.Span.span list }
+  | Gen_publish of {
+      kind : frag_kind;
+      gens : (int * int) list;
+      parent : int option;
+    }
+  | Gen_event of { kind : frag_kind; gens : (int * int) list }
+  | Gen_fetch of { kind : frag_kind; parent : int option }
+  | Gen_reply of { kind : frag_kind; gens : (int * int) list }
 
 type error = Truncated | Bad_version of int | Corrupt of string
 
@@ -547,6 +555,10 @@ let m_frag_retire = 12
 let m_admin_reply = 13
 let m_spans_request = 14
 let m_spans_reply = 15
+let m_gen_publish = 16
+let m_gen_event = 17
+let m_gen_fetch = 18
+let m_gen_reply = 19
 
 (* Fragment images are opaque byte strings at this layer: tree images
    are {!Pax_xml.Flat.encode} output (total-decoding, intern-remapping
@@ -758,7 +770,33 @@ let encode_payload ?(corr = 0) msg =
       add_u8 buf m_spans_reply;
       add_f64 buf server_now;
       add_varint buf (List.length spans);
-      List.iter (add_span buf) spans);
+      List.iter (add_span buf) spans
+  (* Generation-vector coherence frames (docs/SERVING.md): each entry
+     is a (fid, generation) pair; receivers max-merge, so replay and
+     reordering are harmless. *)
+  | Gen_publish { kind; gens; parent } ->
+      add_u8 buf m_gen_publish;
+      add_u8 buf (kind_code kind);
+      add_counted buf gens (fun buf (fid, gen) ->
+          add_varint buf fid;
+          add_varint buf gen);
+      add_parent buf parent
+  | Gen_event { kind; gens } ->
+      add_u8 buf m_gen_event;
+      add_u8 buf (kind_code kind);
+      add_counted buf gens (fun buf (fid, gen) ->
+          add_varint buf fid;
+          add_varint buf gen)
+  | Gen_fetch { kind; parent } ->
+      add_u8 buf m_gen_fetch;
+      add_u8 buf (kind_code kind);
+      add_parent buf parent
+  | Gen_reply { kind; gens } ->
+      add_u8 buf m_gen_reply;
+      add_u8 buf (kind_code kind);
+      add_counted buf gens (fun buf (fid, gen) ->
+          add_varint buf fid;
+          add_varint buf gen));
   Buffer.contents buf
 
 let encode ?corr msg =
@@ -851,6 +889,42 @@ let decode_payload_corr s =
           if status = 0 then Ok (corr, Admin_reply { reply = Ok rest })
           else if status = 1 then Ok (corr, Admin_reply { reply = Error rest })
           else Error (Corrupt "bad admin-reply status")
+        end
+        else if tag = m_gen_publish then begin
+          let kind, pos = get_kind s ~pos in
+          let gens, pos =
+            get_counted s ~pos (fun s ~pos ->
+                let fid, pos = get_varint s ~pos in
+                let gen, pos = get_varint s ~pos in
+                ((fid, gen), pos))
+          in
+          let parent, pos = get_parent s ~pos in
+          finish (Gen_publish { kind; gens; parent }) pos
+        end
+        else if tag = m_gen_event then begin
+          let kind, pos = get_kind s ~pos in
+          let gens, pos =
+            get_counted s ~pos (fun s ~pos ->
+                let fid, pos = get_varint s ~pos in
+                let gen, pos = get_varint s ~pos in
+                ((fid, gen), pos))
+          in
+          finish (Gen_event { kind; gens }) pos
+        end
+        else if tag = m_gen_fetch then begin
+          let kind, pos = get_kind s ~pos in
+          let parent, pos = get_parent s ~pos in
+          finish (Gen_fetch { kind; parent }) pos
+        end
+        else if tag = m_gen_reply then begin
+          let kind, pos = get_kind s ~pos in
+          let gens, pos =
+            get_counted s ~pos (fun s ~pos ->
+                let fid, pos = get_varint s ~pos in
+                let gen, pos = get_varint s ~pos in
+                ((fid, gen), pos))
+          in
+          finish (Gen_reply { kind; gens }) pos
         end
         else if tag = m_spans_request then finish Spans_fetch pos
         else if tag = m_spans_reply then begin
@@ -981,6 +1055,10 @@ let tally = function
      surfaced through pax_obs counters instead (docs/SHARDING.md). *)
   | Frag_fetch _ | Frag_image _ | Frag_install _ | Frag_retire _
   | Admin_reply _ -> empty_tally
+  (* Cache-coherence traffic is likewise control plane: generation
+     vectors belong to no run, so they never enter per-query guarantee
+     accounting (docs/SERVING.md). *)
+  | Gen_publish _ | Gen_event _ | Gen_fetch _ | Gen_reply _ -> empty_tally
 
 (* Worst-case structure bytes (docs/NETWORK.md derives these): frame
    header + version + correlation id + tags + envelope varints and

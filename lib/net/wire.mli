@@ -231,6 +231,32 @@ type msg =
           (docs/OBSERVABILITY.md).  Clock readings travel as IEEE-754
           bits so alignment is byte-exact and deterministic under
           [Clock.Fake]. *)
+  | Gen_publish of {
+      kind : frag_kind;
+      gens : (int * int) list;
+      parent : int option;
+    }
+      (** a coordinator announces fragment generation counters
+          ([(fid, generation)] pairs) after a local [Update.apply] or
+          migration: the site max-merges them into its own table,
+          answers [Admin_reply], and pushes a [Gen_event] to every
+          live connection — the streamed invalidation feed that keeps
+          every coordinator's stage cache coherent (docs/SERVING.md).
+          Control plane like the migration frames: empty tally,
+          [parent] is the trace-context extension. *)
+  | Gen_event of { kind : frag_kind; gens : (int * int) list }
+      (** server→client push (correlation id 0, no reply expected):
+          fragment generations changed — receivers max-merge into
+          their local {!Pax_fragment.Fragment.t}, which the existing
+          cache generation check then treats as invalidation.
+          Max-merging makes duplicates and reordering harmless. *)
+  | Gen_fetch of { kind : frag_kind; parent : int option }
+      (** pull the site's full generation vector (answered by
+          [Gen_reply]) — startup sync for a coordinator that joins
+          after updates have happened *)
+  | Gen_reply of { kind : frag_kind; gens : (int * int) list }
+      (** every [(fid, generation)] the site knows with a nonzero
+          generation *)
 
 type error =
   | Truncated

@@ -1,0 +1,40 @@
+(** The admission cost predictor (docs/SERVING.md): turns the paper's
+    {e pre-run-predictable} computation bound — the auditor's [|Q|·|T|]
+    op budget, which is known before a query executes — into the
+    seconds estimate the {!Sched} weighs against a deadline.
+
+    Per (engine, query) it remembers the comp-bound op budget from the
+    last audited run; globally it keeps an EWMA of observed
+    seconds-per-op (the deployment's calibration constant, the same
+    predicted/actual ratio the cost ledger charts).  Prediction is
+    [ops × sec/op]; an unseen query falls back to the EWMA of whole-run
+    seconds; a cold predictor returns [None] (the deadline is then
+    checked against queue depth alone).
+
+    Thread-safe: [observe] is called from scheduler workers, [predict]
+    from submitting threads.  With an enabled sink: gauges
+    [pax_admit_sec_per_op] and [pax_admit_runs]. *)
+
+type t
+
+(** [alpha] (default 0.2) weights the newest observation in both
+    EWMAs. *)
+val create : ?alpha:float -> ?sink:Pax_obs.Sink.t -> unit -> t
+
+(** Feed one finished run: its audit report (the comp bound's limit is
+    the op budget) and its measured execution seconds (queue wait
+    excluded — the scheduler adds the queue term itself). *)
+val observe :
+  t ->
+  engine:string ->
+  query:string ->
+  audit:Pax_obs.Audit.report ->
+  seconds:float ->
+  unit
+
+(** Predicted execution seconds for this query, or [None] when the
+    predictor has seen no runs at all. *)
+val predict : t -> engine:string -> query:string -> float option
+
+val runs : t -> int
+val sec_per_op : t -> float

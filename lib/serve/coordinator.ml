@@ -37,13 +37,14 @@ let error_message = function
 type t = {
   sched : Sched.t;
   cache : Cache.t option;
+  admit : Admit.t;
   backend : backend;
   mounts : (string * mount) list;  (* first = default *)
   sink : Pax_obs.Sink.t;
 }
 
-let create ?max_inflight ?max_queue ?cache ?(sink = Pax_obs.Sink.noop) backend
-    mounts =
+let create ?max_inflight ?max_queue ?cache ?admit
+    ?(sink = Pax_obs.Sink.noop) backend mounts =
   if mounts = [] then invalid_arg "Coordinator.create: no engines mounted";
   let named = List.map (fun m -> (Pe.name m.m_pe, m)) mounts in
   let names = List.map fst named in
@@ -52,13 +53,17 @@ let create ?max_inflight ?max_queue ?cache ?(sink = Pax_obs.Sink.noop) backend
   {
     sched = Sched.create ?max_inflight ?max_queue ~sink ();
     cache;
+    admit =
+      (match admit with Some a -> a | None -> Admit.create ~sink ());
     backend;
     mounts = named;
     sink;
   }
 
 let cache t = t.cache
+let admit t = t.admit
 let engines t = List.map fst t.mounts
+let configure_source t ~source = Sched.configure_source t.sched ~source
 
 (* One run, on the calling (worker) thread.  Per-run clusters carry the
    no-op sink: the span/metrics collectors are not built for concurrent
@@ -87,7 +92,9 @@ let run_one t m text =
     m.m_tune cl
   in
   Fun.protect ~finally:cleanup (fun () ->
+      let t0 = Pax_obs.Clock.now () in
       let r = Pe.run_text m.m_pe ?transport ~tune text in
+      let seconds = Pax_obs.Clock.now () -. t0 in
       (* Harvest the run's per-fragment touches into the placement
          table — the hotness counters the rebalancer and the
          [pax admin placement] dump read. *)
@@ -100,9 +107,14 @@ let run_one t m text =
          latency lands in [pax_serve_latency_seconds] from the
          scheduler). *)
       Pax_obs.Audit.ledger t.sink ~engine:r.Pe.engine r.Pe.audit;
+      (* Calibrate the admission predictor: the audited comp-bound op
+         budget against measured execution seconds (queue wait
+         excluded — the scheduler estimates that term itself). *)
+      Admit.observe t.admit ~engine:r.Pe.engine ~query:text
+        ~audit:r.Pe.audit ~seconds;
       r)
 
-let submit ?engine ?(source = "default") t text =
+let submit ?engine ?(source = "default") ?deadline t text =
   let m =
     match engine with
     | None -> Ok (snd (List.hd t.mounts))
@@ -122,9 +134,17 @@ let submit ?engine ?(source = "default") t text =
           Pax_obs.Sink.count t.sink
             ~labels:[ ("engine", Pe.name m.m_pe) ]
             "pax_serve_queries_total";
+          (* The deadline check runs against predicted cost: the
+             paper's comp bound, calibrated by the cost ledger.  A
+             cold predictor predicts 0 and the deadline is checked
+             against queue depth alone. *)
+          let cost =
+            Option.value ~default:0.
+              (Admit.predict t.admit ~engine:(Pe.name m.m_pe) ~query:text)
+          in
           match
-            Sched.submit t.sched ~source ~label:text (fun () ->
-                run_one t m text)
+            Sched.submit t.sched ~source ~label:text ?deadline ~cost
+              (fun () -> run_one t m text)
           with
           | Ok tk -> Ok tk
           | Error r -> Error (Rejected r)))
@@ -132,8 +152,8 @@ let submit ?engine ?(source = "default") t text =
 let await = Sched.await
 
 (* Submit + await: only useful from a thread that may block. *)
-let run ?engine ?source t text =
-  match submit ?engine ?source t text with
+let run ?engine ?source ?deadline t text =
+  match submit ?engine ?source ?deadline t text with
   | Error e -> Error e
   | Ok tk -> ( match await tk with Ok r -> Ok r | Error e -> raise e)
 

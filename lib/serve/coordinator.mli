@@ -61,15 +61,18 @@ val error_message : error -> string
 (** [create backend mounts] — see {!Sched.create} for [max_inflight] /
     [max_queue].  The first mount is the default engine.  [cache]
     enables cross-query stage-result caching (consulted only by
-    engines that use stage caches); [sink] observes the serving layer
-    (scheduler + cache; per-run clusters run with the no-op sink — the
-    collectors are not built for concurrent writers).
+    engines that use stage caches); [admit] supplies the admission
+    cost predictor (default: a fresh {!Admit.t} over [sink]); [sink]
+    observes the serving layer (scheduler + cache + predictor; per-run
+    clusters run with the no-op sink — the collectors are not built
+    for concurrent writers).
     @raise Invalid_argument on an empty or duplicate-name mount
     list. *)
 val create :
   ?max_inflight:int ->
   ?max_queue:int ->
   ?cache:Cache.t ->
+  ?admit:Admit.t ->
   ?sink:Pax_obs.Sink.t ->
   backend ->
   mount list ->
@@ -77,17 +80,31 @@ val create :
 
 val cache : t -> Cache.t option
 
+(** The admission cost predictor, calibrated by every finished run. *)
+val admit : t -> Admit.t
+
 (** Mounted engine names, default first. *)
 val engines : t -> string list
+
+(** Set a submission source's QoS share (see {!Sched.configure_source}):
+    [weight] consecutive dispatches per rotation turn, strict
+    [priority] between classes. *)
+val configure_source :
+  t -> source:string -> ?weight:int -> ?priority:int -> unit -> unit
 
 (** Non-blocking admission of query text: a ticket to {!await}, or a
     typed {!error}.  Malformed queries are rejected here — before
     scheduling — via the mount's parser.  [engine] defaults to the
-    first mount's name, [source] (for fair scheduling) to
-    ["default"]. *)
+    first mount's name, [source] (for fair scheduling) to ["default"].
+    [deadline] (absolute {!Pax_obs.Clock} time) sheds the query at
+    admission — typed [Rejected (Deadline_infeasible _)] — when the
+    predicted cost (the paper's comp bound, calibrated by the cost
+    ledger) plus the current queue estimate says it cannot finish in
+    time. *)
 val submit :
   ?engine:string ->
   ?source:string ->
+  ?deadline:float ->
   t ->
   string ->
   (Pe.outcome Sched.ticket, error) result
@@ -96,7 +113,12 @@ val await : 'a Sched.ticket -> ('a, exn) result
 
 (** Submit and block for the outcome; re-raises the run's exception. *)
 val run :
-  ?engine:string -> ?source:string -> t -> string -> (Pe.outcome, error) result
+  ?engine:string ->
+  ?source:string ->
+  ?deadline:float ->
+  t ->
+  string ->
+  (Pe.outcome, error) result
 
 val queue_depth : t -> int
 val inflight : t -> int

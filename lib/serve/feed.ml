@@ -1,0 +1,114 @@
+(* The coherence feed (docs/SERVING.md): the glue between a
+   coordinator's local fragment tree and the generation-vector relay
+   the site servers run.
+
+   Receiving side: [attach] hooks the mux's [Gen_event] stream and
+   max-merges every delivered (fid, generation) pair into the local
+   Fragment.t — the stage cache checks generations on every lookup, so
+   the merge *is* the invalidation.  Publishing side: after a local
+   Update.apply or migration, [publish] announces the touched
+   fragments' generations to every site; each site acknowledges,
+   max-merges, and fans a [Gen_event] back out to every live
+   connection — including other coordinators', which is the point. *)
+
+module Wire = Pax_wire.Wire
+module Client = Pax_net.Client
+module Fragment = Pax_frag.Fragment
+
+type t = {
+  mux : Client.t;
+  ft : Fragment.t;
+  lock : Mutex.t;
+      (* receiver threads of different sites may deliver events
+         concurrently; the fragment tree's generation array is plain
+         mutable state, so the read-modify-write max is serialized *)
+  sink : Pax_obs.Sink.t;
+}
+
+let merge t gens =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let invalidated = ref 0 in
+      List.iter
+        (fun (fid, gen) ->
+          if fid >= 0 && fid < Fragment.n_fragments t.ft then begin
+            if gen > Fragment.generation t.ft fid then incr invalidated;
+            Fragment.merge_generation t.ft fid gen
+          end)
+        gens;
+      !invalidated)
+
+let attach ?(sink = Pax_obs.Sink.noop) ~mux ft =
+  let t = { mux; ft; lock = Mutex.create (); sink } in
+  Client.on_gen_event mux (fun kind gens ->
+      match kind with
+      | Wire.Tree_frag ->
+          Pax_obs.Sink.count t.sink "pax_feed_events_total";
+          let invalidated = merge t gens in
+          if invalidated > 0 then
+            Pax_obs.Sink.count t.sink
+              ~by:(float_of_int invalidated)
+              "pax_feed_invalidations_total"
+      | Wire.Graph_frag ->
+          (* Graph fragments carry no generation-checked cache yet;
+             count and drop. *)
+          Pax_obs.Sink.count t.sink "pax_feed_events_total");
+  t
+
+(* Announce to every site (any one would relay to all connected
+   coordinators, but coordinators connect to all sites, and a site
+   down for one publish must still learn the generation for its own
+   [Gen_fetch] answers).  Best-effort per site: an unreachable site
+   misses the publish; its next [Gen_fetch] from any coordinator that
+   heard it resyncs nothing — the publisher's own ft stays the
+   authority and re-publishing is idempotent (max-merge). *)
+let publish t ~fids =
+  let gens =
+    List.filter_map
+      (fun fid ->
+        if fid >= 0 && fid < Fragment.n_fragments t.ft then
+          Some (fid, Fragment.generation t.ft fid)
+        else None)
+      (List.sort_uniq compare fids)
+  in
+  if gens <> [] then begin
+    Pax_obs.Sink.count t.sink "pax_feed_publishes_total";
+    for site = 0 to Client.n_sites t.mux - 1 do
+      try ignore (Client.publish_gens t.mux ~site ~kind:Wire.Tree_frag gens)
+      with _ -> ()
+    done
+  end
+
+let publish_all t =
+  let fids = ref [] in
+  for fid = Fragment.n_fragments t.ft - 1 downto 0 do
+    if Fragment.generation t.ft fid > 0 then fids := fid :: !fids
+  done;
+  publish t ~fids:!fids
+
+(* Startup sync: pull every site's generation vector and merge — a
+   coordinator joining after updates have happened starts coherent
+   instead of serving stale cache entries until the first event. *)
+let sync t =
+  for site = 0 to Client.n_sites t.mux - 1 do
+    match Client.fetch_gens t.mux ~site ~kind:Wire.Tree_frag with
+    | gens -> ignore (merge t gens)
+    | exception _ -> ()
+  done
+
+(* Update propagation for replicated stores: after a local
+   Update.apply, push the fragment's new image to the site that owns
+   it (the servers evaluate stages on their own copy — without this
+   they would keep answering from pre-update data).  Reuses the
+   migration install at the current placement epoch: idempotent, and
+   it clears no fence it shouldn't (install only clears [fid]'s). *)
+let push_fragment t ~site ~fid ~epoch =
+  let image =
+    {
+      Wire.fi_kind = Wire.Tree_frag;
+      fi_bytes = Pax_xml.Flat.encode (Fragment.flat t.ft fid);
+    }
+  in
+  Client.frag_install t.mux ~site ~fid ~epoch ~image

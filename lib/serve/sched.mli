@@ -1,27 +1,37 @@
-(** Admission control for the serving coordinator: a bounded queue of
-    submitted jobs drained by a fixed pool of worker threads, with fair
-    round-robin rotation across submission {e sources} (one per client
-    connection, say) so a chatty source cannot starve the rest
-    (docs/SERVING.md).
+(** Admission control and QoS scheduling for the serving coordinator:
+    a bounded queue of submitted jobs drained by a fixed pool of worker
+    threads, with strict priority between classes, weighted round-robin
+    across submission {e sources} within a class (one source per client
+    connection, say — a chatty source cannot starve the rest), and
+    deadline-based shedding at admission (docs/SERVING.md).
 
-    Contract: {!submit} never blocks — a full queue is a typed
-    {!rejection}, returned immediately.  {!await} never hangs — every
-    admitted job runs to completion (worker threads drain the queue,
-    and {!close} joins them only after it is drained), and a job's
-    exception is deposited in its ticket, not swallowed.
+    Contract: {!submit} never blocks — a full queue or an unmeetable
+    deadline is a typed {!rejection}, returned immediately with the
+    scheduler's queue-inclusive latency estimate.  {!await} never
+    hangs — every admitted job runs to completion (worker threads drain
+    the queue, and {!close} joins them only after it is drained), and a
+    job's exception is deposited in its ticket, not swallowed.
 
     With an enabled sink: gauge [pax_serve_queue_depth], counters
     [pax_serve_admitted_total], [pax_serve_rejected_total{reason}],
-    [pax_serve_completed_total], histogram [pax_serve_latency_seconds]
-    (submit-to-completion), and a span per job on the ["scheduler"]
-    track. *)
+    [pax_sched_shed_total{reason}], [pax_serve_completed_total],
+    histogram [pax_serve_latency_seconds] (submit-to-completion), and a
+    span per job on the ["scheduler"] track. *)
 
 type t
 
-(** Why a submission was not admitted. *)
+(** Why a submission was not admitted.  Every variant that sheds work
+    carries [est_latency] — the scheduler's queue-inclusive latency
+    estimate (seconds) at rejection time, so callers can log what the
+    queue looked like when they were turned away. *)
 type rejection =
-  | Overloaded of { queued : int; max_queue : int }
+  | Overloaded of { queued : int; max_queue : int; est_latency : float }
       (** the admission queue is full — retry later *)
+  | Deadline_infeasible of { deadline : float; est_latency : float }
+      (** the estimate says the job cannot finish by [deadline] —
+          retrying does not help; relax the deadline or shed load.
+          Checked {e before} the queue bound: an infeasible deadline is
+          the more actionable verdict when both hold. *)
   | Closed  (** {!close} was called *)
 
 val pp_rejection : Format.formatter -> rejection -> unit
@@ -35,11 +45,29 @@ type 'a ticket
 val create :
   ?max_inflight:int -> ?max_queue:int -> ?sink:Pax_obs.Sink.t -> unit -> t
 
+(** Set a source's QoS share.  [weight] (default 1, >= 1) is how many
+    consecutive dispatches the source may take before the rotation
+    moves on; [priority] (default 0, any int) picks its class — a
+    class with pending work starves every lower class.  May be called
+    before the source ever submits; a priority change for a source
+    with queued work takes effect as the queue drains. *)
+val configure_source :
+  t -> source:string -> ?weight:int -> ?priority:int -> unit -> unit
+
 (** [submit t ~source f] enqueues [f] under [source]'s FIFO and
     returns its ticket, or a {!rejection} without side effects.
-    [label] names the job's span. *)
+    [label] names the job's span.  [deadline] (absolute
+    {!Pax_obs.Clock} time) sheds the job at admission if the latency
+    estimate says it cannot finish in time; [cost] (predicted seconds,
+    default 0 — see {!Admit}) feeds both that estimate and the queue's
+    pending-cost total. *)
 val submit :
-  t -> source:string -> ?label:string -> (unit -> 'a) ->
+  t ->
+  source:string ->
+  ?label:string ->
+  ?deadline:float ->
+  ?cost:float ->
+  (unit -> 'a) ->
   ('a ticket, rejection) result
 
 (** Block until the job finishes; its exception, if it raised, is
@@ -48,6 +76,10 @@ val await : 'a ticket -> ('a, exn) result
 
 val queue_depth : t -> int
 val inflight : t -> int
+
+(** The queue-wait term of the admission estimate: summed predicted
+    cost of queued jobs over the worker pool (seconds). *)
+val est_wait : t -> float
 
 (** Stop admitting, drain the queue, join the workers.  Every ticket
     already admitted completes. *)

@@ -21,6 +21,7 @@ module Server = Pax_net.Server
 module Client = Pax_net.Client
 module Sched = Pax_serve.Sched
 module Cache = Pax_serve.Cache
+module Feed = Pax_serve.Feed
 module Coordinator = Pax_serve.Coordinator
 module Pe = Pax_engine.Pe
 module Engines = Pax_core.Engines
@@ -84,6 +85,15 @@ let submit_exn sched ~source f =
   | Ok tk -> tk
   | Error r -> Alcotest.failf "unexpected rejection: %a" Sched.pp_rejection r
 
+let counter_value sink name =
+  match
+    List.find_opt
+      (fun (series, _) -> series = name)
+      (Pax_obs.Metrics.pairs sink.Pax_obs.Sink.metrics)
+  with
+  | Some (_, v) -> v
+  | None -> 0.
+
 let test_sched_overloaded () =
   with_timeout 60 (fun () ->
       let sched = Sched.create ~max_inflight:1 ~max_queue:2 () in
@@ -96,7 +106,7 @@ let test_sched_overloaded () =
       let q2 = submit_exn sched ~source:"a" (fun () -> 2) in
       (* Queue full: typed rejection, immediately — never a hang. *)
       (match Sched.submit sched ~source:"a" (fun () -> 3) with
-      | Error (Sched.Overloaded { queued = 2; max_queue = 2 }) -> ()
+      | Error (Sched.Overloaded { queued = 2; max_queue = 2; _ }) -> ()
       | Error r -> Alcotest.failf "wrong rejection: %a" Sched.pp_rejection r
       | Ok _ -> Alcotest.fail "over-queue submission must be rejected");
       open_gate g;
@@ -172,6 +182,118 @@ let test_sched_close_drains () =
           | Ok () -> ()
           | Error e -> Alcotest.failf "job failed: %s" (Printexc.to_string e))
         tks)
+
+(* Deadline shedding: the admission estimate is queued cost over the
+   worker pool plus the job's own predicted cost; an unmeetable
+   deadline is a typed Deadline_infeasible with that estimate. *)
+let test_sched_deadline () =
+  with_timeout 60 (fun () ->
+      let sink = Pax_obs.Sink.create () in
+      let sched = Sched.create ~max_inflight:1 ~max_queue:4 ~sink () in
+      let g = gate () in
+      let blocker = submit_exn sched ~source:"a" (fun () -> wait_gate g; 0) in
+      spin_until (fun () -> Sched.inflight sched = 1);
+      (* One queued job with a known cost makes the estimate exact. *)
+      let q1 =
+        match Sched.submit sched ~source:"a" ~cost:10. (fun () -> 1) with
+        | Ok tk -> tk
+        | Error r -> Alcotest.failf "unexpected: %a" Sched.pp_rejection r
+      in
+      Alcotest.(check bool) "est_wait sees the pending cost" true
+        (Sched.est_wait sched >= 10.);
+      let now = Pax_obs.Clock.now () in
+      (* 10s of queued cost cannot fit a 100ms deadline. *)
+      (match
+         Sched.submit sched ~source:"a" ~deadline:(now +. 0.1) (fun () -> 2)
+       with
+      | Error (Sched.Deadline_infeasible { deadline; est_latency }) ->
+          Alcotest.(check bool) "echoes the deadline" true
+            (deadline = now +. 0.1);
+          Alcotest.(check bool) "estimate covers the queue" true
+            (est_latency >= 10.)
+      | Error r -> Alcotest.failf "wrong rejection: %a" Sched.pp_rejection r
+      | Ok _ -> Alcotest.fail "infeasible deadline must shed");
+      (* A generous deadline admits past the same queue. *)
+      let q2 =
+        match
+          Sched.submit sched ~source:"a" ~deadline:(now +. 3600.) (fun () -> 2)
+        with
+        | Ok tk -> tk
+        | Error r -> Alcotest.failf "unexpected: %a" Sched.pp_rejection r
+      in
+      open_gate g;
+      Alcotest.(check int) "blocker" 0 (Result.get_ok (Sched.await blocker));
+      Alcotest.(check int) "q1" 1 (Result.get_ok (Sched.await q1));
+      Alcotest.(check int) "q2" 2 (Result.get_ok (Sched.await q2));
+      Alcotest.(check (float 0.0)) "shed counter (deadline)" 1.
+        (counter_value sink "pax_sched_shed_total{reason=\"deadline\"}");
+      Sched.close sched)
+
+(* A submission that is both over-queue and past-deadline gets the
+   deadline verdict: retrying cannot help, so infeasibility is the
+   actionable signal. *)
+let test_sched_deadline_precedence () =
+  with_timeout 60 (fun () ->
+      let sched = Sched.create ~max_inflight:1 ~max_queue:1 () in
+      let g = gate () in
+      let blocker = submit_exn sched ~source:"a" (fun () -> wait_gate g) in
+      spin_until (fun () -> Sched.inflight sched = 1);
+      let q1 = submit_exn sched ~source:"a" (fun () -> ()) in
+      (match
+         Sched.submit sched ~source:"a"
+           ~deadline:(Pax_obs.Clock.now () -. 1.)
+           (fun () -> ())
+       with
+      | Error (Sched.Deadline_infeasible _) -> ()
+      | Error r -> Alcotest.failf "wrong rejection: %a" Sched.pp_rejection r
+      | Ok _ -> Alcotest.fail "past deadline must shed");
+      (* The same submission without a deadline is Overloaded — with
+         the measured queue-inclusive latency estimate attached. *)
+      (match Sched.submit sched ~source:"a" (fun () -> ()) with
+      | Error (Sched.Overloaded { queued = 1; max_queue = 1; est_latency }) ->
+          Alcotest.(check bool) "estimate is non-negative" true
+            (est_latency >= 0.)
+      | Error r -> Alcotest.failf "wrong rejection: %a" Sched.pp_rejection r
+      | Ok _ -> Alcotest.fail "full queue must reject");
+      open_gate g;
+      ignore (Sched.await blocker);
+      ignore (Sched.await q1);
+      Sched.close sched)
+
+(* QoS shares: strict priority between classes, weighted rotation
+   within one.  gold (weight 2, priority 1) drains before the default
+   class; within priority 0, a (weight 2) takes two dispatches per
+   rotation turn against b (weight 1). *)
+let test_sched_qos () =
+  with_timeout 60 (fun () ->
+      let sched = Sched.create ~max_inflight:1 ~max_queue:16 () in
+      Sched.configure_source sched ~source:"gold" ~weight:2 ~priority:1 ();
+      Sched.configure_source sched ~source:"a" ~weight:2 ();
+      let g = gate () in
+      let order = ref [] in
+      let olock = Mutex.create () in
+      let job tag () =
+        Mutex.lock olock;
+        order := tag :: !order;
+        Mutex.unlock olock
+      in
+      let blocker = submit_exn sched ~source:"z" (fun () -> wait_gate g) in
+      spin_until (fun () -> Sched.inflight sched = 1);
+      let tks =
+        List.map
+          (fun (src, tag) -> submit_exn sched ~source:src (job tag))
+          [ ("a", "a1"); ("a", "a2"); ("a", "a3");
+            ("b", "b1"); ("b", "b2");
+            ("gold", "g1"); ("gold", "g2"); ("gold", "g3") ]
+      in
+      open_gate g;
+      ignore (Sched.await blocker);
+      List.iter (fun tk -> ignore (Sched.await tk)) tks;
+      Alcotest.(check (list string))
+        "priority first, then weighted rotation"
+        [ "g1"; "g2"; "g3"; "a1"; "a2"; "b1"; "a3"; "b2" ]
+        (List.rev !order);
+      Sched.close sched)
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                              *)
@@ -371,7 +493,7 @@ let check_obs name a b =
 
 (* [gsite_frags site] adds graph fragments for the reachability engine
    to each site server (the mixed-workload suite); default none. *)
-let with_servers ?(gsite_frags = fun _ -> []) ft ~n_sites f =
+let with_servers ?(gsite_frags = fun _ -> []) ?(flake = 0) ft ~n_sites f =
   let cl = Pax_dist.Placement.cluster_round_robin ft ~n_sites in
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -392,7 +514,7 @@ let with_servers ?(gsite_frags = fun _ -> []) ft ~n_sites f =
     Array.to_list
       (Array.mapi
          (fun site addr ->
-           Server.spawn ~addr ~frags:(site_frags site)
+           Server.spawn ~flake ~addr ~frags:(site_frags site)
              ~gfrags:(gsite_frags site) ())
          addrs)
   in
@@ -412,7 +534,7 @@ let with_servers ?(gsite_frags = fun _ -> []) ft ~n_sites f =
           | Sockio.Tcp _ -> ())
         addrs;
       try Sys.rmdir dir with _ -> ())
-    (fun () -> f ~mux ~proto:cl ())
+    (fun () -> f ~mux ~proto:cl ~addrs ())
 
 (* The standard XPath mounts over a placement prototype. *)
 let xpath_mounts ft proto =
@@ -462,7 +584,7 @@ let with_engine engine qs = List.map (fun q -> (engine, q)) qs
 let test_sockets_differential () =
   with_timeout 300 (fun () ->
       let ft = make_setup () in
-      with_servers ft ~n_sites:3 (fun ~mux ~proto () ->
+      with_servers ft ~n_sites:3 (fun ~mux ~proto ~addrs:_ () ->
           let mk_coord ~max_inflight () =
             Coordinator.create ~max_inflight (Coordinator.Sockets mux)
               (xpath_mounts ft proto)
@@ -485,19 +607,10 @@ let test_sockets_differential () =
           Coordinator.close seq;
           Coordinator.close conc))
 
-let counter_value sink name =
-  match
-    List.find_opt
-      (fun (series, _) -> series = name)
-      (Pax_obs.Metrics.pairs sink.Pax_obs.Sink.metrics)
-  with
-  | Some (_, v) -> v
-  | None -> 0.
-
 let test_sockets_differential_cached () =
   with_timeout 300 (fun () ->
       let ft = make_setup () in
-      with_servers ft ~n_sites:3 (fun ~mux ~proto () ->
+      with_servers ft ~n_sites:3 (fun ~mux ~proto ~addrs:_ () ->
           let sink_s = Pax_obs.Sink.create () in
           let sink_c = Pax_obs.Sink.create () in
           let mk_coord ~cache ~max_inflight () =
@@ -563,9 +676,21 @@ let test_coordinator_overloaded () =
       spin_until (fun () -> Coordinator.inflight coord = 1);
       let t2 = Result.get_ok (Coordinator.submit coord q) in
       (match Coordinator.submit coord q with
-      | Error (Coordinator.Rejected (Sched.Overloaded { queued = 1; max_queue = 1 })) -> ()
+      | Error
+          (Coordinator.Rejected
+             (Sched.Overloaded { queued = 1; max_queue = 1; _ })) -> ()
       | Error e -> Alcotest.failf "wrong rejection: %s" (Coordinator.error_message e)
       | Ok _ -> Alcotest.fail "full queue must reject");
+      (* Deadline shedding surfaces through the coordinator's typed
+         error — and outranks the full queue (retrying cannot help). *)
+      (match
+         Coordinator.submit ~deadline:(Pax_obs.Clock.now () -. 1.) coord q
+       with
+      | Error (Coordinator.Rejected (Sched.Deadline_infeasible _)) -> ()
+      | Error e ->
+          Alcotest.failf "past deadline: wrong error: %s"
+            (Coordinator.error_message e)
+      | Ok _ -> Alcotest.fail "past deadline must shed");
       (* Malformed queries are rejected before scheduling — even with a
          stalled worker and a full queue this answers immediately, and
          with a typed error, not an Overloaded. *)
@@ -591,6 +716,120 @@ let test_coordinator_overloaded () =
           | Error e -> Alcotest.failf "admitted run failed: %s" (Printexc.to_string e))
         [ t1; t2 ];
       Coordinator.close coord)
+
+(* ------------------------------------------------------------------ *)
+(* Cache coherence across coordinators (docs/SERVING.md)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two coordinators share the same site servers, each with its own
+   replica tree, mux and warm stage cache.  An update goes through
+   coordinator A: applied to A's replica, the fragment's new image
+   pushed to its site, the new generation published.  The servers fan
+   the event to coordinator B's mux, B's feed merges it, and B's next
+   queries must be bit-identical to a cold-cache coordinator whose
+   replica saw the same update — B must never serve pre-update answers
+   from its warm cache.  [flake] runs the same flow over faulted
+   schedules (every flake-th visit swallowed, client retries). *)
+let test_gen_coherence ~flake () =
+  with_timeout 120 (fun () ->
+      let cA = H.Data.clientele () in
+      let ftA = H.Data.clientele_ftree cA in
+      let ftB = H.Data.clientele_ftree (H.Data.clientele ()) in
+      let cC = H.Data.clientele () in
+      let ftC = H.Data.clientele_ftree cC in
+      let n_sites = 3 in
+      with_servers ~flake ftA ~n_sites (fun ~mux:muxA ~proto ~addrs () ->
+          let mounts ft =
+            let assign fid = Cluster.site_of proto fid in
+            [ Coordinator.mount (Engines.pax2 ft ~n_sites ~assign) ]
+          in
+          let muxB = Client.create ~timeout:20. ~addrs () in
+          let muxC = Client.create ~timeout:20. ~addrs () in
+          let feedA = Feed.attach ~mux:muxA ftA in
+          let sinkB = Pax_obs.Sink.create () in
+          let _feedB = Feed.attach ~sink:sinkB ~mux:muxB ftB in
+          let cache_sink = Pax_obs.Sink.create () in
+          let coordB =
+            Coordinator.create ~max_inflight:2
+              ~cache:(Cache.create ~sink:cache_sink ftB)
+              (Coordinator.Sockets muxB) (mounts ftB)
+          in
+          let qa = "//broker[name/text() = \"E*trade\"]" in
+          let qb = "//client/name" in
+          let run coord who q =
+            match Coordinator.run coord q with
+            | Ok o -> o
+            | Error e ->
+                Alcotest.failf "%s rejected %s: %s" who q
+                  (Coordinator.error_message e)
+          in
+          let runB = run coordB "B" in
+          (* Warm B's cache: each query twice, hot = cold. *)
+          let a_pre = runB qa in
+          ignore (runB qb);
+          let a_pre2 = runB qa in
+          let b_pre = runB qb in
+          Alcotest.(check (list int)) "warm hit is identical"
+            a_pre.Pe.answer_keys a_pre2.Pe.answer_keys;
+          Alcotest.(check int) "E*trade found pre-update" 1
+            (List.length a_pre.Pe.answer_keys);
+          (* The update goes through A. *)
+          let fid =
+            match
+              Update.apply ftA
+                (Update.Set_text (cA.H.Data.etrade_name, "Etrade"))
+            with
+            | Ok fid -> fid
+            | Error e -> Alcotest.fail (Update.error_to_string e)
+          in
+          (match
+             Feed.push_fragment feedA
+               ~site:(Cluster.site_of proto fid)
+               ~fid ~epoch:0
+           with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "push_fragment: %s" e);
+          Feed.publish feedA ~fids:[ fid ];
+          (* B's replica hears about it through the servers' relay. *)
+          spin_until (fun () ->
+              Fragment.generation ftB fid = Fragment.generation ftA fid);
+          Alcotest.(check bool) "B counted the event" true
+            (counter_value sinkB "pax_feed_events_total" > 0.);
+          Alcotest.(check bool) "B counted the invalidation" true
+            (counter_value sinkB "pax_feed_invalidations_total" > 0.);
+          (* B re-runs with a warm-but-invalidated cache; the reference
+             is a cold-cache coordinator whose replica saw the same
+             update.  (Visits may differ — B still hits for untouched
+             fragments — so the check is answers + audit, not visits.) *)
+          let a_post = runB qa in
+          let b_post = runB qb in
+          (match
+             Update.apply ftC
+               (Update.Set_text (cC.H.Data.etrade_name, "Etrade"))
+           with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (Update.error_to_string e));
+          let coordC =
+            Coordinator.create ~max_inflight:1 (Coordinator.Sockets muxC)
+              (mounts ftC)
+          in
+          let runC = run coordC "C" in
+          let a_ref = runC qa in
+          let b_ref = runC qb in
+          Alcotest.(check (list int)) "post-update B = cold reference (qa)"
+            a_ref.Pe.answer_keys a_post.Pe.answer_keys;
+          Alcotest.(check (list int)) "post-update B = cold reference (qb)"
+            b_ref.Pe.answer_keys b_post.Pe.answer_keys;
+          Alcotest.(check int) "update removed the E*trade match" 0
+            (List.length a_post.Pe.answer_keys);
+          Alcotest.(check (list int)) "unaffected query unchanged"
+            b_pre.Pe.answer_keys b_post.Pe.answer_keys;
+          Alcotest.(check bool) "B's audit still passes" true
+            a_post.Pe.audit.Pax_obs.Audit.pass;
+          Alcotest.(check bool) "stale entries were swept" true
+            (counter_value cache_sink "pax_cache_invalidated_total" > 0.);
+          Coordinator.close coordB;
+          Coordinator.close coordC))
 
 (* ------------------------------------------------------------------ *)
 (* qcheck: concurrent = sequential under fault plans (in-process)     *)
@@ -686,7 +925,7 @@ let test_mixed_workload () =
       in
       (* The same servers hold tree AND graph fragments; the same mux
          and scheduler carry both query families. *)
-      with_servers ~gsite_frags ft ~n_sites (fun ~mux ~proto () ->
+      with_servers ~gsite_frags ft ~n_sites (fun ~mux ~proto ~addrs:_ () ->
           let mounts =
             xpath_mounts ft proto
             @ [
@@ -746,6 +985,12 @@ let () =
           Alcotest.test_case "round-robin fairness" `Quick test_sched_fairness;
           Alcotest.test_case "exceptions surface" `Quick test_sched_exception;
           Alcotest.test_case "close drains" `Quick test_sched_close_drains;
+          Alcotest.test_case "deadline shedding is typed" `Quick
+            test_sched_deadline;
+          Alcotest.test_case "deadline outranks overload" `Quick
+            test_sched_deadline_precedence;
+          Alcotest.test_case "QoS weights and priorities" `Quick
+            test_sched_qos;
         ] );
       ( "cache",
         [
@@ -769,5 +1014,12 @@ let () =
           qcheck_faulted;
           Alcotest.test_case "mixed XPath + reachability workload" `Quick
             test_mixed_workload;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "two coordinators, one update (clean)" `Quick
+            (test_gen_coherence ~flake:0);
+          Alcotest.test_case "two coordinators, one update (flaky)" `Quick
+            (test_gen_coherence ~flake:3);
         ] );
     ]

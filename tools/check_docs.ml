@@ -147,6 +147,121 @@ let looks_like_path tok =
         [ "lib/"; "bin/"; "test/"; "bench/"; "docs/"; "tools/" ]
      || List.exists (ends tok) [ ".ml"; ".mli"; ".md"; ".json" ])
 
+(* ---------------- the operability contract -------------------------
+
+   Every CLI flag `bin/pax_cli.ml` declares (the quoted names inside
+   Cmdliner's [info [ "name"; ... ]] lists) and every PAX_* environment
+   variable the sources read must appear in docs/OPERATIONS.md — an
+   undocumented knob is an inoperable one, and this check is what keeps
+   the reference table honest as flags are added. *)
+
+(* Extract the string-literal lists of [info [ ... ]] occurrences.
+   [Cmd.info "name"] takes a bare string, not a list, so requiring the
+   next non-blank character to be '[' skips it; positional arguments
+   use [info []] and contribute nothing. *)
+let cli_flags path =
+  let s = read_file path in
+  let n = String.length s in
+  let word_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let flags = ref [] in
+  let i = ref 0 in
+  while !i + 4 <= n do
+    if
+      String.sub s !i 4 = "info"
+      && (!i = 0 || not (word_char s.[!i - 1]))
+      && (!i + 4 >= n || not (word_char s.[!i + 4]))
+    then begin
+      let j = ref (!i + 4) in
+      while !j < n && (s.[!j] = ' ' || s.[!j] = '\n' || s.[!j] = '\t') do
+        incr j
+      done;
+      if !j < n && s.[!j] = '[' then begin
+        let k = ref (!j + 1) in
+        let stop = ref false in
+        while (not !stop) && !k < n && s.[!k] <> ']' do
+          if s.[!k] = '"' then (
+            match String.index_from_opt s (!k + 1) '"' with
+            | Some e ->
+                flags := String.sub s (!k + 1) (e - !k - 1) :: !flags;
+                k := e + 1
+            | None -> stop := true)
+          else incr k
+        done;
+        i := !k
+      end
+      else i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !flags
+
+(* PAX_ followed by an upper-case/digit/underscore run. *)
+let env_vars_of s =
+  let n = String.length s in
+  let vars = ref [] in
+  let i = ref 0 in
+  while !i + 4 <= n do
+    if String.sub s !i 4 = "PAX_" then begin
+      let j = ref (!i + 4) in
+      while
+        !j < n
+        && ((s.[!j] >= 'A' && s.[!j] <= 'Z')
+           || (s.[!j] >= '0' && s.[!j] <= '9')
+           || s.[!j] = '_')
+      do
+        incr j
+      done;
+      if !j > !i + 4 then vars := String.sub s !i (!j - !i) :: !vars;
+      i := !j
+    end
+    else incr i
+  done;
+  !vars
+
+let rec ml_files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun f ->
+           let p = Filename.concat dir f in
+           if Sys.is_directory p then ml_files p
+           else if ends f ".ml" || ends f ".mli" then [ p ]
+           else [])
+  else []
+
+let check_operations () =
+  let ops_file = "docs/OPERATIONS.md" in
+  if not (Sys.file_exists ops_file) then
+    err "%s: missing (the CLI and environment reference lives here)" ops_file
+  else begin
+    let ops = read_file ops_file in
+    let cli = "bin/pax_cli.ml" in
+    if Sys.file_exists cli then
+      List.iter
+        (fun flag ->
+          let needle =
+            if String.length flag = 1 then Printf.sprintf "`-%s" flag
+            else Printf.sprintf "`--%s" flag
+          in
+          if not (contains ops needle) then
+            err "%s: flag --%s from %s is undocumented" ops_file flag cli)
+        (cli_flags cli);
+    let vars =
+      List.concat_map
+        (fun p -> env_vars_of (read_file p))
+        (List.concat_map ml_files [ "lib"; "bin"; "bench"; "test"; "tools" ])
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun v ->
+        if not (contains ops v) then
+          err "%s: environment variable %s is undocumented" ops_file v)
+      vars
+  end
+
 let md_files_in dir =
   if Sys.file_exists dir && Sys.is_directory dir then
     Sys.readdir dir |> Array.to_list
@@ -208,6 +323,7 @@ let () =
       if not (Hashtbl.mem visited d) then
         err "%s: not reachable from README.md" d)
     (md_files_in "docs");
+  check_operations ();
   match List.rev !errors with
   | [] -> Printf.printf "check_docs: %d pages OK\n" (List.length all_md)
   | es ->
